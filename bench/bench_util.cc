@@ -1,0 +1,111 @@
+// Copyright 2026 The SemTree Authors
+
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+namespace bench {
+
+Workload MakeWorkload(size_t n, uint64_t seed, size_t fastmap_dims) {
+  Workload w;
+  w.vocab = RequirementsVocabulary();
+
+  // Size the corpus so roughly n triples come out: documents carry
+  // ~50 requirements each, one triple per requirement.
+  CorpusOptions copts;
+  copts.min_requirements_per_doc = 40;
+  copts.max_requirements_per_doc = 60;
+  copts.num_documents = n / 50 + 1;
+  copts.num_actors = std::max<size_t>(40, n / 50);
+  copts.inconsistency_rate = 0.05;
+  copts.seed = seed;
+  RequirementsCorpusGenerator gen(&w.vocab, copts);
+  auto triples = gen.GenerateTriples();
+  if (!triples.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 triples.status().ToString().c_str());
+    std::abort();
+  }
+  w.triples = std::move(*triples);
+  if (w.triples.size() > n) w.triples.resize(n);
+
+  auto dist = TripleDistance::Make(&w.vocab);
+  if (!dist.ok()) std::abort();
+  w.distance = std::make_unique<TripleDistance>(std::move(*dist));
+
+  CachingTripleDistance cached(*w.distance);
+  FastMapOptions fopts;
+  fopts.dimensions = fastmap_dims;
+  fopts.seed = seed;
+  auto fm = FastMap::Train(
+      w.triples.size(),
+      [&](size_t i, size_t j) { return cached(w.triples[i], w.triples[j]); },
+      fopts);
+  if (!fm.ok()) std::abort();
+  w.fastmap = std::make_unique<FastMap>(std::move(*fm));
+
+  w.points.resize(w.triples.size());
+  for (size_t i = 0; i < w.triples.size(); ++i) {
+    w.points[i] = KdPoint{w.fastmap->Coordinates(i), i};
+  }
+  return w;
+}
+
+std::vector<std::vector<double>> MakeQueries(const Workload& workload,
+                                             size_t count, uint64_t seed,
+                                             double noise) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const KdPoint& base =
+        workload.points[rng.Uniform(workload.points.size())];
+    std::vector<double> query = base.coords;
+    for (double& c : query) c += noise * rng.Gaussian();
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+double CalibrateRadius(const Workload& workload, double target_fraction,
+                       uint64_t seed) {
+  Rng rng(seed);
+  // Sample pairwise embedded distances and take the target quantile.
+  std::vector<double> sample;
+  const size_t kSamples = 4000;
+  sample.reserve(kSamples);
+  for (size_t s = 0; s < kSamples; ++s) {
+    const KdPoint& a = workload.points[rng.Uniform(workload.points.size())];
+    const KdPoint& b = workload.points[rng.Uniform(workload.points.size())];
+    sample.push_back(EuclideanDistance(a.coords, b.coords));
+  }
+  std::sort(sample.begin(), sample.end());
+  size_t idx = static_cast<size_t>(
+      std::min(1.0, std::max(0.0, target_fraction)) * (kSamples - 1));
+  return sample[idx];
+}
+
+void PrintHeader(const char* figure, const char* title,
+                 const char* columns) {
+  std::printf("# %s: %s\n", figure, title);
+  std::printf("figure,series,%s\n", columns);
+}
+
+void PrintRow(const char* figure, const std::string& series, double x,
+              double y, const std::string& extra) {
+  if (extra.empty()) {
+    std::printf("%s,%s,%.0f,%.4f\n", figure, series.c_str(), x, y);
+  } else {
+    std::printf("%s,%s,%.0f,%.4f,%s\n", figure, series.c_str(), x, y,
+                extra.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace semtree

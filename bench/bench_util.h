@@ -1,0 +1,65 @@
+// Copyright 2026 The SemTree Authors
+//
+// Shared workload machinery for the figure-reproduction benches. Every
+// bench prints CSV rows "figure,series,x,y,..." so EXPERIMENTS.md can
+// quote them directly.
+
+#ifndef SEMTREE_BENCH_BENCH_UTIL_H_
+#define SEMTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "distance/triple_distance.h"
+#include "fastmap/fastmap.h"
+#include "kdtree/kdtree.h"
+#include "ontology/taxonomy.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+namespace bench {
+
+/// A fully prepared experiment input: triples from the synthetic
+/// requirements corpus, the Eq. (1) distance, a trained FastMap and the
+/// embedded points.
+struct Workload {
+  Taxonomy vocab;
+  std::vector<Triple> triples;
+  std::unique_ptr<TripleDistance> distance;
+  std::unique_ptr<FastMap> fastmap;
+  std::vector<KdPoint> points;  // points[i].id == i (triple id).
+
+  size_t dimensions() const { return fastmap->dimensions(); }
+};
+
+/// Builds a workload of `n` triples (actors scale with n so triples
+/// stay mostly distinct, as in the CIRA corpus).
+Workload MakeWorkload(size_t n, uint64_t seed = 42,
+                      size_t fastmap_dims = 8);
+
+/// Query points: corpus points perturbed with Gaussian noise so they do
+/// not trivially coincide with indexed points.
+std::vector<std::vector<double>> MakeQueries(const Workload& workload,
+                                             size_t count, uint64_t seed,
+                                             double noise = 0.02);
+
+/// A radius that returns roughly `target_fraction` of the corpus for an
+/// average query (estimated by sampling the embedded distances).
+double CalibrateRadius(const Workload& workload, double target_fraction,
+                       uint64_t seed);
+
+/// Prints the standard bench header once.
+void PrintHeader(const char* figure, const char* title,
+                 const char* columns);
+
+/// Prints one CSV row.
+void PrintRow(const char* figure, const std::string& series, double x,
+              double y, const std::string& extra = "");
+
+}  // namespace bench
+}  // namespace semtree
+
+#endif  // SEMTREE_BENCH_BENCH_UTIL_H_

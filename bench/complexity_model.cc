@@ -1,0 +1,94 @@
+// Copyright 2026 The SemTree Authors
+//
+// §III-C reproduction: the paper derives the insertion complexity
+// Θ(A + log2(N/M)) with A = log2(M), plus Θ(M) for build-partition.
+// This bench measures the observed per-insert cross-partition message
+// count and the tree navigation depth against the model, sweeping N
+// and M.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "complexity";
+
+void Run() {
+  PrintHeader(kFigure,
+              "Insertion cost model Theta(A + log2(N/M)) (paper III-C)",
+              "points,value,detail");
+  const size_t kSizes[] = {10000, 50000};
+  for (size_t n : kSizes) {
+    Workload workload = MakeWorkload(n);
+    for (size_t m : {1u, 3u, 5u, 9u}) {
+      SemTreeOptions opts;
+      opts.dimensions = workload.dimensions();
+      opts.bucket_size = 32;
+      opts.max_partitions = m;
+      opts.partition_capacity =
+          m == 1 ? SIZE_MAX : opts.bucket_size * m;
+      auto tree = SemTree::Create(opts);
+      if (!tree.ok()) std::abort();
+      if (!(*tree)->BulkInsert(workload.points, 8).ok()) std::abort();
+
+      // Model prediction for a balanced spread.
+      double model = std::log2(double(std::max<size_t>(1, m))) +
+                     std::log2(double(n) / double(m));
+
+      // Observed: average local depth across storing partitions plus
+      // the partition-tree hop count (messages per insert).
+      auto stats = (*tree)->AllPartitionStats();
+      double depth_sum = 0.0;
+      size_t storing = 0;
+      for (const auto& s : stats) {
+        if (s.points > 0) {
+          depth_sum += double(s.local_depth);
+          ++storing;
+        }
+      }
+      double observed_depth = storing ? depth_sum / storing : 0.0;
+      ClusterStats net = (*tree)->NetworkStats();
+      double msgs_per_insert = double(net.messages) / double(n);
+
+      PrintRow(kFigure, "model_log_cost_M" + std::to_string(m), double(n),
+               model);
+      PrintRow(kFigure, "avg_local_depth_M" + std::to_string(m),
+               double(n), observed_depth,
+               "storing_partitions=" + std::to_string(storing));
+      PrintRow(kFigure, "messages_per_insert_M" + std::to_string(m),
+               double(n), msgs_per_insert,
+               "forwards=" + std::to_string(net.forwards));
+    }
+  }
+
+  // Build-partition cost: Θ(M) — messages spent creating partitions
+  // scale with the partition count.
+  for (size_t m : {3u, 9u, 16u}) {
+    const size_t n = 20000;
+    Workload workload = MakeWorkload(n);
+    SemTreeOptions opts;
+    opts.dimensions = workload.dimensions();
+    opts.bucket_size = 32;
+    opts.max_partitions = m;
+    opts.partition_capacity = opts.bucket_size * m;
+    auto tree = SemTree::Create(opts);
+    if (!tree.ok()) std::abort();
+    if (!(*tree)->BulkInsert(workload.points, 8).ok()) std::abort();
+    PrintRow(kFigure, "partitions_created", double(m),
+             double((*tree)->PartitionCount()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  semtree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Copyright 2026 The SemTree Authors
+//
+// Figure 3 reproduction: "Index Building Times" — wall time to build
+// the SemTree index when varying the number of points and the number of
+// partitions. Series, exactly as in the paper:
+//   1 partition (balanced), 3 partitions, 5 partitions, 9 partitions,
+//   1 partition (totally unbalanced).
+//
+// "Balanced" inserts points in random order; "totally unbalanced"
+// inserts them presorted on the first embedded coordinate, which drives
+// the dynamically grown tree into its degenerate chain regime.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "fig3";
+
+// The simulated interconnect latency (one-way) and client parallelism;
+// see DESIGN.md §2 for the substitution rationale.
+constexpr auto kLatency = std::chrono::microseconds(20);
+constexpr size_t kClients = 8;
+
+double BuildOnce(const Workload& workload, std::vector<KdPoint> points,
+                 size_t partitions) {
+  SemTreeOptions opts;
+  opts.dimensions = workload.dimensions();
+  opts.bucket_size = 32;
+  opts.max_partitions = partitions;
+  opts.partition_capacity =
+      partitions == 1 ? SIZE_MAX
+                      : opts.bucket_size * partitions;  // Early split: root keeps ~2M-1 routing nodes (§III-C).
+  opts.network_latency = kLatency;
+  auto tree = SemTree::Create(opts);
+  if (!tree.ok()) std::abort();
+  Stopwatch sw;
+  if (!(*tree)->BulkInsert(points, kClients).ok()) std::abort();
+  double ms = sw.ElapsedMillis();
+  if ((*tree)->size() != points.size()) std::abort();
+  return ms;
+}
+
+void Run() {
+  PrintHeader(kFigure, "Index Building Time", "points,build_ms");
+  const size_t kSizes[] = {10000, 25000, 50000, 100000};
+  for (size_t n : kSizes) {
+    Workload workload = MakeWorkload(n, /*seed=*/42);
+    Rng rng(7);
+
+    // Balanced: random insertion order.
+    std::vector<KdPoint> shuffled = workload.points;
+    rng.Shuffle(&shuffled);
+    PrintRow(kFigure, "1 partition (balanced)", double(n),
+             BuildOnce(workload, shuffled, 1));
+    for (size_t partitions : {3u, 5u, 9u}) {
+      PrintRow(kFigure,
+               std::to_string(partitions) + " partitions", double(n),
+               BuildOnce(workload, shuffled, partitions));
+    }
+
+    // Totally unbalanced: presorted insertion order.
+    std::vector<KdPoint> sorted = workload.points;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const KdPoint& a, const KdPoint& b) {
+                return a.coords[0] < b.coords[0];
+              });
+    PrintRow(kFigure, "1 partition (totally unbalanced)", double(n),
+             BuildOnce(workload, sorted, 1));
+
+    // Extension series (not in the paper's figure): the distributed
+    // balanced bulk load the paper motivates KD-trees with.
+    {
+      SemTreeOptions opts;
+      opts.dimensions = workload.dimensions();
+      opts.bucket_size = 32;
+      opts.max_partitions = 9;
+      opts.network_latency = kLatency;
+      auto tree = SemTree::Create(opts);
+      if (!tree.ok()) std::abort();
+      Stopwatch sw;
+      if (!(*tree)->BulkLoadBalanced(workload.points).ok()) std::abort();
+      PrintRow(kFigure, "9 partitions (bulk load)", double(n),
+               sw.ElapsedMillis());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  semtree::bench::Run();
+  return 0;
+}

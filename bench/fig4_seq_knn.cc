@@ -1,0 +1,62 @@
+// Copyright 2026 The SemTree Authors
+//
+// Figure 4 reproduction: "Sequential K-nearest time (K=3)" — average
+// k-NN latency on the sequential KD-tree when varying the tree size,
+// for a balanced tree versus the totally unbalanced (chain) tree.
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "kdtree/kdtree.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "fig4";
+constexpr size_t kK = 3;
+constexpr size_t kQueries = 400;
+
+double MeasureKnn(const KdTree& tree,
+                  const std::vector<std::vector<double>>& queries) {
+  // Warm-up pass, then timed pass.
+  for (const auto& q : queries) tree.KnnSearch(q, kK);
+  Stopwatch sw;
+  size_t guard = 0;
+  for (const auto& q : queries) guard += tree.KnnSearch(q, kK).size();
+  double micros = sw.ElapsedMicros() / double(queries.size());
+  if (guard == 0) std::abort();
+  return micros;
+}
+
+void Run() {
+  PrintHeader(kFigure, "Sequential K-Nearest Time, K=3",
+              "points,query_us,depth");
+  const size_t kSizes[] = {5000, 10000, 25000, 50000, 100000};
+  for (size_t n : kSizes) {
+    Workload workload = MakeWorkload(n);
+    auto queries = MakeQueries(workload, kQueries, /*seed=*/9);
+
+    auto balanced =
+        KdTree::BulkLoadBalanced(workload.dimensions(), workload.points,
+                                 {.bucket_size = 32});
+    if (!balanced.ok()) std::abort();
+    PrintRow(kFigure, "Balanced", double(n),
+             MeasureKnn(*balanced, queries),
+             std::to_string(balanced->Depth()));
+
+    auto chain = KdTree::BuildChain(workload.dimensions(),
+                                    workload.points, {.bucket_size = 32});
+    if (!chain.ok()) std::abort();
+    PrintRow(kFigure, "Totally Unbalanced (chain)", double(n),
+             MeasureKnn(*chain, queries), std::to_string(chain->Depth()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  semtree::bench::Run();
+  return 0;
+}

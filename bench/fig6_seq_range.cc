@@ -1,0 +1,66 @@
+// Copyright 2026 The SemTree Authors
+//
+// Figure 6 reproduction: "Sequential Range Query time" — average range
+// query latency on the sequential KD-tree, balanced versus unbalanced,
+// when varying the tree size. The radius is calibrated to return about
+// 1% of the corpus per query.
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "kdtree/kdtree.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "fig6";
+constexpr size_t kQueries = 300;
+
+double MeasureRange(const KdTree& tree,
+                    const std::vector<std::vector<double>>& queries,
+                    double radius, size_t* total_hits) {
+  for (const auto& q : queries) tree.RangeSearch(q, radius);
+  Stopwatch sw;
+  size_t hits = 0;
+  for (const auto& q : queries) {
+    hits += tree.RangeSearch(q, radius).size();
+  }
+  double micros = sw.ElapsedMicros() / double(queries.size());
+  *total_hits = hits;
+  return micros;
+}
+
+void Run() {
+  PrintHeader(kFigure, "Sequential Range Query Time",
+              "points,query_us,avg_hits");
+  const size_t kSizes[] = {5000, 10000, 25000, 50000, 100000};
+  for (size_t n : kSizes) {
+    Workload workload = MakeWorkload(n);
+    auto queries = MakeQueries(workload, kQueries, /*seed=*/13);
+    double radius = CalibrateRadius(workload, 0.01, /*seed=*/17);
+
+    size_t hits = 0;
+    auto balanced = KdTree::BulkLoadBalanced(
+        workload.dimensions(), workload.points, {.bucket_size = 32});
+    if (!balanced.ok()) std::abort();
+    double b_us = MeasureRange(*balanced, queries, radius, &hits);
+    PrintRow(kFigure, "Balanced", double(n), b_us,
+             std::to_string(hits / kQueries));
+
+    auto chain = KdTree::BuildChain(workload.dimensions(),
+                                    workload.points, {.bucket_size = 32});
+    if (!chain.ok()) std::abort();
+    double c_us = MeasureRange(*chain, queries, radius, &hits);
+    PrintRow(kFigure, "Unbalanced", double(n), c_us,
+             std::to_string(hits / kQueries));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  semtree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Copyright 2026 The SemTree Authors
+//
+// google-benchmark microbenches for the hot primitives: string
+// distances, taxonomy similarity, the Eq. (1) triple distance (plain
+// and cached), FastMap projection and KD-tree searches.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "distance/triple_distance.h"
+#include "kdtree/kdtree.h"
+#include "kdtree/linear_scan.h"
+#include "ontology/requirements_vocabulary.h"
+#include "ontology/similarity.h"
+#include "text/string_distance.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "OBSW001_component_identifier";
+  std::string b = "OBSW017_component_identifler";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "OBSW001_component_identifier";
+  std::string b = "OBSW017_component_identifler";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_ConceptSimilarity(benchmark::State& state) {
+  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
+  auto measure = static_cast<SimilarityMeasure>(state.range(0));
+  ConceptId a = *vocab->Find("accept_cmd");
+  ConceptId b = *vocab->Find("power_off");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConceptSimilarity(measure, *vocab, a, b));
+  }
+  state.SetLabel(SimilarityMeasureName(measure));
+}
+BENCHMARK(BM_ConceptSimilarity)
+    ->Arg(int(SimilarityMeasure::kWuPalmer))
+    ->Arg(int(SimilarityMeasure::kPath))
+    ->Arg(int(SimilarityMeasure::kResnik))
+    ->Arg(int(SimilarityMeasure::kLin));
+
+void BM_TripleDistance(benchmark::State& state) {
+  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
+  auto dist = TripleDistance::Make(vocab);
+  Triple a(Term::Literal("OBSW001"), Term::Concept("accept_cmd", "Fun"),
+           Term::Concept("startup_cmd", "CmdType"));
+  Triple b(Term::Literal("OBSW044"), Term::Concept("inhibit_msg", "Fun"),
+           Term::Concept("heartbeat", "MsgType"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*dist)(a, b));
+  }
+}
+BENCHMARK(BM_TripleDistance);
+
+void BM_TripleDistanceCached(benchmark::State& state) {
+  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
+  auto dist = TripleDistance::Make(vocab);
+  CachingTripleDistance cached(*dist);
+  Triple a(Term::Literal("OBSW001"), Term::Concept("accept_cmd", "Fun"),
+           Term::Concept("startup_cmd", "CmdType"));
+  Triple b(Term::Literal("OBSW044"), Term::Concept("inhibit_msg", "Fun"),
+           Term::Concept("heartbeat", "MsgType"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached(a, b));
+  }
+}
+BENCHMARK(BM_TripleDistanceCached);
+
+struct MicroWorkload {
+  Workload workload;
+  MicroWorkload() : workload(MakeWorkload(20000)) {}
+};
+
+MicroWorkload& SharedWorkload() {
+  static MicroWorkload* w = new MicroWorkload();
+  return *w;
+}
+
+void BM_FastMapProject(benchmark::State& state) {
+  Workload& w = SharedWorkload().workload;
+  const Triple& query = w.triples[123];
+  for (auto _ : state) {
+    auto coords = w.fastmap->Project([&](size_t train) {
+      return (*w.distance)(query, w.triples[train]);
+    });
+    benchmark::DoNotOptimize(coords);
+  }
+}
+BENCHMARK(BM_FastMapProject);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  Workload& w = SharedWorkload().workload;
+  static const KdTree* tree = [] {
+    auto t = KdTree::BulkLoadBalanced(
+        SharedWorkload().workload.dimensions(),
+        SharedWorkload().workload.points, {.bucket_size = 32});
+    return new KdTree(std::move(*t));
+  }();
+  auto queries = MakeQueries(w, 64, 7);
+  size_t i = 0;
+  size_t k = size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->KnnSearch(queries[i++ % 64], k));
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_LinearScanKnn(benchmark::State& state) {
+  Workload& w = SharedWorkload().workload;
+  static const LinearScanIndex* scan = [] {
+    auto* s = new LinearScanIndex(
+        SharedWorkload().workload.dimensions());
+    for (const auto& p : SharedWorkload().workload.points) {
+      (void)s->Insert(p.coords, p.id);
+    }
+    return s;
+  }();
+  auto queries = MakeQueries(w, 16, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan->KnnSearch(queries[i++ % 16], 3));
+  }
+}
+BENCHMARK(BM_LinearScanKnn);
+
+void BM_KdTreeRange(benchmark::State& state) {
+  Workload& w = SharedWorkload().workload;
+  static const KdTree* tree = [] {
+    auto t = KdTree::BulkLoadBalanced(
+        SharedWorkload().workload.dimensions(),
+        SharedWorkload().workload.points, {.bucket_size = 32});
+    return new KdTree(std::move(*t));
+  }();
+  double radius = CalibrateRadius(w, 0.01, 3);
+  auto queries = MakeQueries(w, 64, 11);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->RangeSearch(queries[i++ % 64], radius));
+  }
+}
+BENCHMARK(BM_KdTreeRange);
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Copyright 2026 The SemTree Authors
+//
+// Query-throughput scaling: the paper's §III-C argues that "using M-1
+// data partitions, we can perform in the best case M-1 parallel
+// operations maximizing our throughput". Fig. 5 measures single-query
+// latency, which a distributed root-to-leaf walk cannot improve; this
+// bench measures what the partitions actually buy — concurrent-client
+// throughput for k-NN queries and inserts.
+
+#include <atomic>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "throughput";
+constexpr size_t kCorpus = 30000;
+constexpr size_t kClients = 8;
+constexpr size_t kQueriesPerClient = 150;
+constexpr auto kLatency = std::chrono::microseconds(20);
+
+void Run() {
+  PrintHeader(kFigure,
+              "Concurrent-client throughput vs partitions (III-C)",
+              "partitions,ops_per_sec,clients");
+  Workload workload = MakeWorkload(kCorpus);
+  auto queries = MakeQueries(workload, 256, /*seed=*/3);
+
+  for (size_t partitions : {1u, 3u, 5u, 9u}) {
+    SemTreeOptions opts;
+    opts.dimensions = workload.dimensions();
+    opts.bucket_size = 32;
+    opts.max_partitions = partitions;
+    opts.network_latency = kLatency;
+    auto tree = SemTree::Create(opts);
+    if (!tree.ok()) std::abort();
+    if (!(*tree)->BulkLoadBalanced(workload.points).ok()) std::abort();
+
+    // k-NN throughput under kClients concurrent clients.
+    {
+      ThreadPool pool(kClients);
+      std::atomic<size_t> completed{0};
+      Stopwatch sw;
+      for (size_t c = 0; c < kClients; ++c) {
+        pool.Submit([&, c]() {
+          Rng rng(100 + c);
+          for (size_t q = 0; q < kQueriesPerClient; ++q) {
+            auto hits = (*tree)->KnnSearch(
+                queries[rng.Uniform(queries.size())], 3);
+            if (hits.ok()) completed.fetch_add(1);
+          }
+        });
+      }
+      pool.Wait();
+      double secs = sw.ElapsedSeconds();
+      PrintRow(kFigure, "knn_qps", double(partitions),
+               double(completed.load()) / secs,
+               "clients=" + std::to_string(kClients));
+    }
+
+    // Insert throughput (fresh points appended by concurrent clients).
+    {
+      ThreadPool pool(kClients);
+      std::atomic<size_t> completed{0};
+      Stopwatch sw;
+      for (size_t c = 0; c < kClients; ++c) {
+        pool.Submit([&, c]() {
+          Rng rng(200 + c);
+          for (size_t q = 0; q < kQueriesPerClient; ++q) {
+            std::vector<double> coords =
+                queries[rng.Uniform(queries.size())];
+            for (double& x : coords) x += 1e-4 * rng.Gaussian();
+            if ((*tree)
+                    ->Insert(coords, kCorpus + c * kQueriesPerClient + q)
+                    .ok()) {
+              completed.fetch_add(1);
+            }
+          }
+        });
+      }
+      pool.Wait();
+      double secs = sw.ElapsedSeconds();
+      PrintRow(kFigure, "insert_ops", double(partitions),
+               double(completed.load()) / secs,
+               "clients=" + std::to_string(kClients));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  semtree::bench::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Copyright 2026 The SemTree Authors
+//
+// Distributed SemTree walkthrough: build the same index with 1, 3, 5
+// and 9 partitions on the simulated cluster, show how build-partition
+// spreads the data (routing vs storing partitions, edge nodes), and
+// compare build/query times — a miniature of the paper's efficiency
+// experiments (§IV-A).
+//
+//   $ ./build/examples/distributed_scaling
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "semtree/semtree.h"
+
+int main() {
+  using namespace semtree;
+
+  // A synthetic embedded point set (in a real pipeline these come from
+  // FastMap; see the quickstart example).
+  const size_t kPoints = 40000;
+  const size_t kDims = 8;
+  Rng rng(42);
+  std::vector<KdPoint> points(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    points[i].id = i;
+    points[i].coords.resize(kDims);
+    for (double& c : points[i].coords) c = rng.UniformDouble(0.0, 1.0);
+  }
+  std::vector<std::vector<double>> queries;
+  for (int q = 0; q < 100; ++q) {
+    std::vector<double> query(kDims);
+    for (double& c : query) c = rng.UniformDouble(0.0, 1.0);
+    queries.push_back(std::move(query));
+  }
+
+  std::printf("%10s %10s %10s %12s %12s %10s\n", "partitions", "build_ms",
+              "knn_us", "messages", "net_bytes", "storing");
+  for (size_t partitions : {1u, 3u, 5u, 9u}) {
+    SemTreeOptions opts;
+    opts.dimensions = kDims;
+    opts.bucket_size = 32;
+    opts.max_partitions = partitions;
+    opts.partition_capacity =
+        partitions == 1 ? SIZE_MAX : opts.bucket_size * partitions;
+    opts.network_latency = std::chrono::microseconds(20);
+    auto tree = SemTree::Create(opts);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   tree.status().ToString().c_str());
+      return 1;
+    }
+
+    Stopwatch build;
+    if (!(*tree)->BulkInsert(points, /*client_threads=*/8).ok()) return 1;
+    double build_ms = build.ElapsedMillis();
+
+    Stopwatch query;
+    for (const auto& q : queries) {
+      auto hits = (*tree)->KnnSearch(q, 3);
+      if (!hits.ok()) return 1;
+    }
+    double knn_us = query.ElapsedMicros() / double(queries.size());
+
+    ClusterStats net = (*tree)->NetworkStats();
+    auto stats = (*tree)->AllPartitionStats();
+    size_t storing = 0;
+    for (const auto& s : stats) storing += (s.points > 0);
+
+    std::printf("%10zu %10.1f %10.1f %12llu %12llu %10zu\n", partitions,
+                build_ms, knn_us, (unsigned long long)net.messages,
+                (unsigned long long)net.bytes, storing);
+
+    if (partitions == 9) {
+      std::printf("\nPer-partition layout at 9 partitions:\n");
+      for (const auto& s : stats) {
+        std::printf("  %s\n", s.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Copyright 2026 The SemTree Authors
+//
+// Quickstart: index a handful of hand-written triples over the built-in
+// general-purpose vocabulary and run a k-nearest query by example.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "ontology/requirements_vocabulary.h"
+#include "rdf/turtle.h"
+#include "semtree/semantic_index.h"
+
+int main() {
+  using namespace semtree;
+
+  // 1. A vocabulary: concepts in an IS-A taxonomy, with synonyms and
+  //    antonyms. MiniWordNet() is a small built-in stand-in for "a
+  //    standard vocabulary"; you can also load one from disk with
+  //    LoadVocabularyFile().
+  Taxonomy vocab = MiniWordNet();
+
+  // 2. A corpus of (subject, predicate, object) triples, written in the
+  //    paper's Turtle-like notation.
+  auto corpus = ParseTriples(R"(
+('alice', own, dog)
+('alice', own, cat)
+('alice', buy, house)
+('bob', own, car)
+('bob', sell, car)
+('bob', buy, bicycle)
+('carol', own, horse)
+('carol', lend, laptop)
+('dave', borrow, laptop)
+('dave', own, truck)
+('erin', buy, boat)
+('erin', own, eagle)
+)");
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Build the semantic index: Eq. (1) distance -> FastMap -> SemTree.
+  SemanticIndexOptions options;
+  options.fastmap.dimensions = 4;
+  auto index = SemanticIndex::Build(&vocab, *corpus, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build error: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Indexed %zu triples in %zu-dimensional FastMap space.\n\n",
+              (*index)->size(), (*index)->fastmap().dimensions());
+
+  // 4. Query by example: who owns something dog-like?
+  Triple query(Term::Literal("alice"), Term::Concept("own"),
+               Term::Concept("cat"));
+  std::printf("Query: %s\n", query.ToString().c_str());
+  auto hits = (*index)->KnnQuery(query, 4);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 hits.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& hit : *hits) {
+    std::printf("  %-34s embedded=%.3f  semantic=%.3f\n",
+                (*index)->triple(hit.id).ToString().c_str(),
+                hit.embedded_distance, hit.semantic_distance);
+  }
+
+  // 5. Range query: everything semantically close to "bob buys things".
+  Triple range_query(Term::Literal("bob"), Term::Concept("buy"),
+                     Term::Concept("car"));
+  std::printf("\nRange query (radius 0.35): %s\n",
+              range_query.ToString().c_str());
+  auto in_range = (*index)->RangeQuery(range_query, 0.35);
+  if (!in_range.ok()) return 1;
+  for (const auto& hit : *in_range) {
+    std::printf("  %-34s embedded=%.3f\n",
+                (*index)->triple(hit.id).ToString().c_str(),
+                hit.embedded_distance);
+  }
+  return 0;
+}

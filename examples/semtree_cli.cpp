@@ -1,0 +1,166 @@
+// Copyright 2026 The SemTree Authors
+//
+// A small command-line front end for the library — build, persist and
+// query semantic indexes from files:
+//
+//   semtree_cli build  <vocab.txt> <triples.txt> <index.out> [dims]
+//   semtree_cli knn    <index.file> "<triple>" <k>
+//   semtree_cli range  <index.file> "<triple>" <radius>
+//   semtree_cli check  <index.file>          # stats + invariants
+//   semtree_cli demo   <directory>           # writes demo input files
+//
+// Triples use the paper's notation: ('OBSW001', Fun:accept_cmd,
+// CmdType:startup_cmd)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "nlp/requirements_corpus.h"
+#include "nlp/triple_extractor.h"
+#include "ontology/requirements_vocabulary.h"
+#include "ontology/vocabulary_io.h"
+#include "rdf/turtle.h"
+#include "semtree/index_io.h"
+
+namespace {
+
+using namespace semtree;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  semtree_cli build <vocab.txt> <triples.txt> <index.out> [dims]\n"
+      "  semtree_cli knn <index.file> \"<triple>\" <k>\n"
+      "  semtree_cli range <index.file> \"<triple>\" <radius>\n"
+      "  semtree_cli check <index.file>\n"
+      "  semtree_cli demo <directory>\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto vocab = LoadVocabularyFile(argv[2]);
+  if (!vocab.ok()) return Fail(vocab.status());
+  auto text = ReadFile(argv[3]);
+  if (!text.ok()) return Fail(text.status());
+  auto triples = ParseTriples(*text);
+  if (!triples.ok()) return Fail(triples.status());
+  if (triples->empty()) {
+    std::fprintf(stderr, "error: no triples in %s\n", argv[3]);
+    return 1;
+  }
+  SemanticIndexOptions opts;
+  if (argc >= 6) opts.fastmap.dimensions = std::strtoul(argv[5], nullptr, 10);
+  std::printf("Building: %zu triples, %zu concepts, %zu-d embedding...\n",
+              triples->size(), vocab->size(), opts.fastmap.dimensions);
+  auto index = SemanticIndex::Build(&*vocab, std::move(*triples), opts);
+  if (!index.ok()) return Fail(index.status());
+  Status st = SaveIndex(**index, argv[4]);
+  if (!st.ok()) return Fail(st);
+  std::printf("Saved index to %s\n", argv[4]);
+  return 0;
+}
+
+int RunQuery(int argc, char** argv, bool is_knn) {
+  if (argc < 5) return Usage();
+  auto bundle = LoadIndex(argv[2]);
+  if (!bundle.ok()) return Fail(bundle.status());
+  auto query = ParseTriple(argv[3]);
+  if (!query.ok()) return Fail(query.status());
+  Result<std::vector<SemanticIndex::Hit>> hits =
+      is_knn
+          ? bundle->index->KnnQuery(*query,
+                                    std::strtoul(argv[4], nullptr, 10))
+          : bundle->index->RangeQuery(*query,
+                                      std::strtod(argv[4], nullptr));
+  if (!hits.ok()) return Fail(hits.status());
+  std::printf("%zu hits for %s\n", hits->size(),
+              query->ToString().c_str());
+  for (const auto& hit : *hits) {
+    std::printf("  %-56s embedded=%.4f semantic=%.4f\n",
+                bundle->index->triple(hit.id).ToString().c_str(),
+                hit.embedded_distance, hit.semantic_distance);
+  }
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto bundle = LoadIndex(argv[2]);
+  if (!bundle.ok()) return Fail(bundle.status());
+  const SemanticIndex& index = *bundle->index;
+  std::printf("triples:    %zu\n", index.size());
+  std::printf("vocabulary: %zu concepts, depth %zu\n",
+              index.taxonomy().size(), index.taxonomy().MaxDepth());
+  std::printf("embedding:  %zu dims (%zu effective)\n",
+              index.fastmap().dimensions(),
+              index.fastmap().effective_dimensions());
+  std::printf("partitions: %zu\n", index.tree().PartitionCount());
+  for (const auto& s : index.tree().AllPartitionStats()) {
+    std::printf("  %s\n", s.ToString().c_str());
+  }
+  Status st = index.tree().CheckInvariants();
+  std::printf("invariants: %s\n", st.ToString().c_str());
+  return st.ok() ? 0 : 1;
+}
+
+int CmdDemo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string dir = argv[2];
+  Taxonomy vocab = RequirementsVocabulary();
+  Status st = SaveVocabularyFile(vocab, dir + "/vocab.txt");
+  if (!st.ok()) return Fail(st);
+
+  RequirementsCorpusGenerator gen(&vocab, {.num_documents = 20,
+                                           .seed = 1});
+  TripleExtractor extractor(&vocab);
+  TripleStore store;
+  auto count = extractor.ExtractCorpus(gen.Generate(), &store);
+  if (!count.ok()) return Fail(count.status());
+  std::ofstream out(dir + "/triples.txt");
+  out << SerializeTriples(store.triples());
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s/triples.txt\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "Wrote %s/vocab.txt and %s/triples.txt (%zu triples).\n"
+      "Try:\n"
+      "  semtree_cli build %s/vocab.txt %s/triples.txt %s/index.txt\n"
+      "  semtree_cli knn %s/index.txt \"('OBSW001', Fun:block_cmd, "
+      "CmdType:reset)\" 5\n",
+      dir.c_str(), dir.c_str(), store.size(), dir.c_str(), dir.c_str(),
+      dir.c_str(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "build") == 0) return CmdBuild(argc, argv);
+  if (std::strcmp(argv[1], "knn") == 0) return RunQuery(argc, argv, true);
+  if (std::strcmp(argv[1], "range") == 0) {
+    return RunQuery(argc, argv, false);
+  }
+  if (std::strcmp(argv[1], "check") == 0) return CmdCheck(argc, argv);
+  if (std::strcmp(argv[1], "demo") == 0) return CmdDemo(argc, argv);
+  return Usage();
+}

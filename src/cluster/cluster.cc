@@ -1,0 +1,261 @@
+// Copyright 2026 The SemTree Authors
+
+#include "cluster/cluster.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace semtree {
+
+Cluster::Cluster(ClusterOptions options) : options_(options) {
+  const bool delayed = options_.latency.count() > 0 ||
+                       options_.bandwidth_bytes_per_us > 0.0;
+  if (delayed) {
+    net_running_ = true;
+    net_thread_ = std::thread([this]() { NetworkLoop(); });
+  }
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+ComputeNode* Cluster::AddNode() {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<ComputeNode>(id, this));
+  return nodes_.back().get();
+}
+
+ComputeNode* Cluster::node(NodeId id) const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) return nullptr;
+  return nodes_[static_cast<size_t>(id)].get();
+}
+
+size_t Cluster::NodeCount() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return nodes_.size();
+}
+
+std::chrono::steady_clock::time_point Cluster::DeliveryTime(
+    size_t bytes) const {
+  auto now = std::chrono::steady_clock::now();
+  auto delay = options_.latency;
+  if (options_.bandwidth_bytes_per_us > 0.0) {
+    delay += std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(bytes) / options_.bandwidth_bytes_per_us));
+  }
+  return now + delay;
+}
+
+void Cluster::Account(const Message& msg) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.messages;
+  stats_.bytes += msg.approx_bytes;
+  if (msg.from != msg.to) ++stats_.remote_messages;
+}
+
+void Cluster::Send(NodeId target, uint32_t type, Payload payload,
+                   size_t approx_bytes, NodeId from) {
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = target;
+  msg.payload = std::move(payload);
+  msg.approx_bytes = approx_bytes;
+  msg.deliver_at = DeliveryTime(approx_bytes);
+  Route(std::move(msg));
+}
+
+std::future<Payload> Cluster::Call(NodeId target, uint32_t type,
+                                   Payload payload, size_t approx_bytes,
+                                   NodeId from) {
+  if (is_shutdown_.load(std::memory_order_acquire)) {
+    std::promise<Payload> dead;
+    dead.set_value(nullptr);
+    return dead.get_future();
+  }
+  uint64_t correlation =
+      next_correlation_.fetch_add(1, std::memory_order_relaxed);
+  std::future<Payload> future;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    future = pending_[correlation].get_future();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.calls;
+  }
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = target;
+  msg.correlation_id = correlation;
+  msg.payload = std::move(payload);
+  msg.approx_bytes = approx_bytes;
+  msg.deliver_at = DeliveryTime(approx_bytes);
+  Route(std::move(msg));
+  return future;
+}
+
+Result<Payload> Cluster::CallAndWait(NodeId target, uint32_t type,
+                                     Payload payload, size_t approx_bytes,
+                                     NodeId from) {
+  std::future<Payload> future =
+      Call(target, type, std::move(payload), approx_bytes, from);
+  Payload response = future.get();  // Never throws: promise always set.
+  if (response == nullptr) {
+    return Status::Unavailable("cluster shut down during call");
+  }
+  return response;
+}
+
+void Cluster::Forward(const Message& request, NodeId new_target,
+                      NodeId from) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.forwards;
+  }
+  Message msg = request;  // Payload shared; correlation preserved.
+  msg.from = from;
+  msg.to = new_target;
+  msg.deliver_at = DeliveryTime(msg.approx_bytes);
+  Route(std::move(msg));
+}
+
+void Cluster::Respond(const Message& request, Payload payload,
+                      size_t approx_bytes) {
+  if (request.correlation_id == 0) return;  // One-way: nothing to do.
+  Message msg;
+  msg.type = kResponseType;
+  msg.from = request.to;
+  msg.to = request.from;
+  msg.correlation_id = request.correlation_id;
+  msg.payload = std::move(payload);
+  msg.approx_bytes = approx_bytes;
+  msg.deliver_at = DeliveryTime(approx_bytes);
+  Route(std::move(msg));
+}
+
+void Cluster::Route(Message msg) {
+  Account(msg);
+  bool delayed;
+  {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    delayed = net_running_;
+    if (delayed) {
+      net_queue_.push(Scheduled{msg.deliver_at, net_seq_++, std::move(msg)});
+    }
+  }
+  if (delayed) {
+    net_cv_.notify_one();
+  } else {
+    DeliverNow(std::move(msg));
+  }
+}
+
+void Cluster::DeliverNow(Message&& msg) {
+  if (msg.type == kResponseType) {
+    std::promise<Payload> promise;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(msg.correlation_id);
+      if (it == pending_.end()) {
+        SEMTREE_LOG(Warning) << "orphan response for correlation "
+                             << msg.correlation_id;
+        return;
+      }
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(std::move(msg.payload));
+    return;
+  }
+  ComputeNode* target = node(msg.to);
+  if (target == nullptr) {
+    SEMTREE_LOG(Warning) << "message to unknown node " << msg.to;
+    return;
+  }
+  target->Deliver(std::move(msg));
+}
+
+void Cluster::NetworkLoop() {
+  std::unique_lock<std::mutex> lock(net_mu_);
+  for (;;) {
+    if (net_queue_.empty()) {
+      if (shutdown_) return;
+      net_cv_.wait(lock);
+      continue;
+    }
+    auto at = net_queue_.top().at;
+    auto now = std::chrono::steady_clock::now();
+    if (now < at) {
+      // OS timer granularity (tens of microseconds) would inflate
+      // sub-100us latencies; spin for near deadlines, sleep for far
+      // ones. Spinning can drop the lock: with a uniform latency model
+      // later sends always carry later deadlines, so the heap top
+      // stays the earliest message.
+      if (at - now < std::chrono::microseconds(200)) {
+        lock.unlock();
+        while (std::chrono::steady_clock::now() < at) {
+          std::this_thread::yield();
+        }
+        lock.lock();
+      } else {
+        net_cv_.wait_until(lock, at);
+      }
+      continue;
+    }
+    Message msg = std::move(const_cast<Scheduled&>(net_queue_.top()).msg);
+    net_queue_.pop();
+    lock.unlock();
+    DeliverNow(std::move(msg));
+    lock.lock();
+  }
+}
+
+ClusterStats Cluster::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Cluster::Shutdown() {
+  if (is_shutdown_.exchange(true)) return;
+
+  auto resolve_pending = [this]() {
+    std::map<uint64_t, std::promise<Payload>> pending;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending.swap(pending_);
+    }
+    for (auto& [correlation, promise] : pending) {
+      (void)correlation;
+      promise.set_value(nullptr);
+    }
+  };
+
+  // Stop the network thread first so no new deliveries race the node
+  // teardown; it drains whatever is already queued before exiting.
+  {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    shutdown_ = true;
+  }
+  net_cv_.notify_all();
+  if (net_thread_.joinable()) {
+    net_thread_.join();
+    net_running_ = false;
+  }
+  // Unblock any worker waiting on an in-flight RPC, then stop the
+  // nodes; new Calls after this point resolve to nullptr immediately,
+  // so the workers cannot block again.
+  resolve_pending();
+  std::vector<ComputeNode*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    for (auto& n : nodes_) nodes.push_back(n.get());
+  }
+  for (ComputeNode* n : nodes) n->Stop();
+  resolve_pending();
+}
+
+}  // namespace semtree

@@ -1,0 +1,77 @@
+// Copyright 2026 The SemTree Authors
+//
+// A simulated compute node: a mailbox plus a worker thread dispatching
+// messages to registered handlers. One SemTree partition lives on one
+// compute node (paper §III-B: partitions are "usually managed by a
+// single compute node").
+
+#ifndef SEMTREE_CLUSTER_COMPUTE_NODE_H_
+#define SEMTREE_CLUSTER_COMPUTE_NODE_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "cluster/mailbox.h"
+#include "cluster/message.h"
+
+namespace semtree {
+
+class Cluster;
+
+/// One node of the simulated cluster.
+///
+/// Handlers run on the node's single worker thread, so all state owned
+/// by the node (e.g. its partition) is mutated serially without locks.
+/// Handlers may issue nested Cluster::Call RPCs; the SemTree protocol
+/// only calls "down" the partition tree, so such chains cannot
+/// deadlock.
+class ComputeNode {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  ComputeNode(NodeId id, Cluster* cluster);
+  ~ComputeNode();
+
+  ComputeNode(const ComputeNode&) = delete;
+  ComputeNode& operator=(const ComputeNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Registers the handler for a message type. Must happen before
+  /// Start(); one handler per type.
+  void RegisterHandler(uint32_t type, Handler handler);
+
+  /// Spawns the worker thread.
+  void Start();
+
+  /// Closes the mailbox and joins the worker. Idempotent.
+  void Stop();
+
+  /// Enqueues a message for this node (called by the Cluster).
+  void Deliver(Message msg);
+
+  /// Messages processed so far (for stats).
+  uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  size_t mailbox_high_watermark() const {
+    return mailbox_.high_watermark();
+  }
+
+ private:
+  void WorkerLoop();
+
+  NodeId id_;
+  Cluster* cluster_;
+  Mailbox mailbox_;
+  std::unordered_map<uint32_t, Handler> handlers_;
+  std::thread worker_;
+  std::atomic<uint64_t> processed_{0};
+  bool started_ = false;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CLUSTER_COMPUTE_NODE_H_

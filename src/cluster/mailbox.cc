@@ -1,0 +1,44 @@
+// Copyright 2026 The SemTree Authors
+
+#include "cluster/mailbox.h"
+
+namespace semtree {
+
+void Mailbox::Push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    queue_.push_back(std::move(msg));
+    high_watermark_ = std::max(high_watermark_, queue_.size());
+  }
+  cv_.notify_one();
+}
+
+bool Mailbox::Pop(Message* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this]() { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Mailbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t Mailbox::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_watermark_;
+}
+
+}  // namespace semtree

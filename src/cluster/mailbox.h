@@ -1,0 +1,50 @@
+// Copyright 2026 The SemTree Authors
+//
+// A blocking FIFO mailbox, one per compute node. Producers are any
+// threads (other nodes' workers, the network thread, clients); the
+// consumer is the owning node's worker thread.
+
+#ifndef SEMTREE_CLUSTER_MAILBOX_H_
+#define SEMTREE_CLUSTER_MAILBOX_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "cluster/message.h"
+
+namespace semtree {
+
+/// Thread-safe blocking queue of Messages.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message. No-op after Close().
+  void Push(Message msg);
+
+  /// Blocks until a message is available or the mailbox is closed.
+  /// Returns false iff closed and drained.
+  bool Pop(Message* out);
+
+  /// Unblocks consumers; pending messages can still be popped.
+  void Close();
+
+  size_t size() const;
+
+  /// Largest queue length observed (for stats).
+  size_t high_watermark() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CLUSTER_MAILBOX_H_

@@ -1,0 +1,7 @@
+// Copyright 2026 The SemTree Authors
+//
+// Message is a plain struct; this translation unit anchors the target.
+
+#include "cluster/message.h"
+
+namespace semtree {}  // namespace semtree

@@ -1,0 +1,60 @@
+// Copyright 2026 The SemTree Authors
+//
+// Messages exchanged between compute nodes. The paper's implementation
+// uses MPJ (MPI for Java) on a physical cluster; this repository
+// simulates the cluster in-process (see DESIGN.md §2): payloads are
+// type-erased in-memory objects, and each message carries an
+// approximate wire size so the simulator can account network bytes and
+// apply latency.
+
+#ifndef SEMTREE_CLUSTER_MESSAGE_H_
+#define SEMTREE_CLUSTER_MESSAGE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace semtree {
+
+/// Identifies a compute node in the cluster; kClientNode is the
+/// off-cluster caller (the application driving the index).
+using NodeId = int32_t;
+inline constexpr NodeId kClientNode = -1;
+
+/// Type-erased message body.
+using Payload = std::shared_ptr<void>;
+
+/// Wraps a value into a payload.
+template <typename T>
+Payload MakePayload(T value) {
+  return std::make_shared<T>(std::move(value));
+}
+
+/// Recovers a typed reference from a payload. The caller must know the
+/// message type's payload contract.
+template <typename T>
+T& PayloadAs(const Payload& payload) {
+  return *static_cast<T*>(payload.get());
+}
+
+/// One message on the simulated interconnect.
+struct Message {
+  uint32_t type = 0;
+  NodeId from = kClientNode;
+  NodeId to = kClientNode;
+
+  /// Correlates requests with responses; 0 means one-way.
+  uint64_t correlation_id = 0;
+
+  Payload payload;
+
+  /// Approximate serialized size, accounted in ClusterStats.
+  size_t approx_bytes = 0;
+
+  /// Earliest delivery time under the latency model.
+  std::chrono::steady_clock::time_point deliver_at{};
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CLUSTER_MESSAGE_H_

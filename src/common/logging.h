@@ -1,0 +1,48 @@
+// Copyright 2026 The SemTree Authors
+//
+// Minimal leveled logging. The library logs nothing by default; verbosity
+// is opt-in so benchmark timings stay clean.
+
+#ifndef SEMTREE_COMMON_LOGGING_H_
+#define SEMTREE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace semtree {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+/// Defaults to kWarning.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SEMTREE_LOG(level)                                        \
+  ::semtree::internal::LogMessage(::semtree::LogLevel::k##level,  \
+                                  __FILE__, __LINE__)
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+// Copyright 2026 The SemTree Authors
+//
+// Deterministic pseudo-random generation used across workload generators,
+// tests and benchmarks. All SemTree experiments are reproducible given a
+// seed.
+
+#ifndef SEMTREE_COMMON_RANDOM_H_
+#define SEMTREE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semtree {
+
+/// A small, fast, deterministic PRNG (xoshiro256**). Not cryptographic.
+///
+/// Distinct from std::mt19937 so that streams are stable across standard
+/// library implementations — benchmark workloads must not change when the
+/// toolchain does.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal deviate (Box–Muller).
+  double Gaussian();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen index, then element, of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Random lowercase ASCII identifier of the given length.
+  std::string Identifier(size_t length);
+
+  /// Zipf-distributed rank in [0, n) with exponent s. Used to give corpus
+  /// generators realistic skew.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_RANDOM_H_

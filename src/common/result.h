@@ -1,0 +1,80 @@
+// Copyright 2026 The SemTree Authors
+//
+// Result<T>: a value-or-Status return type, in the spirit of
+// arrow::Result / absl::StatusOr.
+
+#ifndef SEMTREE_COMMON_RESULT_H_
+#define SEMTREE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace semtree {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Constructing a Result from an OK Status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its
+/// Status from the enclosing function on error.
+#define SEMTREE_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  SEMTREE_ASSIGN_OR_RETURN_IMPL_(                  \
+      SEMTREE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define SEMTREE_CONCAT_INNER_(a, b) a##b
+#define SEMTREE_CONCAT_(a, b) SEMTREE_CONCAT_INNER_(a, b)
+#define SEMTREE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_RESULT_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The SemTree Authors
+
+#include "common/status.h"
+
+namespace semtree {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace semtree

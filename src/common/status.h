@@ -1,0 +1,115 @@
+// Copyright 2026 The SemTree Authors
+//
+// Status: RocksDB-style error propagation for library code paths.
+// SemTree library code never throws; every fallible operation returns a
+// Status (or a Result<T>, see result.h) that the caller must inspect.
+
+#ifndef SEMTREE_COMMON_STATUS_H_
+#define SEMTREE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace semtree {
+
+/// Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Statuses are cheap to copy when OK (no
+/// allocation) and cheap to move always.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kCorruption,
+    kUnavailable,
+    kInternal,
+    kNotSupported,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Returns from the enclosing function if `expr` evaluates to a non-OK
+/// Status. Usage: SEMTREE_RETURN_NOT_OK(DoThing());
+#define SEMTREE_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::semtree::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_STATUS_H_

@@ -1,0 +1,8 @@
+// Copyright 2026 The SemTree Authors
+//
+// Stopwatch is header-only; this translation unit exists so the target has
+// a stable archive member and to hold future timing utilities.
+
+#include "common/stopwatch.h"
+
+namespace semtree {}  // namespace semtree

@@ -1,0 +1,40 @@
+// Copyright 2026 The SemTree Authors
+//
+// Wall-clock timing for benchmarks and the experiment harness.
+
+#ifndef SEMTREE_COMMON_STOPWATCH_H_
+#define SEMTREE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace semtree {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_STOPWATCH_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The SemTree Authors
+//
+// Small string helpers shared across modules (parsing, formatting, CSV
+// output for the benchmark harness).
+
+#ifndef SEMTREE_COMMON_STRING_UTIL_H_
+#define SEMTREE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semtree {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count as a human-readable string ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators ("1,234,567").
+std::string HumanCount(uint64_t count);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_STRING_UTIL_H_

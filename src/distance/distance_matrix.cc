@@ -1,0 +1,60 @@
+// Copyright 2026 The SemTree Authors
+
+#include "distance/distance_matrix.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace semtree {
+
+DistanceMatrix::DistanceMatrix(const std::vector<Triple>& triples,
+                               const TripleDistanceFn& distance,
+                               size_t threads)
+    : n_(triples.size()) {
+  upper_.assign(n_ < 2 ? 0 : n_ * (n_ - 1) / 2, 0.0);
+  if (n_ < 2) return;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  auto compute_row = [&](size_t i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      upper_[Index(i, j)] = distance(triples[i], triples[j]);
+    }
+  };
+  if (threads <= 1) {
+    for (size_t i = 0; i + 1 < n_; ++i) compute_row(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  for (size_t i = 0; i + 1 < n_; ++i) {
+    pool.Submit([&compute_row, i]() { compute_row(i); });
+  }
+  pool.Wait();
+}
+
+size_t DistanceMatrix::Index(size_t i, size_t j) const {
+  // Requires i < j. Offset of row i in the packed upper triangle.
+  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::At(size_t i, size_t j) const {
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  return upper_[Index(i, j)];
+}
+
+double DistanceMatrix::Mean() const {
+  if (upper_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double d : upper_) sum += d;
+  return sum / static_cast<double>(upper_.size());
+}
+
+double DistanceMatrix::Max() const {
+  if (upper_.empty()) return 0.0;
+  return *std::max_element(upper_.begin(), upper_.end());
+}
+
+}  // namespace semtree

@@ -1,0 +1,45 @@
+// Copyright 2026 The SemTree Authors
+//
+// Dense symmetric distance matrix over a set of triples. Used by the
+// metric audit, by tests, and by benches that compare FastMap's
+// embedded distances against the original semantic distances.
+
+#ifndef SEMTREE_DISTANCE_DISTANCE_MATRIX_H_
+#define SEMTREE_DISTANCE_DISTANCE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "distance/triple_distance.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// Symmetric matrix storing only the strict upper triangle.
+class DistanceMatrix {
+ public:
+  /// Computes all pairwise distances, optionally with `threads` workers
+  /// (0 = hardware concurrency).
+  DistanceMatrix(const std::vector<Triple>& triples,
+                 const TripleDistanceFn& distance, size_t threads = 1);
+
+  size_t size() const { return n_; }
+
+  /// d(i, j); 0 on the diagonal.
+  double At(size_t i, size_t j) const;
+
+  /// Mean of all off-diagonal entries (0 when n < 2).
+  double Mean() const;
+  /// Maximum off-diagonal entry (0 when n < 2).
+  double Max() const;
+
+ private:
+  size_t Index(size_t i, size_t j) const;
+
+  size_t n_;
+  std::vector<double> upper_;  // Row-major strict upper triangle.
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_DISTANCE_DISTANCE_MATRIX_H_

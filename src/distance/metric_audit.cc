@@ -1,0 +1,67 @@
+// Copyright 2026 The SemTree Authors
+
+#include "distance/metric_audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace semtree {
+
+std::string MetricAuditReport::ToString() const {
+  return StringPrintf(
+      "MetricAudit{points=%zu pairs=%zu triangles=%zu "
+      "identity=%zu symmetry=%zu range=%zu triangle=%zu "
+      "worst_excess=%.6f}",
+      points, pair_samples, triangle_samples, identity_violations,
+      symmetry_violations, range_violations, triangle_violations,
+      worst_triangle_excess);
+}
+
+MetricAuditReport AuditMetric(const std::vector<Triple>& triples,
+                              const TripleDistanceFn& distance,
+                              size_t max_triangles, uint64_t seed) {
+  constexpr double kEps = 1e-9;
+  MetricAuditReport report;
+  report.points = triples.size();
+  if (triples.empty()) return report;
+  Rng rng(seed);
+
+  // Identity on every point.
+  for (const Triple& t : triples) {
+    if (std::fabs(distance(t, t)) > kEps) ++report.identity_violations;
+  }
+
+  const size_t n = triples.size();
+  const size_t pair_budget = std::min<size_t>(max_triangles, n * n);
+  for (size_t s = 0; s < pair_budget; ++s) {
+    size_t i = rng.Uniform(n);
+    size_t j = rng.Uniform(n);
+    double dij = distance(triples[i], triples[j]);
+    double dji = distance(triples[j], triples[i]);
+    ++report.pair_samples;
+    if (std::fabs(dij - dji) > kEps) ++report.symmetry_violations;
+    if (dij < -kEps || dij > 1.0 + kEps) ++report.range_violations;
+  }
+
+  for (size_t s = 0; s < max_triangles; ++s) {
+    size_t i = rng.Uniform(n);
+    size_t j = rng.Uniform(n);
+    size_t k = rng.Uniform(n);
+    double dik = distance(triples[i], triples[k]);
+    double dij = distance(triples[i], triples[j]);
+    double djk = distance(triples[j], triples[k]);
+    ++report.triangle_samples;
+    double excess = dik - (dij + djk);
+    if (excess > kEps) {
+      ++report.triangle_violations;
+      report.worst_triangle_excess =
+          std::max(report.worst_triangle_excess, excess);
+    }
+  }
+  return report;
+}
+
+}  // namespace semtree

@@ -1,0 +1,50 @@
+// Copyright 2026 The SemTree Authors
+//
+// Audits whether a triple distance behaves like a metric on a sample.
+// The semantic distance of Eq. (1) is symmetric and satisfies
+// d(x,x) = 0 by construction, but taxonomy similarities can violate
+// the triangle inequality; FastMap tolerates mild violations (it clamps
+// negative residuals), and this audit quantifies them so EXPERIMENTS.md
+// can report the observed violation rate.
+
+#ifndef SEMTREE_DISTANCE_METRIC_AUDIT_H_
+#define SEMTREE_DISTANCE_METRIC_AUDIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distance/triple_distance.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// Findings of a metric audit over a triple sample.
+struct MetricAuditReport {
+  size_t points = 0;
+  size_t pair_samples = 0;
+  size_t triangle_samples = 0;
+
+  size_t identity_violations = 0;   ///< d(x,x) != 0
+  size_t symmetry_violations = 0;   ///< d(x,y) != d(y,x)
+  size_t range_violations = 0;      ///< d outside [0,1]
+  size_t triangle_violations = 0;   ///< d(x,z) > d(x,y)+d(y,z)+eps
+  double worst_triangle_excess = 0.0;
+
+  bool IsMetricOnSample() const {
+    return identity_violations == 0 && symmetry_violations == 0 &&
+           range_violations == 0 && triangle_violations == 0;
+  }
+  std::string ToString() const;
+};
+
+/// Samples pairs/triangles uniformly (with the given seed) and checks
+/// the metric axioms; `max_triangles` bounds the cubic check.
+MetricAuditReport AuditMetric(const std::vector<Triple>& triples,
+                              const TripleDistanceFn& distance,
+                              size_t max_triangles = 100000,
+                              uint64_t seed = 42);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_DISTANCE_METRIC_AUDIT_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The SemTree Authors
+
+#include "distance/triple_distance.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+Status TripleDistanceWeights::Validate() const {
+  if (alpha < 0.0 || beta < 0.0 || gamma < 0.0) {
+    return Status::InvalidArgument("weights must be non-negative");
+  }
+  double sum = alpha + beta + gamma;
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        StringPrintf("weights must sum to 1, got %.12f", sum));
+  }
+  return Status::OK();
+}
+
+Result<TripleDistance> TripleDistance::Make(
+    const Taxonomy* taxonomy, TripleDistanceWeights weights,
+    ElementDistanceOptions element_options) {
+  if (taxonomy == nullptr) {
+    return Status::InvalidArgument("taxonomy must not be null");
+  }
+  SEMTREE_RETURN_NOT_OK(weights.Validate());
+  return TripleDistance(taxonomy, weights, element_options);
+}
+
+double TripleDistance::operator()(const Triple& a, const Triple& b) const {
+  Components c = ComponentDistances(a, b);
+  return weights_.alpha * c.subject + weights_.beta * c.predicate +
+         weights_.gamma * c.object;
+}
+
+TripleDistance::Components TripleDistance::ComponentDistances(
+    const Triple& a, const Triple& b) const {
+  return Components{element_(a.subject, b.subject),
+                    element_(a.predicate, b.predicate),
+                    element_(a.object, b.object)};
+}
+
+double CachingTripleDistance::ElementCached(char position, const Term& a,
+                                            const Term& b) {
+  // Symmetric key: order the operands so (a,b) and (b,a) share an entry.
+  std::string ka = a.ToString();
+  std::string kb = b.ToString();
+  if (kb < ka) std::swap(ka, kb);
+  std::string key;
+  key.reserve(ka.size() + kb.size() + 3);
+  key.push_back(position);
+  key += ka;
+  key.push_back('\x1f');
+  key += kb;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  double d = base_.element_distance()(a, b);
+  cache_.emplace(std::move(key), d);
+  return d;
+}
+
+double CachingTripleDistance::operator()(const Triple& a,
+                                         const Triple& b) {
+  const TripleDistanceWeights& w = base_.weights();
+  return w.alpha * ElementCached('s', a.subject, b.subject) +
+         w.beta * ElementCached('p', a.predicate, b.predicate) +
+         w.gamma * ElementCached('o', a.object, b.object);
+}
+
+}  // namespace semtree

@@ -1,0 +1,105 @@
+// Copyright 2026 The SemTree Authors
+//
+// The semantic triple distance of the paper, Eq. (1):
+//
+//   d(ti, tj) = alpha * ds(ti_s, tj_s)
+//             + beta  * dp(ti_p, tj_p)
+//             + gamma * do(ti_o, tj_o),     alpha + beta + gamma = 1
+//
+// where ds/dp/do are element distances over subjects, predicates and
+// objects respectively.
+
+#ifndef SEMTREE_DISTANCE_TRIPLE_DISTANCE_H_
+#define SEMTREE_DISTANCE_TRIPLE_DISTANCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "distance/element_distance.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// Weights of Eq. (1). Must be non-negative and sum to 1.
+struct TripleDistanceWeights {
+  double alpha = 1.0 / 3.0;  ///< subject weight
+  double beta = 1.0 / 3.0;   ///< predicate weight
+  double gamma = 1.0 / 3.0;  ///< object weight
+
+  /// OK iff weights are non-negative and sum to 1 within 1e-9.
+  Status Validate() const;
+};
+
+/// The composite semantic distance between triples; values in [0,1].
+///
+/// Copyable and cheap to pass by value; the taxonomy is shared, not
+/// owned, and must outlive every TripleDistance referencing it.
+class TripleDistance {
+ public:
+  /// Builds a distance; fails if the weights are invalid or the
+  /// taxonomy pointer is null.
+  static Result<TripleDistance> Make(
+      const Taxonomy* taxonomy,
+      TripleDistanceWeights weights = {},
+      ElementDistanceOptions element_options = {});
+
+  double operator()(const Triple& a, const Triple& b) const;
+
+  /// The three sub-distances of Eq. (1), unweighted (ds, dp, do).
+  struct Components {
+    double subject;
+    double predicate;
+    double object;
+  };
+  Components ComponentDistances(const Triple& a, const Triple& b) const;
+
+  const TripleDistanceWeights& weights() const { return weights_; }
+  const ElementDistance& element_distance() const { return element_; }
+
+ private:
+  TripleDistance(const Taxonomy* taxonomy, TripleDistanceWeights weights,
+                 ElementDistanceOptions element_options)
+      : weights_(weights), element_(taxonomy, element_options) {}
+
+  TripleDistanceWeights weights_;
+  ElementDistance element_;
+};
+
+/// Type-erased distance over triples; what FastMap and the exact
+/// baseline consume.
+using TripleDistanceFn =
+    std::function<double(const Triple&, const Triple&)>;
+
+/// Memoizes element-level distances of a TripleDistance.
+///
+/// Real corpora draw subjects/predicates/objects from small
+/// vocabularies, so the number of distinct term pairs is far below the
+/// number of triple pairs; caching turns FastMap training from
+/// taxonomy-bound into hash-lookup-bound.
+///
+/// NOT thread-safe: intended for single-threaded build paths.
+class CachingTripleDistance {
+ public:
+  explicit CachingTripleDistance(TripleDistance base)
+      : base_(std::move(base)) {}
+
+  double operator()(const Triple& a, const Triple& b);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  double ElementCached(char position, const Term& a, const Term& b);
+
+  TripleDistance base_;
+  std::unordered_map<std::string, double> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_DISTANCE_TRIPLE_DISTANCE_H_

@@ -1,0 +1,182 @@
+// Copyright 2026 The SemTree Authors
+
+#include "fastmap/fastmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace semtree {
+
+namespace {
+constexpr double kDegenerateEps = 1e-12;
+}  // namespace
+
+double FastMap::ResidualSquared(const IndexDistanceFn& distance,
+                                size_t axis, size_t i, size_t j) const {
+  if (i == j) return 0.0;
+  double d = distance(i, j);
+  double d2 = d * d;
+  for (size_t l = 0; l < axis; ++l) {
+    double diff = AtConst(i, l) - AtConst(j, l);
+    d2 -= diff * diff;
+  }
+  // Triangle-inequality violations in the original distance can push
+  // the residual negative; clamp, as Faloutsos & Lin prescribe.
+  return std::max(0.0, d2);
+}
+
+Result<FastMap> FastMap::Train(size_t n, const IndexDistanceFn& distance,
+                               const FastMapOptions& options) {
+  if (n == 0) return Status::InvalidArgument("cannot embed zero objects");
+  if (options.dimensions == 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (!distance) {
+    return Status::InvalidArgument("distance oracle must be callable");
+  }
+  FastMap fm(n, options.dimensions);
+  Rng rng(options.seed);
+
+  for (size_t axis = 0; axis < options.dimensions; ++axis) {
+    // Farthest-pair heuristic on the residual distance of this axis.
+    size_t b = rng.Uniform(n);
+    size_t a = b;
+    double dab2 = 0.0;
+    for (size_t iter = 0; iter < std::max<size_t>(1, options.pivot_iterations);
+         ++iter) {
+      size_t farthest = b;
+      double best = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        double r2 = fm.ResidualSquared(distance, axis, b, i);
+        if (r2 > best) {
+          best = r2;
+          farthest = i;
+        }
+      }
+      a = b;
+      b = farthest;
+      dab2 = best;
+      if (dab2 <= kDegenerateEps) break;
+    }
+    if (dab2 <= kDegenerateEps) {
+      // All objects coincide in the residual space: the embedding is
+      // complete; remaining axes stay zero.
+      break;
+    }
+    double dab = std::sqrt(dab2);
+    for (size_t i = 0; i < n; ++i) {
+      double dai2 = fm.ResidualSquared(distance, axis, a, i);
+      double dbi2 = fm.ResidualSquared(distance, axis, b, i);
+      fm.At(i, axis) = (dai2 + dab2 - dbi2) / (2.0 * dab);
+    }
+    fm.pivots_.emplace_back(a, b);
+    fm.pivot_distances_.push_back(dab);
+    fm.effective_dimensions_ = axis + 1;
+  }
+  return fm;
+}
+
+Result<FastMap> FastMap::FromParts(
+    size_t n, size_t dimensions, std::vector<double> flat_coordinates,
+    std::vector<std::pair<size_t, size_t>> pivots,
+    std::vector<double> pivot_distances) {
+  if (n == 0 || dimensions == 0) {
+    return Status::InvalidArgument("n and dimensions must be positive");
+  }
+  if (flat_coordinates.size() != n * dimensions) {
+    return Status::InvalidArgument("coordinate matrix has wrong size");
+  }
+  if (pivots.size() != pivot_distances.size() ||
+      pivots.size() > dimensions) {
+    return Status::InvalidArgument("pivot table has wrong size");
+  }
+  for (const auto& [a, b] : pivots) {
+    if (a >= n || b >= n) {
+      return Status::InvalidArgument("pivot index out of range");
+    }
+  }
+  for (double d : pivot_distances) {
+    if (!(d > 0.0)) {
+      return Status::InvalidArgument(
+          "pivot distances must be positive and finite");
+    }
+  }
+  FastMap fm(n, dimensions);
+  fm.coords_ = std::move(flat_coordinates);
+  fm.pivots_ = std::move(pivots);
+  fm.pivot_distances_ = std::move(pivot_distances);
+  fm.effective_dimensions_ = fm.pivots_.size();
+  return fm;
+}
+
+std::vector<double> FastMap::Coordinates(size_t i) const {
+  std::vector<double> out(dimensions_);
+  for (size_t axis = 0; axis < dimensions_; ++axis) {
+    out[axis] = AtConst(i, axis);
+  }
+  return out;
+}
+
+std::vector<double> FastMap::Project(
+    const std::function<double(size_t)>& distance_to_training) const {
+  std::vector<double> q(dimensions_, 0.0);
+  for (size_t axis = 0; axis < effective_dimensions_; ++axis) {
+    auto [a, b] = pivots_[axis];
+    double dab = pivot_distances_[axis];
+    // Residual squared distance from the query to each pivot at this
+    // axis, from the original distance minus the coordinates fixed on
+    // previous axes.
+    auto residual2 = [&](size_t pivot) {
+      double d = distance_to_training(pivot);
+      double d2 = d * d;
+      for (size_t l = 0; l < axis; ++l) {
+        double diff = q[l] - AtConst(pivot, l);
+        d2 -= diff * diff;
+      }
+      return std::max(0.0, d2);
+    };
+    double daq2 = residual2(a);
+    double dbq2 = residual2(b);
+    q[axis] = (daq2 + dab * dab - dbq2) / (2.0 * dab);
+  }
+  return q;
+}
+
+double FastMap::EmbeddedDistance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  double sum = 0.0;
+  size_t dims = std::min(a.size(), b.size());
+  for (size_t i = 0; i < dims; ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double FastMap::SampleStress(const IndexDistanceFn& distance,
+                             size_t samples, uint64_t seed) const {
+  if (n_ < 2 || samples == 0) return 0.0;
+  Rng rng(seed);
+  double sum_sq_err = 0.0;
+  size_t counted = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    size_t i = rng.Uniform(n_);
+    size_t j = rng.Uniform(n_);
+    if (i == j) continue;
+    double original = distance(i, j);
+    double embedded = 0.0;
+    for (size_t axis = 0; axis < dimensions_; ++axis) {
+      double diff = AtConst(i, axis) - AtConst(j, axis);
+      embedded += diff * diff;
+    }
+    embedded = std::sqrt(embedded);
+    double err = original - embedded;
+    sum_sq_err += err * err;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : std::sqrt(sum_sq_err / counted);
+}
+
+}  // namespace semtree

@@ -1,0 +1,466 @@
+// Copyright 2026 The SemTree Authors
+
+#include "kdtree/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+
+// Max-heap ordering on distance (worst candidate on top), ties by id so
+// results are deterministic.
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+void SortResult(std::vector<Neighbor>* result) {
+  std::sort(result->begin(), result->end(), HeapLess);
+}
+
+// Widest-spread dimension of a point span; returns the spread too.
+std::pair<uint32_t, double> WidestSpread(const std::vector<KdPoint>& pts,
+                                         size_t lo, size_t hi,
+                                         size_t dimensions) {
+  uint32_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dimensions; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (size_t i = lo; i < hi; ++i) {
+      mn = std::min(mn, pts[i].coords[d]);
+      mx = std::max(mx, pts[i].coords[d]);
+    }
+    double spread = mx - mn;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_dim = static_cast<uint32_t>(d);
+    }
+  }
+  return {best_dim, best_spread};
+}
+
+}  // namespace
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double sum = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+KdTree::KdTree(size_t dimensions, KdTreeOptions options)
+    : dimensions_(std::max<size_t>(1, dimensions)), options_(options) {
+  if (options_.bucket_size == 0) options_.bucket_size = 1;
+  NewLeaf();  // Root.
+}
+
+int32_t KdTree::NewLeaf() {
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+Status KdTree::Insert(const std::vector<double>& coords, PointId id) {
+  if (coords.size() != dimensions_) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, tree has %zu",
+                     coords.size(), dimensions_));
+  }
+  // Navigate by (Sr, Sv) as in the standard Kd-Tree: left holds
+  // coords[Sr] <= Sv, right holds coords[Sr] > Sv.
+  int32_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    node = (coords[n.split_dim] <= n.split_value) ? n.left : n.right;
+  }
+  nodes_[node].bucket.push_back(KdPoint{coords, id});
+  ++size_;
+  if (nodes_[node].bucket.size() > options_.bucket_size) {
+    MaybeSplitLeaf(node);
+  }
+  return Status::OK();
+}
+
+Status KdTree::Remove(const std::vector<double>& coords, PointId id) {
+  if (coords.size() != dimensions_) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, tree has %zu",
+                     coords.size(), dimensions_));
+  }
+  int32_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    node = (coords[n.split_dim] <= n.split_value) ? n.left : n.right;
+  }
+  std::vector<KdPoint>& bucket = nodes_[node].bucket;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].id == id && bucket[i].coords == coords) {
+      bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
+      --size_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StringPrintf(
+      "point %llu not stored at the given coordinates",
+      (unsigned long long)id));
+}
+
+void KdTree::MaybeSplitLeaf(int32_t node) {
+  std::vector<KdPoint>& bucket = nodes_[node].bucket;
+  // Try dimensions in order of decreasing spread until one separates
+  // the bucket; identical points cannot be separated and overflow.
+  std::vector<std::pair<double, uint32_t>> dims;
+  dims.reserve(dimensions_);
+  for (size_t d = 0; d < dimensions_; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (const KdPoint& p : bucket) {
+      mn = std::min(mn, p.coords[d]);
+      mx = std::max(mx, p.coords[d]);
+    }
+    dims.emplace_back(mx - mn, static_cast<uint32_t>(d));
+  }
+  std::sort(dims.begin(), dims.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [spread, dim] : dims) {
+    if (spread <= 0.0) break;  // No remaining dimension separates.
+    // Median split: midpoint between the two central distinct values.
+    std::vector<double> values;
+    values.reserve(bucket.size());
+    for (const KdPoint& p : bucket) values.push_back(p.coords[dim]);
+    std::sort(values.begin(), values.end());
+    size_t mid = values.size() / 2;
+    // Find a boundary as close to the middle as possible where
+    // consecutive values differ.
+    size_t split_pos = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i - 1] < values[i]) {
+        double dist = std::fabs(static_cast<double>(i) -
+                                static_cast<double>(mid));
+        if (dist < best_dist) {
+          best_dist = dist;
+          split_pos = i;
+        }
+      }
+    }
+    if (split_pos == 0) continue;  // All values equal on this dim.
+    double sv = (values[split_pos - 1] + values[split_pos]) / 2.0;
+
+    int32_t left = NewLeaf();
+    int32_t right = NewLeaf();
+    // NewLeaf may reallocate nodes_; re-take the reference.
+    Node& n = nodes_[node];
+    for (KdPoint& p : n.bucket) {
+      (p.coords[dim] <= sv ? nodes_[left] : nodes_[right])
+          .bucket.push_back(std::move(p));
+    }
+    n.bucket.clear();
+    n.bucket.shrink_to_fit();
+    n.is_leaf = false;
+    n.split_dim = dim;
+    n.split_value = sv;
+    n.left = left;
+    n.right = right;
+    return;
+  }
+}
+
+Result<KdTree> KdTree::BulkLoadBalanced(size_t dimensions,
+                                        std::vector<KdPoint> points,
+                                        KdTreeOptions options) {
+  for (const KdPoint& p : points) {
+    if (p.coords.size() != dimensions) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+  }
+  KdTree tree(dimensions, options);
+  tree.size_ = points.size();
+  if (points.empty()) return tree;
+  tree.nodes_.clear();
+  BuildBalancedRec(&tree, points, 0, points.size());
+  return tree;
+}
+
+int32_t KdTree::BuildBalancedRec(KdTree* tree, std::vector<KdPoint>& pts,
+                                 size_t lo, size_t hi) {
+  int32_t node = tree->NewLeaf();
+  size_t count = hi - lo;
+  if (count <= tree->options_.bucket_size) {
+    auto& bucket = tree->nodes_[node].bucket;
+    bucket.assign(std::make_move_iterator(pts.begin() + lo),
+                  std::make_move_iterator(pts.begin() + hi));
+    return node;
+  }
+  auto [dim, spread] = WidestSpread(pts, lo, hi, tree->dimensions_);
+  if (spread <= 0.0) {
+    // All points identical: a single (overflowing) leaf.
+    auto& bucket = tree->nodes_[node].bucket;
+    bucket.assign(std::make_move_iterator(pts.begin() + lo),
+                  std::make_move_iterator(pts.begin() + hi));
+    return node;
+  }
+  std::sort(pts.begin() + lo, pts.begin() + hi,
+            [dim](const KdPoint& a, const KdPoint& b) {
+              return a.coords[dim] < b.coords[dim];
+            });
+  size_t mid = lo + count / 2;
+  // Move the boundary to the closest position separating distinct
+  // values (spread > 0 guarantees one exists).
+  size_t split = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (pts[i - 1].coords[dim] < pts[i].coords[dim]) {
+      double dist = std::fabs(static_cast<double>(i) -
+                              static_cast<double>(mid));
+      if (dist < best) {
+        best = dist;
+        split = i;
+      }
+    }
+  }
+  double sv = (pts[split - 1].coords[dim] + pts[split].coords[dim]) / 2.0;
+  int32_t left = BuildBalancedRec(tree, pts, lo, split);
+  int32_t right = BuildBalancedRec(tree, pts, split, hi);
+  Node& n = tree->nodes_[node];
+  n.is_leaf = false;
+  n.split_dim = dim;
+  n.split_value = sv;
+  n.left = left;
+  n.right = right;
+  return node;
+}
+
+Result<KdTree> KdTree::BuildChain(size_t dimensions,
+                                  std::vector<KdPoint> points,
+                                  KdTreeOptions options) {
+  for (const KdPoint& p : points) {
+    if (p.coords.size() != dimensions) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+  }
+  KdTree tree(dimensions, options);
+  tree.size_ = points.size();
+  if (points.empty()) return tree;
+
+  // Sort on dimension 0 and group equal values; each group becomes a
+  // one-leaf step of the chain.
+  std::sort(points.begin(), points.end(),
+            [](const KdPoint& a, const KdPoint& b) {
+              if (a.coords[0] != b.coords[0]) {
+                return a.coords[0] < b.coords[0];
+              }
+              return a.id < b.id;
+            });
+  tree.nodes_.clear();
+  tree.NewLeaf();  // Node 0, rebuilt below.
+
+  // Build iteratively from the back: tail = leaf of the last group;
+  // every earlier group adds a routing node (left = group leaf,
+  // right = tail so far).
+  std::vector<std::pair<size_t, size_t>> groups;  // [lo, hi) ranges.
+  size_t start = 0;
+  for (size_t i = 1; i <= points.size(); ++i) {
+    if (i == points.size() || points[i].coords[0] != points[start].coords[0]) {
+      groups.emplace_back(start, i);
+      start = i;
+    }
+  }
+
+  auto fill_leaf = [&](int32_t leaf, size_t lo, size_t hi) {
+    auto& bucket = tree.nodes_[leaf].bucket;
+    bucket.assign(std::make_move_iterator(points.begin() + lo),
+                  std::make_move_iterator(points.begin() + hi));
+  };
+
+  if (groups.size() == 1) {
+    fill_leaf(0, groups[0].first, groups[0].second);
+    return tree;
+  }
+
+  // Chain from the tail upward; node 0 must end up as the chain head,
+  // so build heads for groups in reverse and splice the first into 0.
+  int32_t tail = tree.NewLeaf();
+  fill_leaf(tail, groups.back().first, groups.back().second);
+  for (size_t gi = groups.size() - 1; gi-- > 0;) {
+    int32_t leaf = tree.NewLeaf();
+    fill_leaf(leaf, groups[gi].first, groups[gi].second);
+    int32_t routing = (gi == 0) ? 0 : tree.NewLeaf();
+    Node& n = tree.nodes_[routing];
+    n.is_leaf = false;
+    n.split_dim = 0;
+    n.split_value = points.empty() ? 0.0
+                                   : tree.nodes_[leaf].bucket[0].coords[0];
+    n.left = leaf;
+    n.right = tail;
+    tail = routing;
+  }
+  return tree;
+}
+
+std::vector<Neighbor> KdTree::KnnSearch(const std::vector<double>& query,
+                                        size_t k,
+                                        SearchStats* stats) const {
+  std::vector<Neighbor> heap;
+  if (k == 0 || size_ == 0) return heap;
+  heap.reserve(k + 1);
+  SearchStats local;
+  KnnRec(0, query, k, &heap, stats ? stats : &local);
+  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  return heap;
+}
+
+void KdTree::KnnRec(int32_t node, const std::vector<double>& query,
+                    size_t k, std::vector<Neighbor>* heap,
+                    SearchStats* stats) const {
+  ++stats->nodes_visited;
+  const Node& n = nodes_[node];
+  if (n.is_leaf) {
+    ++stats->leaves_visited;
+    for (const KdPoint& p : n.bucket) {
+      ++stats->points_examined;
+      double d = EuclideanDistance(query, p.coords);
+      heap->push_back(Neighbor{p.id, d});
+      std::push_heap(heap->begin(), heap->end(), HeapLess);
+      if (heap->size() > k) {
+        std::pop_heap(heap->begin(), heap->end(), HeapLess);
+        heap->pop_back();
+      }
+    }
+    return;
+  }
+  double diff = query[n.split_dim] - n.split_value;
+  int32_t near = (diff <= 0.0) ? n.left : n.right;
+  int32_t far = (diff <= 0.0) ? n.right : n.left;
+  KnnRec(near, query, k, heap, stats);
+  // Backward visit: enter the far subtree when the splitting plane is
+  // closer than the current k-th distance, or the result set is not
+  // full yet (the disjunction of §III-B.3).
+  if (heap->size() < k || std::fabs(diff) < heap->front().distance) {
+    KnnRec(far, query, k, heap, stats);
+  }
+}
+
+std::vector<Neighbor> KdTree::RangeSearch(const std::vector<double>& query,
+                                          double radius,
+                                          SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (size_ == 0 || radius < 0.0) return out;
+  SearchStats local;
+  RangeRec(0, query, radius, &out, stats ? stats : &local);
+  SortResult(&out);
+  return out;
+}
+
+void KdTree::RangeRec(int32_t node, const std::vector<double>& query,
+                      double radius, std::vector<Neighbor>* out,
+                      SearchStats* stats) const {
+  ++stats->nodes_visited;
+  const Node& n = nodes_[node];
+  if (n.is_leaf) {
+    ++stats->leaves_visited;
+    for (const KdPoint& p : n.bucket) {
+      ++stats->points_examined;
+      double d = EuclideanDistance(query, p.coords);
+      if (d <= radius) out->push_back(Neighbor{p.id, d});
+    }
+    return;
+  }
+  double diff = query[n.split_dim] - n.split_value;
+  if (std::fabs(diff) <= radius) {
+    // |P[SI] - Sv| < D: both children may contain results (§III-B.4).
+    RangeRec(n.left, query, radius, out, stats);
+    RangeRec(n.right, query, radius, out, stats);
+  } else if (diff <= 0.0) {
+    RangeRec(n.left, query, radius, out, stats);
+  } else {
+    RangeRec(n.right, query, radius, out, stats);
+  }
+}
+
+size_t KdTree::LeafCount() const {
+  size_t leaves = 0;
+  for (const Node& n : nodes_) leaves += n.is_leaf ? 1 : 0;
+  return leaves;
+}
+
+size_t KdTree::Depth() const {
+  // Iterative DFS carrying depth.
+  size_t max_depth = 0;
+  std::vector<std::pair<int32_t, size_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& n = nodes_[node];
+    if (!n.is_leaf) {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+Status KdTree::CheckInvariants() const {
+  struct Frame {
+    int32_t node;
+    std::vector<std::pair<uint32_t, std::pair<bool, double>>> bounds;
+  };
+  // bounds entries: (dim, (is_upper, value)): is_upper means
+  // coord[dim] <= value must hold, else coord[dim] > value.
+  size_t seen_points = 0;
+  std::vector<Frame> stack = {{0, {}}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.node < 0 || static_cast<size_t>(f.node) >= nodes_.size()) {
+      return Status::Corruption("child index out of range");
+    }
+    const Node& n = nodes_[f.node];
+    if (n.is_leaf) {
+      for (const KdPoint& p : n.bucket) {
+        ++seen_points;
+        if (p.coords.size() != dimensions_) {
+          return Status::Corruption("stored point dimension mismatch");
+        }
+        for (const auto& [dim, constraint] : f.bounds) {
+          const auto& [is_upper, value] = constraint;
+          double c = p.coords[dim];
+          if (is_upper ? (c > value) : (c <= value)) {
+            return Status::Corruption(StringPrintf(
+                "point %llu violates split on dim %u",
+                (unsigned long long)p.id, dim));
+          }
+        }
+      }
+      continue;
+    }
+    if (!n.bucket.empty()) {
+      return Status::Corruption("routing node holds points");
+    }
+    Frame left{n.left, f.bounds};
+    left.bounds.push_back({n.split_dim, {true, n.split_value}});
+    Frame right{n.right, std::move(f.bounds)};
+    right.bounds.push_back({n.split_dim, {false, n.split_value}});
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  if (seen_points != size_) {
+    return Status::Corruption(
+        StringPrintf("size_ is %zu but %zu points reachable", size_,
+                     seen_points));
+  }
+  return Status::OK();
+}
+
+}  // namespace semtree

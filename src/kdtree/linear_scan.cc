@@ -1,0 +1,55 @@
+// Copyright 2026 The SemTree Authors
+
+#include "kdtree/linear_scan.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+bool ByDistanceThenId(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+}  // namespace
+
+Status LinearScanIndex::Insert(const std::vector<double>& coords,
+                               PointId id) {
+  if (coords.size() != dimensions_) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, index has %zu",
+                     coords.size(), dimensions_));
+  }
+  points_.push_back(KdPoint{coords, id});
+  return Status::OK();
+}
+
+std::vector<Neighbor> LinearScanIndex::KnnSearch(
+    const std::vector<double>& query, size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (const KdPoint& p : points_) {
+    all.push_back(Neighbor{p.id, EuclideanDistance(query, p.coords)});
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    ByDistanceThenId);
+  all.resize(take);
+  return all;
+}
+
+std::vector<Neighbor> LinearScanIndex::RangeSearch(
+    const std::vector<double>& query, double radius) const {
+  std::vector<Neighbor> out;
+  if (radius < 0.0) return out;
+  for (const KdPoint& p : points_) {
+    double d = EuclideanDistance(query, p.coords);
+    if (d <= radius) out.push_back(Neighbor{p.id, d});
+  }
+  std::sort(out.begin(), out.end(), ByDistanceThenId);
+  return out;
+}
+
+}  // namespace semtree

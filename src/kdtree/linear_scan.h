@@ -1,0 +1,43 @@
+// Copyright 2026 The SemTree Authors
+//
+// Exact linear-scan baseline over embedded points. Tests use it as the
+// gold standard for KD-tree and SemTree searches; benches use it as the
+// brute-force comparator.
+
+#ifndef SEMTREE_KDTREE_LINEAR_SCAN_H_
+#define SEMTREE_KDTREE_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "kdtree/kdtree.h"
+
+namespace semtree {
+
+/// Stores points in a flat array; every query scans all of them.
+class LinearScanIndex {
+ public:
+  explicit LinearScanIndex(size_t dimensions)
+      : dimensions_(std::max<size_t>(1, dimensions)) {}
+
+  Status Insert(const std::vector<double>& coords, PointId id);
+
+  /// Exact k nearest neighbours, sorted by (distance, id).
+  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
+                                  size_t k) const;
+
+  /// Exact range search, sorted by (distance, id).
+  std::vector<Neighbor> RangeSearch(const std::vector<double>& query,
+                                    double radius) const;
+
+  size_t size() const { return points_.size(); }
+  size_t dimensions() const { return dimensions_; }
+
+ private:
+  size_t dimensions_;
+  std::vector<KdPoint> points_;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_KDTREE_LINEAR_SCAN_H_

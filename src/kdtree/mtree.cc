@@ -1,0 +1,351 @@
+// Copyright 2026 The SemTree Authors
+
+#include "kdtree/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+Result<MTree> MTree::Create(MetricDistanceFn distance,
+                            MTreeOptions options) {
+  if (!distance) {
+    return Status::InvalidArgument("distance oracle must be callable");
+  }
+  if (options.node_capacity < 2) {
+    return Status::InvalidArgument("node_capacity must be at least 2");
+  }
+  return MTree(std::move(distance), options);
+}
+
+int32_t MTree::ChooseLeaf(size_t object) {
+  int32_t node = root_;
+  while (!nodes_[size_t(node)].is_leaf) {
+    Node& n = nodes_[size_t(node)];
+    // Prefer the routing entry already covering the object; otherwise
+    // the one whose radius grows least. Covering radii are enlarged on
+    // the way down so the invariant holds even before any split.
+    double best_key = std::numeric_limits<double>::infinity();
+    size_t best = 0;
+    double best_d = 0.0;
+    for (size_t i = 0; i < n.entries.size(); ++i) {
+      double d = EntryDistance(n.entries[i], object);
+      double key = (d <= n.entries[i].radius)
+                       ? d
+                       : 1e9 + (d - n.entries[i].radius);
+      if (key < best_key) {
+        best_key = key;
+        best = i;
+        best_d = d;
+      }
+    }
+    Entry& chosen = n.entries[best];
+    chosen.radius = std::max(chosen.radius, best_d);
+    node = chosen.child;
+  }
+  return node;
+}
+
+Status MTree::Insert(size_t index) {
+  int32_t leaf = ChooseLeaf(index);
+  Node& n = nodes_[size_t(leaf)];
+  Entry entry;
+  entry.object = index;
+  if (n.parent >= 0) {
+    // The leaf's pivot is the object of the parent entry pointing here.
+    const Node& parent = nodes_[size_t(n.parent)];
+    for (const Entry& pe : parent.entries) {
+      if (pe.child == leaf) {
+        entry.parent_distance = distance_(pe.object, index);
+        break;
+      }
+    }
+  }
+  n.entries.push_back(entry);
+  ++size_;
+  if (n.entries.size() > options_.node_capacity) SplitNode(leaf);
+  return Status::OK();
+}
+
+void MTree::SplitNode(int32_t node_index) {
+  // Work on copies: splitting may reallocate nodes_.
+  std::vector<Entry> entries = std::move(nodes_[size_t(node_index)].entries);
+  bool is_leaf = nodes_[size_t(node_index)].is_leaf;
+  int32_t parent = nodes_[size_t(node_index)].parent;
+
+  // Promotion: the pair of entries with the largest pairwise distance
+  // (exact mM_RAD over the node; capacities are small).
+  size_t p1 = 0, p2 = 1;
+  double best = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double d = distance_(entries[i].object, entries[j].object);
+      if (d > best) {
+        best = d;
+        p1 = i;
+        p2 = j;
+      }
+    }
+  }
+  size_t pivot1 = entries[p1].object;
+  size_t pivot2 = entries[p2].object;
+
+  // Generalized-hyperplane partition: each entry goes to the closer
+  // pivot (ties to pivot1).
+  std::vector<Entry> group1, group2;
+  std::vector<double> dist1_list, dist2_list;
+  for (Entry& e : entries) {
+    double d1 = distance_(pivot1, e.object);
+    double d2 = distance_(pivot2, e.object);
+    if (d1 <= d2) {
+      e.parent_distance = d1;
+      group1.push_back(e);
+      dist1_list.push_back(d1);
+    } else {
+      e.parent_distance = d2;
+      group2.push_back(e);
+      dist2_list.push_back(d2);
+    }
+  }
+  auto covering_radius = [&](const std::vector<Entry>& group,
+                             const std::vector<double>& dists) {
+    double r = 0.0;
+    for (size_t i = 0; i < group.size(); ++i) {
+      double extent = dists[i] + (is_leaf ? 0.0 : group[i].radius);
+      r = std::max(r, extent);
+    }
+    return r;
+  };
+  double r1 = covering_radius(group1, dist1_list);
+  double r2 = covering_radius(group2, dist2_list);
+
+  // Reuse `node_index` for group1; allocate a sibling for group2.
+  int32_t sibling = int32_t(nodes_.size());
+  nodes_.push_back(Node{});
+  Node& left = nodes_[size_t(node_index)];
+  Node& right = nodes_[size_t(sibling)];
+  left.entries = std::move(group1);
+  right.is_leaf = is_leaf;
+  right.entries = std::move(group2);
+  if (!is_leaf) {
+    for (const Entry& e : left.entries) {
+      nodes_[size_t(e.child)].parent = node_index;
+    }
+    for (const Entry& e : right.entries) {
+      nodes_[size_t(e.child)].parent = sibling;
+    }
+  }
+
+  if (parent < 0) {
+    // Root split: grow the tree by one level.
+    int32_t new_root = int32_t(nodes_.size());
+    nodes_.push_back(Node{});
+    Node& root = nodes_[size_t(new_root)];
+    root.is_leaf = false;
+    Entry e1;
+    e1.object = pivot1;
+    e1.radius = r1;
+    e1.child = node_index;
+    Entry e2;
+    e2.object = pivot2;
+    e2.radius = r2;
+    e2.child = sibling;
+    root.entries = {e1, e2};
+    nodes_[size_t(node_index)].parent = new_root;
+    nodes_[size_t(sibling)].parent = new_root;
+    root_ = new_root;
+    return;
+  }
+
+  // Replace the parent's entry for this node and add the sibling's.
+  Node& pnode = nodes_[size_t(parent)];
+  nodes_[size_t(sibling)].parent = parent;
+  // The parent's own pivot (for parent_distance of the new entries).
+  size_t parent_pivot = 0;
+  bool has_grandparent = pnode.parent >= 0;
+  if (has_grandparent) {
+    for (const Entry& ge : nodes_[size_t(pnode.parent)].entries) {
+      if (ge.child == parent) {
+        parent_pivot = ge.object;
+        break;
+      }
+    }
+  }
+  for (Entry& pe : pnode.entries) {
+    if (pe.child == node_index) {
+      pe.object = pivot1;
+      pe.radius = r1;
+      pe.parent_distance =
+          has_grandparent ? distance_(parent_pivot, pivot1) : 0.0;
+      break;
+    }
+  }
+  Entry se;
+  se.object = pivot2;
+  se.radius = r2;
+  se.child = sibling;
+  se.parent_distance =
+      has_grandparent ? distance_(parent_pivot, pivot2) : 0.0;
+  pnode.entries.push_back(se);
+  if (pnode.entries.size() > options_.node_capacity) SplitNode(parent);
+}
+
+std::vector<Neighbor> MTree::KnnSearch(const QueryDistanceFn& dq,
+                                       size_t k,
+                                       SearchStats* stats) const {
+  std::vector<Neighbor> rs;
+  if (k == 0 || size_ == 0) return rs;
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+
+  auto tau = [&]() {
+    return rs.size() < k ? std::numeric_limits<double>::infinity()
+                         : rs.front().distance;
+  };
+  auto offer = [&](size_t object, double d) {
+    rs.push_back(Neighbor{object, d});
+    std::push_heap(rs.begin(), rs.end(), HeapLess);
+    if (rs.size() > k) {
+      std::pop_heap(rs.begin(), rs.end(), HeapLess);
+      rs.pop_back();
+    }
+  };
+
+  // Best-first traversal on the lower distance bound of each subtree.
+  struct Pending {
+    double dmin;
+    int32_t node;
+    bool operator>(const Pending& o) const { return dmin > o.dmin; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      queue;
+  queue.push(Pending{0.0, root_});
+  double slack = options_.prune_slack;
+  while (!queue.empty()) {
+    Pending top = queue.top();
+    queue.pop();
+    if (top.dmin > tau() + slack) break;  // Min-heap: all others worse.
+    const Node& n = nodes_[size_t(top.node)];
+    ++st->nodes_visited;
+    if (n.is_leaf) {
+      ++st->leaves_visited;
+      for (const Entry& e : n.entries) {
+        ++st->points_examined;
+        offer(e.object, dq(e.object));
+      }
+      continue;
+    }
+    for (const Entry& e : n.entries) {
+      ++st->points_examined;
+      double d = dq(e.object);
+      double dmin = std::max(0.0, d - e.radius - slack);
+      if (dmin <= tau() + slack) queue.push(Pending{dmin, e.child});
+    }
+  }
+  std::sort_heap(rs.begin(), rs.end(), HeapLess);
+  return rs;
+}
+
+std::vector<Neighbor> MTree::RangeSearch(const QueryDistanceFn& dq,
+                                         double radius,
+                                         SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (size_ == 0 || radius < 0.0) return out;
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+  double slack = options_.prune_slack;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    int32_t node = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[size_t(node)];
+    ++st->nodes_visited;
+    if (n.is_leaf) {
+      ++st->leaves_visited;
+      for (const Entry& e : n.entries) {
+        ++st->points_examined;
+        double d = dq(e.object);
+        if (d <= radius) out.push_back(Neighbor{e.object, d});
+      }
+      continue;
+    }
+    for (const Entry& e : n.entries) {
+      ++st->points_examined;
+      double d = dq(e.object);
+      if (d <= radius + e.radius + slack) stack.push_back(e.child);
+    }
+  }
+  std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+size_t MTree::Height() const {
+  size_t height = 0;
+  int32_t node = root_;
+  while (!nodes_[size_t(node)].is_leaf) {
+    ++height;
+    node = nodes_[size_t(node)].entries.front().child;
+  }
+  return height;
+}
+
+Status MTree::CheckInvariants() const {
+  // Collect leaf objects per subtree and verify covering radii.
+  size_t seen = 0;
+  struct Frame {
+    int32_t node;
+    // Constraints from ancestors: (pivot object, radius).
+    std::vector<std::pair<size_t, double>> covers;
+  };
+  std::vector<Frame> stack = {{root_, {}}};
+  double slack = options_.prune_slack + 1e-9;
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const Node& n = nodes_[size_t(f.node)];
+    if (n.is_leaf) {
+      for (const Entry& e : n.entries) {
+        ++seen;
+        for (const auto& [pivot, radius] : f.covers) {
+          if (distance_(pivot, e.object) > radius + slack) {
+            return Status::Corruption(StringPrintf(
+                "object %zu escapes covering radius of pivot %zu",
+                e.object, pivot));
+          }
+        }
+      }
+      continue;
+    }
+    for (const Entry& e : n.entries) {
+      if (e.child < 0 || size_t(e.child) >= nodes_.size()) {
+        return Status::Corruption("routing entry with bad child");
+      }
+      if (nodes_[size_t(e.child)].parent != f.node) {
+        return Status::Corruption("parent pointer mismatch");
+      }
+      Frame child{e.child, f.covers};
+      child.covers.emplace_back(e.object, e.radius);
+      stack.push_back(std::move(child));
+    }
+  }
+  if (seen != size_) {
+    return Status::Corruption(StringPrintf(
+        "size_ is %zu but %zu objects reachable", size_, seen));
+  }
+  return Status::OK();
+}
+
+}  // namespace semtree

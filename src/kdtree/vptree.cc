@@ -1,0 +1,204 @@
+// Copyright 2026 The SemTree Authors
+
+#include "kdtree/vptree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace semtree {
+
+namespace {
+
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+Result<VpTree> VpTree::Build(size_t n, const MetricDistanceFn& distance,
+                             const VpTreeOptions& options) {
+  if (n == 0) return Status::InvalidArgument("cannot index zero objects");
+  if (!distance) {
+    return Status::InvalidArgument("distance oracle must be callable");
+  }
+  VpTree tree(options);
+  if (tree.options_.bucket_size == 0) tree.options_.bucket_size = 1;
+  tree.size_ = n;
+  std::vector<size_t> objects(n);
+  for (size_t i = 0; i < n; ++i) objects[i] = i;
+  Rng rng(options.seed);
+  tree.BuildRec(distance, objects, 0, n, &rng);
+  return tree;
+}
+
+int32_t VpTree::BuildRec(const MetricDistanceFn& distance,
+                         std::vector<size_t>& objects, size_t lo,
+                         size_t hi, Rng* rng) {
+  nodes_.emplace_back();
+  int32_t node = static_cast<int32_t>(nodes_.size() - 1);
+  size_t count = hi - lo;
+  if (count <= options_.bucket_size) {
+    nodes_[size_t(node)].bucket.assign(objects.begin() + lo,
+                                       objects.begin() + hi);
+    return node;
+  }
+  // Random vantage point; swap it to the front of the span.
+  size_t pick = lo + rng->Uniform(count);
+  std::swap(objects[lo], objects[pick]);
+  size_t vantage = objects[lo];
+
+  // Partition the rest by the median distance to the vantage point.
+  std::vector<std::pair<double, size_t>> tagged;
+  tagged.reserve(count - 1);
+  for (size_t i = lo + 1; i < hi; ++i) {
+    tagged.emplace_back(distance(vantage, objects[i]), objects[i]);
+  }
+  size_t mid = tagged.size() / 2;
+  std::nth_element(tagged.begin(), tagged.begin() + mid, tagged.end());
+  double threshold = tagged[mid].first;
+  // Stable partition: inside (<= threshold) first. nth_element only
+  // guarantees the pivot position, so re-partition explicitly.
+  std::vector<size_t> inside = {vantage};
+  std::vector<size_t> outside;
+  for (const auto& [d, obj] : tagged) {
+    (d <= threshold ? inside : outside).push_back(obj);
+  }
+  if (outside.empty()) {
+    // All equidistant: no separation possible; keep one flat leaf.
+    nodes_[size_t(node)].bucket.assign(objects.begin() + lo,
+                                       objects.begin() + hi);
+    return node;
+  }
+  size_t cursor = lo;
+  for (size_t obj : inside) objects[cursor++] = obj;
+  size_t split = cursor;
+  for (size_t obj : outside) objects[cursor++] = obj;
+
+  int32_t in_child = BuildRec(distance, objects, lo, split, rng);
+  int32_t out_child = BuildRec(distance, objects, split, hi, rng);
+  Node& n = nodes_[size_t(node)];
+  n.is_leaf = false;
+  n.vantage = vantage;
+  n.threshold = threshold;
+  n.inside = in_child;
+  n.outside = out_child;
+  return node;
+}
+
+std::vector<Neighbor> VpTree::KnnSearch(const QueryDistanceFn& dq,
+                                        size_t k,
+                                        SearchStats* stats) const {
+  std::vector<Neighbor> heap;
+  if (k == 0 || size_ == 0) return heap;
+  SearchStats local;
+  KnnRec(0, dq, k, &heap, stats ? stats : &local);
+  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  return heap;
+}
+
+void VpTree::KnnRec(int32_t node, const QueryDistanceFn& dq, size_t k,
+                    std::vector<Neighbor>* heap,
+                    SearchStats* stats) const {
+  ++stats->nodes_visited;
+  const Node& n = nodes_[size_t(node)];
+  auto offer = [&](size_t object, double d) {
+    heap->push_back(Neighbor{object, d});
+    std::push_heap(heap->begin(), heap->end(), HeapLess);
+    if (heap->size() > k) {
+      std::pop_heap(heap->begin(), heap->end(), HeapLess);
+      heap->pop_back();
+    }
+  };
+  if (n.is_leaf) {
+    ++stats->leaves_visited;
+    for (size_t object : n.bucket) {
+      ++stats->points_examined;
+      offer(object, dq(object));
+    }
+    return;
+  }
+  // The vantage object itself lives in the inside subtree (distance 0
+  // to itself <= threshold), so it is offered when that leaf is
+  // scanned; here its distance only steers navigation.
+  double d = dq(n.vantage);
+  ++stats->points_examined;
+
+  auto tau = [&]() {
+    return heap->size() < k
+               ? std::numeric_limits<double>::infinity()
+               : heap->front().distance;
+  };
+  double slack = options_.prune_slack;
+  if (d < n.threshold) {
+    KnnRec(n.inside, dq, k, heap, stats);
+    if (d + tau() + slack >= n.threshold) {
+      KnnRec(n.outside, dq, k, heap, stats);
+    }
+  } else {
+    KnnRec(n.outside, dq, k, heap, stats);
+    if (d - tau() - slack <= n.threshold) {
+      KnnRec(n.inside, dq, k, heap, stats);
+    }
+  }
+}
+
+std::vector<Neighbor> VpTree::RangeSearch(const QueryDistanceFn& dq,
+                                          double radius,
+                                          SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (size_ == 0 || radius < 0.0) return out;
+  SearchStats local;
+  RangeRec(0, dq, radius, &out, stats ? stats : &local);
+  std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+void VpTree::RangeRec(int32_t node, const QueryDistanceFn& dq,
+                      double radius, std::vector<Neighbor>* out,
+                      SearchStats* stats) const {
+  ++stats->nodes_visited;
+  const Node& n = nodes_[size_t(node)];
+  if (n.is_leaf) {
+    ++stats->leaves_visited;
+    for (size_t object : n.bucket) {
+      ++stats->points_examined;
+      double d = dq(object);
+      if (d <= radius) out->push_back(Neighbor{object, d});
+    }
+    return;
+  }
+  double d = dq(n.vantage);
+  ++stats->points_examined;
+  double slack = options_.prune_slack;
+  if (d - radius - slack <= n.threshold) {
+    RangeRec(n.inside, dq, radius, out, stats);
+  }
+  if (d + radius + slack >= n.threshold) {
+    RangeRec(n.outside, dq, radius, out, stats);
+  }
+}
+
+size_t VpTree::Depth() const {
+  struct Frame {
+    int32_t node;
+    size_t depth;
+  };
+  size_t max_depth = 0;
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, f.depth);
+    const Node& n = nodes_[size_t(f.node)];
+    if (!n.is_leaf) {
+      stack.push_back({n.inside, f.depth + 1});
+      stack.push_back({n.outside, f.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace semtree

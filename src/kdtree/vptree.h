@@ -1,0 +1,97 @@
+// Copyright 2026 The SemTree Authors
+//
+// A vantage-point tree over an arbitrary (near-)metric distance. This
+// is the comparison baseline for SemTree's central design choice: the
+// paper maps triples into a vector space with FastMap and indexes the
+// vectors with a KD-tree; a VP-tree indexes the *original* distance
+// directly, with no embedding error. The ablation bench pits the two
+// against each other.
+//
+// Caveat: VP-tree pruning assumes the triangle inequality. The semantic
+// distance of Eq. (1) can violate it mildly (see metric_audit.h), in
+// which case the VP-tree's k-NN becomes slightly approximate; the
+// `prune_slack` option widens the visit condition to compensate.
+
+#ifndef SEMTREE_KDTREE_VPTREE_H_
+#define SEMTREE_KDTREE_VPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "kdtree/kdtree.h"
+
+namespace semtree {
+
+/// Distance oracle over the indexed objects (by index 0..n-1).
+using MetricDistanceFn = std::function<double(size_t, size_t)>;
+
+/// Distance from the query object to an indexed object.
+using QueryDistanceFn = std::function<double(size_t)>;
+
+struct VpTreeOptions {
+  /// Leaf bucket capacity.
+  size_t bucket_size = 16;
+
+  /// Seed for vantage-point selection.
+  uint64_t seed = 42;
+
+  /// Additive slack on the pruning conditions; raise above the worst
+  /// observed triangle-inequality excess to regain exactness on
+  /// near-metric distances (0 = textbook pruning).
+  double prune_slack = 0.0;
+};
+
+/// Static vantage-point tree (built once over n objects).
+class VpTree {
+ public:
+  /// Builds the tree; the oracle must be symmetric with zero
+  /// self-distance. Fails on n == 0 or a null oracle.
+  static Result<VpTree> Build(size_t n, const MetricDistanceFn& distance,
+                              const VpTreeOptions& options = {});
+
+  /// K nearest indexed objects to the query, sorted by (distance, id).
+  /// `distance_to_query` is invoked lazily, only for objects the
+  /// search actually visits.
+  std::vector<Neighbor> KnnSearch(const QueryDistanceFn& distance_to_query,
+                                  size_t k,
+                                  SearchStats* stats = nullptr) const;
+
+  /// All indexed objects within `radius` of the query.
+  std::vector<Neighbor> RangeSearch(
+      const QueryDistanceFn& distance_to_query, double radius,
+      SearchStats* stats = nullptr) const;
+
+  size_t size() const { return size_; }
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t Depth() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t vantage = 0;      // Object index of the vantage point.
+    double threshold = 0.0;  // Median distance to the vantage point.
+    int32_t inside = -1;     // d(vantage, x) <= threshold.
+    int32_t outside = -1;    // d(vantage, x) > threshold.
+    std::vector<size_t> bucket;  // Leaf objects.
+  };
+
+  explicit VpTree(VpTreeOptions options) : options_(options) {}
+
+  int32_t BuildRec(const MetricDistanceFn& distance,
+                   std::vector<size_t>& objects, size_t lo, size_t hi,
+                   class Rng* rng);
+  void KnnRec(int32_t node, const QueryDistanceFn& dq, size_t k,
+              std::vector<Neighbor>* heap, SearchStats* stats) const;
+  void RangeRec(int32_t node, const QueryDistanceFn& dq, double radius,
+                std::vector<Neighbor>* out, SearchStats* stats) const;
+
+  VpTreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t size_ = 0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_KDTREE_VPTREE_H_

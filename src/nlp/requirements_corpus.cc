@@ -1,0 +1,262 @@
+// Copyright 2026 The SemTree Authors
+
+#include "nlp/requirements_corpus.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+
+std::string RequirementsDocument::FullText() const {
+  std::string out;
+  for (const Requirement& r : requirements) {
+    out += r.text;
+    out += '\n';
+  }
+  return out;
+}
+
+const std::vector<FunctionPhrase>& FunctionPhrases() {
+  static const std::vector<FunctionPhrase> kPhrases = {
+      // Command handling.
+      {"accept_cmd", "accept", "command"},
+      {"block_cmd", "block", "command"},
+      {"execute_cmd", "execute", "command"},
+      {"abort_cmd", "abort", "command"},
+      {"validate_cmd", "validate", "command"},
+      {"discard_cmd", "discard", "command"},
+      {"queue_cmd", "queue", "command"},
+      // Messaging.
+      {"send_msg", "send", "message"},
+      {"inhibit_msg", "inhibit", "message"},
+      {"broadcast_msg", "broadcast", "message"},
+      {"suppress_msg", "suppress", "message"},
+      {"forward_msg", "forward", "message"},
+      {"drop_msg", "drop", "message"},
+      {"log_msg", "log", "message"},
+      // Input acquisition.
+      {"acquire_in", "acquire", "input"},
+      {"ignore_in", "ignore", "input"},
+      {"sample_in", "sample", "input"},
+      {"mask_in", "mask", "input"},
+      {"calibrate_in", "calibrate", "input"},
+      // Telemetry.
+      {"enable_tm", "enable", "telemetry"},
+      {"disable_tm", "disable", "telemetry"},
+      {"transmit_tm", "transmit", "telemetry"},
+      {"withhold_tm", "withhold", "telemetry"},
+      {"format_tm", "format", "telemetry"},
+      // Modes.
+      {"start_up", "start up", "procedure"},
+      {"shut_down", "shut down", "procedure"},
+      {"activate", "activate", "procedure"},
+      {"deactivate", "deactivate", "procedure"},
+      {"resume", "resume", "procedure"},
+      {"suspend", "suspend", "procedure"},
+      {"initialize", "initialize", "procedure"},
+      {"terminate", "terminate", "procedure"},
+      // Memory.
+      {"store_data", "store", "segment"},
+      {"erase_data", "erase", "segment"},
+      {"load_data", "load", "segment"},
+      {"dump_data", "dump", "segment"},
+      {"lock_mem", "lock", "segment"},
+      {"unlock_mem", "unlock", "segment"},
+      // Power.
+      {"power_on", "power on", "unit"},
+      {"power_off", "power off", "unit"},
+      {"increase_power", "boost", "unit"},
+      {"decrease_power", "throttle", "unit"},
+      // Safety.
+      {"arm_device", "arm", "device"},
+      {"disarm_device", "disarm", "device"},
+      {"engage_lock", "engage", "device"},
+      {"release_lock", "release", "device"},
+      {"trigger_alarm", "trigger", "device"},
+      {"clear_alarm", "clear", "device"},
+  };
+  return kPhrases;
+}
+
+namespace {
+
+const FunctionPhrase* FindPhrase(const std::string& function) {
+  for (const FunctionPhrase& p : FunctionPhrases()) {
+    if (function == p.function) return &p;
+  }
+  return nullptr;
+}
+
+// Parameter family -> object prefix (the paper's CmdType / MsgType /
+// InType notation).
+const std::unordered_map<std::string, std::string>& FamilyPrefixes() {
+  static const std::unordered_map<std::string, std::string> kPrefixes = {
+      {"command_type", "CmdType"}, {"message_type", "MsgType"},
+      {"input_type", "InType"},    {"telemetry_type", "TmType"},
+      {"memory_type", "MemType"},  {"device_type", "DevType"},
+  };
+  return kPrefixes;
+}
+
+}  // namespace
+
+std::string ParameterPhrase(const std::string& parameter_name) {
+  std::string out = parameter_name;
+  std::replace(out.begin(), out.end(), '_', '-');
+  return out;
+}
+
+std::string ParameterNameFromPhrase(const std::string& phrase) {
+  std::string out = phrase;
+  std::replace(out.begin(), out.end(), '-', '_');
+  return out;
+}
+
+Result<std::string> RenderRequirementSentence(const Requirement& req) {
+  const FunctionPhrase* phrase = FindPhrase(req.function);
+  if (phrase == nullptr) {
+    return Status::NotFound(
+        StringPrintf("no phrase for function '%s'", req.function.c_str()));
+  }
+  return StringPrintf("The %s component shall %s the %s %s.",
+                      req.actor.c_str(), phrase->verb_phrase,
+                      ParameterPhrase(req.parameter).c_str(),
+                      phrase->kind_noun);
+}
+
+Result<Triple> RequirementTriple(const Requirement& req,
+                                 const Taxonomy& vocabulary) {
+  SEMTREE_ASSIGN_OR_RETURN(ConceptId param,
+                           vocabulary.Find(req.parameter));
+  std::string prefix = "Type";
+  for (ConceptId parent : vocabulary.parents(param)) {
+    auto it = FamilyPrefixes().find(vocabulary.name(parent));
+    if (it != FamilyPrefixes().end()) {
+      prefix = it->second;
+      break;
+    }
+  }
+  if (!vocabulary.Contains(req.function)) {
+    return Status::NotFound(
+        StringPrintf("function '%s' not in vocabulary",
+                     req.function.c_str()));
+  }
+  return Triple(Term::Literal(req.actor),
+                Term::Concept(req.function, "Fun"),
+                Term::Concept(req.parameter, prefix));
+}
+
+RequirementsCorpusGenerator::RequirementsCorpusGenerator(
+    const Taxonomy* vocabulary, CorpusOptions options)
+    : vocabulary_(vocabulary),
+      options_(options),
+      rng_(options.seed) {
+  actors_.reserve(options_.num_actors);
+  for (size_t i = 0; i < std::max<size_t>(1, options_.num_actors); ++i) {
+    actors_.push_back(StringPrintf("OBSW%03zu", i + 1));
+  }
+  // Only functions that have both a phrase and a vocabulary entry are
+  // eligible (with the built-in vocabulary that is all of them).
+  for (const FunctionPhrase& p : FunctionPhrases()) {
+    if (vocabulary_->Contains(p.function)) functions_.push_back(p.function);
+  }
+}
+
+bool RequirementsCorpusGenerator::TryMakeInconsistent(uint32_t id,
+                                                      Requirement* out) {
+  if (history_.empty()) return false;
+  // Pick a past requirement whose function has an antonym and negate it.
+  for (size_t attempt = 0; attempt < 8; ++attempt) {
+    const Requirement& past = rng_.Choice(history_);
+    std::vector<std::string> antonyms =
+        vocabulary_->AntonymNamesOf(past.function);
+    if (antonyms.empty()) continue;
+    const std::string& antonym =
+        antonyms[rng_.Uniform(antonyms.size())];
+    if (FindPhrase(antonym) == nullptr) continue;
+    out->id = id;
+    out->actor = past.actor;
+    out->function = antonym;
+    out->parameter = past.parameter;
+    return true;
+  }
+  return false;
+}
+
+Requirement RequirementsCorpusGenerator::MakeRequirement(uint32_t id) {
+  Requirement req;
+  if (options_.inconsistency_rate > 0.0 &&
+      rng_.Bernoulli(options_.inconsistency_rate) &&
+      TryMakeInconsistent(id, &req)) {
+    // Seeded contradiction of an earlier requirement.
+  } else {
+    req.id = id;
+    req.actor = actors_[rng_.Uniform(actors_.size())];
+    size_t f = options_.zipf_skew > 0.0
+                   ? rng_.Zipf(functions_.size(), options_.zipf_skew)
+                   : rng_.Uniform(functions_.size());
+    req.function = functions_[f];
+    std::vector<std::string> params =
+        ParameterNamesForFunction(*vocabulary_, req.function);
+    req.parameter = params[rng_.Uniform(params.size())];
+  }
+  auto text = RenderRequirementSentence(req);
+  req.text = text.ok() ? *text : "";
+  history_.push_back(req);
+  return req;
+}
+
+std::vector<RequirementsDocument>
+RequirementsCorpusGenerator::Generate() {
+  std::vector<RequirementsDocument> docs;
+  docs.reserve(options_.num_documents);
+  uint32_t next_req_id = 1;
+  size_t lo = std::max<size_t>(1, options_.min_requirements_per_doc);
+  size_t hi = std::max(lo, options_.max_requirements_per_doc);
+  for (size_t d = 0; d < options_.num_documents; ++d) {
+    RequirementsDocument doc;
+    doc.id = static_cast<DocumentId>(d);
+    doc.title = StringPrintf("On-Board Software Requirements, Part %zu",
+                             d + 1);
+    size_t count = lo + rng_.Uniform(hi - lo + 1);
+    doc.requirements.reserve(count);
+    for (size_t r = 0; r < count; ++r) {
+      doc.requirements.push_back(MakeRequirement(next_req_id++));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Result<std::vector<Triple>> RequirementsCorpusGenerator::GenerateTriples() {
+  std::vector<Triple> out;
+  for (const RequirementsDocument& doc : Generate()) {
+    for (const Requirement& req : doc.requirements) {
+      SEMTREE_ASSIGN_OR_RETURN(Triple t,
+                               RequirementTriple(req, *vocabulary_));
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+Status RequirementsCorpusGenerator::AccumulateFrequencies(
+    const std::vector<RequirementsDocument>& documents,
+    Taxonomy* vocabulary) {
+  for (const RequirementsDocument& doc : documents) {
+    for (const Requirement& req : doc.requirements) {
+      SEMTREE_ASSIGN_OR_RETURN(ConceptId fn,
+                               vocabulary->Find(req.function));
+      SEMTREE_RETURN_NOT_OK(vocabulary->AddFrequency(fn, 1));
+      SEMTREE_ASSIGN_OR_RETURN(ConceptId param,
+                               vocabulary->Find(req.parameter));
+      SEMTREE_RETURN_NOT_OK(vocabulary->AddFrequency(param, 1));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace semtree

@@ -1,0 +1,126 @@
+// Copyright 2026 The SemTree Authors
+//
+// Synthetic on-board-software requirements corpus. The paper evaluates
+// on several hundred proprietary CIRA documents yielding ~100,000
+// triples (§IV); this generator reproduces that corpus' *shape*: the
+// same triple schema (Actor, Function:..., Type:...), a controlled
+// natural-language rendering, and injected inconsistencies (antonymic
+// requirement pairs) at a configurable rate. See DESIGN.md §2.
+
+#ifndef SEMTREE_NLP_REQUIREMENTS_CORPUS_H_
+#define SEMTREE_NLP_REQUIREMENTS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ontology/taxonomy.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// One software requirement: "actor shall function parameter".
+struct Requirement {
+  uint32_t id = 0;
+  std::string actor;      ///< e.g. "OBSW001" (a literal identifier).
+  std::string function;   ///< Canonical function concept name.
+  std::string parameter;  ///< Canonical parameter concept name.
+  std::string text;       ///< Controlled natural-language sentence.
+};
+
+/// A requirements document: a titled set of requirement sections.
+struct RequirementsDocument {
+  DocumentId id = 0;
+  std::string title;
+  std::vector<Requirement> requirements;
+
+  /// All requirement sentences concatenated.
+  std::string FullText() const;
+};
+
+/// NL rendering of one function concept.
+struct FunctionPhrase {
+  const char* function;    ///< Concept name, e.g. "accept_cmd".
+  const char* verb_phrase; ///< e.g. "accept" or "start up".
+  const char* kind_noun;   ///< e.g. "command".
+};
+
+/// The full phrase table covering every leaf function of
+/// RequirementsVocabulary(). Verb phrases are unique, so extraction is
+/// unambiguous.
+const std::vector<FunctionPhrase>& FunctionPhrases();
+
+/// "power_amplifier" -> "power-amplifier" (single NL token).
+std::string ParameterPhrase(const std::string& parameter_name);
+
+/// Inverse of ParameterPhrase.
+std::string ParameterNameFromPhrase(const std::string& phrase);
+
+/// Renders the controlled sentence for a requirement:
+/// "The OBSW001 component shall accept the startup-cmd command."
+Result<std::string> RenderRequirementSentence(const Requirement& req);
+
+/// The triple a requirement denotes: ('actor', Fun:function,
+/// Type:parameter). The object prefix is derived from the parameter's
+/// family in the vocabulary (CmdType, MsgType, InType, ...).
+Result<Triple> RequirementTriple(const Requirement& req,
+                                 const Taxonomy& vocabulary);
+
+struct CorpusOptions {
+  size_t num_documents = 100;
+  size_t min_requirements_per_doc = 8;
+  size_t max_requirements_per_doc = 20;
+
+  /// Distinct actor identifiers (OBSW001...).
+  size_t num_actors = 40;
+
+  /// Probability that a new requirement contradicts an earlier one
+  /// (same actor and parameter, antonymic function) — the seeded
+  /// inconsistencies the case study must find.
+  double inconsistency_rate = 0.05;
+
+  /// Zipf skew of function popularity (0 = uniform).
+  double zipf_skew = 0.8;
+
+  uint64_t seed = 42;
+};
+
+/// Deterministic generator over the requirements vocabulary.
+class RequirementsCorpusGenerator {
+ public:
+  /// `vocabulary` must be (a superset of) RequirementsVocabulary() and
+  /// outlive the generator.
+  RequirementsCorpusGenerator(const Taxonomy* vocabulary,
+                              CorpusOptions options);
+
+  /// Generates the documents. Every requirement renders to a sentence
+  /// and back-translates to a triple without loss.
+  std::vector<RequirementsDocument> Generate();
+
+  /// Convenience: generates documents and flattens them to triples
+  /// (one per requirement, in document order).
+  Result<std::vector<Triple>> GenerateTriples();
+
+  /// Records concept frequencies (functions + parameters) observed in
+  /// `documents` into `vocabulary`, enabling corpus-driven information
+  /// content for the Resnik/Lin measures.
+  static Status AccumulateFrequencies(
+      const std::vector<RequirementsDocument>& documents,
+      Taxonomy* vocabulary);
+
+ private:
+  Requirement MakeRequirement(uint32_t id);
+  bool TryMakeInconsistent(uint32_t id, Requirement* out);
+
+  const Taxonomy* vocabulary_;
+  CorpusOptions options_;
+  Rng rng_;
+  std::vector<std::string> actors_;
+  std::vector<std::string> functions_;  // Leaf function names.
+  std::vector<Requirement> history_;    // For inconsistency injection.
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_NLP_REQUIREMENTS_CORPUS_H_

@@ -1,0 +1,110 @@
+// Copyright 2026 The SemTree Authors
+
+#include "nlp/triple_extractor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace semtree {
+
+TripleExtractor::TripleExtractor(const Taxonomy* vocabulary)
+    : vocabulary_(vocabulary) {
+  for (const FunctionPhrase& p : FunctionPhrases()) {
+    verb_to_function_[p.verb_phrase] = p.function;
+  }
+}
+
+Result<Triple> TripleExtractor::ExtractFromSentence(
+    std::string_view sentence) const {
+  // Grammar: The <ACTOR> component shall <verb...> the <param> <kind> .
+  std::vector<std::string> tokens = TokenizePreservingCase(sentence);
+  if (tokens.size() < 8) {
+    return Status::InvalidArgument("sentence too short for the grammar");
+  }
+  if (ToLower(tokens[0]) != "the" || ToLower(tokens[2]) != "component" ||
+      ToLower(tokens[3]) != "shall") {
+    return Status::InvalidArgument(
+        "sentence does not match 'The <actor> component shall ...'");
+  }
+  const std::string& actor = tokens[1];
+
+  // The verb phrase spans tokens[4..article), where `article` is the
+  // next "the".
+  size_t article = 0;
+  for (size_t i = 4; i < tokens.size(); ++i) {
+    if (ToLower(tokens[i]) == "the") {
+      article = i;
+      break;
+    }
+  }
+  if (article == 0 || article + 2 >= tokens.size()) {
+    return Status::InvalidArgument("missing '... the <parameter> <kind>'");
+  }
+  std::vector<std::string> verb_tokens;
+  for (size_t i = 4; i < article; ++i) {
+    verb_tokens.push_back(ToLower(tokens[i]));
+  }
+  if (verb_tokens.empty()) {
+    return Status::InvalidArgument("missing verb phrase");
+  }
+  std::string verb = Join(verb_tokens, " ");
+  auto fn = verb_to_function_.find(verb);
+  if (fn == verb_to_function_.end()) {
+    return Status::NotFound(
+        StringPrintf("unknown verb phrase '%s'", verb.c_str()));
+  }
+
+  std::string parameter =
+      ParameterNameFromPhrase(ToLower(tokens[article + 1]));
+  if (!vocabulary_->Contains(parameter)) {
+    return Status::NotFound(
+        StringPrintf("unknown parameter '%s'", parameter.c_str()));
+  }
+
+  Requirement req;
+  req.actor = actor;
+  req.function = fn->second;
+  req.parameter = parameter;
+  return RequirementTriple(req, *vocabulary_);
+}
+
+std::vector<Triple> TripleExtractor::ExtractFromDocument(
+    const RequirementsDocument& document,
+    std::vector<std::string>* errors) const {
+  std::vector<Triple> out;
+  for (const std::string& sentence : SplitSentences(document.FullText())) {
+    auto triple = ExtractFromSentence(sentence);
+    if (triple.ok()) {
+      out.push_back(std::move(*triple));
+    } else if (errors != nullptr) {
+      errors->push_back(triple.status().ToString() + " in: " + sentence);
+    }
+  }
+  return out;
+}
+
+Result<size_t> TripleExtractor::ExtractCorpus(
+    const std::vector<RequirementsDocument>& documents,
+    TripleStore* store) const {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store must not be null");
+  }
+  size_t count = 0;
+  for (const RequirementsDocument& doc : documents) {
+    std::vector<std::string> errors;
+    for (Triple& t : ExtractFromDocument(doc, &errors)) {
+      store->Add(std::move(t), doc.id);
+      ++count;
+    }
+    if (!errors.empty()) {
+      return Status::InvalidArgument(StringPrintf(
+          "document %u: %zu unparseable sentences (first: %s)", doc.id,
+          errors.size(), errors[0].c_str()));
+    }
+  }
+  return count;
+}
+
+}  // namespace semtree

@@ -1,0 +1,59 @@
+// Copyright 2026 The SemTree Authors
+//
+// Pattern-based SVO triple extraction from the controlled requirements
+// language. The paper treats NLP extraction as an external facility
+// ([6], §III-A: "we are not interested in how it is possible to
+// transform documents into a set of assertions"); this extractor covers
+// exactly the controlled grammar the corpus generator emits, closing
+// the documents -> triples loop end to end.
+
+#ifndef SEMTREE_NLP_TRIPLE_EXTRACTOR_H_
+#define SEMTREE_NLP_TRIPLE_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/taxonomy.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+
+namespace semtree {
+
+/// Extracts (actor, Fun:function, Type:parameter) triples from
+/// requirement sentences of the form
+/// "The <ACTOR> component shall <verb phrase> the <parameter> <kind>."
+class TripleExtractor {
+ public:
+  /// `vocabulary` must contain the function/parameter concepts and
+  /// outlive the extractor.
+  explicit TripleExtractor(const Taxonomy* vocabulary);
+
+  /// Parses one sentence. Fails with InvalidArgument on text outside
+  /// the controlled grammar, NotFound on unknown vocabulary.
+  Result<Triple> ExtractFromSentence(std::string_view sentence) const;
+
+  /// Extracts every sentence of a document; unparseable sentences are
+  /// reported in `errors` (if non-null) and skipped.
+  std::vector<Triple> ExtractFromDocument(
+      const RequirementsDocument& document,
+      std::vector<std::string>* errors = nullptr) const;
+
+  /// Extracts a whole corpus into `store`, tagging provenance; returns
+  /// the number of triples extracted.
+  Result<size_t> ExtractCorpus(
+      const std::vector<RequirementsDocument>& documents,
+      TripleStore* store) const;
+
+ private:
+  const Taxonomy* vocabulary_;
+  // "accept" / "start up" -> function concept name.
+  std::unordered_map<std::string, std::string> verb_to_function_;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_NLP_TRIPLE_EXTRACTOR_H_

@@ -1,0 +1,377 @@
+// Copyright 2026 The SemTree Authors
+
+#include "ontology/requirements_vocabulary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace semtree {
+
+namespace {
+
+// Helper that asserts on failure: the built-in vocabularies are static
+// data, so a failure here is a programming error, not a runtime
+// condition.
+class Builder {
+ public:
+  explicit Builder(Taxonomy* tax) : tax_(tax) {}
+
+  ConceptId Concept(const std::string& name,
+                    const std::vector<std::string>& parents = {}) {
+    auto r = tax_->AddConcept(name, parents);
+    assert(r.ok());
+    return *r;
+  }
+
+  void Antonym(const std::string& a, const std::string& b) {
+    auto ia = tax_->Find(a);
+    auto ib = tax_->Find(b);
+    assert(ia.ok() && ib.ok());
+    Status st = tax_->AddAntonym(*ia, *ib);
+    assert(st.ok());
+    (void)st;
+  }
+
+  void Synonym(const std::string& alias, const std::string& canonical) {
+    auto ic = tax_->Find(canonical);
+    assert(ic.ok());
+    Status st = tax_->AddSynonym(alias, *ic);
+    assert(st.ok());
+    (void)st;
+  }
+
+ private:
+  Taxonomy* tax_;
+};
+
+}  // namespace
+
+Taxonomy RequirementsVocabulary() {
+  Taxonomy tax("entity");
+  Builder b(&tax);
+
+  // ----------------------------------------------------------------- //
+  // Functions (predicates). Each family groups related unary functions
+  // of the on-board software; antonym pairs encode the antinomies the
+  // paper's inconsistency definition needs.
+  b.Concept("function");
+
+  b.Concept("command_function", {"function"});
+  b.Concept("accept_cmd", {"command_function"});
+  b.Concept("block_cmd", {"command_function"});
+  b.Concept("execute_cmd", {"command_function"});
+  b.Concept("abort_cmd", {"command_function"});
+  b.Concept("validate_cmd", {"command_function"});
+  b.Concept("discard_cmd", {"command_function"});
+  b.Concept("queue_cmd", {"command_function"});
+  b.Antonym("accept_cmd", "block_cmd");
+  b.Antonym("execute_cmd", "abort_cmd");
+  b.Antonym("validate_cmd", "discard_cmd");
+  b.Synonym("reject_cmd", "block_cmd");
+  b.Synonym("run_cmd", "execute_cmd");
+
+  b.Concept("message_function", {"function"});
+  b.Concept("send_msg", {"message_function"});
+  b.Concept("inhibit_msg", {"message_function"});
+  b.Concept("broadcast_msg", {"message_function"});
+  b.Concept("suppress_msg", {"message_function"});
+  b.Concept("forward_msg", {"message_function"});
+  b.Concept("drop_msg", {"message_function"});
+  b.Concept("log_msg", {"message_function"});
+  b.Antonym("send_msg", "inhibit_msg");
+  b.Antonym("broadcast_msg", "suppress_msg");
+  b.Antonym("forward_msg", "drop_msg");
+  b.Synonym("transmit_msg", "send_msg");
+
+  b.Concept("input_function", {"function"});
+  b.Concept("acquire_in", {"input_function"});
+  b.Concept("ignore_in", {"input_function"});
+  b.Concept("sample_in", {"input_function"});
+  b.Concept("mask_in", {"input_function"});
+  b.Concept("calibrate_in", {"input_function"});
+  b.Antonym("acquire_in", "ignore_in");
+  b.Antonym("sample_in", "mask_in");
+  b.Synonym("read_in", "acquire_in");
+
+  b.Concept("telemetry_function", {"function"});
+  b.Concept("enable_tm", {"telemetry_function"});
+  b.Concept("disable_tm", {"telemetry_function"});
+  b.Concept("transmit_tm", {"telemetry_function"});
+  b.Concept("withhold_tm", {"telemetry_function"});
+  b.Concept("format_tm", {"telemetry_function"});
+  b.Antonym("enable_tm", "disable_tm");
+  b.Antonym("transmit_tm", "withhold_tm");
+
+  b.Concept("mode_function", {"function"});
+  b.Concept("start_up", {"mode_function"});
+  b.Concept("shut_down", {"mode_function"});
+  b.Concept("activate", {"mode_function"});
+  b.Concept("deactivate", {"mode_function"});
+  b.Concept("resume", {"mode_function"});
+  b.Concept("suspend", {"mode_function"});
+  b.Concept("initialize", {"mode_function"});
+  b.Concept("terminate", {"mode_function"});
+  b.Antonym("start_up", "shut_down");
+  b.Antonym("activate", "deactivate");
+  b.Antonym("resume", "suspend");
+  b.Antonym("initialize", "terminate");
+  b.Synonym("boot", "start_up");
+  b.Synonym("halt", "shut_down");
+
+  b.Concept("memory_function", {"function"});
+  b.Concept("store_data", {"memory_function"});
+  b.Concept("erase_data", {"memory_function"});
+  b.Concept("load_data", {"memory_function"});
+  b.Concept("dump_data", {"memory_function"});
+  b.Concept("lock_mem", {"memory_function"});
+  b.Concept("unlock_mem", {"memory_function"});
+  b.Antonym("store_data", "erase_data");
+  b.Antonym("lock_mem", "unlock_mem");
+
+  b.Concept("power_function", {"function"});
+  b.Concept("power_on", {"power_function"});
+  b.Concept("power_off", {"power_function"});
+  b.Concept("increase_power", {"power_function"});
+  b.Concept("decrease_power", {"power_function"});
+  b.Antonym("power_on", "power_off");
+  b.Antonym("increase_power", "decrease_power");
+
+  b.Concept("safety_function", {"function"});
+  b.Concept("arm_device", {"safety_function"});
+  b.Concept("disarm_device", {"safety_function"});
+  b.Concept("engage_lock", {"safety_function"});
+  b.Concept("release_lock", {"safety_function"});
+  b.Concept("trigger_alarm", {"safety_function"});
+  b.Concept("clear_alarm", {"safety_function"});
+  b.Antonym("arm_device", "disarm_device");
+  b.Antonym("engage_lock", "release_lock");
+  b.Antonym("trigger_alarm", "clear_alarm");
+
+  // ----------------------------------------------------------------- //
+  // Parameters (objects). Typed families mirroring the paper's
+  // CmdType / MsgType / InType prefixes.
+  b.Concept("parameter");
+
+  b.Concept("command_type", {"parameter"});
+  for (const char* name :
+       {"startup_cmd", "shutdown_cmd", "self_test", "reset", "reboot",
+        "safe_mode", "nominal_mode", "standby_mode", "sync_clock",
+        "update_config"}) {
+    b.Concept(name, {"command_type"});
+  }
+
+  b.Concept("message_type", {"parameter"});
+  for (const char* name :
+       {"power_amplifier", "telemetry_frame", "heartbeat", "status_report",
+        "error_report", "ack_message", "nack_message", "event_log"}) {
+    b.Concept(name, {"message_type"});
+  }
+
+  b.Concept("input_type", {"parameter"});
+  for (const char* name :
+       {"pre_launch_phase", "ascent_phase", "orbit_phase", "descent_phase",
+        "ground_phase", "sensor_temperature", "sensor_pressure",
+        "sensor_attitude", "sensor_voltage"}) {
+    b.Concept(name, {"input_type"});
+  }
+
+  b.Concept("telemetry_type", {"parameter"});
+  for (const char* name :
+       {"housekeeping", "payload_data", "diagnostics", "orbit_data",
+        "thermal_data"}) {
+    b.Concept(name, {"telemetry_type"});
+  }
+
+  b.Concept("memory_type", {"parameter"});
+  for (const char* name :
+       {"boot_image", "config_table", "event_buffer", "science_archive",
+        "patch_segment"}) {
+    b.Concept(name, {"memory_type"});
+  }
+
+  b.Concept("device_type", {"parameter"});
+  for (const char* name :
+       {"antenna", "gyroscope", "star_tracker", "thruster", "battery",
+        "heater", "valve", "pump", "transponder", "solar_array"}) {
+    b.Concept(name, {"device_type"});
+  }
+
+  // ----------------------------------------------------------------- //
+  // Actors. Specific instances (OBSW001, ...) are identifiers and are
+  // treated as literals by the distance; these are their classes.
+  b.Concept("actor");
+  b.Concept("software_component", {"actor"});
+  for (const char* name :
+       {"obsw_component", "scheduler", "command_handler",
+        "telemetry_manager", "fdir_monitor", "device_driver"}) {
+    b.Concept(name, {"software_component"});
+  }
+  b.Concept("hardware_unit", {"actor"});
+  for (const char* name :
+       {"processor_board", "io_board", "power_unit", "rf_unit"}) {
+    b.Concept(name, {"hardware_unit"});
+  }
+
+  Status st = tax.Validate();
+  assert(st.ok());
+  (void)st;
+  return tax;
+}
+
+namespace {
+
+std::vector<std::string> LeafNamesUnder(const Taxonomy& tax,
+                                        const std::string& root_name) {
+  std::vector<std::string> out;
+  auto root = tax.Find(root_name);
+  if (!root.ok()) return out;
+  std::vector<ConceptId> stack = {*root};
+  while (!stack.empty()) {
+    ConceptId c = stack.back();
+    stack.pop_back();
+    if (tax.children(c).empty()) {
+      out.push_back(tax.name(c));
+    } else {
+      for (ConceptId child : tax.children(c)) stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> RequirementsFunctionNames() {
+  Taxonomy tax = RequirementsVocabulary();
+  return LeafNamesUnder(tax, "function");
+}
+
+std::vector<std::string> RequirementsParameterNames() {
+  Taxonomy tax = RequirementsVocabulary();
+  return LeafNamesUnder(tax, "parameter");
+}
+
+std::vector<std::string> ParameterNamesForFunction(
+    const Taxonomy& tax, const std::string& function_name) {
+  // Function families map onto parameter families by position in the
+  // vocabulary: command functions take command types, etc.
+  static const std::pair<const char*, const char*> kFamilyToParam[] = {
+      {"command_function", "command_type"},
+      {"message_function", "message_type"},
+      {"input_function", "input_type"},
+      {"telemetry_function", "telemetry_type"},
+      {"mode_function", "command_type"},
+      {"memory_function", "memory_type"},
+      {"power_function", "device_type"},
+      {"safety_function", "device_type"},
+  };
+  auto fn = tax.Find(function_name);
+  if (!fn.ok()) return {};
+  for (const auto& [family, param_family] : kFamilyToParam) {
+    auto fam = tax.Find(family);
+    if (fam.ok() && tax.IsAncestor(*fam, *fn)) {
+      return LeafNamesUnder(tax, param_family);
+    }
+  }
+  return LeafNamesUnder(tax, "parameter");
+}
+
+Taxonomy MiniWordNet() {
+  Taxonomy tax("entity");
+  Builder b(&tax);
+
+  b.Concept("physical_entity");
+  b.Concept("abstract_entity");
+
+  b.Concept("living_thing", {"physical_entity"});
+  b.Concept("animal", {"living_thing"});
+  b.Concept("mammal", {"animal"});
+  b.Concept("dog", {"mammal"});
+  b.Concept("cat", {"mammal"});
+  b.Concept("horse", {"mammal"});
+  b.Concept("whale", {"mammal"});
+  b.Concept("bird", {"animal"});
+  b.Concept("eagle", {"bird"});
+  b.Concept("sparrow", {"bird"});
+  b.Concept("penguin", {"bird"});
+  b.Concept("fish", {"animal"});
+  b.Concept("salmon", {"fish"});
+  b.Concept("shark", {"fish"});
+  b.Concept("plant", {"living_thing"});
+  b.Concept("tree", {"plant"});
+  b.Concept("oak", {"tree"});
+  b.Concept("pine", {"tree"});
+  b.Concept("flower", {"plant"});
+  b.Concept("rose", {"flower"});
+  b.Concept("person", {"living_thing"});
+  b.Concept("engineer", {"person"});
+  b.Concept("doctor", {"person"});
+  b.Concept("teacher", {"person"});
+  b.Concept("pilot", {"person"});
+
+  b.Concept("artifact", {"physical_entity"});
+  b.Concept("vehicle", {"artifact"});
+  b.Concept("car", {"vehicle"});
+  b.Concept("truck", {"vehicle"});
+  b.Concept("bicycle", {"vehicle"});
+  b.Concept("airplane", {"vehicle"});
+  b.Concept("boat", {"vehicle"});
+  b.Concept("building", {"artifact"});
+  b.Concept("house", {"building"});
+  b.Concept("hospital", {"building"});
+  b.Concept("school", {"building"});
+  b.Concept("tool", {"artifact"});
+  b.Concept("hammer", {"tool"});
+  b.Concept("saw", {"tool"});
+  b.Concept("computer", {"artifact"});
+  b.Concept("laptop", {"computer"});
+  b.Concept("server", {"computer"});
+
+  b.Concept("location", {"physical_entity"});
+  b.Concept("city", {"location"});
+  b.Concept("mountain", {"location"});
+  b.Concept("river", {"location"});
+
+  b.Concept("action", {"abstract_entity"});
+  b.Concept("motion", {"action"});
+  b.Concept("walk", {"motion"});
+  b.Concept("run", {"motion"});
+  b.Concept("fly", {"motion"});
+  b.Concept("swim", {"motion"});
+  b.Concept("communication", {"action"});
+  b.Concept("speak", {"communication"});
+  b.Concept("write", {"communication"});
+  b.Concept("read", {"communication"});
+  b.Concept("possession", {"action"});
+  b.Concept("buy", {"possession"});
+  b.Concept("sell", {"possession"});
+  b.Concept("own", {"possession"});
+  b.Concept("lend", {"possession"});
+  b.Concept("borrow", {"possession"});
+  b.Antonym("buy", "sell");
+  b.Antonym("lend", "borrow");
+
+  b.Concept("property", {"abstract_entity"});
+  b.Concept("hot", {"property"});
+  b.Concept("cold", {"property"});
+  b.Concept("big", {"property"});
+  b.Concept("small", {"property"});
+  b.Concept("fast", {"property"});
+  b.Concept("slow", {"property"});
+  b.Antonym("hot", "cold");
+  b.Antonym("big", "small");
+  b.Antonym("fast", "slow");
+  b.Synonym("large", "big");
+  b.Synonym("quick", "fast");
+  b.Synonym("canine", "dog");
+  b.Synonym("feline", "cat");
+  b.Synonym("automobile", "car");
+
+  Status st = tax.Validate();
+  assert(st.ok());
+  (void)st;
+  return tax;
+}
+
+}  // namespace semtree

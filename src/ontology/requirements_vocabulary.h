@@ -1,0 +1,46 @@
+// Copyright 2026 The SemTree Authors
+//
+// Built-in vocabularies.
+//
+// RequirementsVocabulary() reconstructs the paper's "ad-hoc requirements
+// vocabulary" for on-board software (OBSW) requirements: a taxonomy of
+// unary functions (the triple predicates, e.g. Fun:accept_cmd), parameter
+// types (CmdType/MsgType/InType/... objects) and actor classes, with the
+// antinomy pairs that drive the inconsistency case study (§II, §IV-B).
+//
+// MiniWordNet() is a small general-purpose taxonomy used by tests and the
+// semantic-search example, standing in for "a standard vocabulary".
+
+#ifndef SEMTREE_ONTOLOGY_REQUIREMENTS_VOCABULARY_H_
+#define SEMTREE_ONTOLOGY_REQUIREMENTS_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/taxonomy.h"
+
+namespace semtree {
+
+/// The aerospace requirements vocabulary. Never fails: the content is
+/// static and covered by tests.
+Taxonomy RequirementsVocabulary();
+
+/// Names of all function (predicate) concepts in the requirements
+/// vocabulary, sorted.
+std::vector<std::string> RequirementsFunctionNames();
+
+/// Names of all parameter concepts, sorted.
+std::vector<std::string> RequirementsParameterNames();
+
+/// Parameter concepts that are plausible objects for the given function
+/// concept (e.g. command functions take command-type parameters).
+std::vector<std::string> ParameterNamesForFunction(
+    const Taxonomy& tax, const std::string& function_name);
+
+/// A ~70-concept general-purpose taxonomy (animals, artifacts, people,
+/// places) with a handful of antonyms.
+Taxonomy MiniWordNet();
+
+}  // namespace semtree
+
+#endif  // SEMTREE_ONTOLOGY_REQUIREMENTS_VOCABULARY_H_

@@ -1,0 +1,96 @@
+// Copyright 2026 The SemTree Authors
+
+#include "ontology/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semtree {
+
+const char* SimilarityMeasureName(SimilarityMeasure m) {
+  switch (m) {
+    case SimilarityMeasure::kWuPalmer:
+      return "wu-palmer";
+    case SimilarityMeasure::kPath:
+      return "path";
+    case SimilarityMeasure::kLeacockChodorow:
+      return "leacock-chodorow";
+    case SimilarityMeasure::kResnik:
+      return "resnik";
+    case SimilarityMeasure::kLin:
+      return "lin";
+  }
+  return "unknown";
+}
+
+double WuPalmerSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b) {
+  if (a == b) return 1.0;
+  ConceptId lcs = tax.LowestCommonSubsumer(a, b);
+  // Classic edge-counting formulation 2*N3 / (N1 + N2 + 2*N3), with
+  // N1/N2 the upward edges from a/b to the LCS and N3 the LCS depth
+  // (from 1 at the root). Unlike the naive 2*d(lcs)/(d(a)+d(b)) it
+  // stays within (0, 1] under multiple inheritance, where the LCS's
+  // shortest-chain depth can exceed a node's own.
+  double n1 = static_cast<double>(tax.UpEdges(a, lcs));
+  double n2 = static_cast<double>(tax.UpEdges(b, lcs));
+  double n3 = static_cast<double>(tax.Depth(lcs)) + 1.0;
+  return 2.0 * n3 / (n1 + n2 + 2.0 * n3);
+}
+
+double PathSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b) {
+  size_t edges = tax.ShortestPathEdges(a, b);
+  return 1.0 / (1.0 + static_cast<double>(edges));
+}
+
+double LeacockChodorowSimilarity(const Taxonomy& tax, ConceptId a,
+                                 ConceptId b) {
+  double depth = static_cast<double>(std::max<size_t>(tax.MaxDepth(), 1));
+  // Path length in nodes (edges + 1), as in the original formulation.
+  double len = static_cast<double>(tax.ShortestPathEdges(a, b)) + 1.0;
+  double raw = -std::log(len / (2.0 * depth));
+  double max_raw = -std::log(1.0 / (2.0 * depth));  // len == 1 (a == b)
+  if (max_raw <= 0.0) return a == b ? 1.0 : 0.0;
+  return std::clamp(raw / max_raw, 0.0, 1.0);
+}
+
+double ResnikSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b) {
+  // Normalized Resnik does not reach 1 at IC(a) < max IC; force the
+  // identity axiom so 1 - similarity is a usable distance.
+  if (a == b) return 1.0;
+  ConceptId lcs = tax.LowestCommonSubsumer(a, b);
+  double max_ic = tax.MaxInformationContent();
+  if (max_ic <= 0.0) return a == b ? 1.0 : 0.0;
+  return std::clamp(tax.InformationContent(lcs) / max_ic, 0.0, 1.0);
+}
+
+double LinSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b) {
+  if (a == b) return 1.0;
+  ConceptId lcs = tax.LowestCommonSubsumer(a, b);
+  double denom = tax.InformationContent(a) + tax.InformationContent(b);
+  if (denom <= 0.0) return 1.0;  // Both are the root.
+  return std::clamp(2.0 * tax.InformationContent(lcs) / denom, 0.0, 1.0);
+}
+
+double ConceptSimilarity(SimilarityMeasure m, const Taxonomy& tax,
+                         ConceptId a, ConceptId b) {
+  switch (m) {
+    case SimilarityMeasure::kWuPalmer:
+      return WuPalmerSimilarity(tax, a, b);
+    case SimilarityMeasure::kPath:
+      return PathSimilarity(tax, a, b);
+    case SimilarityMeasure::kLeacockChodorow:
+      return LeacockChodorowSimilarity(tax, a, b);
+    case SimilarityMeasure::kResnik:
+      return ResnikSimilarity(tax, a, b);
+    case SimilarityMeasure::kLin:
+      return LinSimilarity(tax, a, b);
+  }
+  return 0.0;
+}
+
+double ConceptDistance(SimilarityMeasure m, const Taxonomy& tax,
+                       ConceptId a, ConceptId b) {
+  return 1.0 - ConceptSimilarity(m, tax, a, b);
+}
+
+}  // namespace semtree

@@ -1,0 +1,60 @@
+// Copyright 2026 The SemTree Authors
+//
+// Taxonomy-based semantic similarity measures. The paper (§III-A) names
+// Wu & Palmer as the concept-to-concept measure and cites Resnik [9];
+// we implement the widely used family so the distance is configurable:
+// Wu & Palmer, path, Leacock–Chodorow, Resnik, Lin.
+//
+// Every measure returns a similarity in [0,1] (1 = same concept), so
+// 1 - similarity is a normalized distance usable by Eq. (1).
+
+#ifndef SEMTREE_ONTOLOGY_SIMILARITY_H_
+#define SEMTREE_ONTOLOGY_SIMILARITY_H_
+
+#include "ontology/taxonomy.h"
+
+namespace semtree {
+
+/// The selectable concept similarity measures.
+enum class SimilarityMeasure {
+  kWuPalmer,
+  kPath,
+  kLeacockChodorow,
+  kResnik,
+  kLin,
+};
+
+const char* SimilarityMeasureName(SimilarityMeasure m);
+
+/// Wu & Palmer: 2*depth(lcs) / (depth(a) + depth(b)), with depths
+/// counted from 1 at the root so the measure is defined everywhere.
+double WuPalmerSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b);
+
+/// Path measure: 1 / (1 + shortest_path_edges(a, b)).
+double PathSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b);
+
+/// Leacock–Chodorow: -log(len / (2*D)) scaled into [0,1], where len is
+/// the node count of the shortest path and D the taxonomy depth.
+double LeacockChodorowSimilarity(const Taxonomy& tax, ConceptId a,
+                                 ConceptId b);
+
+/// Resnik: IC(lcs), normalized by the taxonomy's maximal information
+/// content so the value lands in [0,1]; defined as 1 when a == b so the
+/// identity axiom holds for the derived distance.
+double ResnikSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b);
+
+/// Lin: 2*IC(lcs) / (IC(a) + IC(b)); defined as 1 when both a and b are
+/// the root (zero IC).
+double LinSimilarity(const Taxonomy& tax, ConceptId a, ConceptId b);
+
+/// Dispatches on the chosen measure.
+double ConceptSimilarity(SimilarityMeasure m, const Taxonomy& tax,
+                         ConceptId a, ConceptId b);
+
+/// 1 - ConceptSimilarity, in [0,1].
+double ConceptDistance(SimilarityMeasure m, const Taxonomy& tax,
+                       ConceptId a, ConceptId b);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_ONTOLOGY_SIMILARITY_H_

@@ -1,0 +1,415 @@
+// Copyright 2026 The SemTree Authors
+
+#include "ontology/taxonomy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+Taxonomy::Taxonomy(std::string root_name) {
+  Node root;
+  root.name = std::move(root_name);
+  nodes_.push_back(std::move(root));
+  by_name_[nodes_[0].name] = 0;
+}
+
+Result<ConceptId> Taxonomy::AddConcept(
+    std::string_view name, const std::vector<std::string>& parents) {
+  std::vector<ConceptId> parent_ids;
+  parent_ids.reserve(parents.size());
+  for (const std::string& p : parents) {
+    SEMTREE_ASSIGN_OR_RETURN(ConceptId id, Find(p));
+    parent_ids.push_back(id);
+  }
+  return AddConceptUnder(name, parent_ids);
+}
+
+Result<ConceptId> Taxonomy::AddConceptUnder(
+    std::string_view name, const std::vector<ConceptId>& parents) {
+  std::string key(name);
+  if (key.empty()) {
+    return Status::InvalidArgument("concept name must be non-empty");
+  }
+  if (by_name_.count(key) || aliases_.count(key)) {
+    return Status::AlreadyExists(
+        StringPrintf("concept '%s' already exists", key.c_str()));
+  }
+  for (ConceptId p : parents) {
+    if (p >= nodes_.size()) {
+      return Status::NotFound("unknown parent concept id");
+    }
+  }
+  ConceptId id = static_cast<ConceptId>(nodes_.size());
+  Node node;
+  node.name = key;
+  node.parents = parents;
+  if (node.parents.empty()) node.parents.push_back(root());
+  // Deduplicate parents while preserving order.
+  std::vector<ConceptId> dedup;
+  for (ConceptId p : node.parents) {
+    if (std::find(dedup.begin(), dedup.end(), p) == dedup.end()) {
+      dedup.push_back(p);
+    }
+  }
+  node.parents = std::move(dedup);
+  nodes_.push_back(std::move(node));
+  by_name_[key] = id;
+  for (ConceptId p : nodes_[id].parents) nodes_[p].children.push_back(id);
+  InvalidateCaches();
+  return id;
+}
+
+Status Taxonomy::AddParent(ConceptId child, ConceptId parent) {
+  if (child >= nodes_.size() || parent >= nodes_.size()) {
+    return Status::NotFound("unknown concept id");
+  }
+  if (child == root()) {
+    return Status::InvalidArgument("the root cannot gain a parent");
+  }
+  auto& parents = nodes_[child].parents;
+  if (std::find(parents.begin(), parents.end(), parent) != parents.end()) {
+    return Status::AlreadyExists("edge already present");
+  }
+  if (WouldCreateCycle(child, parent)) {
+    return Status::FailedPrecondition(StringPrintf(
+        "adding %s -> %s would create a cycle",
+        nodes_[child].name.c_str(), nodes_[parent].name.c_str()));
+  }
+  parents.push_back(parent);
+  nodes_[parent].children.push_back(child);
+  InvalidateCaches();
+  return Status::OK();
+}
+
+Status Taxonomy::AddSynonym(std::string_view alias, ConceptId canonical) {
+  if (canonical >= nodes_.size()) {
+    return Status::NotFound("unknown canonical concept");
+  }
+  std::string key(alias);
+  if (key.empty()) {
+    return Status::InvalidArgument("alias must be non-empty");
+  }
+  if (by_name_.count(key) || aliases_.count(key)) {
+    return Status::AlreadyExists(
+        StringPrintf("name '%s' already taken", key.c_str()));
+  }
+  aliases_[key] = canonical;
+  return Status::OK();
+}
+
+Status Taxonomy::AddAntonym(ConceptId a, ConceptId b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::NotFound("unknown concept id");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("a concept cannot be its own antonym");
+  }
+  if (AreAntonyms(a, b)) {
+    return Status::AlreadyExists("antonym pair already present");
+  }
+  nodes_[a].antonyms.push_back(b);
+  nodes_[b].antonyms.push_back(a);
+  return Status::OK();
+}
+
+Status Taxonomy::AddFrequency(ConceptId c, uint64_t count) {
+  if (c >= nodes_.size()) return Status::NotFound("unknown concept id");
+  nodes_[c].frequency += count;
+  ic_valid_ = false;
+  return Status::OK();
+}
+
+Result<ConceptId> Taxonomy::Find(std::string_view name) const {
+  std::string key(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  auto alias_it = aliases_.find(key);
+  if (alias_it != aliases_.end()) return alias_it->second;
+  return Status::NotFound(
+      StringPrintf("concept '%s' not in taxonomy", key.c_str()));
+}
+
+bool Taxonomy::Contains(std::string_view name) const {
+  return Find(name).ok();
+}
+
+std::vector<std::string> Taxonomy::ConceptNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const Node& node : nodes_) names.push_back(node.name);
+  return names;
+}
+
+std::vector<std::pair<std::string, ConceptId>> Taxonomy::Synonyms() const {
+  std::vector<std::pair<std::string, ConceptId>> out(aliases_.begin(),
+                                                     aliases_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<ConceptId, ConceptId>> Taxonomy::AntonymPairs()
+    const {
+  std::vector<std::pair<ConceptId, ConceptId>> pairs;
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    for (ConceptId other : nodes_[c].antonyms) {
+      if (c < other) pairs.emplace_back(c, other);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+void Taxonomy::InvalidateCaches() {
+  depths_valid_ = false;
+  ic_valid_ = false;
+}
+
+void Taxonomy::EnsureDepths() const {
+  if (depths_valid_) return;
+  depths_.assign(nodes_.size(), std::numeric_limits<uint32_t>::max());
+  std::deque<ConceptId> queue;
+  depths_[root()] = 0;
+  queue.push_back(root());
+  max_depth_ = 0;
+  while (!queue.empty()) {
+    ConceptId c = queue.front();
+    queue.pop_front();
+    for (ConceptId child : nodes_[c].children) {
+      if (depths_[child] > depths_[c] + 1) {
+        depths_[child] = depths_[c] + 1;
+        max_depth_ = std::max<size_t>(max_depth_, depths_[child]);
+        queue.push_back(child);
+      }
+    }
+  }
+  depths_valid_ = true;
+}
+
+size_t Taxonomy::Depth(ConceptId c) const {
+  EnsureDepths();
+  return depths_[c];
+}
+
+size_t Taxonomy::MaxDepth() const {
+  EnsureDepths();
+  return max_depth_;
+}
+
+bool Taxonomy::IsAncestor(ConceptId ancestor, ConceptId descendant) const {
+  if (ancestor == descendant) return true;
+  // Walk up from the descendant; taxonomies are shallow, so DFS is fine.
+  std::vector<ConceptId> stack = {descendant};
+  std::unordered_set<ConceptId> seen;
+  while (!stack.empty()) {
+    ConceptId c = stack.back();
+    stack.pop_back();
+    for (ConceptId p : nodes_[c].parents) {
+      if (p == ancestor) return true;
+      if (seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  return false;
+}
+
+std::vector<ConceptId> Taxonomy::Ancestors(ConceptId c) const {
+  std::vector<ConceptId> out;
+  std::unordered_set<ConceptId> seen;
+  std::deque<ConceptId> queue = {c};
+  seen.insert(c);
+  while (!queue.empty()) {
+    ConceptId cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    for (ConceptId p : nodes_[cur].parents) {
+      if (seen.insert(p).second) queue.push_back(p);
+    }
+  }
+  return out;
+}
+
+ConceptId Taxonomy::LowestCommonSubsumer(ConceptId a, ConceptId b) const {
+  EnsureDepths();
+  std::vector<ConceptId> a_up = Ancestors(a);
+  std::unordered_set<ConceptId> a_set(a_up.begin(), a_up.end());
+  ConceptId best = root();
+  size_t best_depth = 0;
+  for (ConceptId c : Ancestors(b)) {
+    if (!a_set.count(c)) continue;
+    size_t d = depths_[c];
+    if (d >= best_depth) {
+      // Ties broken toward the smaller id for determinism.
+      if (d > best_depth || c < best) best = c;
+      best_depth = d;
+    }
+  }
+  return best;
+}
+
+size_t Taxonomy::ShortestPathEdges(ConceptId a, ConceptId b) const {
+  if (a == b) return 0;
+  // BFS upward from both endpoints; the shortest connecting path goes
+  // through a common ancestor, so dist = min over common c of
+  // up_a(c) + up_b(c).
+  auto up_distances = [this](ConceptId from) {
+    std::unordered_map<ConceptId, size_t> dist;
+    std::deque<ConceptId> queue = {from};
+    dist[from] = 0;
+    while (!queue.empty()) {
+      ConceptId c = queue.front();
+      queue.pop_front();
+      for (ConceptId p : nodes_[c].parents) {
+        if (!dist.count(p)) {
+          dist[p] = dist[c] + 1;
+          queue.push_back(p);
+        }
+      }
+    }
+    return dist;
+  };
+  auto da = up_distances(a);
+  auto db = up_distances(b);
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const auto& [c, d] : da) {
+    auto it = db.find(c);
+    if (it != db.end()) best = std::min(best, d + it->second);
+  }
+  return best;
+}
+
+size_t Taxonomy::UpEdges(ConceptId descendant, ConceptId ancestor) const {
+  if (descendant == ancestor) return 0;
+  std::unordered_map<ConceptId, size_t> dist;
+  std::deque<ConceptId> queue = {descendant};
+  dist[descendant] = 0;
+  while (!queue.empty()) {
+    ConceptId c = queue.front();
+    queue.pop_front();
+    for (ConceptId p : nodes_[c].parents) {
+      if (!dist.count(p)) {
+        dist[p] = dist[c] + 1;
+        if (p == ancestor) return dist[p];
+        queue.push_back(p);
+      }
+    }
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+void Taxonomy::EnsureInformationContent() const {
+  if (ic_valid_) return;
+  // Subtree mass: each concept contributes its own frequency (or 1 under
+  // the uniform fallback) to itself and every ancestor.
+  uint64_t total_observed = 0;
+  for (const Node& node : nodes_) total_observed += node.frequency;
+  const bool uniform = total_observed == 0;
+
+  std::vector<double> mass(nodes_.size(), 0.0);
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    double own = uniform ? 1.0 : static_cast<double>(nodes_[c].frequency);
+    if (own == 0.0) continue;
+    for (ConceptId anc : Ancestors(c)) mass[anc] += own;
+  }
+  double root_mass = mass[root()];
+  information_content_.assign(nodes_.size(), 0.0);
+  max_ic_ = 0.0;
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    double p = (root_mass > 0.0) ? mass[c] / root_mass : 0.0;
+    // Unobserved concepts get the maximal finite IC via Laplace-style
+    // smoothing with half a count.
+    if (p <= 0.0) p = 0.5 / (root_mass + 1.0);
+    information_content_[c] = -std::log(p);
+    max_ic_ = std::max(max_ic_, information_content_[c]);
+  }
+  ic_valid_ = true;
+}
+
+double Taxonomy::InformationContent(ConceptId c) const {
+  EnsureInformationContent();
+  return information_content_[c];
+}
+
+double Taxonomy::MaxInformationContent() const {
+  EnsureInformationContent();
+  return max_ic_;
+}
+
+bool Taxonomy::AreAntonyms(ConceptId a, ConceptId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return false;
+  const auto& ants = nodes_[a].antonyms;
+  return std::find(ants.begin(), ants.end(), b) != ants.end();
+}
+
+std::vector<ConceptId> Taxonomy::AntonymsOf(ConceptId c) const {
+  if (c >= nodes_.size()) return {};
+  return nodes_[c].antonyms;
+}
+
+std::vector<std::string> Taxonomy::AntonymNamesOf(
+    std::string_view name) const {
+  auto id = Find(name);
+  if (!id.ok()) return {};
+  std::vector<std::string> out;
+  for (ConceptId a : AntonymsOf(*id)) out.push_back(nodes_[a].name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Taxonomy::WouldCreateCycle(ConceptId child, ConceptId parent) const {
+  // A cycle appears iff child is already an ancestor of parent.
+  return IsAncestor(child, parent);
+}
+
+Status Taxonomy::Validate() const {
+  // Parent/child edge symmetry.
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    for (ConceptId p : nodes_[c].parents) {
+      if (p >= nodes_.size()) {
+        return Status::Corruption("dangling parent id");
+      }
+      const auto& siblings = nodes_[p].children;
+      if (std::find(siblings.begin(), siblings.end(), c) ==
+          siblings.end()) {
+        return Status::Corruption(StringPrintf(
+            "edge %s->%s missing child link", nodes_[c].name.c_str(),
+            nodes_[p].name.c_str()));
+      }
+    }
+    if (c != root() && nodes_[c].parents.empty()) {
+      return Status::Corruption(
+          StringPrintf("concept '%s' is disconnected",
+                       nodes_[c].name.c_str()));
+    }
+  }
+  // Acyclicity: every concept must reach the root.
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    if (!IsAncestor(root(), c)) {
+      return Status::Corruption(StringPrintf(
+          "concept '%s' cannot reach the root", nodes_[c].name.c_str()));
+    }
+  }
+  // Antonym symmetry.
+  for (ConceptId c = 0; c < nodes_.size(); ++c) {
+    for (ConceptId other : nodes_[c].antonyms) {
+      if (!AreAntonyms(other, c)) {
+        return Status::Corruption("asymmetric antonym relation");
+      }
+    }
+  }
+  // Aliases resolve to live concepts and do not shadow concepts.
+  for (const auto& [alias, target] : aliases_) {
+    if (target >= nodes_.size()) {
+      return Status::Corruption("alias targets unknown concept");
+    }
+    if (by_name_.count(alias)) {
+      return Status::Corruption("alias shadows a concept name");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace semtree

@@ -1,0 +1,139 @@
+// Copyright 2026 The SemTree Authors
+
+#include "ontology/vocabulary_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+
+Status LineError(size_t line_no, std::string_view message) {
+  return Status::InvalidArgument(
+      StringPrintf("line %zu: %.*s", line_no,
+                   static_cast<int>(message.size()), message.data()));
+}
+
+}  // namespace
+
+Result<Taxonomy> ParseVocabulary(std::string_view text) {
+  Taxonomy tax;
+  size_t line_no = 0;
+  bool saw_directive = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitWhitespace(line);
+    const std::string& kind = fields[0];
+    if (kind == "root") {
+      if (saw_directive) {
+        return LineError(line_no, "'root' must be the first directive");
+      }
+      if (fields.size() != 2) return LineError(line_no, "root needs a name");
+      tax = Taxonomy(fields[1]);
+      saw_directive = true;
+      continue;
+    }
+    saw_directive = true;
+    if (kind == "concept") {
+      if (fields.size() < 2) return LineError(line_no, "concept needs a name");
+      std::vector<std::string> parents(fields.begin() + 2, fields.end());
+      auto added = tax.AddConcept(fields[1], parents);
+      if (!added.ok()) return LineError(line_no, added.status().message());
+    } else if (kind == "synonym") {
+      if (fields.size() != 3) {
+        return LineError(line_no, "synonym needs <alias> <canonical>");
+      }
+      auto canonical = tax.Find(fields[2]);
+      if (!canonical.ok()) {
+        return LineError(line_no, canonical.status().message());
+      }
+      Status st = tax.AddSynonym(fields[1], *canonical);
+      if (!st.ok()) return LineError(line_no, st.message());
+    } else if (kind == "antonym") {
+      if (fields.size() != 3) {
+        return LineError(line_no, "antonym needs <a> <b>");
+      }
+      auto a = tax.Find(fields[1]);
+      if (!a.ok()) return LineError(line_no, a.status().message());
+      auto b = tax.Find(fields[2]);
+      if (!b.ok()) return LineError(line_no, b.status().message());
+      Status st = tax.AddAntonym(*a, *b);
+      if (!st.ok()) return LineError(line_no, st.message());
+    } else if (kind == "freq") {
+      if (fields.size() != 3) {
+        return LineError(line_no, "freq needs <name> <count>");
+      }
+      auto c = tax.Find(fields[1]);
+      if (!c.ok()) return LineError(line_no, c.status().message());
+      char* end = nullptr;
+      unsigned long long count = std::strtoull(fields[2].c_str(), &end, 10);
+      if (end == fields[2].c_str() || *end != '\0') {
+        return LineError(line_no, "freq count must be an integer");
+      }
+      Status st = tax.AddFrequency(*c, count);
+      if (!st.ok()) return LineError(line_no, st.message());
+    } else {
+      return LineError(line_no,
+                       StringPrintf("unknown directive '%s'", kind.c_str()));
+    }
+  }
+  SEMTREE_RETURN_NOT_OK(tax.Validate());
+  return tax;
+}
+
+Result<Taxonomy> LoadVocabularyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(
+        StringPrintf("cannot open vocabulary file '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseVocabulary(buffer.str());
+}
+
+std::string SerializeVocabulary(const Taxonomy& tax) {
+  std::string out;
+  out += "# SemTree vocabulary\n";
+  out += "root " + tax.root_name() + "\n";
+  // Concepts are emitted in id order, which is a valid topological order
+  // because parents always precede children at construction time.
+  for (ConceptId c = 1; c < tax.size(); ++c) {
+    out += "concept " + tax.name(c);
+    for (ConceptId p : tax.parents(c)) {
+      out += " " + tax.name(p);
+    }
+    out += "\n";
+  }
+  for (const auto& [alias, canonical] : tax.Synonyms()) {
+    out += "synonym " + alias + " " + tax.name(canonical) + "\n";
+  }
+  for (const auto& [a, b] : tax.AntonymPairs()) {
+    out += "antonym " + tax.name(a) + " " + tax.name(b) + "\n";
+  }
+  for (ConceptId c = 0; c < tax.size(); ++c) {
+    if (tax.frequency(c) > 0) {
+      out += StringPrintf("freq %s %llu\n", tax.name(c).c_str(),
+                          (unsigned long long)tax.frequency(c));
+    }
+  }
+  return out;
+}
+
+Status SaveVocabularyFile(const Taxonomy& tax, const std::string& path) {
+  std::ofstream outf(path);
+  if (!outf) {
+    return Status::Unavailable(
+        StringPrintf("cannot write vocabulary file '%s'", path.c_str()));
+  }
+  outf << SerializeVocabulary(tax);
+  return outf.good() ? Status::OK()
+                     : Status::Unavailable("short write to " + path);
+}
+
+}  // namespace semtree

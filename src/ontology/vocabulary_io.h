@@ -1,0 +1,42 @@
+// Copyright 2026 The SemTree Authors
+//
+// A plain-text vocabulary format so domain vocabularies can be shipped
+// next to the corpus instead of being compiled in. Line-oriented:
+//
+//   # comment
+//   root <name>                      # optional, must come first
+//   concept <name> [parent ...]      # parents default to the root
+//   synonym <alias> <canonical>
+//   antonym <a> <b>
+//   freq <name> <count>
+//
+// Declarations must appear after the concepts they reference.
+
+#ifndef SEMTREE_ONTOLOGY_VOCABULARY_IO_H_
+#define SEMTREE_ONTOLOGY_VOCABULARY_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ontology/taxonomy.h"
+
+namespace semtree {
+
+/// Parses a vocabulary from text. Returns InvalidArgument with the line
+/// number on malformed input.
+Result<Taxonomy> ParseVocabulary(std::string_view text);
+
+/// Loads a vocabulary file from disk.
+Result<Taxonomy> LoadVocabularyFile(const std::string& path);
+
+/// Serializes a taxonomy in the format ParseVocabulary accepts;
+/// round-trips exactly (up to ordering).
+std::string SerializeVocabulary(const Taxonomy& tax);
+
+/// Writes SerializeVocabulary(tax) to `path`.
+Status SaveVocabularyFile(const Taxonomy& tax, const std::string& path);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_ONTOLOGY_VOCABULARY_IO_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The SemTree Authors
+
+#include "rdf/term.h"
+
+namespace semtree {
+
+Term Term::Concept(std::string_view name, std::string_view prefix) {
+  Term t;
+  t.kind_ = Kind::kConcept;
+  t.value_ = std::string(name);
+  t.prefix_ = std::string(prefix);
+  return t;
+}
+
+Term Term::Literal(std::string_view value) {
+  Term t;
+  t.kind_ = Kind::kLiteral;
+  t.value_ = std::string(value);
+  return t;
+}
+
+std::string Term::ToString() const {
+  if (is_literal()) return "'" + value_ + "'";
+  if (prefix_.empty()) return value_;
+  return prefix_ + ":" + value_;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  if (prefix_ != other.prefix_) return prefix_ < other.prefix_;
+  return value_ < other.value_;
+}
+
+size_t Term::Hash() const {
+  size_t h = std::hash<int>()(static_cast<int>(kind_));
+  h = h * 1315423911u ^ std::hash<std::string>()(value_);
+  h = h * 1315423911u ^ std::hash<std::string>()(prefix_);
+  return h;
+}
+
+}  // namespace semtree

@@ -1,0 +1,70 @@
+// Copyright 2026 The SemTree Authors
+//
+// Terms are the elements of a triple. Following the paper (§III-A), a
+// term is either a *concept* — a vocabulary entry, optionally qualified
+// by a prefix as in "Fun:accept_cmd" ("the meaning of the concept x can
+// be found by using the prefix X") — or a *literal/constant* such as the
+// identifier 'OBSW001'.
+
+#ifndef SEMTREE_RDF_TERM_H_
+#define SEMTREE_RDF_TERM_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace semtree {
+
+/// One element (subject, predicate or object) of a triple.
+class Term {
+ public:
+  enum class Kind {
+    kConcept,  ///< Vocabulary concept, resolvable in a taxonomy.
+    kLiteral,  ///< Opaque constant compared by string distance.
+  };
+
+  Term() : kind_(Kind::kLiteral) {}
+
+  /// Concept with an optional vocabulary prefix ("" = standard
+  /// vocabulary).
+  static Term Concept(std::string_view name, std::string_view prefix = "");
+
+  /// Literal/constant term.
+  static Term Literal(std::string_view value);
+
+  Kind kind() const { return kind_; }
+  bool is_concept() const { return kind_ == Kind::kConcept; }
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+
+  /// Concept name or literal value.
+  const std::string& value() const { return value_; }
+
+  /// Vocabulary prefix; empty for literals and unprefixed concepts.
+  const std::string& prefix() const { return prefix_; }
+
+  /// Paper-style rendering: 'literal' or Prefix:name or name.
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && value_ == other.value_ &&
+           prefix_ == other.prefix_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const;
+
+  /// Stable hash, suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  std::string value_;
+  std::string prefix_;
+};
+
+struct TermHasher {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_RDF_TERM_H_

@@ -1,0 +1,25 @@
+// Copyright 2026 The SemTree Authors
+
+#include "rdf/triple.h"
+
+namespace semtree {
+
+std::string Triple::ToString() const {
+  return "(" + subject.ToString() + ", " + predicate.ToString() + ", " +
+         object.ToString() + ")";
+}
+
+bool Triple::operator<(const Triple& other) const {
+  if (subject != other.subject) return subject < other.subject;
+  if (predicate != other.predicate) return predicate < other.predicate;
+  return object < other.object;
+}
+
+size_t Triple::Hash() const {
+  size_t h = subject.Hash();
+  h = h * 2654435761u ^ predicate.Hash();
+  h = h * 2654435761u ^ object.Hash();
+  return h;
+}
+
+}  // namespace semtree

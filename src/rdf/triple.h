@@ -1,0 +1,54 @@
+// Copyright 2026 The SemTree Authors
+//
+// (subject, predicate, object) statements, as in the RDF model (§I).
+
+#ifndef SEMTREE_RDF_TRIPLE_H_
+#define SEMTREE_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/term.h"
+
+namespace semtree {
+
+/// Stable identifier of a triple inside a TripleStore.
+using TripleId = uint64_t;
+
+/// Identifier of the source document a triple was extracted from.
+using DocumentId = uint32_t;
+
+inline constexpr DocumentId kNoDocument = ~0u;
+
+/// One (subject, predicate, object) assertion.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  Triple() = default;
+  Triple(Term s, Term p, Term o)
+      : subject(std::move(s)),
+        predicate(std::move(p)),
+        object(std::move(o)) {}
+
+  /// Paper-style rendering: ('OBSW001', Fun:accept_cmd, CmdType:start-up).
+  std::string ToString() const;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+  bool operator!=(const Triple& other) const { return !(*this == other); }
+  bool operator<(const Triple& other) const;
+
+  size_t Hash() const;
+};
+
+struct TripleHasher {
+  size_t operator()(const Triple& t) const { return t.Hash(); }
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_RDF_TRIPLE_H_

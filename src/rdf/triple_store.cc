@@ -1,0 +1,74 @@
+// Copyright 2026 The SemTree Authors
+
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace semtree {
+
+TripleId TripleStore::Add(Triple triple, DocumentId doc) {
+  TripleId id = triples_.size();
+  by_subject_[triple.subject].push_back(id);
+  by_predicate_[triple.predicate].push_back(id);
+  by_object_[triple.object].push_back(id);
+  if (doc != kNoDocument) by_document_[doc].push_back(id);
+  triples_.push_back(std::move(triple));
+  documents_.push_back(doc);
+  return id;
+}
+
+const TripleStore::PostingList* TripleStore::Lookup(const TermIndex& index,
+                                                    const Term& t) {
+  auto it = index.find(t);
+  return it == index.end() ? nullptr : &it->second;
+}
+
+std::vector<TripleId> TripleStore::Match(
+    const std::optional<Term>& subject,
+    const std::optional<Term>& predicate,
+    const std::optional<Term>& object) const {
+  // Gather the posting lists of the bound positions; the smallest list
+  // drives the scan.
+  std::vector<const PostingList*> lists;
+  if (subject) {
+    const PostingList* l = Lookup(by_subject_, *subject);
+    if (!l) return {};
+    lists.push_back(l);
+  }
+  if (predicate) {
+    const PostingList* l = Lookup(by_predicate_, *predicate);
+    if (!l) return {};
+    lists.push_back(l);
+  }
+  if (object) {
+    const PostingList* l = Lookup(by_object_, *object);
+    if (!l) return {};
+    lists.push_back(l);
+  }
+  if (lists.empty()) {
+    // Full scan: every id.
+    std::vector<TripleId> all(triples_.size());
+    for (TripleId i = 0; i < triples_.size(); ++i) all[i] = i;
+    return all;
+  }
+  const PostingList* smallest = lists[0];
+  for (const PostingList* l : lists) {
+    if (l->size() < smallest->size()) smallest = l;
+  }
+  std::vector<TripleId> out;
+  for (TripleId id : *smallest) {
+    const Triple& t = triples_[id];
+    if (subject && !(t.subject == *subject)) continue;
+    if (predicate && !(t.predicate == *predicate)) continue;
+    if (object && !(t.object == *object)) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TripleId> TripleStore::ByDocument(DocumentId doc) const {
+  auto it = by_document_.find(doc);
+  return it == by_document_.end() ? std::vector<TripleId>{} : it->second;
+}
+
+}  // namespace semtree

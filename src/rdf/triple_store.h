@@ -1,0 +1,70 @@
+// Copyright 2026 The SemTree Authors
+//
+// An in-memory triple store with per-position indexes for pattern
+// queries (the exact-match complement of SemTree's similarity queries;
+// also the substrate the ground-truth oracle scans).
+
+#ifndef SEMTREE_RDF_TRIPLE_STORE_H_
+#define SEMTREE_RDF_TRIPLE_STORE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// Append-only store of triples with provenance and pattern matching.
+/// TripleIds are dense: 0 .. size()-1.
+///
+/// Thread-compatible: concurrent reads are safe once loading finishes.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Adds a triple, optionally recording the source document; returns
+  /// its id. Duplicate triples are allowed (documents repeat
+  /// statements) and get distinct ids.
+  TripleId Add(Triple triple, DocumentId doc = kNoDocument);
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  const Triple& Get(TripleId id) const { return triples_[id]; }
+  DocumentId document(TripleId id) const { return documents_[id]; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Ids whose triple matches the pattern; std::nullopt fields are
+  /// wildcards. Matching is exact term equality.
+  std::vector<TripleId> Match(const std::optional<Term>& subject,
+                              const std::optional<Term>& predicate,
+                              const std::optional<Term>& object) const;
+
+  /// All ids extracted from the given document.
+  std::vector<TripleId> ByDocument(DocumentId doc) const;
+
+  /// Number of distinct subjects / predicates / objects.
+  size_t DistinctSubjects() const { return by_subject_.size(); }
+  size_t DistinctPredicates() const { return by_predicate_.size(); }
+  size_t DistinctObjects() const { return by_object_.size(); }
+
+ private:
+  using PostingList = std::vector<TripleId>;
+  using TermIndex = std::unordered_map<Term, PostingList, TermHasher>;
+
+  static const PostingList* Lookup(const TermIndex& index, const Term& t);
+
+  std::vector<Triple> triples_;
+  std::vector<DocumentId> documents_;
+  TermIndex by_subject_;
+  TermIndex by_predicate_;
+  TermIndex by_object_;
+  std::unordered_map<DocumentId, PostingList> by_document_;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,101 @@
+// Copyright 2026 The SemTree Authors
+
+#include "rdf/turtle.h"
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+
+// Parses one element: 'literal' | Prefix:name | name.
+Result<Term> ParseElement(std::string_view raw) {
+  std::string_view s = Trim(raw);
+  if (s.empty()) return Status::InvalidArgument("empty triple element");
+  if (s.front() == '\'') {
+    if (s.size() < 2 || s.back() != '\'') {
+      return Status::InvalidArgument("unterminated literal: " +
+                                     std::string(s));
+    }
+    return Term::Literal(s.substr(1, s.size() - 2));
+  }
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    return Term::Concept(s);
+  }
+  std::string_view prefix = s.substr(0, colon);
+  std::string_view name = s.substr(colon + 1);
+  if (prefix.empty() || name.empty()) {
+    return Status::InvalidArgument("malformed prefixed concept: " +
+                                   std::string(s));
+  }
+  return Term::Concept(name, prefix);
+}
+
+// Splits the interior of "(a, b, c)" on top-level commas, respecting
+// quoted literals (which may contain commas).
+Result<std::vector<std::string>> SplitElements(std::string_view inner) {
+  std::vector<std::string> parts;
+  std::string cur;
+  bool in_quote = false;
+  for (char c : inner) {
+    if (c == '\'') in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quote) return Status::InvalidArgument("unterminated literal");
+  parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+Result<Triple> ParseTriple(std::string_view line) {
+  std::string_view s = Trim(line);
+  if (s.size() < 2 || s.front() != '(' || s.back() != ')') {
+    return Status::InvalidArgument("triple must be parenthesized: " +
+                                   std::string(s));
+  }
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                           SplitElements(s.substr(1, s.size() - 2)));
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        StringPrintf("expected 3 elements, found %zu", parts.size()));
+  }
+  SEMTREE_ASSIGN_OR_RETURN(Term subj, ParseElement(parts[0]));
+  SEMTREE_ASSIGN_OR_RETURN(Term pred, ParseElement(parts[1]));
+  SEMTREE_ASSIGN_OR_RETURN(Term obj, ParseElement(parts[2]));
+  return Triple(std::move(subj), std::move(pred), std::move(obj));
+}
+
+Result<std::vector<Triple>> ParseTriples(std::string_view text) {
+  std::vector<Triple> out;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto triple = ParseTriple(line);
+    if (!triple.ok()) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: %s", line_no, triple.status().message().c_str()));
+    }
+    out.push_back(std::move(*triple));
+  }
+  return out;
+}
+
+std::string SerializeTriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace semtree

@@ -1,0 +1,34 @@
+// Copyright 2026 The SemTree Authors
+//
+// Parser and serializer for the paper's Turtle-like triple notation:
+//
+//   ('OBSW001', Fun:accept_cmd, CmdType:start-up)
+//
+// Elements are either single-quoted literals or (optionally prefixed)
+// concept names. One triple per line; '#' starts a comment.
+
+#ifndef SEMTREE_RDF_TURTLE_H_
+#define SEMTREE_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+
+namespace semtree {
+
+/// Parses a single "(s, p, o)" line.
+Result<Triple> ParseTriple(std::string_view line);
+
+/// Parses a whole document (one triple per line, comments allowed).
+/// Fails with InvalidArgument naming the offending line.
+Result<std::vector<Triple>> ParseTriples(std::string_view text);
+
+/// Renders triples one per line in the notation ParseTriples accepts.
+std::string SerializeTriples(const std::vector<Triple>& triples);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_RDF_TURTLE_H_

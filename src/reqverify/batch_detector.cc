@@ -1,0 +1,114 @@
+// Copyright 2026 The SemTree Authors
+
+#include "reqverify/batch_detector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+std::string BatchDetectionReport::ToString() const {
+  return StringPrintf(
+      "BatchDetection{detected=%zu true=%zu recall=%.3f sources=%zu "
+      "queries=%zu}",
+      detected.size(), true_pairs, recall, sources_swept, queries_run);
+}
+
+std::vector<InconsistentPair> ExactInconsistencyScan(
+    const TripleStore& store, const Taxonomy& vocab) {
+  // Group ids by (canonical subject, canonical object); only triples in
+  // the same group can be inconsistent.
+  std::map<std::pair<std::string, std::string>, std::vector<TripleId>>
+      groups;
+  for (TripleId id = 0; id < store.size(); ++id) {
+    const Triple& t = store.Get(id);
+    std::string subject = t.subject.ToString();
+    std::string object = t.object.ToString();
+    // Canonicalize concepts through the vocabulary so synonyms group
+    // together.
+    if (t.object.is_concept()) {
+      auto c = vocab.Find(t.object.value());
+      if (c.ok()) object = vocab.name(*c);
+    }
+    groups[{subject, object}].push_back(id);
+  }
+  std::vector<InconsistentPair> pairs;
+  for (const auto& [key, ids] : groups) {
+    (void)key;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        if (AreInconsistent(store.Get(ids[i]), store.Get(ids[j]),
+                            vocab)) {
+          pairs.push_back({std::min(ids[i], ids[j]),
+                           std::max(ids[i], ids[j])});
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+Result<BatchDetectionReport> DetectAllInconsistencies(
+    const SemanticIndex& index, const TripleStore& store,
+    const Taxonomy& vocab, const BatchDetectorOptions& options) {
+  if (index.size() != store.size()) {
+    return Status::InvalidArgument(
+        "index and store must cover the same triples");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  BatchDetectionReport report;
+  std::set<InconsistentPair> found;
+
+  for (TripleId id = 0; id < store.size(); ++id) {
+    if (report.sources_swept >= options.max_sources) break;
+    const Triple& source = store.Get(id);
+    if (!source.predicate.is_concept()) continue;
+    auto pred = vocab.Find(source.predicate.value());
+    if (!pred.ok()) continue;
+    std::vector<ConceptId> antonyms = vocab.AntonymsOf(*pred);
+    if (antonyms.empty()) continue;
+    ++report.sources_swept;
+
+    // One target triple per antinomic term (a predicate can have
+    // several antonyms; each defines its own contradiction pattern).
+    std::sort(antonyms.begin(), antonyms.end());
+    for (ConceptId antonym : antonyms) {
+      Triple target(source.subject,
+                    Term::Concept(vocab.name(antonym),
+                                  source.predicate.prefix()),
+                    source.object);
+      SEMTREE_ASSIGN_OR_RETURN(std::vector<SemanticIndex::Hit> hits,
+                               index.KnnQuery(target, options.k));
+      ++report.queries_run;
+      for (const SemanticIndex::Hit& hit : hits) {
+        if (hit.id == id) continue;
+        if (AreInconsistent(source, store.Get(hit.id), vocab)) {
+          found.insert({std::min<TripleId>(id, hit.id),
+                        std::max<TripleId>(id, hit.id)});
+        }
+      }
+    }
+  }
+
+  report.detected.assign(found.begin(), found.end());
+  std::vector<InconsistentPair> truth =
+      ExactInconsistencyScan(store, vocab);
+  report.true_pairs = truth.size();
+  if (!truth.empty() && options.max_sources == SIZE_MAX) {
+    size_t recovered = 0;
+    for (const InconsistentPair& p : truth) {
+      recovered += found.count(p);
+    }
+    report.recall = double(recovered) / double(truth.size());
+  }
+  return report;
+}
+
+}  // namespace semtree

@@ -1,0 +1,70 @@
+// Copyright 2026 The SemTree Authors
+//
+// Whole-corpus inconsistency detection: instead of checking one target
+// triple at a time (§IV-B), sweep the corpus — for every requirement
+// whose predicate has antinomic terms, query the index with each target
+// triple and verify the candidates against the formal definition. An
+// exact group-by scan provides the ground truth the index-driven sweep
+// is scored against.
+
+#ifndef SEMTREE_REQVERIFY_BATCH_DETECTOR_H_
+#define SEMTREE_REQVERIFY_BATCH_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "reqverify/inconsistency.h"
+#include "semtree/semantic_index.h"
+
+namespace semtree {
+
+/// One detected contradictory pair; `a < b` always.
+struct InconsistentPair {
+  TripleId a = 0;
+  TripleId b = 0;
+
+  bool operator==(const InconsistentPair& o) const {
+    return a == o.a && b == o.b;
+  }
+  bool operator<(const InconsistentPair& o) const {
+    if (a != o.a) return a < o.a;
+    return b < o.b;
+  }
+};
+
+struct BatchDetectorOptions {
+  /// Candidates fetched per target-triple query.
+  size_t k = 10;
+
+  /// Cap on the number of source triples swept (SIZE_MAX = all).
+  size_t max_sources = SIZE_MAX;
+};
+
+struct BatchDetectionReport {
+  std::vector<InconsistentPair> detected;  ///< Sorted, deduplicated.
+  size_t sources_swept = 0;
+  size_t queries_run = 0;
+
+  /// Against the exact scan: how much of the true pair set the
+  /// index-driven sweep recovered. Precision is 1 by construction
+  /// (candidates are verified with the formal definition), so only
+  /// recall is interesting.
+  size_t true_pairs = 0;
+  double recall = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Exact ground truth: all inconsistent pairs, found by grouping the
+/// store on (subject, object) and testing predicate antinomy pairwise.
+std::vector<InconsistentPair> ExactInconsistencyScan(
+    const TripleStore& store, const Taxonomy& vocab);
+
+/// Index-driven sweep. `index` must be built over `store.triples()`.
+Result<BatchDetectionReport> DetectAllInconsistencies(
+    const SemanticIndex& index, const TripleStore& store,
+    const Taxonomy& vocab, const BatchDetectorOptions& options = {});
+
+}  // namespace semtree
+
+#endif  // SEMTREE_REQVERIFY_BATCH_DETECTOR_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The SemTree Authors
+
+#include "reqverify/evaluation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+std::string EffectivenessPoint::ToString() const {
+  return StringPrintf("k=%zu P=%.3f R=%.3f F1=%.3f (n=%zu)", k, precision,
+                      recall, f1, queries);
+}
+
+Result<std::vector<EffectivenessPoint>> EvaluateEffectiveness(
+    const SemanticIndex& index, const TripleStore& store,
+    const Taxonomy& vocab, const EffectivenessOptions& options) {
+  if (index.size() != store.size()) {
+    return Status::InvalidArgument(
+        "index and store must cover the same triples");
+  }
+  if (options.ks.empty()) {
+    return Status::InvalidArgument("ks must not be empty");
+  }
+  Rng rng(options.seed);
+
+  // Sample query triples: requirements whose predicate has an antonym
+  // (so a target triple exists), mirroring §IV-B.
+  struct QueryCase {
+    Triple target;
+    std::unordered_set<TripleId> truth;
+  };
+  std::vector<QueryCase> cases;
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_queries * 50 + 1000;
+  while (cases.size() < options.num_queries && attempts < max_attempts) {
+    ++attempts;
+    TripleId id = rng.Uniform(store.size());
+    const Triple& source = store.Get(id);
+    auto target = MakeTargetTriple(source, vocab, &rng);
+    if (!target.ok()) continue;
+    std::vector<TripleId> truth =
+        (options.annotator.miss_rate > 0.0 ||
+         options.annotator.spurious_rate > 0.0)
+            ? NoisyGroundTruth(store, source, vocab, options.annotator)
+            : GroundTruthInconsistencies(store, source, vocab);
+    if (truth.empty()) continue;  // Recall undefined: skip, as documented.
+    cases.push_back(QueryCase{std::move(*target),
+                              {truth.begin(), truth.end()}});
+  }
+  if (cases.empty()) {
+    return Status::FailedPrecondition(
+        "no query case has a non-empty ground truth");
+  }
+
+  std::vector<EffectivenessPoint> points;
+  points.reserve(options.ks.size());
+  for (size_t k : options.ks) {
+    EffectivenessPoint point;
+    point.k = k;
+    double sum_p = 0.0;
+    double sum_r = 0.0;
+    for (const QueryCase& qc : cases) {
+      SEMTREE_ASSIGN_OR_RETURN(std::vector<SemanticIndex::Hit> hits,
+                               index.KnnQuery(qc.target, k));
+      if (hits.empty()) continue;
+      size_t correct = 0;
+      for (const SemanticIndex::Hit& hit : hits) {
+        if (qc.truth.count(hit.id)) ++correct;
+      }
+      sum_p += static_cast<double>(correct) /
+               static_cast<double>(hits.size());
+      sum_r += static_cast<double>(correct) /
+               static_cast<double>(qc.truth.size());
+      ++point.queries;
+    }
+    if (point.queries > 0) {
+      point.precision = sum_p / static_cast<double>(point.queries);
+      point.recall = sum_r / static_cast<double>(point.queries);
+      if (point.precision + point.recall > 0.0) {
+        point.f1 = 2.0 * point.precision * point.recall /
+                   (point.precision + point.recall);
+      }
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace semtree

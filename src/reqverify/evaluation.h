@@ -1,0 +1,56 @@
+// Copyright 2026 The SemTree Authors
+//
+// The effectiveness experiment of the paper (§IV-B, Fig. 8): for a set
+// of requirements, build antinomic target triples, run K-nearest
+// queries on SemTree, and score the returned sets against the
+// annotator ground truth with Precision / Recall:
+//
+//   P = |T ∩ T*| / |T|     R = |T ∩ T*| / |T*|
+
+#ifndef SEMTREE_REQVERIFY_EVALUATION_H_
+#define SEMTREE_REQVERIFY_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "reqverify/inconsistency.h"
+#include "semtree/semantic_index.h"
+
+namespace semtree {
+
+/// Averages over the query set for one value of K.
+struct EffectivenessPoint {
+  size_t k = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t queries = 0;  ///< Queries contributing (non-empty T*).
+
+  std::string ToString() const;
+};
+
+struct EffectivenessOptions {
+  /// K values to sweep (Fig. 8's x axis).
+  std::vector<size_t> ks = {1, 2, 3, 5, 8, 12, 16, 20, 25};
+
+  /// Query triples to sample (the paper uses 100).
+  size_t num_queries = 100;
+
+  uint64_t seed = 42;
+
+  /// Annotator imperfection model (0/0 = exact oracle, as the formal
+  /// definition prescribes).
+  AnnotatorOptions annotator;
+};
+
+/// Runs the Fig. 8 experiment. `index` must be built over exactly
+/// `store.triples()` so ids coincide. Queries whose ground truth is
+/// empty are skipped (recall undefined) and do not count in `queries`.
+Result<std::vector<EffectivenessPoint>> EvaluateEffectiveness(
+    const SemanticIndex& index, const TripleStore& store,
+    const Taxonomy& vocab, const EffectivenessOptions& options = {});
+
+}  // namespace semtree
+
+#endif  // SEMTREE_REQVERIFY_EVALUATION_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The SemTree Authors
+
+#include "reqverify/inconsistency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+bool SameElement(const Term& a, const Term& b, const Taxonomy& vocab) {
+  if (a == b) return true;
+  if (a.kind() != b.kind()) return false;
+  if (a.is_literal()) return a.value() == b.value();
+  auto ca = vocab.Find(a.value());
+  auto cb = vocab.Find(b.value());
+  return ca.ok() && cb.ok() && *ca == *cb;
+}
+
+bool AreInconsistent(const Triple& a, const Triple& b,
+                     const Taxonomy& vocab) {
+  if (!SameElement(a.subject, b.subject, vocab)) return false;
+  if (!SameElement(a.object, b.object, vocab)) return false;
+  if (!a.predicate.is_concept() || !b.predicate.is_concept()) return false;
+  auto pa = vocab.Find(a.predicate.value());
+  auto pb = vocab.Find(b.predicate.value());
+  if (!pa.ok() || !pb.ok()) return false;
+  return vocab.AreAntonyms(*pa, *pb);
+}
+
+Result<Triple> MakeTargetTriple(const Triple& source,
+                                const Taxonomy& vocab, Rng* rng) {
+  if (!source.predicate.is_concept()) {
+    return Status::InvalidArgument("predicate must be a concept");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(ConceptId pred,
+                           vocab.Find(source.predicate.value()));
+  std::vector<ConceptId> antonyms = vocab.AntonymsOf(pred);
+  if (antonyms.empty()) {
+    return Status::NotFound(StringPrintf(
+        "predicate '%s' has no antinomic term in the vocabulary",
+        source.predicate.value().c_str()));
+  }
+  std::sort(antonyms.begin(), antonyms.end());
+  ConceptId chosen =
+      rng ? antonyms[rng->Uniform(antonyms.size())] : antonyms[0];
+  return Triple(source.subject,
+                Term::Concept(vocab.name(chosen), source.predicate.prefix()),
+                source.object);
+}
+
+std::vector<TripleId> GroundTruthInconsistencies(const TripleStore& store,
+                                                 const Triple& source,
+                                                 const Taxonomy& vocab) {
+  // The store's subject+object indexes prune by exact term equality;
+  // the full predicate (antinomy + synonym resolution) test runs on the
+  // survivors. Subjects and objects in requirement corpora are
+  // canonical terms, so the exact-match prune loses nothing.
+  std::vector<TripleId> out;
+  for (TripleId id : store.Match(source.subject, std::nullopt,
+                                 source.object)) {
+    if (AreInconsistent(source, store.Get(id), vocab)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TripleId> NoisyGroundTruth(const TripleStore& store,
+                                       const Triple& source,
+                                       const Taxonomy& vocab,
+                                       const AnnotatorOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TripleId> truth =
+      GroundTruthInconsistencies(store, source, vocab);
+  std::vector<TripleId> out;
+  std::unordered_set<TripleId> kept;
+  for (TripleId id : truth) {
+    if (rng.Bernoulli(options.miss_rate)) continue;
+    out.push_back(id);
+    kept.insert(id);
+  }
+  if (options.spurious_rate > 0.0) {
+    // Spurious labels: same-subject triples the formal definition
+    // rejects, as a distracted annotator might mark.
+    for (TripleId id :
+         store.Match(source.subject, std::nullopt, std::nullopt)) {
+      if (kept.count(id)) continue;
+      if (rng.Bernoulli(options.spurious_rate)) {
+        out.push_back(id);
+        kept.insert(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace semtree

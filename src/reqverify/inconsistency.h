@@ -1,0 +1,60 @@
+// Copyright 2026 The SemTree Authors
+//
+// Requirements inconsistency detection (paper §II): two triples ti, tj
+// are inconsistent iff (i) same subject, (ii) same object, (iii) their
+// predicates are linked by an antinomy relationship in the vocabulary.
+// Queries are built by replacing a requirement's predicate with an
+// antinomic term; semantically close triples in the index are candidate
+// contradictions.
+
+#ifndef SEMTREE_REQVERIFY_INCONSISTENCY_H_
+#define SEMTREE_REQVERIFY_INCONSISTENCY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ontology/taxonomy.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+
+namespace semtree {
+
+/// True if `a` and `b` denote the same concept (synonyms resolve) or
+/// are equal literals.
+bool SameElement(const Term& a, const Term& b, const Taxonomy& vocab);
+
+/// The paper's inconsistency predicate.
+bool AreInconsistent(const Triple& a, const Triple& b,
+                     const Taxonomy& vocab);
+
+/// Builds the target (query) triple for `source`: same subject and
+/// object, predicate replaced by an antinomic term from the vocabulary
+/// (chosen with `rng` when several exist; deterministically first if
+/// rng is null). Fails with NotFound when the predicate has no antonym.
+Result<Triple> MakeTargetTriple(const Triple& source,
+                                const Taxonomy& vocab, Rng* rng = nullptr);
+
+/// The annotator oracle: every triple in `store` inconsistent with
+/// `source` (the exact ground truth T*, per the formal definition).
+std::vector<TripleId> GroundTruthInconsistencies(const TripleStore& store,
+                                                 const Triple& source,
+                                                 const Taxonomy& vocab);
+
+/// Imperfect-annotator model: drops each true inconsistency with
+/// `miss_rate` and adds spurious same-subject triples with
+/// `spurious_rate` — lets experiments probe sensitivity to annotation
+/// quality (the paper's ground truth came from 5 human engineers).
+struct AnnotatorOptions {
+  double miss_rate = 0.0;
+  double spurious_rate = 0.0;
+  uint64_t seed = 42;
+};
+std::vector<TripleId> NoisyGroundTruth(const TripleStore& store,
+                                       const Triple& source,
+                                       const Taxonomy& vocab,
+                                       const AnnotatorOptions& options);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_REQVERIFY_INCONSISTENCY_H_

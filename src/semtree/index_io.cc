@@ -1,0 +1,279 @@
+// Copyright 2026 The SemTree Authors
+
+#include "semtree/index_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "ontology/vocabulary_io.h"
+#include "rdf/turtle.h"
+
+namespace semtree {
+
+namespace {
+
+constexpr char kMagic[] = "semtree-index";
+constexpr int kVersion = 1;
+
+Status LineError(size_t line_no, std::string_view message) {
+  return Status::Corruption(
+      StringPrintf("index file line %zu: %.*s", line_no,
+                   static_cast<int>(message.size()), message.data()));
+}
+
+Result<double> ParseDouble(const std::string& s, size_t line_no) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return LineError(line_no, "malformed number '" + s + "'");
+  }
+  return v;
+}
+
+Result<unsigned long long> ParseUint(const std::string& s,
+                                     size_t line_no) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return LineError(line_no, "malformed integer '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeIndex(const SemanticIndex& index) {
+  std::string out;
+  out += StringPrintf("%s %d\n", kMagic, kVersion);
+
+  const SemanticIndexOptions& opts = index.options();
+  out += StringPrintf("weights %.17g %.17g %.17g\n", opts.weights.alpha,
+                      opts.weights.beta, opts.weights.gamma);
+  out += StringPrintf("element %d %d %.17g\n",
+                      int(opts.element.string_distance),
+                      int(opts.element.concept_measure),
+                      opts.element.mixed_kind_distance);
+  out += StringPrintf("bucket %zu\n", opts.bucket_size);
+  out += StringPrintf("rerank %d\n",
+                      opts.rerank_by_semantic_distance ? 1 : 0);
+
+  std::string vocab_text = SerializeVocabulary(index.taxonomy());
+  size_t vocab_lines = Split(vocab_text, '\n').size();
+  // Split produces one trailing empty field for the final newline.
+  if (!vocab_text.empty() && vocab_text.back() == '\n') --vocab_lines;
+  out += StringPrintf("vocabulary %zu\n", vocab_lines);
+  out += vocab_text;
+
+  out += StringPrintf("triples %zu\n", index.size());
+  for (TripleId id = 0; id < index.size(); ++id) {
+    out += index.triple(id).ToString();
+    out += '\n';
+  }
+
+  const FastMap& fm = index.fastmap();
+  out += StringPrintf("fastmap %zu %zu %zu\n", fm.size(),
+                      fm.dimensions(), fm.effective_dimensions());
+  for (size_t axis = 0; axis < fm.effective_dimensions(); ++axis) {
+    out += StringPrintf("pivot %zu %zu %.17g\n", fm.pivots()[axis].first,
+                        fm.pivots()[axis].second,
+                        fm.pivot_distances()[axis]);
+  }
+  out += "coords\n";
+  const std::vector<double>& flat = fm.flat_coordinates();
+  for (size_t i = 0; i < fm.size(); ++i) {
+    std::string row;
+    for (size_t d = 0; d < fm.dimensions(); ++d) {
+      if (d) row += ' ';
+      row += StringPrintf("%.17g", flat[i * fm.dimensions() + d]);
+    }
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveIndex(const SemanticIndex& index, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable(
+        StringPrintf("cannot write index file '%s'", path.c_str()));
+  }
+  out << SerializeIndex(index);
+  return out.good() ? Status::OK()
+                    : Status::Unavailable("short write to " + path);
+}
+
+Result<IndexBundle> ParseIndex(std::string_view text,
+                               const SemanticIndexOptions& runtime) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t cursor = 0;
+  auto next_line = [&]() -> Result<std::vector<std::string>> {
+    while (cursor < lines.size() && Trim(lines[cursor]).empty()) ++cursor;
+    if (cursor >= lines.size()) {
+      return Status::Corruption("index file truncated");
+    }
+    return SplitWhitespace(lines[cursor++]);
+  };
+
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> header, next_line());
+  if (header.size() != 2 || header[0] != kMagic) {
+    return Status::Corruption("not a semtree index file");
+  }
+  if (header[1] != std::to_string(kVersion)) {
+    return Status::NotSupported("unsupported index version " + header[1]);
+  }
+
+  SemanticIndexOptions opts = runtime;
+
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> weights, next_line());
+  if (weights.size() != 4 || weights[0] != "weights") {
+    return LineError(cursor, "expected 'weights a b g'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.alpha,
+                           ParseDouble(weights[1], cursor));
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.beta,
+                           ParseDouble(weights[2], cursor));
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.gamma,
+                           ParseDouble(weights[3], cursor));
+
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> element, next_line());
+  if (element.size() != 4 || element[0] != "element") {
+    return LineError(cursor, "expected 'element kind measure mixed'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long string_kind,
+                           ParseUint(element[1], cursor));
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long measure,
+                           ParseUint(element[2], cursor));
+  opts.element.string_distance =
+      static_cast<StringDistanceKind>(string_kind);
+  opts.element.concept_measure =
+      static_cast<SimilarityMeasure>(measure);
+  SEMTREE_ASSIGN_OR_RETURN(opts.element.mixed_kind_distance,
+                           ParseDouble(element[3], cursor));
+
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> bucket, next_line());
+  if (bucket.size() != 2 || bucket[0] != "bucket") {
+    return LineError(cursor, "expected 'bucket n'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long bucket_size,
+                           ParseUint(bucket[1], cursor));
+  opts.bucket_size = static_cast<size_t>(bucket_size);
+
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> rerank, next_line());
+  if (rerank.size() != 2 || rerank[0] != "rerank") {
+    return LineError(cursor, "expected 'rerank 0|1'");
+  }
+  opts.rerank_by_semantic_distance = (rerank[1] == "1");
+
+  // Vocabulary block.
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> vocab_hdr,
+                           next_line());
+  if (vocab_hdr.size() != 2 || vocab_hdr[0] != "vocabulary") {
+    return LineError(cursor, "expected 'vocabulary n'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long vocab_lines,
+                           ParseUint(vocab_hdr[1], cursor));
+  if (cursor + vocab_lines > lines.size()) {
+    return Status::Corruption("vocabulary block truncated");
+  }
+  std::string vocab_text;
+  for (size_t i = 0; i < vocab_lines; ++i) {
+    vocab_text += lines[cursor++];
+    vocab_text += '\n';
+  }
+  SEMTREE_ASSIGN_OR_RETURN(Taxonomy vocab, ParseVocabulary(vocab_text));
+
+  // Triples block.
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> triples_hdr,
+                           next_line());
+  if (triples_hdr.size() != 2 || triples_hdr[0] != "triples") {
+    return LineError(cursor, "expected 'triples n'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long triple_count,
+                           ParseUint(triples_hdr[1], cursor));
+  if (cursor + triple_count > lines.size()) {
+    return Status::Corruption("triple block truncated");
+  }
+  std::vector<Triple> corpus;
+  corpus.reserve(triple_count);
+  for (size_t i = 0; i < triple_count; ++i) {
+    auto triple = ParseTriple(lines[cursor++]);
+    if (!triple.ok()) return LineError(cursor, triple.status().message());
+    corpus.push_back(std::move(*triple));
+  }
+
+  // FastMap block.
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> fm_hdr, next_line());
+  if (fm_hdr.size() != 4 || fm_hdr[0] != "fastmap") {
+    return LineError(cursor, "expected 'fastmap n dims effective'");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long fm_n,
+                           ParseUint(fm_hdr[1], cursor));
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long fm_dims,
+                           ParseUint(fm_hdr[2], cursor));
+  SEMTREE_ASSIGN_OR_RETURN(unsigned long long fm_eff,
+                           ParseUint(fm_hdr[3], cursor));
+  if (fm_n != corpus.size()) {
+    return Status::Corruption("embedding size disagrees with corpus");
+  }
+  std::vector<std::pair<size_t, size_t>> pivots;
+  std::vector<double> pivot_distances;
+  for (size_t axis = 0; axis < fm_eff; ++axis) {
+    SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> pivot, next_line());
+    if (pivot.size() != 4 || pivot[0] != "pivot") {
+      return LineError(cursor, "expected 'pivot a b dist'");
+    }
+    SEMTREE_ASSIGN_OR_RETURN(unsigned long long a,
+                             ParseUint(pivot[1], cursor));
+    SEMTREE_ASSIGN_OR_RETURN(unsigned long long b,
+                             ParseUint(pivot[2], cursor));
+    SEMTREE_ASSIGN_OR_RETURN(double dist, ParseDouble(pivot[3], cursor));
+    pivots.emplace_back(size_t(a), size_t(b));
+    pivot_distances.push_back(dist);
+  }
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> coords_hdr,
+                           next_line());
+  if (coords_hdr.size() != 1 || coords_hdr[0] != "coords") {
+    return LineError(cursor, "expected 'coords'");
+  }
+  std::vector<double> flat;
+  flat.reserve(size_t(fm_n) * size_t(fm_dims));
+  for (size_t i = 0; i < fm_n; ++i) {
+    SEMTREE_ASSIGN_OR_RETURN(std::vector<std::string> row, next_line());
+    if (row.size() != fm_dims) {
+      return LineError(cursor, "coordinate row has wrong arity");
+    }
+    for (const std::string& cell : row) {
+      SEMTREE_ASSIGN_OR_RETURN(double v, ParseDouble(cell, cursor));
+      flat.push_back(v);
+    }
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      FastMap fastmap,
+      FastMap::FromParts(fm_n, fm_dims, std::move(flat),
+                         std::move(pivots), std::move(pivot_distances)));
+
+  IndexBundle bundle;
+  bundle.vocabulary = std::make_unique<Taxonomy>(std::move(vocab));
+  SEMTREE_ASSIGN_OR_RETURN(
+      bundle.index,
+      SemanticIndex::Restore(bundle.vocabulary.get(), std::move(corpus),
+                             std::move(fastmap), opts));
+  return bundle;
+}
+
+Result<IndexBundle> LoadIndex(const std::string& path,
+                              const SemanticIndexOptions& runtime) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(
+        StringPrintf("cannot open index file '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseIndex(buffer.str(), runtime);
+}
+
+}  // namespace semtree

@@ -1,0 +1,50 @@
+// Copyright 2026 The SemTree Authors
+//
+// Persistence for a built SemanticIndex: vocabulary, corpus, distance
+// configuration and the trained FastMap embedding are written to one
+// self-contained text file. Loading reconstructs the index without
+// re-training FastMap (the expensive part); the KD-tree itself is
+// rebuilt from the stored coordinates, which is cheap and keeps the
+// on-disk format independent of the in-memory tree layout.
+
+#ifndef SEMTREE_SEMTREE_INDEX_IO_H_
+#define SEMTREE_SEMTREE_INDEX_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "ontology/taxonomy.h"
+#include "semtree/semantic_index.h"
+
+namespace semtree {
+
+/// A loaded index together with the vocabulary it references (the
+/// index holds a non-owning pointer into `vocabulary`, so the bundle
+/// must stay alive as long as the index is used).
+struct IndexBundle {
+  std::unique_ptr<Taxonomy> vocabulary;
+  std::unique_ptr<SemanticIndex> index;
+};
+
+/// Serializes the index (vocabulary + triples + options + embedding)
+/// into the format LoadIndex reads.
+std::string SerializeIndex(const SemanticIndex& index);
+
+/// Writes SerializeIndex(index) to `path`.
+Status SaveIndex(const SemanticIndex& index, const std::string& path);
+
+/// Parses an index from text. `runtime` lets the caller override the
+/// deployment-specific knobs (partitions, latency, client threads) that
+/// are deliberately not persisted; distance weights, element options,
+/// bucket size and the embedding come from the file.
+Result<IndexBundle> ParseIndex(std::string_view text,
+                               const SemanticIndexOptions& runtime = {});
+
+/// Loads an index file written by SaveIndex.
+Result<IndexBundle> LoadIndex(const std::string& path,
+                              const SemanticIndexOptions& runtime = {});
+
+}  // namespace semtree
+
+#endif  // SEMTREE_SEMTREE_INDEX_IO_H_

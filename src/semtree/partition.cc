@@ -1,0 +1,256 @@
+// Copyright 2026 The SemTree Authors
+
+#include "semtree/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+std::string PartitionStats::ToString() const {
+  return StringPrintf(
+      "Partition{id=%d points=%zu nodes=%zu leaves=%zu routing=%zu "
+      "edge=%zu depth=%zu}",
+      id, points, nodes, leaves, routing, edge_nodes, local_depth);
+}
+
+void Partition::SplitLeafIfNeeded(int32_t leaf) {
+  if (nodes_[static_cast<size_t>(leaf)].bucket.size() <= bucket_size_) {
+    return;
+  }
+  // Pick the dimension with the widest spread; fall back through the
+  // remaining dimensions when the widest cannot separate the bucket.
+  std::vector<std::pair<double, uint32_t>> dims;
+  dims.reserve(dimensions_);
+  {
+    const PNode& n = nodes_[static_cast<size_t>(leaf)];
+    for (size_t d = 0; d < dimensions_; ++d) {
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -mn;
+      for (const KdPoint& p : n.bucket) {
+        mn = std::min(mn, p.coords[d]);
+        mx = std::max(mx, p.coords[d]);
+      }
+      dims.emplace_back(mx - mn, static_cast<uint32_t>(d));
+    }
+  }
+  std::sort(dims.begin(), dims.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [spread, dim] : dims) {
+    if (spread <= 0.0) return;  // Identical points: allow overflow.
+    std::vector<double> values;
+    {
+      const PNode& n = nodes_[static_cast<size_t>(leaf)];
+      values.reserve(n.bucket.size());
+      for (const KdPoint& p : n.bucket) values.push_back(p.coords[dim]);
+    }
+    std::sort(values.begin(), values.end());
+    size_t mid = values.size() / 2;
+    size_t split_pos = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i - 1] < values[i]) {
+        double dist =
+            std::fabs(static_cast<double>(i) - static_cast<double>(mid));
+        if (dist < best) {
+          best = dist;
+          split_pos = i;
+        }
+      }
+    }
+    if (split_pos == 0) continue;
+    double sv = (values[split_pos - 1] + values[split_pos]) / 2.0;
+
+    int32_t left = NewLeaf();
+    int32_t right = NewLeaf();
+    PNode& n = nodes_[static_cast<size_t>(leaf)];  // Re-take: realloc.
+    for (KdPoint& p : n.bucket) {
+      PNode& child = nodes_[static_cast<size_t>(
+          p.coords[dim] <= sv ? left : right)];
+      child.bucket.push_back(std::move(p));
+    }
+    n.bucket.clear();
+    n.bucket.shrink_to_fit();
+    n.is_leaf = false;
+    n.split_dim = dim;
+    n.split_value = sv;
+    n.left = ChildRef{id_, left};
+    n.right = ChildRef{id_, right};
+    return;
+  }
+}
+
+int32_t Partition::AdoptRoot() {
+  // Reuse the pristine initial root so adopted partitions do not keep
+  // an orphan empty leaf around.
+  if (points_ == 0 && roots_.size() == 1 && nodes_.size() == 1 &&
+      nodes_[0].is_leaf && nodes_[0].bucket.empty()) {
+    return roots_[0];
+  }
+  int32_t root = NewLeaf();
+  roots_.push_back(root);
+  return root;
+}
+
+namespace {
+
+// Widest-spread dimension over a span; returns (dim, spread).
+std::pair<uint32_t, double> WidestSpreadSpan(
+    const std::vector<KdPoint>& pts, size_t lo, size_t hi, size_t dims) {
+  uint32_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (size_t i = lo; i < hi; ++i) {
+      mn = std::min(mn, pts[i].coords[d]);
+      mx = std::max(mx, pts[i].coords[d]);
+    }
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      best_dim = static_cast<uint32_t>(d);
+    }
+  }
+  return {best_dim, best_spread};
+}
+
+}  // namespace
+
+void Partition::BuildBalancedLocal(int32_t root,
+                                   std::vector<KdPoint> points) {
+  size_t count = points.size();
+  // Recursive median build writing into this partition's arena. The
+  // recursion allocates children before filling the parent, so `root`
+  // is finalized last.
+  struct Builder {
+    Partition* part;
+    std::vector<KdPoint>& pts;
+
+    void Build(int32_t node, size_t lo, size_t hi) {
+      size_t n = hi - lo;
+      if (n <= part->bucket_size()) {
+        FillLeaf(node, lo, hi);
+        return;
+      }
+      auto [dim, spread] =
+          WidestSpreadSpan(pts, lo, hi, part->dimensions());
+      if (spread <= 0.0) {
+        FillLeaf(node, lo, hi);  // Identical points: overflow bucket.
+        return;
+      }
+      std::sort(pts.begin() + static_cast<ptrdiff_t>(lo),
+                pts.begin() + static_cast<ptrdiff_t>(hi),
+                [dim = dim](const KdPoint& a, const KdPoint& b) {
+                  return a.coords[dim] < b.coords[dim];
+                });
+      size_t mid = lo + n / 2;
+      size_t split = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t i = lo + 1; i < hi; ++i) {
+        if (pts[i - 1].coords[dim] < pts[i].coords[dim]) {
+          double dist =
+              std::fabs(double(i) - double(mid));
+          if (dist < best) {
+            best = dist;
+            split = i;
+          }
+        }
+      }
+      double sv =
+          (pts[split - 1].coords[dim] + pts[split].coords[dim]) / 2.0;
+      int32_t left = part->NewLeaf();
+      int32_t right = part->NewLeaf();
+      Build(left, lo, split);
+      Build(right, split, hi);
+      PNode& pn = part->node(node);
+      pn.is_leaf = false;
+      pn.split_dim = dim;
+      pn.split_value = sv;
+      pn.left = ChildRef{part->id(), left};
+      pn.right = ChildRef{part->id(), right};
+    }
+
+    void FillLeaf(int32_t node, size_t lo, size_t hi) {
+      auto& bucket = part->node(node).bucket;
+      bucket.assign(
+          std::make_move_iterator(pts.begin() + static_cast<ptrdiff_t>(lo)),
+          std::make_move_iterator(pts.begin() + static_cast<ptrdiff_t>(hi)));
+    }
+  };
+  if (count > 0) {
+    Builder{this, points}.Build(root, 0, count);
+  }
+  AddPoints(count);
+}
+
+std::vector<Partition::LeafLocation> Partition::LocalLeaves() const {
+  std::vector<LeafLocation> out;
+  struct Frame {
+    int32_t node;
+    int32_t parent;
+    bool is_left;
+  };
+  std::vector<Frame> stack;
+  for (int32_t root : roots_) stack.push_back({root, -1, false});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const PNode& n = nodes_[static_cast<size_t>(f.node)];
+    if (n.is_dead) continue;
+    if (n.is_leaf) {
+      out.push_back(LeafLocation{f.node, f.parent, f.is_left});
+      continue;
+    }
+    if (n.left.partition == id_) {
+      stack.push_back({n.left.node, f.node, true});
+    }
+    if (n.right.partition == id_) {
+      stack.push_back({n.right.node, f.node, false});
+    }
+  }
+  return out;
+}
+
+PartitionStats Partition::Stats() const {
+  PartitionStats stats;
+  stats.id = id_;
+  stats.points = points_;
+  struct Frame {
+    int32_t node;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (int32_t root : roots_) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const PNode& n = nodes_[static_cast<size_t>(f.node)];
+    if (n.is_dead) continue;
+    ++stats.nodes;
+    stats.local_depth = std::max(stats.local_depth, f.depth);
+    if (n.is_leaf) {
+      ++stats.leaves;
+      continue;
+    }
+    ++stats.routing;
+    bool edge = false;
+    if (n.left.partition == id_) {
+      stack.push_back({n.left.node, f.depth + 1});
+    } else {
+      edge = true;
+    }
+    if (n.right.partition == id_) {
+      stack.push_back({n.right.node, f.depth + 1});
+    } else {
+      edge = true;
+    }
+    if (edge) ++stats.edge_nodes;
+  }
+  return stats;
+}
+
+}  // namespace semtree

@@ -1,0 +1,129 @@
+// Copyright 2026 The SemTree Authors
+//
+// A SemTree partition: the subtree fragment hosted by one compute node.
+// Children of a routing node are either local (same partition) or
+// remote (another partition's root region); a routing node with at
+// least one remote child is an *edge node*, otherwise it is *internal*
+// (paper §III-B.1).
+
+#ifndef SEMTREE_SEMTREE_PARTITION_H_
+#define SEMTREE_SEMTREE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kdtree/kdtree.h"
+
+namespace semtree {
+
+/// Cross-partition child pointer: (Childp, node index). A reference is
+/// local when `partition` equals the owning partition's id.
+struct ChildRef {
+  int32_t partition = -1;
+  int32_t node = -1;
+
+  bool valid() const { return partition >= 0 && node >= 0; }
+};
+
+/// Statistics of one partition, as reported by its stats handler.
+struct PartitionStats {
+  int32_t id = -1;
+  size_t points = 0;       ///< Points stored in local leaf buckets.
+  size_t nodes = 0;        ///< Live local nodes.
+  size_t leaves = 0;       ///< Live local leaf nodes.
+  size_t routing = 0;      ///< Live local routing nodes.
+  size_t edge_nodes = 0;   ///< Routing nodes with a remote child.
+  size_t local_depth = 0;  ///< Longest local root-to-edge path.
+
+  std::string ToString() const;
+};
+
+/// The node arena of one partition. All mutation happens on the owning
+/// compute node's worker thread; the class itself is not synchronized.
+class Partition {
+ public:
+  Partition(int32_t id, size_t dimensions, size_t bucket_size)
+      : id_(id), dimensions_(dimensions), bucket_size_(bucket_size) {
+    roots_.push_back(NewLeaf());  // Node 0: this partition's root.
+  }
+
+  /// One KD-tree node hosted in this partition.
+  struct PNode {
+    bool is_leaf = true;
+    bool is_dead = false;      // Migrated away by build-partition.
+    uint32_t split_dim = 0;    // Sr
+    double split_value = 0.0;  // Sv
+    ChildRef left;
+    ChildRef right;
+    std::vector<KdPoint> bucket;
+  };
+
+  int32_t id() const { return id_; }
+  size_t dimensions() const { return dimensions_; }
+  size_t bucket_size() const { return bucket_size_; }
+
+  /// A partition may host several disjoint subtrees: its original root
+  /// plus any leaves adopted from saturated partitions (build-partition
+  /// distributes leaves round-robin, so one compute node can receive
+  /// more than one). The first root is node 0.
+  const std::vector<int32_t>& roots() const { return roots_; }
+  int32_t root_node() const { return roots_[0]; }
+
+  /// Registers a fresh leaf as an additional subtree root (adoption
+  /// target) and returns its index. Reuses the initial empty root when
+  /// this partition has never stored anything.
+  int32_t AdoptRoot();
+  PNode& node(int32_t idx) { return nodes_[static_cast<size_t>(idx)]; }
+  const PNode& node(int32_t idx) const {
+    return nodes_[static_cast<size_t>(idx)];
+  }
+  size_t arena_size() const { return nodes_.size(); }
+
+  /// Points currently stored in this partition's leaves.
+  size_t points() const { return points_; }
+  void AddPoints(size_t n) { points_ += n; }
+  void RemovePoints(size_t n) { points_ -= std::min(points_, n); }
+
+  /// Allocates a fresh local leaf and returns its index.
+  int32_t NewLeaf() {
+    nodes_.emplace_back();
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  /// Splits `leaf` into two local children if its bucket exceeds the
+  /// bucket size and a separating dimension exists (Fig. 1). Buckets of
+  /// fully duplicated points are left to overflow.
+  void SplitLeafIfNeeded(int32_t leaf);
+
+  /// Replaces the (empty leaf) node `root` with a balanced median-built
+  /// subtree over `points` — the local half of the distributed bulk
+  /// load. Point accounting is updated.
+  void BuildBalancedLocal(int32_t root, std::vector<KdPoint> points);
+
+  /// Live local leaves reachable from any of the partition's roots,
+  /// each with its parent routing node (-1 for roots themselves) and
+  /// the side it hangs off (true = left).
+  struct LeafLocation {
+    int32_t leaf;
+    int32_t parent;
+    bool is_left;
+  };
+  std::vector<LeafLocation> LocalLeaves() const;
+
+  /// Local statistics (traverses the live local subtree).
+  PartitionStats Stats() const;
+
+ private:
+  int32_t id_;
+  size_t dimensions_;
+  size_t bucket_size_;
+  std::vector<PNode> nodes_;
+  std::vector<int32_t> roots_;
+  size_t points_ = 0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_SEMTREE_PARTITION_H_

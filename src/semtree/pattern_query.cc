@@ -1,0 +1,121 @@
+// Copyright 2026 The SemTree Authors
+
+#include "semtree/pattern_query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+std::string TriplePattern::ToString() const {
+  auto render = [](const std::optional<Term>& t) {
+    return t ? t->ToString() : std::string("?");
+  };
+  return "(" + render(subject) + ", " + render(predicate) + ", " +
+         render(object) + ")";
+}
+
+namespace {
+
+// Mean element distance over the bound positions (0 when nothing is
+// bound).
+double PatternDistance(const TriplePattern& pattern, const Triple& t,
+                       const ElementDistance& element) {
+  double sum = 0.0;
+  size_t bound = 0;
+  if (pattern.subject) {
+    sum += element(*pattern.subject, t.subject);
+    ++bound;
+  }
+  if (pattern.predicate) {
+    sum += element(*pattern.predicate, t.predicate);
+    ++bound;
+  }
+  if (pattern.object) {
+    sum += element(*pattern.object, t.object);
+    ++bound;
+  }
+  return bound == 0 ? 0.0 : sum / double(bound);
+}
+
+// Candidate ids for the exact (tolerance 0) path: drive the scan off
+// the store indexes where literal equality is sound; concepts need
+// semantic verification anyway (synonyms), so they do not constrain
+// the index lookup.
+std::vector<TripleId> ExactCandidates(const TripleStore& store,
+                                      const TriplePattern& pattern) {
+  std::optional<Term> s, p, o;
+  if (pattern.subject && pattern.subject->is_literal()) {
+    s = pattern.subject;
+  }
+  if (pattern.predicate && pattern.predicate->is_literal()) {
+    p = pattern.predicate;
+  }
+  if (pattern.object && pattern.object->is_literal()) {
+    o = pattern.object;
+  }
+  return store.Match(s, p, o);
+}
+
+}  // namespace
+
+Result<std::vector<PatternMatch>> EvaluatePattern(
+    const SemanticIndex& index, const TripleStore& store,
+    const TriplePattern& pattern, const PatternQueryOptions& options) {
+  if (index.size() != store.size()) {
+    return Status::InvalidArgument(
+        "index and store must cover the same triples");
+  }
+  if (options.tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+  const ElementDistance& element = index.distance().element_distance();
+
+  std::vector<TripleId> candidates;
+  if (options.tolerance == 0.0 || pattern.BoundCount() == 0) {
+    candidates = ExactCandidates(store, pattern);
+  } else {
+    // Translate into an embedded range query (the [7]-style pattern ->
+    // multi-dimensional range query mapping). Wildcard positions can
+    // contribute up to their full Eq. (1) weight, bound positions up to
+    // tolerance each; FastMap error adds slack on top. Candidates are
+    // verified exactly below, so the radius only affects recall.
+    const TripleDistanceWeights& w = index.distance().weights();
+    double bound_weight = 0.0;
+    double wildcard_weight = 0.0;
+    (pattern.subject ? bound_weight : wildcard_weight) += w.alpha;
+    (pattern.predicate ? bound_weight : wildcard_weight) += w.beta;
+    (pattern.object ? bound_weight : wildcard_weight) += w.gamma;
+
+    Triple probe(pattern.subject.value_or(Term::Literal("")),
+                 pattern.predicate.value_or(Term::Literal("")),
+                 pattern.object.value_or(Term::Literal("")));
+    constexpr double kEmbeddingSlack = 0.1;
+    double radius = bound_weight * options.tolerance + wildcard_weight +
+                    kEmbeddingSlack;
+    SEMTREE_ASSIGN_OR_RETURN(std::vector<SemanticIndex::Hit> hits,
+                             index.RangeQuery(probe, radius));
+    candidates.reserve(hits.size());
+    for (const auto& hit : hits) candidates.push_back(hit.id);
+  }
+
+  std::vector<PatternMatch> matches;
+  for (TripleId id : candidates) {
+    double d = PatternDistance(pattern, store.Get(id), element);
+    if (d <= options.tolerance + 1e-12) {
+      matches.push_back(PatternMatch{id, d});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const PatternMatch& a, const PatternMatch& b) {
+              if (a.pattern_distance != b.pattern_distance) {
+                return a.pattern_distance < b.pattern_distance;
+              }
+              return a.id < b.id;
+            });
+  if (matches.size() > options.limit) matches.resize(options.limit);
+  return matches;
+}
+
+}  // namespace semtree

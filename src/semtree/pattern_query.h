@@ -1,0 +1,75 @@
+// Copyright 2026 The SemTree Authors
+//
+// Triple-pattern queries over a SemanticIndex. The paper positions
+// SemTree against systems that answer "various pattern queries by
+// translating them into multi-dimensional range queries" (§I, [7]);
+// this module provides that capability on top of SemTree:
+//
+//   (s, p, ?)  — bound subject and predicate, any object
+//   (?, p, o)  — any subject
+//   (s, ~p, o) — "p or anything semantically close to p"
+//
+// Exact patterns are answered from the TripleStore's indexes. Patterns
+// with a similarity tolerance are translated into an embedded-space
+// range query: the wildcard positions receive zero weight in a
+// dedicated distance, bound positions must match within the tolerance,
+// and candidates are verified exactly before being returned.
+
+#ifndef SEMTREE_SEMTREE_PATTERN_QUERY_H_
+#define SEMTREE_SEMTREE_PATTERN_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "semtree/semantic_index.h"
+
+namespace semtree {
+
+/// A triple pattern: unbound positions are wildcards.
+struct TriplePattern {
+  std::optional<Term> subject;
+  std::optional<Term> predicate;
+  std::optional<Term> object;
+
+  /// Number of bound positions (0..3).
+  size_t BoundCount() const {
+    return (subject ? 1 : 0) + (predicate ? 1 : 0) + (object ? 1 : 0);
+  }
+
+  std::string ToString() const;
+};
+
+struct PatternQueryOptions {
+  /// Maximum mean element distance, over the bound positions, for a
+  /// triple to match. 0 = exact (semantic) equality: synonyms still
+  /// match, unrelated concepts do not.
+  double tolerance = 0.0;
+
+  /// Upper bound on returned matches (by ascending pattern distance).
+  size_t limit = 100;
+};
+
+/// One pattern match.
+struct PatternMatch {
+  TripleId id = 0;
+  /// Mean element distance over the pattern's bound positions.
+  double pattern_distance = 0.0;
+};
+
+/// Evaluates `pattern` against the indexed corpus. The `store` must
+/// hold exactly the triples the index was built over (ids align).
+///
+/// Strategy: with tolerance 0 and at least one bound position the
+/// store's exact indexes drive the scan; with a positive tolerance the
+/// candidates come from the index's embedded range query (radius =
+/// tolerance scaled by the bound positions' total weight), then every
+/// candidate is verified with the exact element distances.
+Result<std::vector<PatternMatch>> EvaluatePattern(
+    const SemanticIndex& index, const TripleStore& store,
+    const TriplePattern& pattern, const PatternQueryOptions& options = {});
+
+}  // namespace semtree
+
+#endif  // SEMTREE_SEMTREE_PATTERN_QUERY_H_

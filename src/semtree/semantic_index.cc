@@ -1,0 +1,128 @@
+// Copyright 2026 The SemTree Authors
+
+#include "semtree/semantic_index.h"
+
+#include <algorithm>
+
+namespace semtree {
+
+Result<std::unique_ptr<SemanticIndex>> SemanticIndex::Build(
+    const Taxonomy* taxonomy, std::vector<Triple> corpus,
+    SemanticIndexOptions options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus must not be empty");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      TripleDistance distance,
+      TripleDistance::Make(taxonomy, options.weights, options.element));
+
+  std::unique_ptr<SemanticIndex> index(new SemanticIndex(
+      options, std::move(distance), std::move(corpus)));
+  const std::vector<Triple>& triples = index->corpus_;
+
+  // Train the FastMap embedding on the corpus.
+  IndexDistanceFn oracle;
+  CachingTripleDistance cached(index->distance_);
+  if (options.cache_element_distances) {
+    oracle = [&cached, &triples](size_t i, size_t j) {
+      return cached(triples[i], triples[j]);
+    };
+  } else {
+    oracle = [index = index.get(), &triples](size_t i, size_t j) {
+      return index->distance_(triples[i], triples[j]);
+    };
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      FastMap fm, FastMap::Train(triples.size(), oracle, options.fastmap));
+  index->fastmap_ = std::make_unique<FastMap>(std::move(fm));
+  SEMTREE_RETURN_NOT_OK(index->BuildTree());
+  return index;
+}
+
+Result<std::unique_ptr<SemanticIndex>> SemanticIndex::Restore(
+    const Taxonomy* taxonomy, std::vector<Triple> corpus, FastMap fastmap,
+    SemanticIndexOptions options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus must not be empty");
+  }
+  if (fastmap.size() != corpus.size()) {
+    return Status::InvalidArgument(
+        "embedding and corpus sizes disagree");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      TripleDistance distance,
+      TripleDistance::Make(taxonomy, options.weights, options.element));
+  std::unique_ptr<SemanticIndex> index(new SemanticIndex(
+      options, std::move(distance), std::move(corpus)));
+  index->fastmap_ = std::make_unique<FastMap>(std::move(fastmap));
+  SEMTREE_RETURN_NOT_OK(index->BuildTree());
+  return index;
+}
+
+Status SemanticIndex::BuildTree() {
+  SemTreeOptions topts;
+  topts.dimensions = fastmap_->dimensions();
+  topts.bucket_size = options_.bucket_size;
+  topts.max_partitions = options_.max_partitions;
+  topts.partition_capacity = options_.partition_capacity;
+  topts.network_latency = options_.network_latency;
+  SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<SemTree> tree,
+                           SemTree::Create(std::move(topts)));
+  tree_ = std::move(tree);
+
+  std::vector<KdPoint> points;
+  points.reserve(corpus_.size());
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    points.push_back(
+        KdPoint{fastmap_->Coordinates(i), static_cast<PointId>(i)});
+  }
+  if (options_.bulk_load) {
+    return tree_->BulkLoadBalanced(std::move(points));
+  }
+  return tree_->BulkInsert(
+      points, std::max<size_t>(1, options_.build_client_threads));
+}
+
+std::vector<double> SemanticIndex::Embed(const Triple& query) const {
+  return fastmap_->Project([this, &query](size_t train_index) {
+    return distance_(query, corpus_[train_index]);
+  });
+}
+
+std::vector<SemanticIndex::Hit> SemanticIndex::MakeHits(
+    const Triple& query, const std::vector<Neighbor>& neighbors) const {
+  std::vector<Hit> hits;
+  hits.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    Hit hit;
+    hit.id = n.id;
+    hit.embedded_distance = n.distance;
+    hit.semantic_distance = distance_(query, corpus_[n.id]);
+    hits.push_back(hit);
+  }
+  if (options_.rerank_by_semantic_distance) {
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const Hit& a, const Hit& b) {
+                       return a.semantic_distance < b.semantic_distance;
+                     });
+  }
+  return hits;
+}
+
+Result<std::vector<SemanticIndex::Hit>> SemanticIndex::KnnQuery(
+    const Triple& query, size_t k) const {
+  std::vector<double> embedded = Embed(query);
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<Neighbor> neighbors,
+                           tree_->KnnSearch(embedded, k));
+  return MakeHits(query, neighbors);
+}
+
+Result<std::vector<SemanticIndex::Hit>> SemanticIndex::RangeQuery(
+    const Triple& query, double radius) const {
+  std::vector<double> embedded = Embed(query);
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<Neighbor> neighbors,
+                           tree_->RangeSearch(embedded, radius));
+  return MakeHits(query, neighbors);
+}
+
+}  // namespace semtree

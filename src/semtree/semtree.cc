@@ -1,0 +1,962 @@
+// Copyright 2026 The SemTree Authors
+
+#include "semtree/semtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace semtree {
+
+namespace {
+
+// Message types of the SemTree protocol.
+constexpr uint32_t kInsertMsg = 1;
+constexpr uint32_t kKnnMsg = 2;
+constexpr uint32_t kRangeMsg = 3;
+constexpr uint32_t kBuildPartitionMsg = 4;
+constexpr uint32_t kAdoptLeafMsg = 5;
+constexpr uint32_t kStatsMsg = 6;
+constexpr uint32_t kRemoveMsg = 7;
+constexpr uint32_t kBulkBuildMsg = 8;
+constexpr uint32_t kInstallTopologyMsg = 9;
+
+struct InsertRequest {
+  int32_t start_node = 0;
+  KdPoint point;
+};
+struct InsertResponse {
+  bool ok = false;
+  bool saturated = false;
+  int32_t partition = -1;
+  std::string error;
+};
+struct RemoveRequest {
+  int32_t start_node = 0;
+  KdPoint point;
+};
+struct RemoveResponse {
+  bool found = false;
+};
+// Node status of the k-nearest traversal — Table I of the paper:
+// Not Visited (Nv), Left/Right (near side) Visited, All Visited (Av).
+enum class VisitStatus : uint8_t {
+  kNotVisited = 0,
+  kNearVisited = 1,
+  kAllVisited = 2,
+};
+
+// One pending node of the forward/backward visit. The frame stack
+// travels inside the message, so any partition can continue the
+// traversal and no compute node ever blocks on another (the protocol
+// is "basically the same as the one described in the insertion
+// algorithm": forwarding).
+struct KnnFrame {
+  int32_t partition = -1;
+  int32_t node = -1;
+  VisitStatus status = VisitStatus::kNotVisited;
+};
+
+struct KnnRequest {
+  std::vector<double> query;
+  size_t k = 0;                 // K of Table I.
+  std::vector<Neighbor> rs;     // Result set Rs (max-heap on distance D).
+  std::vector<KnnFrame> stack;  // Pending nodes with their status S.
+  size_t partitions_visited = 0;
+};
+struct KnnResponse {
+  std::vector<Neighbor> rs;
+  size_t partitions_visited = 0;
+};
+struct RangeRequest {
+  int32_t start_node = 0;
+  std::vector<double> query;
+  double radius = 0.0;
+};
+struct RangeResponse {
+  std::vector<Neighbor> results;
+  size_t partitions_visited = 0;
+};
+struct BuildPartitionRequest {};
+struct BuildPartitionResponse {
+  size_t leaves_moved = 0;
+  std::vector<int32_t> new_partitions;
+};
+struct AdoptLeafRequest {
+  std::vector<KdPoint> bucket;
+};
+struct AdoptLeafResponse {
+  int32_t root_node = 0;
+};
+struct StatsRequest {};
+struct StatsResponse {
+  PartitionStats stats;
+};
+struct BulkBuildRequest {
+  std::vector<KdPoint> points;
+};
+struct BulkBuildResponse {
+  int32_t root_node = -1;
+};
+// One routing node of the client-computed top-level skeleton. A child
+// is either another skeleton node (index >= 0) or an already-built
+// remote region (ChildRef).
+struct SkeletonNode {
+  uint32_t split_dim = 0;
+  double split_value = 0.0;
+  int32_t left_skeleton = -1;
+  int32_t right_skeleton = -1;
+  ChildRef left_ref;
+  ChildRef right_ref;
+};
+struct InstallTopologyRequest {
+  std::vector<SkeletonNode> skeleton;  // skeleton[0] becomes the root.
+};
+struct InstallTopologyResponse {
+  bool ok = false;
+  std::string error;
+};
+
+// Max-heap ordering on (distance, id): worst candidate on top.
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+size_t PointBytes(size_t dims) { return dims * sizeof(double) + 16; }
+size_t NeighborBytes(size_t n) { return n * sizeof(Neighbor) + 16; }
+
+}  // namespace
+
+Result<std::unique_ptr<SemTree>> SemTree::Create(SemTreeOptions options) {
+  if (options.dimensions == 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (options.bucket_size == 0) {
+    return Status::InvalidArgument("bucket_size must be positive");
+  }
+  if (options.max_partitions == 0) {
+    return Status::InvalidArgument("max_partitions must be positive");
+  }
+  std::unique_ptr<SemTree> tree(new SemTree(std::move(options)));
+  if (tree->CreatePartition() != 0) {
+    return Status::Internal("failed to create the root partition");
+  }
+  return tree;
+}
+
+SemTree::SemTree(SemTreeOptions options) : options_(std::move(options)) {
+  ClusterOptions copts;
+  copts.latency = options_.network_latency;
+  copts.bandwidth_bytes_per_us = options_.bandwidth_bytes_per_us;
+  cluster_ = std::make_unique<Cluster>(copts);
+}
+
+SemTree::~SemTree() { cluster_->Shutdown(); }
+
+int32_t SemTree::CreatePartition() {
+  std::unique_ptr<Partition> part;
+  int32_t id;
+  {
+    std::lock_guard<std::mutex> lock(partitions_mu_);
+    if (partitions_.size() >= options_.max_partitions) return -1;
+    id = static_cast<int32_t>(partitions_.size());
+    part = std::make_unique<Partition>(id, options_.dimensions,
+                                       options_.bucket_size);
+    partitions_.push_back(std::move(part));
+  }
+  ComputeNode* node = cluster_->AddNode();
+  RegisterHandlers(partition(id), node);
+  node->Start();
+  return id;
+}
+
+Partition* SemTree::partition(int32_t id) const {
+  std::lock_guard<std::mutex> lock(partitions_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= partitions_.size()) {
+    return nullptr;
+  }
+  return partitions_[static_cast<size_t>(id)].get();
+}
+
+size_t SemTree::PartitionCount() const {
+  std::lock_guard<std::mutex> lock(partitions_mu_);
+  return partitions_.size();
+}
+
+bool SemTree::IsSaturated(const Partition& part) const {
+  PartitionStats stats = part.Stats();
+  if (options_.saturation) return options_.saturation(stats);
+  return stats.points >= options_.partition_capacity;
+}
+
+void SemTree::RegisterHandlers(Partition* part, ComputeNode* node) {
+  node->RegisterHandler(kInsertMsg, [this, part](const Message& m) {
+    HandleInsert(part, m);
+  });
+  node->RegisterHandler(kKnnMsg, [this, part](const Message& m) {
+    HandleKnn(part, m);
+  });
+  node->RegisterHandler(kRangeMsg, [this, part](const Message& m) {
+    HandleRange(part, m);
+  });
+  node->RegisterHandler(kBuildPartitionMsg,
+                        [this, part](const Message& m) {
+                          HandleBuildPartition(part, m);
+                        });
+  node->RegisterHandler(kAdoptLeafMsg, [this, part](const Message& m) {
+    HandleAdoptLeaf(part, m);
+  });
+  node->RegisterHandler(kStatsMsg, [this, part](const Message& m) {
+    HandleStats(part, m);
+  });
+  node->RegisterHandler(kRemoveMsg, [this, part](const Message& m) {
+    HandleRemove(part, m);
+  });
+  node->RegisterHandler(kBulkBuildMsg, [this, part](const Message& m) {
+    HandleBulkBuild(part, m);
+  });
+  node->RegisterHandler(kInstallTopologyMsg,
+                        [this, part](const Message& m) {
+                          HandleInstallTopology(part, m);
+                        });
+}
+
+// --------------------------------------------------------------------
+// Insertion (§III-B.1)
+
+void SemTree::HandleInsert(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<InsertRequest>(msg.payload);
+  int32_t nd = req.start_node;
+  for (;;) {
+    Partition::PNode& n = p->node(nd);
+    if (n.is_leaf) {
+      n.bucket.push_back(req.point);
+      p->AddPoints(1);
+      total_points_.fetch_add(1, std::memory_order_relaxed);
+      p->SplitLeafIfNeeded(nd);
+      InsertResponse resp;
+      resp.ok = true;
+      resp.partition = p->id();
+      resp.saturated = IsSaturated(*p);
+      cluster_->Respond(msg, MakePayload<InsertResponse>(std::move(resp)),
+                        64);
+      return;
+    }
+    const ChildRef& child =
+        (req.point.coords[n.split_dim] <= n.split_value) ? n.left
+                                                         : n.right;
+    if (child.partition == p->id()) {
+      // Cp == Childp: navigate as a sequential Kd-Tree.
+      nd = child.node;
+      continue;
+    }
+    // Cp != Childp: hand the point to the partition hosting the child;
+    // it (or a later hop) answers the original caller.
+    req.start_node = child.node;
+    cluster_->Forward(msg, child.partition, p->id());
+    return;
+  }
+}
+
+Status SemTree::Insert(const std::vector<double>& coords, PointId id) {
+  if (coords.size() != options_.dimensions) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, tree has %zu",
+                     coords.size(), options_.dimensions));
+  }
+  InsertRequest req;
+  req.start_node = 0;
+  req.point = KdPoint{coords, id};
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(0, kInsertMsg,
+                            MakePayload<InsertRequest>(std::move(req)),
+                            PointBytes(options_.dimensions)));
+  auto& resp = PayloadAs<InsertResponse>(payload);
+  if (!resp.ok) return Status::Internal(resp.error);
+  if (resp.saturated && PartitionCount() < options_.max_partitions) {
+    SEMTREE_ASSIGN_OR_RETURN(
+        Payload build,
+        cluster_->CallAndWait(
+            resp.partition, kBuildPartitionMsg,
+            MakePayload<BuildPartitionRequest>(BuildPartitionRequest{}),
+            32));
+    (void)build;
+  }
+  return Status::OK();
+}
+
+Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
+                           size_t client_threads) {
+  if (client_threads <= 1) {
+    for (const KdPoint& p : points) {
+      SEMTREE_RETURN_NOT_OK(Insert(p.coords, p.id));
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(client_threads);
+  std::atomic<bool> failed{false};
+  std::mutex status_mu;
+  Status first_error;
+  for (const KdPoint& p : points) {
+    pool.Submit([this, &p, &failed, &status_mu, &first_error]() {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Status st = Insert(p.coords, p.id);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        if (first_error.ok()) first_error = st;
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.Wait();
+  return first_error;
+}
+
+void SemTree::HandleRemove(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<RemoveRequest>(msg.payload);
+  int32_t nd = req.start_node;
+  for (;;) {
+    Partition::PNode& n = p->node(nd);
+    if (n.is_leaf) {
+      RemoveResponse resp;
+      for (size_t i = 0; i < n.bucket.size(); ++i) {
+        if (n.bucket[i].id == req.point.id &&
+            n.bucket[i].coords == req.point.coords) {
+          n.bucket.erase(n.bucket.begin() + static_cast<ptrdiff_t>(i));
+          p->RemovePoints(1);
+          total_points_.fetch_sub(1, std::memory_order_relaxed);
+          resp.found = true;
+          break;
+        }
+      }
+      cluster_->Respond(msg, MakePayload<RemoveResponse>(resp), 32);
+      return;
+    }
+    const ChildRef& child =
+        (req.point.coords[n.split_dim] <= n.split_value) ? n.left
+                                                         : n.right;
+    if (child.partition == p->id()) {
+      nd = child.node;
+      continue;
+    }
+    req.start_node = child.node;
+    cluster_->Forward(msg, child.partition, p->id());
+    return;
+  }
+}
+
+Status SemTree::Remove(const std::vector<double>& coords, PointId id) {
+  if (coords.size() != options_.dimensions) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, tree has %zu",
+                     coords.size(), options_.dimensions));
+  }
+  RemoveRequest req;
+  req.start_node = 0;
+  req.point = KdPoint{coords, id};
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(0, kRemoveMsg,
+                            MakePayload<RemoveRequest>(std::move(req)),
+                            PointBytes(options_.dimensions)));
+  if (!PayloadAs<RemoveResponse>(payload).found) {
+    return Status::NotFound(StringPrintf(
+        "point %llu not stored at the given coordinates",
+        (unsigned long long)id));
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------
+// Build partition (§III-B.2, Fig. 2)
+
+void SemTree::HandleBuildPartition(Partition* p, const Message& msg) {
+  BuildPartitionResponse resp;
+  if (IsSaturated(*p)) {
+    // Allocate every partition the cluster can still host, then
+    // distribute this partition's leaves over them round-robin. The
+    // saturated partition keeps only routing structure (and its root
+    // regions), matching the paper's "some partitions are used just
+    // for routing and others for storing data".
+    std::vector<int32_t> targets;
+    while (true) {
+      int32_t q = CreatePartition();
+      if (q < 0) break;
+      targets.push_back(q);
+    }
+    if (!targets.empty()) {
+      // Movable leaves, in DFS order: contiguous runs are spatially
+      // close, so block assignment preserves locality and searches
+      // cross few partitions.
+      std::vector<Partition::LeafLocation> movable;
+      for (const Partition::LeafLocation& loc : p->LocalLeaves()) {
+        // Roots cannot migrate (no parent link to retarget); empty
+        // leaves carry nothing to move.
+        if (loc.parent < 0) continue;
+        if (p->node(loc.leaf).bucket.empty()) continue;
+        movable.push_back(loc);
+      }
+      for (size_t i = 0; i < movable.size(); ++i) {
+        const Partition::LeafLocation& loc = movable[i];
+        int32_t q = targets[i * targets.size() / movable.size()];
+        AdoptLeafRequest adopt;
+        adopt.bucket = std::move(p->node(loc.leaf).bucket);
+        size_t moved = adopt.bucket.size();
+        size_t bytes = moved * PointBytes(options_.dimensions);
+        auto adopted = cluster_->CallAndWait(
+            q, kAdoptLeafMsg,
+            MakePayload<AdoptLeafRequest>(std::move(adopt)), bytes,
+            p->id());
+        if (!adopted.ok()) break;
+        auto& aresp = PayloadAs<AdoptLeafResponse>(*adopted);
+        // Install the direct link between the partitions (Fig. 2).
+        Partition::PNode& parent = p->node(loc.parent);
+        ChildRef link{q, aresp.root_node};
+        (loc.is_left ? parent.left : parent.right) = link;
+        p->node(loc.leaf).is_dead = true;
+        p->RemovePoints(moved);
+        ++resp.leaves_moved;
+      }
+      resp.new_partitions = std::move(targets);
+    }
+  }
+  cluster_->Respond(
+      msg, MakePayload<BuildPartitionResponse>(std::move(resp)), 64);
+}
+
+void SemTree::HandleAdoptLeaf(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<AdoptLeafRequest>(msg.payload);
+  int32_t root = p->AdoptRoot();
+  size_t count = req.bucket.size();
+  p->node(root).bucket = std::move(req.bucket);
+  p->AddPoints(count);
+  p->SplitLeafIfNeeded(root);
+  AdoptLeafResponse resp;
+  resp.root_node = root;
+  cluster_->Respond(msg, MakePayload<AdoptLeafResponse>(resp), 32);
+}
+
+// --------------------------------------------------------------------
+// Distributed bulk load
+
+void SemTree::HandleBulkBuild(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<BulkBuildRequest>(msg.payload);
+  int32_t root = p->AdoptRoot();
+  size_t count = req.points.size();
+  total_points_.fetch_add(count, std::memory_order_relaxed);
+  p->BuildBalancedLocal(root, std::move(req.points));
+  BulkBuildResponse resp;
+  resp.root_node = root;
+  cluster_->Respond(msg, MakePayload<BulkBuildResponse>(resp), 32);
+}
+
+void SemTree::HandleInstallTopology(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<InstallTopologyRequest>(msg.payload);
+  InstallTopologyResponse resp;
+  if (req.skeleton.empty()) {
+    resp.error = "empty skeleton";
+  } else if (!(p->node(p->root_node()).is_leaf &&
+               p->node(p->root_node()).bucket.empty())) {
+    resp.error = "root partition is not pristine";
+  } else {
+    // skeleton[0] overlays the partition root; the rest get fresh
+    // nodes. Children are wired after all nodes exist.
+    std::vector<int32_t> node_of(req.skeleton.size());
+    node_of[0] = p->root_node();
+    for (size_t i = 1; i < req.skeleton.size(); ++i) {
+      node_of[i] = p->NewLeaf();
+    }
+    auto resolve = [&](int32_t skeleton_index,
+                       const ChildRef& ref) -> ChildRef {
+      if (skeleton_index >= 0) {
+        return ChildRef{p->id(), node_of[size_t(skeleton_index)]};
+      }
+      return ref;
+    };
+    for (size_t i = 0; i < req.skeleton.size(); ++i) {
+      const SkeletonNode& sk = req.skeleton[i];
+      Partition::PNode& n = p->node(node_of[i]);
+      n.is_leaf = false;
+      n.split_dim = sk.split_dim;
+      n.split_value = sk.split_value;
+      n.left = resolve(sk.left_skeleton, sk.left_ref);
+      n.right = resolve(sk.right_skeleton, sk.right_ref);
+    }
+    resp.ok = true;
+  }
+  cluster_->Respond(
+      msg, MakePayload<InstallTopologyResponse>(std::move(resp)), 32);
+}
+
+namespace {
+
+// Client-side recursive median partitioning of the corpus into at most
+// `budget` regions; emits skeleton routing entries and region spans.
+struct RegionSplitter {
+  std::vector<KdPoint>& points;
+  size_t dimensions;
+  size_t bucket_size;
+  std::vector<SkeletonNode> skeleton;
+  std::vector<std::pair<size_t, size_t>> regions;  // [lo, hi) spans.
+
+  // Returns (skeleton_index, region_index): exactly one is >= 0.
+  std::pair<int32_t, int32_t> Split(size_t lo, size_t hi, size_t budget) {
+    size_t count = hi - lo;
+    auto emit_region = [&]() -> std::pair<int32_t, int32_t> {
+      regions.emplace_back(lo, hi);
+      return {-1, int32_t(regions.size() - 1)};
+    };
+    if (budget <= 1 || count <= bucket_size) return emit_region();
+
+    uint32_t best_dim = 0;
+    double best_spread = -1.0;
+    for (size_t d = 0; d < dimensions; ++d) {
+      double mn = std::numeric_limits<double>::infinity();
+      double mx = -mn;
+      for (size_t i = lo; i < hi; ++i) {
+        mn = std::min(mn, points[i].coords[d]);
+        mx = std::max(mx, points[i].coords[d]);
+      }
+      if (mx - mn > best_spread) {
+        best_spread = mx - mn;
+        best_dim = uint32_t(d);
+      }
+    }
+    if (best_spread <= 0.0) return emit_region();
+
+    std::sort(points.begin() + ptrdiff_t(lo), points.begin() + ptrdiff_t(hi),
+              [best_dim](const KdPoint& a, const KdPoint& b) {
+                return a.coords[best_dim] < b.coords[best_dim];
+              });
+    size_t mid = lo + count / 2;
+    size_t split = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = lo + 1; i < hi; ++i) {
+      if (points[i - 1].coords[best_dim] < points[i].coords[best_dim]) {
+        double dist = std::fabs(double(i) - double(mid));
+        if (dist < best) {
+          best = dist;
+          split = i;
+        }
+      }
+    }
+    if (split == 0) return emit_region();
+    double sv = (points[split - 1].coords[best_dim] +
+                 points[split].coords[best_dim]) /
+                2.0;
+    size_t left_budget = budget / 2;
+    size_t right_budget = budget - left_budget;
+    // Reserve this skeleton slot before recursing so index 0 is the
+    // root.
+    size_t my_index = skeleton.size();
+    skeleton.emplace_back();
+    auto left = Split(lo, split, left_budget);
+    auto right = Split(split, hi, right_budget);
+    SkeletonNode& sk = skeleton[my_index];
+    sk.split_dim = best_dim;
+    sk.split_value = sv;
+    sk.left_skeleton = left.first;
+    sk.right_skeleton = right.first;
+    // Region ChildRefs are filled in after the regions are built; stash
+    // the region indexes in the refs' node fields for now.
+    if (left.first < 0) sk.left_ref = ChildRef{-1, left.second};
+    if (right.first < 0) sk.right_ref = ChildRef{-1, right.second};
+    return {int32_t(my_index), -1};
+  }
+};
+
+}  // namespace
+
+Status SemTree::BulkLoadBalanced(std::vector<KdPoint> points) {
+  if (size() != 0) {
+    return Status::FailedPrecondition(
+        "bulk load requires an empty tree");
+  }
+  for (const KdPoint& p : points) {
+    if (p.coords.size() != options_.dimensions) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+  }
+  if (points.empty()) return Status::OK();
+
+  size_t data_partitions =
+      options_.max_partitions > 1 ? options_.max_partitions - 1 : 1;
+  RegionSplitter splitter{points, options_.dimensions,
+                          options_.bucket_size,
+                          {},
+                          {}};
+  auto root_out = splitter.Split(0, points.size(), data_partitions);
+
+  if (splitter.regions.size() == 1 || options_.max_partitions == 1 ||
+      root_out.first < 0) {
+    // Everything fits in the root partition.
+    BulkBuildRequest req;
+    req.points = std::move(points);
+    size_t bytes = req.points.size() * PointBytes(options_.dimensions);
+    SEMTREE_ASSIGN_OR_RETURN(
+        Payload resp,
+        cluster_->CallAndWait(0, kBulkBuildMsg,
+                              MakePayload<BulkBuildRequest>(std::move(req)),
+                              bytes));
+    (void)resp;
+    return Status::OK();
+  }
+
+  // One new partition per region; dispatch the balanced builds in
+  // parallel.
+  struct PendingRegion {
+    int32_t partition;
+    std::future<Payload> future;
+  };
+  std::vector<PendingRegion> pending;
+  pending.reserve(splitter.regions.size());
+  for (const auto& [lo, hi] : splitter.regions) {
+    int32_t q = CreatePartition();
+    if (q < 0) {
+      return Status::ResourceExhausted(
+          "not enough compute nodes for the bulk-load regions");
+    }
+    BulkBuildRequest req;
+    req.points.assign(
+        std::make_move_iterator(points.begin() + ptrdiff_t(lo)),
+        std::make_move_iterator(points.begin() + ptrdiff_t(hi)));
+    size_t bytes = req.points.size() * PointBytes(options_.dimensions);
+    pending.push_back(PendingRegion{
+        q, cluster_->Call(q, kBulkBuildMsg,
+                          MakePayload<BulkBuildRequest>(std::move(req)),
+                          bytes)});
+  }
+  std::vector<ChildRef> region_refs(pending.size());
+  for (size_t r = 0; r < pending.size(); ++r) {
+    Payload payload = pending[r].future.get();
+    if (payload == nullptr) {
+      return Status::Unavailable("cluster shut down during bulk load");
+    }
+    auto& resp = PayloadAs<BulkBuildResponse>(payload);
+    region_refs[r] = ChildRef{pending[r].partition, resp.root_node};
+  }
+
+  // Patch region placeholders with the real ChildRefs and install the
+  // skeleton in the root partition.
+  InstallTopologyRequest install;
+  install.skeleton = std::move(splitter.skeleton);
+  for (SkeletonNode& sk : install.skeleton) {
+    if (sk.left_skeleton < 0) {
+      sk.left_ref = region_refs[size_t(sk.left_ref.node)];
+    }
+    if (sk.right_skeleton < 0) {
+      sk.right_ref = region_refs[size_t(sk.right_ref.node)];
+    }
+  }
+  size_t bytes = install.skeleton.size() * sizeof(SkeletonNode) + 32;
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(
+          0, kInstallTopologyMsg,
+          MakePayload<InstallTopologyRequest>(std::move(install)),
+          bytes));
+  auto& resp = PayloadAs<InstallTopologyResponse>(payload);
+  if (!resp.ok) return Status::Internal(resp.error);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------
+// K-nearest search (§III-B.3)
+
+void SemTree::HandleKnn(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<KnnRequest>(msg.payload);
+  ++req.partitions_visited;
+
+  auto offer = [&](PointId id, double d) {
+    req.rs.push_back(Neighbor{id, d});
+    std::push_heap(req.rs.begin(), req.rs.end(), HeapLess);
+    if (req.rs.size() > req.k) {
+      std::pop_heap(req.rs.begin(), req.rs.end(), HeapLess);
+      req.rs.pop_back();
+    }
+  };
+
+  // Drive the traversal off the frame stack until it drains (answer
+  // the client) or reaches a node hosted elsewhere (forward the whole
+  // work item there, insertion-style).
+  while (!req.stack.empty()) {
+    KnnFrame& frame = req.stack.back();
+    if (frame.partition != p->id()) {
+      cluster_->Forward(msg, frame.partition, p->id());
+      return;
+    }
+    const Partition::PNode& n = p->node(frame.node);
+    if (n.is_dead) {
+      req.stack.pop_back();
+      continue;
+    }
+    if (n.is_leaf) {
+      for (const KdPoint& pt : n.bucket) {
+        offer(pt.id, EuclideanDistance(req.query, pt.coords));
+      }
+      req.stack.pop_back();
+      continue;
+    }
+    double diff = req.query[n.split_dim] - n.split_value;
+    ChildRef near = (diff <= 0.0) ? n.left : n.right;
+    ChildRef far = (diff <= 0.0) ? n.right : n.left;
+    switch (frame.status) {
+      case VisitStatus::kNotVisited: {
+        // Forward visit: descend the near side first.
+        frame.status = VisitStatus::kNearVisited;
+        req.stack.push_back(
+            KnnFrame{near.partition, near.node, VisitStatus::kNotVisited});
+        break;
+      }
+      case VisitStatus::kNearVisited: {
+        // Backward visit: enter the unexplored subtree when the result
+        // set is not full (|Rs| < K) or the splitting plane is closer
+        // than the worst result (the disjunction of §III-B.3).
+        if (req.rs.size() < req.k ||
+            std::fabs(diff) < req.rs.front().distance) {
+          frame.status = VisitStatus::kAllVisited;
+          req.stack.push_back(
+              KnnFrame{far.partition, far.node, VisitStatus::kNotVisited});
+        } else {
+          req.stack.pop_back();
+        }
+        break;
+      }
+      case VisitStatus::kAllVisited: {
+        req.stack.pop_back();
+        break;
+      }
+    }
+  }
+  // Backward visit finished (at the root partition per §III-B.3, since
+  // the bottom frame lives there).
+  KnnResponse resp;
+  resp.rs = std::move(req.rs);
+  resp.partitions_visited = req.partitions_visited;
+  size_t bytes = NeighborBytes(resp.rs.size());
+  cluster_->Respond(msg, MakePayload<KnnResponse>(std::move(resp)),
+                    bytes);
+}
+
+Result<std::vector<Neighbor>> SemTree::KnnSearch(
+    const std::vector<double>& query, size_t k,
+    DistributedSearchStats* stats) const {
+  if (query.size() != options_.dimensions) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (stats) stats->messages_before = cluster_->Stats().messages;
+  KnnRequest req;
+  req.query = query;
+  req.k = k;
+  req.stack.push_back(KnnFrame{0, 0, VisitStatus::kNotVisited});
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(0, kKnnMsg,
+                            MakePayload<KnnRequest>(std::move(req)),
+                            PointBytes(query.size())));
+  auto& resp = PayloadAs<KnnResponse>(payload);
+  std::vector<Neighbor> out = std::move(resp.rs);
+  std::sort(out.begin(), out.end(), HeapLess);
+  if (stats) {
+    stats->messages_after = cluster_->Stats().messages;
+    stats->partitions_visited = resp.partitions_visited;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------
+// Range search (§III-B.4)
+
+void SemTree::RangeLocal(Partition* p, int32_t node,
+                         const std::vector<double>& query, double radius,
+                         std::vector<Neighbor>* out,
+                         std::vector<std::future<Payload>>* remote) const {
+  const Partition::PNode& n = p->node(node);
+  if (n.is_dead) return;
+  if (n.is_leaf) {
+    for (const KdPoint& pt : n.bucket) {
+      double d = EuclideanDistance(query, pt.coords);
+      if (d <= radius) out->push_back(Neighbor{pt.id, d});
+    }
+    return;
+  }
+
+  auto visit = [&](const ChildRef& child) {
+    if (child.partition == p->id()) {
+      RangeLocal(p, child.node, query, radius, out, remote);
+      return;
+    }
+    // Border node: launch the remote subquery and keep navigating —
+    // the remote partitions work in parallel (§III-B.4).
+    RangeRequest req;
+    req.start_node = child.node;
+    req.query = query;
+    req.radius = radius;
+    remote->push_back(cluster_->Call(
+        child.partition, kRangeMsg,
+        MakePayload<RangeRequest>(std::move(req)),
+        PointBytes(query.size()), p->id()));
+  };
+
+  double diff = query[n.split_dim] - n.split_value;
+  if (std::fabs(diff) <= radius) {
+    visit(n.left);
+    visit(n.right);
+  } else if (diff <= 0.0) {
+    visit(n.left);
+  } else {
+    visit(n.right);
+  }
+}
+
+void SemTree::HandleRange(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<RangeRequest>(msg.payload);
+  RangeResponse resp;
+  resp.partitions_visited = 1;
+  std::vector<std::future<Payload>> remote;
+  RangeLocal(p, req.start_node, req.query, req.radius, &resp.results,
+             &remote);
+  // Backward phase: merge the parallel partial result sets.
+  for (std::future<Payload>& f : remote) {
+    Payload payload = f.get();
+    if (payload == nullptr) continue;  // Cluster shut down mid-query.
+    auto& sub = PayloadAs<RangeResponse>(payload);
+    resp.partitions_visited += sub.partitions_visited;
+    resp.results.insert(resp.results.end(), sub.results.begin(),
+                        sub.results.end());
+  }
+  size_t bytes = NeighborBytes(resp.results.size());
+  cluster_->Respond(msg, MakePayload<RangeResponse>(std::move(resp)),
+                    bytes);
+}
+
+Result<std::vector<Neighbor>> SemTree::RangeSearch(
+    const std::vector<double>& query, double radius,
+    DistributedSearchStats* stats) const {
+  if (query.size() != options_.dimensions) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (radius < 0.0) {
+    return Status::InvalidArgument("radius must be non-negative");
+  }
+  if (stats) stats->messages_before = cluster_->Stats().messages;
+  RangeRequest req;
+  req.start_node = 0;
+  req.query = query;
+  req.radius = radius;
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(0, kRangeMsg,
+                            MakePayload<RangeRequest>(std::move(req)),
+                            PointBytes(query.size())));
+  auto& resp = PayloadAs<RangeResponse>(payload);
+  std::vector<Neighbor> out = std::move(resp.results);
+  std::sort(out.begin(), out.end(), HeapLess);
+  if (stats) {
+    stats->messages_after = cluster_->Stats().messages;
+    stats->partitions_visited = resp.partitions_visited;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------
+// Stats & invariants
+
+void SemTree::HandleStats(Partition* p, const Message& msg) {
+  StatsResponse resp;
+  resp.stats = p->Stats();
+  cluster_->Respond(msg, MakePayload<StatsResponse>(std::move(resp)),
+                    sizeof(PartitionStats));
+}
+
+std::vector<PartitionStats> SemTree::AllPartitionStats() const {
+  size_t count = PartitionCount();
+  std::vector<PartitionStats> out;
+  out.reserve(count);
+  for (size_t id = 0; id < count; ++id) {
+    auto payload = cluster_->CallAndWait(
+        static_cast<NodeId>(id), kStatsMsg,
+        MakePayload<StatsRequest>(StatsRequest{}), 16);
+    if (!payload.ok()) continue;
+    out.push_back(PayloadAs<StatsResponse>(*payload).stats);
+  }
+  return out;
+}
+
+Status SemTree::CheckInvariants() const {
+  // Direct-memory traversal; only sound when the tree is quiescent.
+  struct Bound {
+    uint32_t dim;
+    bool is_upper;  // true: coord <= value; false: coord > value.
+    double value;
+  };
+  struct Frame {
+    ChildRef ref;
+    std::vector<Bound> bounds;
+  };
+  size_t seen_points = 0;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{ChildRef{0, 0}, {}});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    Partition* p = partition(f.ref.partition);
+    if (p == nullptr) {
+      return Status::Corruption("child reference to unknown partition");
+    }
+    if (f.ref.node < 0 ||
+        static_cast<size_t>(f.ref.node) >= p->arena_size()) {
+      return Status::Corruption("child node index out of range");
+    }
+    const Partition::PNode& n = p->node(f.ref.node);
+    if (n.is_dead) {
+      return Status::Corruption("live edge points at a dead node");
+    }
+    if (n.is_leaf) {
+      for (const KdPoint& pt : n.bucket) {
+        ++seen_points;
+        if (pt.coords.size() != options_.dimensions) {
+          return Status::Corruption("stored point dimension mismatch");
+        }
+        for (const Bound& b : f.bounds) {
+          double c = pt.coords[b.dim];
+          if (b.is_upper ? (c > b.value) : (c <= b.value)) {
+            return Status::Corruption(StringPrintf(
+                "point %llu escapes its region (partition %d)",
+                (unsigned long long)pt.id, p->id()));
+          }
+        }
+      }
+      continue;
+    }
+    if (!n.bucket.empty()) {
+      return Status::Corruption("routing node holds points");
+    }
+    Frame left{n.left, f.bounds};
+    left.bounds.push_back(Bound{n.split_dim, true, n.split_value});
+    Frame right{n.right, std::move(f.bounds)};
+    right.bounds.push_back(Bound{n.split_dim, false, n.split_value});
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  if (seen_points != size()) {
+    return Status::Corruption(
+        StringPrintf("size() is %zu but %zu points reachable", size(),
+                     seen_points));
+  }
+  size_t partition_sum = 0;
+  for (size_t id = 0; id < PartitionCount(); ++id) {
+    partition_sum += partition(static_cast<int32_t>(id))->points();
+  }
+  if (partition_sum != seen_points) {
+    return Status::Corruption("per-partition point counts disagree");
+  }
+  return Status::OK();
+}
+
+}  // namespace semtree

@@ -1,0 +1,187 @@
+// Copyright 2026 The SemTree Authors
+//
+// SemTree: the distributed KD-tree of the paper (§III-B). The tree is
+// split into partitions, each hosted by a compute node of the simulated
+// cluster; navigation crosses partitions only through messages.
+//
+// Protocol (paper §III-B.1–4):
+//  * Insert — starts at the root node of the root partition; navigation
+//    compares P[Sr] with Sv. When the target child lives in another
+//    partition (Cp != Childp), the request is *forwarded* there; the
+//    final partition answers the client directly. Saturated leaf
+//    buckets split into two local children (Fig. 1).
+//  * Build partition — when a partition's resource condition trips,
+//    every local leaf is migrated to a newly created partition and a
+//    direct link is installed (Fig. 2); some partitions end up pure
+//    routing, others store data.
+//  * K-nearest — forward navigation to a leaf, then a backward visit
+//    deciding for each node whether the unexplored subtree must be
+//    entered: |max(Rs) - P| > |P[Sr] - Sv| or |Rs| < K. The traversal
+//    state — the result set Rs, and per-node status S in
+//    {Not Visited, near-side Visited, All Visited} (Table I) — travels
+//    inside the message, which is *forwarded* between partitions like
+//    an insertion; no compute node blocks on another, so concurrent
+//    queries pipeline across the cluster.
+//  * Range — descends both children when |P[Sr] - Sv| <= D; on edge
+//    nodes the remote subqueries run in parallel and the partial result
+//    sets are merged during the backward phase.
+
+#ifndef SEMTREE_SEMTREE_SEMTREE_H_
+#define SEMTREE_SEMTREE_SEMTREE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "kdtree/kdtree.h"
+#include "semtree/partition.h"
+
+namespace semtree {
+
+/// Resource condition deciding when a partition is saturated
+/// (paper §III-B.1: "dynamically evaluated at run-time ... or
+/// statically fixed").
+using SaturationCondition = std::function<bool(const PartitionStats&)>;
+
+struct SemTreeOptions {
+  /// Dimensionality of the embedded space.
+  size_t dimensions = 8;
+
+  /// Leaf bucket capacity Bs.
+  size_t bucket_size = 32;
+
+  /// Upper bound on partitions (compute nodes). 1 = fully local tree.
+  size_t max_partitions = 1;
+
+  /// Static resource condition: a partition saturates when it stores
+  /// at least this many points. Ignored if `saturation` is set.
+  size_t partition_capacity = SIZE_MAX;
+
+  /// Optional dynamic resource condition overriding the static one.
+  SaturationCondition saturation;
+
+  /// One-way network latency of the simulated interconnect.
+  std::chrono::microseconds network_latency{0};
+
+  /// Interconnect bandwidth (bytes/us); 0 = infinite.
+  double bandwidth_bytes_per_us = 0.0;
+};
+
+/// Outcome counters for a distributed search (network cost included).
+struct DistributedSearchStats {
+  size_t partitions_visited = 0;
+  uint64_t messages_before = 0;
+  uint64_t messages_after = 0;
+};
+
+/// The distributed index. Create once, then use from any thread:
+/// partition state is only ever touched by its compute node's worker.
+class SemTree {
+ public:
+  /// Builds an empty SemTree (one root partition on one compute node).
+  static Result<std::unique_ptr<SemTree>> Create(SemTreeOptions options);
+
+  ~SemTree();
+  SemTree(const SemTree&) = delete;
+  SemTree& operator=(const SemTree&) = delete;
+
+  /// Inserts one point (distributed insertion, §III-B.1). Triggers
+  /// build-partition when the receiving partition saturates.
+  Status Insert(const std::vector<double>& coords, PointId id);
+
+  /// Inserts many points using `client_threads` concurrent clients
+  /// ("using M-1 data partitions we can perform M-1 parallel
+  /// operations", §III-C).
+  Status BulkInsert(const std::vector<KdPoint>& points,
+                    size_t client_threads = 1);
+
+  /// Bulk loads an *empty* tree ("Kd-trees are more efficient in
+  /// bulk-loading situations", §III-B): the corpus is median-split
+  /// client-side into one region per available data partition, every
+  /// region is built as a balanced subtree on its own compute node in
+  /// parallel, and the routing skeleton is installed in the root
+  /// partition. Fails with FailedPrecondition on a non-empty tree.
+  Status BulkLoadBalanced(std::vector<KdPoint> points);
+
+  /// Removes a stored point (extension; the paper leaves deletion as
+  /// future work, noting Kd-tree modification is "non-trivial"). The
+  /// request is forwarded across partitions exactly like an insertion;
+  /// the point is erased from its leaf bucket and the routing
+  /// structure is retained. Returns NotFound if absent.
+  Status Remove(const std::vector<double>& coords, PointId id);
+
+  /// Distributed k-nearest query (§III-B.3). Results sorted by
+  /// ascending distance, ties by id.
+  Result<std::vector<Neighbor>> KnnSearch(
+      const std::vector<double>& query, size_t k,
+      DistributedSearchStats* stats = nullptr) const;
+
+  /// Distributed range query (§III-B.4).
+  Result<std::vector<Neighbor>> RangeSearch(
+      const std::vector<double>& query, double radius,
+      DistributedSearchStats* stats = nullptr) const;
+
+  /// Total points stored across partitions.
+  size_t size() const { return total_points_.load(); }
+
+  size_t PartitionCount() const;
+  const SemTreeOptions& options() const { return options_; }
+
+  /// Per-partition statistics, fetched over the message protocol.
+  std::vector<PartitionStats> AllPartitionStats() const;
+
+  /// Interconnect statistics.
+  ClusterStats NetworkStats() const { return cluster_->Stats(); }
+
+  /// Structural check across all partitions: every stored point lies
+  /// inside the region induced by its ancestors' splits (including
+  /// cross-partition edges), and point counts reconcile. Must only be
+  /// called when no operations are in flight.
+  Status CheckInvariants() const;
+
+ private:
+  explicit SemTree(SemTreeOptions options);
+
+  /// Allocates a new partition + compute node; -1 if max_partitions
+  /// is reached. Thread-safe.
+  int32_t CreatePartition();
+  void RegisterHandlers(Partition* partition, ComputeNode* node);
+
+  Partition* partition(int32_t id) const;
+  bool IsSaturated(const Partition& partition) const;
+
+  // Message handlers (run on the owning partition's worker thread).
+  void HandleInsert(Partition* p, const Message& msg);
+  void HandleRemove(Partition* p, const Message& msg);
+  void HandleKnn(Partition* p, const Message& msg);
+  void HandleRange(Partition* p, const Message& msg);
+  void HandleBuildPartition(Partition* p, const Message& msg);
+  void HandleAdoptLeaf(Partition* p, const Message& msg);
+  void HandleStats(Partition* p, const Message& msg);
+  void HandleBulkBuild(Partition* p, const Message& msg);
+  void HandleInstallTopology(Partition* p, const Message& msg);
+
+  // Local recursion used by the range handler (k-NN is fully
+  // stack-driven inside HandleKnn).
+  void RangeLocal(Partition* p, int32_t node,
+                  const std::vector<double>& query, double radius,
+                  std::vector<Neighbor>* out,
+                  std::vector<std::future<Payload>>* remote) const;
+
+  SemTreeOptions options_;
+  std::unique_ptr<Cluster> cluster_;
+
+  mutable std::mutex partitions_mu_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+
+  std::atomic<size_t> total_points_{0};
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_SEMTREE_SEMTREE_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The SemTree Authors
+
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace semtree {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '_';
+}
+
+std::vector<std::string> TokenizeImpl(std::string_view sentence,
+                                      bool lowercase) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < sentence.size()) {
+    while (i < sentence.size() && !IsWordChar(sentence[i])) ++i;
+    size_t start = i;
+    while (i < sentence.size() && IsWordChar(sentence[i])) ++i;
+    if (i > start) {
+      std::string word(sentence.substr(start, i - start));
+      if (lowercase) word = ToLower(word);
+      tokens.push_back(std::move(word));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    bool boundary = i == text.size() || text[i] == '.' || text[i] == '!' ||
+                    text[i] == '?';
+    if (!boundary) continue;
+    std::string_view piece = Trim(text.substr(start, i - start));
+    if (!piece.empty()) sentences.emplace_back(piece);
+    start = i + 1;
+  }
+  return sentences;
+}
+
+std::vector<std::string> Tokenize(std::string_view sentence) {
+  return TokenizeImpl(sentence, /*lowercase=*/true);
+}
+
+std::vector<std::string> TokenizePreservingCase(std::string_view sentence) {
+  return TokenizeImpl(sentence, /*lowercase=*/false);
+}
+
+}  // namespace semtree

@@ -1,0 +1,31 @@
+// Copyright 2026 The SemTree Authors
+//
+// A small sentence/word tokenizer used by the requirements triple
+// extractor (src/nlp). Deliberately simple: the paper treats NLP triple
+// extraction as an external facility ([6]); we only need enough to parse
+// the controlled natural language of requirement sentences.
+
+#ifndef SEMTREE_TEXT_TOKENIZER_H_
+#define SEMTREE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semtree {
+
+/// Splits text into sentences on '.', '!', '?' (keeping abbreviations is
+/// out of scope for the controlled requirements language).
+std::vector<std::string> SplitSentences(std::string_view text);
+
+/// Splits a sentence into lowercase word tokens; punctuation is dropped,
+/// but '-', '_' and digits are kept inside words (identifiers such as
+/// "OBSW001" and parameters such as "start-up" survive intact).
+std::vector<std::string> Tokenize(std::string_view sentence);
+
+/// Same as Tokenize but preserves the original casing.
+std::vector<std::string> TokenizePreservingCase(std::string_view sentence);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_TEXT_TOKENIZER_H_

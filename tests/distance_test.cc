@@ -1,0 +1,328 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for src/distance: Eq. (1) semantics, element dispatch, the
+// caching wrapper, distance matrices and the metric audit.
+
+#include <gtest/gtest.h>
+
+#include "distance/distance_matrix.h"
+#include "distance/element_distance.h"
+#include "distance/metric_audit.h"
+#include "distance/triple_distance.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+namespace {
+
+// ---------------------------------------------------------------------
+// Weights
+
+TEST(WeightsTest, DefaultIsValidUniform) {
+  TripleDistanceWeights w;
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_NEAR(w.alpha + w.beta + w.gamma, 1.0, 1e-12);
+}
+
+TEST(WeightsTest, RejectsBadWeights) {
+  TripleDistanceWeights w{0.5, 0.5, 0.5};
+  EXPECT_TRUE(w.Validate().IsInvalidArgument());
+  TripleDistanceWeights neg{-0.2, 0.6, 0.6};
+  EXPECT_TRUE(neg.Validate().IsInvalidArgument());
+}
+
+TEST(WeightsTest, DegenerateButValidExtremes) {
+  TripleDistanceWeights w{1.0, 0.0, 0.0};
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+// ---------------------------------------------------------------------
+// Element distance
+
+class ElementDistanceTest : public ::testing::Test {
+ protected:
+  ElementDistanceTest() : vocab_(RequirementsVocabulary()) {}
+  Taxonomy vocab_;
+};
+
+TEST_F(ElementDistanceTest, LiteralsUseStringDistance) {
+  ElementDistance dist(&vocab_, {});
+  EXPECT_DOUBLE_EQ(dist(Term::Literal("OBSW001"), Term::Literal("OBSW001")),
+                   0.0);
+  double d = dist(Term::Literal("OBSW001"), Term::Literal("OBSW002"));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 0.2);  // One character out of seven differs.
+}
+
+TEST_F(ElementDistanceTest, ConceptsUseTaxonomy) {
+  ElementDistance dist(&vocab_, {});
+  double same_family = dist(Term::Concept("accept_cmd", "Fun"),
+                            Term::Concept("block_cmd", "Fun"));
+  double cross_family = dist(Term::Concept("accept_cmd", "Fun"),
+                             Term::Concept("power_on", "Fun"));
+  EXPECT_LT(same_family, cross_family);
+  EXPECT_DOUBLE_EQ(dist(Term::Concept("accept_cmd"),
+                        Term::Concept("accept_cmd")),
+                   0.0);
+}
+
+TEST_F(ElementDistanceTest, SynonymsAreZeroDistance) {
+  ElementDistance dist(&vocab_, {});
+  EXPECT_DOUBLE_EQ(
+      dist(Term::Concept("reject_cmd"), Term::Concept("block_cmd")), 0.0);
+}
+
+TEST_F(ElementDistanceTest, MixedKindsGetMaxDistance) {
+  ElementDistance dist(&vocab_, {});
+  EXPECT_DOUBLE_EQ(
+      dist(Term::Literal("accept_cmd"), Term::Concept("accept_cmd")), 1.0);
+}
+
+TEST_F(ElementDistanceTest, MixedKindDistanceConfigurable) {
+  ElementDistanceOptions opts;
+  opts.mixed_kind_distance = 0.5;
+  ElementDistance dist(&vocab_, opts);
+  EXPECT_DOUBLE_EQ(dist(Term::Literal("x"), Term::Concept("y")), 0.5);
+}
+
+TEST_F(ElementDistanceTest, UnknownConceptsFallBackToStrings) {
+  ElementDistance dist(&vocab_, {});
+  double d = dist(Term::Concept("not_in_vocab_a"),
+                  Term::Concept("not_in_vocab_b"));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+  EXPECT_DOUBLE_EQ(
+      dist(Term::Concept("zzz_unknown"), Term::Concept("zzz_unknown")),
+      0.0);
+}
+
+TEST_F(ElementDistanceTest, AlternativeMeasuresSelectable) {
+  for (SimilarityMeasure m :
+       {SimilarityMeasure::kPath, SimilarityMeasure::kResnik,
+        SimilarityMeasure::kLin, SimilarityMeasure::kLeacockChodorow}) {
+    ElementDistanceOptions opts;
+    opts.concept_measure = m;
+    ElementDistance dist(&vocab_, opts);
+    double d = dist(Term::Concept("accept_cmd"),
+                    Term::Concept("block_cmd"));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Triple distance (Eq. 1)
+
+class TripleDistanceTest : public ::testing::Test {
+ protected:
+  TripleDistanceTest() : vocab_(RequirementsVocabulary()) {}
+
+  static Triple Req(const std::string& actor, const std::string& fn,
+                    const std::string& param) {
+    return Triple(Term::Literal(actor), Term::Concept(fn, "Fun"),
+                  Term::Concept(param, "Type"));
+  }
+
+  Taxonomy vocab_;
+};
+
+TEST_F(TripleDistanceTest, MakeRejectsNullTaxonomyAndBadWeights) {
+  EXPECT_FALSE(TripleDistance::Make(nullptr).ok());
+  EXPECT_FALSE(
+      TripleDistance::Make(&vocab_, TripleDistanceWeights{1, 1, 1}).ok());
+}
+
+TEST_F(TripleDistanceTest, IdentityAndSymmetry) {
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW002", "send_msg", "heartbeat");
+  EXPECT_DOUBLE_EQ((*dist)(a, a), 0.0);
+  EXPECT_DOUBLE_EQ((*dist)(a, b), (*dist)(b, a));
+}
+
+TEST_F(TripleDistanceTest, WeightedCompositionMatchesComponents) {
+  TripleDistanceWeights w{0.5, 0.3, 0.2};
+  auto dist = TripleDistance::Make(&vocab_, w);
+  ASSERT_TRUE(dist.ok());
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW009", "block_cmd", "reset");
+  auto c = dist->ComponentDistances(a, b);
+  EXPECT_NEAR((*dist)(a, b),
+              0.5 * c.subject + 0.3 * c.predicate + 0.2 * c.object, 1e-12);
+}
+
+TEST_F(TripleDistanceTest, InconsistentPairCloserThanUnrelated) {
+  // The heart of the case study: the target triple (antonymic
+  // predicate, same subject/object) must be much closer to the
+  // contradicting requirement than to unrelated requirements.
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  Triple original = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple target = Req("OBSW001", "block_cmd", "startup_cmd");
+  Triple unrelated = Req("OBSW044", "dump_data", "science_archive");
+  EXPECT_LT((*dist)(target, original), (*dist)(target, unrelated));
+  // Only the predicate differs, so d <= beta * 1.
+  EXPECT_LE((*dist)(target, original), 1.0 / 3.0 + 1e-12);
+}
+
+TEST_F(TripleDistanceTest, ZeroWeightIgnoresPosition) {
+  TripleDistanceWeights w{0.0, 1.0, 0.0};
+  auto dist = TripleDistance::Make(&vocab_, w);
+  ASSERT_TRUE(dist.ok());
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("ZZZZZZZ", "accept_cmd", "heartbeat");
+  EXPECT_DOUBLE_EQ((*dist)(a, b), 0.0);  // Same predicate, rest ignored.
+}
+
+TEST_F(TripleDistanceTest, RangeAlwaysUnitInterval) {
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 5,
+                                            .seed = 5});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  for (size_t i = 0; i < triples->size(); ++i) {
+    for (size_t j = 0; j < triples->size(); j += 7) {
+      double d = (*dist)((*triples)[i], (*triples)[j]);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Caching wrapper
+
+TEST_F(TripleDistanceTest, CachingAgreesWithBase) {
+  auto base = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(base.ok());
+  CachingTripleDistance cached(*base);
+  RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 3,
+                                            .seed = 11});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  for (size_t i = 0; i < triples->size(); ++i) {
+    for (size_t j = i; j < triples->size(); j += 5) {
+      EXPECT_DOUBLE_EQ(cached((*triples)[i], (*triples)[j]),
+                       (*base)((*triples)[i], (*triples)[j]));
+    }
+  }
+  EXPECT_GT(cached.hits(), 0u);
+  EXPECT_GT(cached.misses(), 0u);
+}
+
+TEST_F(TripleDistanceTest, CachingIsSymmetric) {
+  auto base = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(base.ok());
+  CachingTripleDistance cached(*base);
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW002", "block_cmd", "reset");
+  double ab = cached(a, b);
+  uint64_t misses = cached.misses();
+  double ba = cached(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_EQ(cached.misses(), misses);  // Reverse order is all cache hits.
+}
+
+// ---------------------------------------------------------------------
+// Distance matrix
+
+TEST_F(TripleDistanceTest, MatrixMatchesDirectComputation) {
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 2,
+                                            .seed = 21});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  TripleDistanceFn fn = *dist;
+  DistanceMatrix m(*triples, fn, /*threads=*/1);
+  ASSERT_EQ(m.size(), triples->size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, i), 0.0);
+    for (size_t j = 0; j < m.size(); j += 3) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), fn((*triples)[i], (*triples)[j]));
+      EXPECT_DOUBLE_EQ(m.At(i, j), m.At(j, i));
+    }
+  }
+  EXPECT_GE(m.Max(), m.Mean());
+}
+
+TEST_F(TripleDistanceTest, ParallelMatrixEqualsSequential) {
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 2,
+                                            .seed = 23});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  TripleDistanceFn fn = *dist;
+  DistanceMatrix seq(*triples, fn, 1);
+  DistanceMatrix par(*triples, fn, 4);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    for (size_t j = 0; j < seq.size(); ++j) {
+      EXPECT_DOUBLE_EQ(seq.At(i, j), par.At(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, DegenerateSizes) {
+  Taxonomy vocab = RequirementsVocabulary();
+  auto dist = TripleDistance::Make(&vocab);
+  ASSERT_TRUE(dist.ok());
+  TripleDistanceFn fn = *dist;
+  DistanceMatrix empty({}, fn);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+  std::vector<Triple> one = {Triple(Term::Literal("a"), Term::Concept("b"),
+                                    Term::Concept("c"))};
+  DistanceMatrix single(one, fn);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single.At(0, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Metric audit
+
+TEST_F(TripleDistanceTest, AuditFindsNoBasicViolations) {
+  auto dist = TripleDistance::Make(&vocab_);
+  ASSERT_TRUE(dist.ok());
+  RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 4,
+                                            .seed = 31});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  MetricAuditReport report = AuditMetric(*triples, *dist, 20000);
+  EXPECT_EQ(report.identity_violations, 0u);
+  EXPECT_EQ(report.symmetry_violations, 0u);
+  EXPECT_EQ(report.range_violations, 0u);
+  // The taxonomy-based distance may violate the triangle inequality in
+  // rare corners; the excess must stay small (FastMap clamps it).
+  EXPECT_LE(report.worst_triangle_excess, 0.75);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(MetricAuditTest, DetectsAsymmetricDistance) {
+  std::vector<Triple> triples = {
+      Triple(Term::Literal("a"), Term::Concept("p"), Term::Concept("x")),
+      Triple(Term::Literal("b"), Term::Concept("p"), Term::Concept("x")),
+  };
+  // A deliberately broken distance: asymmetric and out of range.
+  TripleDistanceFn broken = [](const Triple& a, const Triple& b) {
+    if (a.subject.value() < b.subject.value()) return 2.0;
+    if (a.subject.value() > b.subject.value()) return 0.25;
+    return 0.0;
+  };
+  MetricAuditReport report = AuditMetric(triples, broken, 500);
+  EXPECT_GT(report.symmetry_violations, 0u);
+  EXPECT_GT(report.range_violations, 0u);
+  EXPECT_FALSE(report.IsMetricOnSample());
+}
+
+TEST(MetricAuditTest, EmptyInputIsTrivially) {
+  TripleDistanceFn zero = [](const Triple&, const Triple&) { return 0.0; };
+  MetricAuditReport report = AuditMetric({}, zero, 100);
+  EXPECT_EQ(report.points, 0u);
+  EXPECT_TRUE(report.IsMetricOnSample());
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,258 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for src/fastmap. Strategy: (a) exact recovery properties on
+// genuinely Euclidean inputs, (b) behavioural properties (pivot spread,
+// query projection consistency) on the semantic triple distance.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/triple_distance.h"
+#include "fastmap/fastmap.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+namespace {
+
+// Distance oracle over a synthetic Euclidean point set.
+class EuclideanOracle {
+ public:
+  EuclideanOracle(size_t n, size_t dims, uint64_t seed) {
+    Rng rng(seed);
+    points_.resize(n);
+    for (auto& p : points_) {
+      p.resize(dims);
+      for (double& c : p) c = rng.UniformDouble(-10.0, 10.0);
+    }
+  }
+
+  double operator()(size_t i, size_t j) const {
+    double sum = 0.0;
+    for (size_t d = 0; d < points_[i].size(); ++d) {
+      double diff = points_[i][d] - points_[j][d];
+      sum += diff * diff;
+    }
+    return std::sqrt(sum);
+  }
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<std::vector<double>> points_;
+};
+
+TEST(FastMapTest, RejectsBadArguments) {
+  IndexDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  EXPECT_FALSE(FastMap::Train(0, zero, {}).ok());
+  FastMapOptions no_dims;
+  no_dims.dimensions = 0;
+  EXPECT_FALSE(FastMap::Train(3, zero, no_dims).ok());
+  EXPECT_FALSE(FastMap::Train(3, nullptr, {}).ok());
+}
+
+TEST(FastMapTest, SinglePointEmbedsAtOrigin) {
+  IndexDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  auto fm = FastMap::Train(1, zero, {});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_EQ(fm->size(), 1u);
+  EXPECT_EQ(fm->effective_dimensions(), 0u);
+  for (double c : fm->Coordinates(0)) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(FastMapTest, IdenticalPointsAreDegenerate) {
+  IndexDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  auto fm = FastMap::Train(10, zero, {});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_EQ(fm->effective_dimensions(), 0u);
+  EXPECT_DOUBLE_EQ(
+      FastMap::EmbeddedDistance(fm->Coordinates(3), fm->Coordinates(7)),
+      0.0);
+}
+
+TEST(FastMapTest, TwoPointsPreserveTheirDistance) {
+  IndexDistanceFn d = [](size_t i, size_t j) {
+    return i == j ? 0.0 : 5.0;
+  };
+  FastMapOptions opts;
+  opts.dimensions = 3;
+  auto fm = FastMap::Train(2, d, opts);
+  ASSERT_TRUE(fm.ok());
+  EXPECT_NEAR(
+      FastMap::EmbeddedDistance(fm->Coordinates(0), fm->Coordinates(1)),
+      5.0, 1e-9);
+}
+
+TEST(FastMapTest, RecoversEuclideanDistancesExactly) {
+  // Points drawn from R^4, embedded with k=4: FastMap recovers the
+  // pairwise distances (it is exact when k matches the intrinsic
+  // dimensionality of a Euclidean input).
+  const size_t kDims = 4;
+  EuclideanOracle oracle(60, kDims, 7);
+  FastMapOptions opts;
+  opts.dimensions = kDims;
+  auto fm = FastMap::Train(oracle.size(),
+                           [&](size_t i, size_t j) { return oracle(i, j); },
+                           opts);
+  ASSERT_TRUE(fm.ok());
+  double worst = 0.0;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    for (size_t j = i + 1; j < oracle.size(); ++j) {
+      double emb = FastMap::EmbeddedDistance(fm->Coordinates(i),
+                                             fm->Coordinates(j));
+      worst = std::max(worst, std::fabs(emb - oracle(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+TEST(FastMapTest, EmbeddedDistanceNeverExceedsOriginalOnEuclidean) {
+  // With fewer axes than the intrinsic dimension the embedding is a
+  // projection: distances can only shrink.
+  EuclideanOracle oracle(80, 6, 11);
+  FastMapOptions opts;
+  opts.dimensions = 3;
+  auto fm = FastMap::Train(oracle.size(),
+                           [&](size_t i, size_t j) { return oracle(i, j); },
+                           opts);
+  ASSERT_TRUE(fm.ok());
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    for (size_t j = i + 1; j < oracle.size(); j += 3) {
+      double emb = FastMap::EmbeddedDistance(fm->Coordinates(i),
+                                             fm->Coordinates(j));
+      EXPECT_LE(emb, oracle(i, j) + 1e-6);
+    }
+  }
+}
+
+TEST(FastMapTest, MoreDimensionsReduceStress) {
+  EuclideanOracle oracle(120, 8, 13);
+  IndexDistanceFn d = [&](size_t i, size_t j) { return oracle(i, j); };
+  double prev = 1e18;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    FastMapOptions opts;
+    opts.dimensions = k;
+    auto fm = FastMap::Train(oracle.size(), d, opts);
+    ASSERT_TRUE(fm.ok());
+    double stress = fm->SampleStress(d, 4000);
+    EXPECT_LE(stress, prev + 1e-9) << "k=" << k;
+    prev = stress;
+  }
+  EXPECT_LT(prev, 1e-6);  // k=8 matches the intrinsic dimension.
+}
+
+TEST(FastMapTest, ProjectMapsTrainingPointsOntoThemselves) {
+  EuclideanOracle oracle(40, 4, 17);
+  IndexDistanceFn d = [&](size_t i, size_t j) { return oracle(i, j); };
+  FastMapOptions opts;
+  opts.dimensions = 4;
+  auto fm = FastMap::Train(oracle.size(), d, opts);
+  ASSERT_TRUE(fm.ok());
+  // Re-projecting a training object through the query path must land on
+  // its training coordinates.
+  for (size_t q = 0; q < oracle.size(); q += 5) {
+    std::vector<double> projected =
+        fm->Project([&](size_t train) { return oracle(q, train); });
+    std::vector<double> trained = fm->Coordinates(q);
+    ASSERT_EQ(projected.size(), trained.size());
+    for (size_t axis = 0; axis < projected.size(); ++axis) {
+      EXPECT_NEAR(projected[axis], trained[axis], 1e-6) << "axis " << axis;
+    }
+  }
+}
+
+TEST(FastMapTest, DeterministicForSameSeed) {
+  EuclideanOracle oracle(50, 5, 19);
+  IndexDistanceFn d = [&](size_t i, size_t j) { return oracle(i, j); };
+  FastMapOptions opts;
+  opts.dimensions = 4;
+  opts.seed = 99;
+  auto a = FastMap::Train(oracle.size(), d, opts);
+  auto b = FastMap::Train(oracle.size(), d, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->flat_coordinates(), b->flat_coordinates());
+  EXPECT_EQ(a->pivots(), b->pivots());
+}
+
+TEST(FastMapTest, PivotsAreDistinctPerAxis) {
+  EuclideanOracle oracle(50, 5, 23);
+  FastMapOptions opts;
+  opts.dimensions = 5;
+  auto fm = FastMap::Train(oracle.size(),
+                           [&](size_t i, size_t j) { return oracle(i, j); },
+                           opts);
+  ASSERT_TRUE(fm.ok());
+  for (auto [a, b] : fm->pivots()) EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------
+// On the semantic triple distance
+
+class FastMapSemanticTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = RequirementsVocabulary();
+    RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 20,
+                                              .seed = 29});
+    auto triples = gen.GenerateTriples();
+    ASSERT_TRUE(triples.ok());
+    triples_ = std::move(*triples);
+    auto dist = TripleDistance::Make(&vocab_);
+    ASSERT_TRUE(dist.ok());
+    distance_ = std::make_unique<TripleDistance>(std::move(*dist));
+  }
+
+  Taxonomy vocab_;
+  std::vector<Triple> triples_;
+  std::unique_ptr<TripleDistance> distance_;
+};
+
+TEST_F(FastMapSemanticTest, EmbedsTriplesWithModerateStress) {
+  IndexDistanceFn d = [&](size_t i, size_t j) {
+    return (*distance_)(triples_[i], triples_[j]);
+  };
+  FastMapOptions opts;
+  opts.dimensions = 8;
+  auto fm = FastMap::Train(triples_.size(), d, opts);
+  ASSERT_TRUE(fm.ok());
+  EXPECT_GT(fm->effective_dimensions(), 0u);
+  // Distances live in [0,1]; the embedding should track them well below
+  // the trivial error level.
+  EXPECT_LT(fm->SampleStress(d, 5000), 0.25);
+}
+
+TEST_F(FastMapSemanticTest, SimilarTriplesEmbedCloserThanDissimilar) {
+  IndexDistanceFn d = [&](size_t i, size_t j) {
+    return (*distance_)(triples_[i], triples_[j]);
+  };
+  FastMapOptions opts;
+  opts.dimensions = 8;
+  auto fm = FastMap::Train(triples_.size(), d, opts);
+  ASSERT_TRUE(fm.ok());
+  // Rank correlation on a sample: for random triples (a, b, c) with
+  // d(a,b) much smaller than d(a,c), the embedded order should agree
+  // most of the time.
+  Rng rng(31);
+  size_t agree = 0, total = 0;
+  for (int s = 0; s < 3000; ++s) {
+    size_t a = rng.Uniform(triples_.size());
+    size_t b = rng.Uniform(triples_.size());
+    size_t c = rng.Uniform(triples_.size());
+    double dab = d(a, b), dac = d(a, c);
+    if (std::fabs(dab - dac) < 0.2) continue;  // Only clear-cut cases.
+    double eab = FastMap::EmbeddedDistance(fm->Coordinates(a),
+                                           fm->Coordinates(b));
+    double eac = FastMap::EmbeddedDistance(fm->Coordinates(a),
+                                           fm->Coordinates(c));
+    agree += ((dab < dac) == (eab < eac));
+    ++total;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(agree) / total, 0.85);
+}
+
+}  // namespace
+}  // namespace semtree

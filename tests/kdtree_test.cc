@@ -1,0 +1,239 @@
+// Copyright 2026 The SemTree Authors
+//
+// Unit tests for the sequential KD-tree and the linear-scan baseline.
+// (Randomized equivalence sweeps live in kdtree_property_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kdtree/kdtree.h"
+#include "kdtree/linear_scan.h"
+
+namespace semtree {
+namespace {
+
+std::vector<KdPoint> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i].id = i;
+    points[i].coords.resize(dims);
+    for (double& c : points[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return points;
+}
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(KdTreeTest, EmptyTreeBehaviour) {
+  KdTree tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.KnnSearch({0, 0, 0}, 5).empty());
+  EXPECT_TRUE(tree.RangeSearch({0, 0, 0}, 1.0).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.Depth(), 0u);
+}
+
+TEST(KdTreeTest, InsertRejectsWrongDimensionality) {
+  KdTree tree(3);
+  EXPECT_TRUE(tree.Insert({1.0, 2.0}, 0).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert({1, 2, 3, 4}, 0).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert({1, 2, 3}, 0).ok());
+}
+
+TEST(KdTreeTest, SingleLeafUntilBucketOverflows) {
+  KdTreeOptions opts;
+  opts.bucket_size = 4;
+  KdTree tree(2, opts);
+  for (PointId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tree.Insert({double(i), 0.0}, i).ok());
+  }
+  EXPECT_EQ(tree.NodeCount(), 1u);  // Still one leaf.
+  ASSERT_TRUE(tree.Insert({4.0, 0.0}, 4).ok());
+  EXPECT_EQ(tree.NodeCount(), 3u);  // Split into routing + 2 leaves.
+  EXPECT_EQ(tree.LeafCount(), 2u);
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(KdTreeTest, DuplicatePointsOverflowWithoutSplit) {
+  KdTreeOptions opts;
+  opts.bucket_size = 2;
+  KdTree tree(2, opts);
+  for (PointId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert({1.0, 1.0}, i).ok());
+  }
+  EXPECT_EQ(tree.NodeCount(), 1u);  // Identical points cannot separate.
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  auto hits = tree.KnnSearch({1.0, 1.0}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+}
+
+TEST(KdTreeTest, KnnExactOnSmallHandmadeSet) {
+  KdTree tree(2, {.bucket_size = 1});
+  ASSERT_TRUE(tree.Insert({0, 0}, 0).ok());
+  ASSERT_TRUE(tree.Insert({1, 0}, 1).ok());
+  ASSERT_TRUE(tree.Insert({0, 2}, 2).ok());
+  ASSERT_TRUE(tree.Insert({5, 5}, 3).ok());
+  auto hits = tree.KnnSearch({0.1, 0.0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_LE(hits[0].distance, hits[1].distance);
+}
+
+TEST(KdTreeTest, KnnReturnsAllWhenKExceedsSize) {
+  KdTree tree(2);
+  for (PointId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree.Insert({double(i), double(i)}, i).ok());
+  }
+  EXPECT_EQ(tree.KnnSearch({0, 0}, 100).size(), 5u);
+  EXPECT_TRUE(tree.KnnSearch({0, 0}, 0).empty());
+}
+
+TEST(KdTreeTest, RangeRadiusSemantics) {
+  KdTree tree(1, {.bucket_size = 2});
+  for (PointId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert({double(i)}, i).ok());
+  }
+  // Radius exactly on a point's distance includes it (<=).
+  auto hits = tree.RangeSearch({0.0}, 3.0);
+  ASSERT_EQ(hits.size(), 4u);  // 0,1,2,3
+  EXPECT_EQ(hits[3].id, 3u);
+  EXPECT_TRUE(tree.RangeSearch({0.0}, -1.0).empty());
+  auto zero = tree.RangeSearch({5.0}, 0.0);
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_EQ(zero[0].id, 5u);
+}
+
+TEST(KdTreeTest, ResultsSortedByDistanceThenId) {
+  KdTree tree(2);
+  ASSERT_TRUE(tree.Insert({1, 0}, 7).ok());
+  ASSERT_TRUE(tree.Insert({0, 1}, 3).ok());  // Same distance from origin.
+  ASSERT_TRUE(tree.Insert({2, 0}, 1).ok());
+  auto hits = tree.KnnSearch({0, 0}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 3u);  // Tie broken by id.
+  EXPECT_EQ(hits[1].id, 7u);
+  EXPECT_EQ(hits[2].id, 1u);
+}
+
+TEST(KdTreeTest, BulkLoadBalancedInvariantsAndDepth) {
+  auto points = RandomPoints(2000, 4, 3);
+  auto tree = KdTree::BulkLoadBalanced(4, points, {.bucket_size = 16});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 2000u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  // A median build over 2000/16 = 125 leaves has depth ~log2(125) ~ 7.
+  EXPECT_LE(tree->Depth(), 12u);
+  EXPECT_GE(tree->Depth(), 6u);
+}
+
+TEST(KdTreeTest, BulkLoadRejectsDimensionMismatch) {
+  std::vector<KdPoint> points = {{{1.0, 2.0}, 0}, {{1.0}, 1}};
+  EXPECT_FALSE(KdTree::BulkLoadBalanced(2, points, {}).ok());
+  EXPECT_FALSE(KdTree::BuildChain(2, points, {}).ok());
+}
+
+TEST(KdTreeTest, BulkLoadEmptyAndIdentical) {
+  auto empty = KdTree::BulkLoadBalanced(3, {}, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  std::vector<KdPoint> same(50, KdPoint{{1.0, 1.0, 1.0}, 0});
+  for (size_t i = 0; i < same.size(); ++i) same[i].id = i;
+  auto tree = KdTree::BulkLoadBalanced(3, same, {.bucket_size = 8});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 50u);
+  EXPECT_EQ(tree->LeafCount(), 1u);  // Cannot split identical points.
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(KdTreeTest, ChainBuildIsDegenerate) {
+  auto points = RandomPoints(200, 3, 5);
+  auto chain = KdTree::BuildChain(3, points, {.bucket_size = 8});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 200u);
+  EXPECT_TRUE(chain->CheckInvariants().ok());
+  // Distinct dim-0 values: one chain step per point.
+  EXPECT_EQ(chain->Depth(), 199u);
+  auto balanced = KdTree::BulkLoadBalanced(3, points, {.bucket_size = 8});
+  ASSERT_TRUE(balanced.ok());
+  EXPECT_LT(balanced->Depth() * 10, chain->Depth());
+}
+
+TEST(KdTreeTest, ChainBuildSearchStillExact) {
+  auto points = RandomPoints(300, 2, 7);
+  auto chain = KdTree::BuildChain(2, points, {});
+  ASSERT_TRUE(chain.ok());
+  LinearScanIndex scan(2);
+  for (const auto& p : points) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  Rng rng(11);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query = {rng.UniformDouble(-1, 1),
+                                 rng.UniformDouble(-1, 1)};
+    EXPECT_EQ(chain->KnnSearch(query, 5), scan.KnnSearch(query, 5));
+    EXPECT_EQ(chain->RangeSearch(query, 0.3), scan.RangeSearch(query, 0.3));
+  }
+}
+
+TEST(KdTreeTest, ChainBuildWithDuplicateDim0Groups) {
+  std::vector<KdPoint> points;
+  for (PointId i = 0; i < 30; ++i) {
+    points.push_back(KdPoint{{double(i % 5), double(i)}, i});
+  }
+  auto chain = KdTree::BuildChain(2, points, {.bucket_size = 4});
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 30u);
+  EXPECT_TRUE(chain->CheckInvariants().ok());
+  EXPECT_EQ(chain->Depth(), 4u);  // 5 groups -> 4 routing levels.
+}
+
+TEST(KdTreeTest, SearchStatsAccumulate) {
+  auto points = RandomPoints(1000, 3, 13);
+  auto tree = KdTree::BulkLoadBalanced(3, points, {.bucket_size = 16});
+  ASSERT_TRUE(tree.ok());
+  SearchStats stats;
+  tree->KnnSearch({0, 0, 0}, 3, &stats);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.leaves_visited, 0u);
+  EXPECT_GT(stats.points_examined, 0u);
+  EXPECT_LT(stats.points_examined, 1000u);  // Pruning must happen.
+}
+
+TEST(KdTreeTest, BalancedSearchVisitsFewerNodesThanChain) {
+  auto points = RandomPoints(2000, 2, 17);
+  auto balanced = KdTree::BulkLoadBalanced(2, points, {.bucket_size = 8});
+  auto chain = KdTree::BuildChain(2, points, {.bucket_size = 8});
+  ASSERT_TRUE(balanced.ok());
+  ASSERT_TRUE(chain.ok());
+  SearchStats bs, cs;
+  balanced->KnnSearch({0.0, 0.0}, 3, &bs);
+  chain->KnnSearch({0.0, 0.0}, 3, &cs);
+  EXPECT_LT(bs.nodes_visited, cs.nodes_visited);
+}
+
+// ---------------------------------------------------------------------
+// LinearScanIndex
+
+TEST(LinearScanTest, MatchesManualComputation) {
+  LinearScanIndex scan(2);
+  ASSERT_TRUE(scan.Insert({0, 0}, 0).ok());
+  ASSERT_TRUE(scan.Insert({1, 0}, 1).ok());
+  ASSERT_TRUE(scan.Insert({0, 3}, 2).ok());
+  auto knn = scan.KnnSearch({0, 0}, 2);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].id, 0u);
+  EXPECT_EQ(knn[1].id, 1u);
+  auto range = scan.RangeSearch({0, 0}, 1.0);
+  EXPECT_EQ(range.size(), 2u);
+  EXPECT_TRUE(scan.Insert({0, 0, 0}, 9).IsInvalidArgument());
+  EXPECT_TRUE(scan.RangeSearch({0, 0}, -0.5).empty());
+}
+
+}  // namespace
+}  // namespace semtree

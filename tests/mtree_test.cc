@@ -1,0 +1,207 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the dynamic M-tree metric baseline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/metric_audit.h"
+#include "distance/triple_distance.h"
+#include "kdtree/mtree.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+namespace {
+
+struct EuclideanSet {
+  std::vector<std::vector<double>> points;
+
+  EuclideanSet(size_t n, size_t dims, uint64_t seed) {
+    Rng rng(seed);
+    points.resize(n);
+    for (auto& p : points) {
+      p.resize(dims);
+      for (double& c : p) c = rng.UniformDouble(-3.0, 3.0);
+    }
+  }
+
+  double Distance(size_t i, size_t j) const {
+    double s = 0.0;
+    for (size_t d = 0; d < points[i].size(); ++d) {
+      double diff = points[i][d] - points[j][d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  }
+
+  double ToQuery(const std::vector<double>& q, size_t i) const {
+    double s = 0.0;
+    for (size_t d = 0; d < q.size(); ++d) {
+      double diff = q[d] - points[i][d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  }
+};
+
+TEST(MTreeTest, RejectsBadArguments) {
+  EXPECT_FALSE(MTree::Create(nullptr).ok());
+  MetricDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  MTreeOptions opts;
+  opts.node_capacity = 1;
+  EXPECT_FALSE(MTree::Create(zero, opts).ok());
+}
+
+TEST(MTreeTest, EmptyTreeQueries) {
+  MetricDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  auto tree = MTree::Create(zero);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->KnnSearch([](size_t) { return 0.0; }, 3).empty());
+  EXPECT_TRUE(tree->RangeSearch([](size_t) { return 0.0; }, 1.0).empty());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(MTreeTest, IdenticalObjectsAllRetrievable) {
+  MetricDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  MTreeOptions opts;
+  opts.node_capacity = 4;
+  auto tree = MTree::Create(zero, opts);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < 50; ++i) ASSERT_TRUE(tree->Insert(i).ok());
+  EXPECT_EQ(tree->size(), 50u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  auto hits = tree->KnnSearch([](size_t) { return 0.0; }, 50);
+  EXPECT_EQ(hits.size(), 50u);
+}
+
+class MTreeEuclidean : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MTreeEuclidean, KnnAndRangeExactOnMetricInput) {
+  EuclideanSet set(700, 4, GetParam());
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  MTreeOptions opts;
+  opts.node_capacity = 8;
+  opts.seed = GetParam();
+  auto tree = MTree::Create(d, opts);
+  ASSERT_TRUE(tree.ok());
+  // Dynamic insertion in a scrambled order.
+  std::vector<size_t> order(set.points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(GetParam() + 77);
+  rng.Shuffle(&order);
+  for (size_t i : order) ASSERT_TRUE(tree->Insert(i).ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  for (int q = 0; q < 15; ++q) {
+    std::vector<double> query(4);
+    for (double& c : query) c = rng.UniformDouble(-3.5, 3.5);
+    auto dq = [&](size_t i) { return set.ToQuery(query, i); };
+    std::vector<Neighbor> expected;
+    for (size_t i = 0; i < set.points.size(); ++i) {
+      expected.push_back(Neighbor{i, dq(i)});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    for (size_t k : {1u, 7u, 25u}) {
+      auto got = tree->KnnSearch(dq, k);
+      ASSERT_EQ(got.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+    for (double radius : {0.4, 1.2}) {
+      auto got = tree->RangeSearch(dq, radius);
+      size_t count = 0;
+      for (const auto& e : expected) count += (e.distance <= radius);
+      EXPECT_EQ(got.size(), count) << "radius=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MTreeEuclidean,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MTreeTest, SearchPrunes) {
+  EuclideanSet set(4000, 3, 11);
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  auto tree = MTree::Create(d, {.node_capacity = 16});
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < set.points.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(i).ok());
+  }
+  SearchStats stats;
+  std::vector<double> query = {0.0, 0.0, 0.0};
+  tree->KnnSearch([&](size_t i) { return set.ToQuery(query, i); }, 3,
+                  &stats);
+  EXPECT_LT(stats.points_examined, set.points.size() / 2);
+  EXPECT_GE(tree->Height(), 2u);
+}
+
+TEST(MTreeTest, NearMetricSemanticDistanceHighRecall) {
+  Taxonomy vocab = RequirementsVocabulary();
+  RequirementsCorpusGenerator gen(&vocab, {.num_documents = 20,
+                                           .seed = 13});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  auto dist = TripleDistance::Make(&vocab);
+  ASSERT_TRUE(dist.ok());
+  auto audit = AuditMetric(*triples, *dist, 20000);
+
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return (*dist)((*triples)[i], (*triples)[j]);
+  };
+  MTreeOptions opts;
+  opts.node_capacity = 16;
+  opts.prune_slack = audit.worst_triangle_excess;
+  auto tree = MTree::Create(d, opts);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < triples->size(); ++i) {
+    ASSERT_TRUE(tree->Insert(i).ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  Rng rng(17);
+  size_t total = 0, recovered = 0;
+  const size_t kK = 10;
+  for (int q = 0; q < 20; ++q) {
+    size_t qi = rng.Uniform(triples->size());
+    auto got = tree->KnnSearch([&](size_t i) { return d(qi, i); }, kK);
+    std::vector<double> exact;
+    for (size_t i = 0; i < triples->size(); ++i) exact.push_back(d(qi, i));
+    std::sort(exact.begin(), exact.end());
+    for (size_t i = 0; i < kK; ++i) {
+      ++total;
+      recovered += (got[i].distance <= exact[kK - 1] + 1e-12);
+    }
+  }
+  EXPECT_GE(double(recovered) / double(total), 0.99);
+}
+
+TEST(MTreeTest, IncrementalGrowthKeepsInvariants) {
+  EuclideanSet set(1200, 2, 19);
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  auto tree = MTree::Create(d, {.node_capacity = 4});
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 0; i < set.points.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(i).ok());
+    if (i % 100 == 99) {
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "after " << i;
+    }
+  }
+  EXPECT_EQ(tree->size(), 1200u);
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,274 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the requirements corpus generator and the triple extractor:
+// the documents -> sentences -> triples loop must be lossless on the
+// controlled grammar.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "nlp/requirements_corpus.h"
+#include "nlp/triple_extractor.h"
+#include "ontology/requirements_vocabulary.h"
+#include "reqverify/inconsistency.h"
+
+namespace semtree {
+namespace {
+
+class NlpTest : public ::testing::Test {
+ protected:
+  NlpTest() : vocab_(RequirementsVocabulary()) {}
+  Taxonomy vocab_;
+};
+
+// ---------------------------------------------------------------------
+// Phrase tables
+
+TEST_F(NlpTest, EveryLeafFunctionHasAPhrase) {
+  std::unordered_set<std::string> covered;
+  for (const FunctionPhrase& p : FunctionPhrases()) {
+    covered.insert(p.function);
+    EXPECT_TRUE(vocab_.Contains(p.function)) << p.function;
+  }
+  for (const std::string& fn : RequirementsFunctionNames()) {
+    EXPECT_TRUE(covered.count(fn)) << "no phrase for " << fn;
+  }
+}
+
+TEST_F(NlpTest, VerbPhrasesAreUnique) {
+  std::unordered_set<std::string> verbs;
+  for (const FunctionPhrase& p : FunctionPhrases()) {
+    EXPECT_TRUE(verbs.insert(p.verb_phrase).second)
+        << "duplicate verb phrase: " << p.verb_phrase;
+  }
+}
+
+TEST_F(NlpTest, ParameterPhraseRoundTrips) {
+  for (const std::string& param : RequirementsParameterNames()) {
+    EXPECT_EQ(ParameterNameFromPhrase(ParameterPhrase(param)), param);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rendering & the requirement triple
+
+TEST_F(NlpTest, RenderMatchesPaperStyle) {
+  Requirement req;
+  req.actor = "OBSW001";
+  req.function = "accept_cmd";
+  req.parameter = "startup_cmd";
+  auto text = RenderRequirementSentence(req);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text,
+            "The OBSW001 component shall accept the startup-cmd command.");
+}
+
+TEST_F(NlpTest, RenderRejectsUnknownFunction) {
+  Requirement req;
+  req.actor = "OBSW001";
+  req.function = "fly_to_moon";
+  req.parameter = "startup_cmd";
+  EXPECT_TRUE(RenderRequirementSentence(req).status().IsNotFound());
+}
+
+TEST_F(NlpTest, RequirementTripleUsesFamilyPrefix) {
+  Requirement req;
+  req.actor = "OBSW001";
+  req.function = "send_msg";
+  req.parameter = "power_amplifier";
+  auto t = RequirementTriple(req, vocab_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->subject.is_literal());
+  EXPECT_EQ(t->subject.value(), "OBSW001");
+  EXPECT_EQ(t->predicate.prefix(), "Fun");
+  EXPECT_EQ(t->object.prefix(), "MsgType");
+  EXPECT_EQ(t->ToString(),
+            "('OBSW001', Fun:send_msg, MsgType:power_amplifier)");
+}
+
+// ---------------------------------------------------------------------
+// Generator
+
+TEST_F(NlpTest, GeneratorIsDeterministic) {
+  CorpusOptions opts;
+  opts.num_documents = 5;
+  opts.seed = 77;
+  RequirementsCorpusGenerator a(&vocab_, opts);
+  RequirementsCorpusGenerator b(&vocab_, opts);
+  auto docs_a = a.Generate();
+  auto docs_b = b.Generate();
+  ASSERT_EQ(docs_a.size(), docs_b.size());
+  for (size_t i = 0; i < docs_a.size(); ++i) {
+    ASSERT_EQ(docs_a[i].requirements.size(),
+              docs_b[i].requirements.size());
+    for (size_t j = 0; j < docs_a[i].requirements.size(); ++j) {
+      EXPECT_EQ(docs_a[i].requirements[j].text,
+                docs_b[i].requirements[j].text);
+    }
+  }
+}
+
+TEST_F(NlpTest, GeneratorRespectsDocumentCounts) {
+  CorpusOptions opts;
+  opts.num_documents = 12;
+  opts.min_requirements_per_doc = 3;
+  opts.max_requirements_per_doc = 6;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto docs = gen.Generate();
+  ASSERT_EQ(docs.size(), 12u);
+  for (const auto& doc : docs) {
+    EXPECT_GE(doc.requirements.size(), 3u);
+    EXPECT_LE(doc.requirements.size(), 6u);
+    for (const auto& req : doc.requirements) {
+      EXPECT_FALSE(req.text.empty());
+      EXPECT_TRUE(vocab_.Contains(req.function)) << req.function;
+      EXPECT_TRUE(vocab_.Contains(req.parameter)) << req.parameter;
+    }
+  }
+}
+
+TEST_F(NlpTest, ParametersCompatibleWithFunctionFamily) {
+  CorpusOptions opts;
+  opts.num_documents = 10;
+  opts.inconsistency_rate = 0.0;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  for (const auto& doc : gen.Generate()) {
+    for (const auto& req : doc.requirements) {
+      auto params = ParameterNamesForFunction(vocab_, req.function);
+      EXPECT_NE(std::find(params.begin(), params.end(), req.parameter),
+                params.end())
+          << req.function << " / " << req.parameter;
+    }
+  }
+}
+
+TEST_F(NlpTest, InconsistencyInjectionSeedsContradictions) {
+  CorpusOptions opts;
+  opts.num_documents = 30;
+  opts.inconsistency_rate = 0.2;
+  opts.seed = 99;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  size_t inconsistent_pairs = 0;
+  for (size_t i = 0; i < triples->size() && inconsistent_pairs == 0; ++i) {
+    for (size_t j = i + 1; j < triples->size(); ++j) {
+      if (AreInconsistent((*triples)[i], (*triples)[j], vocab_)) {
+        ++inconsistent_pairs;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(inconsistent_pairs, 0u);
+}
+
+TEST_F(NlpTest, ZeroInconsistencyRateStillValidCorpus) {
+  CorpusOptions opts;
+  opts.num_documents = 5;
+  opts.inconsistency_rate = 0.0;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  EXPECT_GT(triples->size(), 0u);
+}
+
+TEST_F(NlpTest, AccumulateFrequenciesFeedsInformationContent) {
+  CorpusOptions opts;
+  opts.num_documents = 20;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto docs = gen.Generate();
+  Taxonomy counting = RequirementsVocabulary();
+  ASSERT_TRUE(RequirementsCorpusGenerator::AccumulateFrequencies(
+                  docs, &counting)
+                  .ok());
+  auto accept = counting.Find("accept_cmd");
+  ASSERT_TRUE(accept.ok());
+  size_t total = 0;
+  for (ConceptId c = 0; c < counting.size(); ++c) {
+    total += counting.frequency(c);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Extractor
+
+TEST_F(NlpTest, ExtractsThePaperExample) {
+  TripleExtractor extractor(&vocab_);
+  auto t = extractor.ExtractFromSentence(
+      "The OBSW001 component shall accept the startup-cmd command.");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->subject, Term::Literal("OBSW001"));
+  EXPECT_EQ(t->predicate, Term::Concept("accept_cmd", "Fun"));
+  EXPECT_EQ(t->object, Term::Concept("startup_cmd", "CmdType"));
+}
+
+TEST_F(NlpTest, ExtractsMultiWordVerbPhrases) {
+  TripleExtractor extractor(&vocab_);
+  auto t = extractor.ExtractFromSentence(
+      "The OBSW007 component shall power on the battery unit.");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->predicate.value(), "power_on");
+  EXPECT_EQ(t->object.value(), "battery");
+}
+
+TEST_F(NlpTest, ExtractionRejectsOffGrammarText) {
+  TripleExtractor extractor(&vocab_);
+  EXPECT_FALSE(extractor.ExtractFromSentence("Hello world").ok());
+  EXPECT_FALSE(extractor
+                   .ExtractFromSentence(
+                       "A OBSW001 module will accept the reset command")
+                   .ok());
+  EXPECT_FALSE(
+      extractor
+          .ExtractFromSentence(
+              "The OBSW001 component shall teleport the reset command")
+          .ok());
+  EXPECT_FALSE(extractor
+                   .ExtractFromSentence("The OBSW001 component shall "
+                                        "accept the warp-core command")
+                   .ok());
+}
+
+TEST_F(NlpTest, RenderExtractRoundTripIsLossless) {
+  CorpusOptions opts;
+  opts.num_documents = 15;
+  opts.seed = 101;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto docs = gen.Generate();
+  TripleExtractor extractor(&vocab_);
+  for (const auto& doc : docs) {
+    std::vector<std::string> errors;
+    auto extracted = extractor.ExtractFromDocument(doc, &errors);
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+    ASSERT_EQ(extracted.size(), doc.requirements.size());
+    for (size_t i = 0; i < extracted.size(); ++i) {
+      auto truth = RequirementTriple(doc.requirements[i], vocab_);
+      ASSERT_TRUE(truth.ok());
+      EXPECT_EQ(extracted[i], *truth)
+          << "sentence: " << doc.requirements[i].text;
+    }
+  }
+}
+
+TEST_F(NlpTest, ExtractCorpusFillsStoreWithProvenance) {
+  CorpusOptions opts;
+  opts.num_documents = 8;
+  RequirementsCorpusGenerator gen(&vocab_, opts);
+  auto docs = gen.Generate();
+  TripleExtractor extractor(&vocab_);
+  TripleStore store;
+  auto count = extractor.ExtractCorpus(docs, &store);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(store.size(), *count);
+  size_t by_doc = 0;
+  for (const auto& doc : docs) by_doc += store.ByDocument(doc.id).size();
+  EXPECT_EQ(by_doc, store.size());
+  EXPECT_TRUE(extractor.ExtractCorpus(docs, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,219 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for triple-pattern queries over the semantic index.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "nlp/requirements_corpus.h"
+#include "nlp/triple_extractor.h"
+#include "ontology/requirements_vocabulary.h"
+#include "semtree/pattern_query.h"
+
+namespace semtree {
+namespace {
+
+class PatternQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = RequirementsVocabulary();
+    RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 20,
+                                              .seed = 3});
+    auto triples = gen.GenerateTriples();
+    ASSERT_TRUE(triples.ok());
+    for (Triple& t : *triples) store_.Add(std::move(t));
+    SemanticIndexOptions opts;
+    opts.fastmap.dimensions = 8;
+    auto index = SemanticIndex::Build(&vocab_, store_.triples(), opts);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+  }
+
+  // All ids satisfying the pattern with tolerance 0, by brute force.
+  std::vector<TripleId> BruteForce(const TriplePattern& pattern,
+                                   double tolerance) const {
+    const ElementDistance& element =
+        index_->distance().element_distance();
+    std::vector<TripleId> out;
+    for (TripleId id = 0; id < store_.size(); ++id) {
+      const Triple& t = store_.Get(id);
+      double sum = 0.0;
+      size_t bound = 0;
+      if (pattern.subject) {
+        sum += element(*pattern.subject, t.subject);
+        ++bound;
+      }
+      if (pattern.predicate) {
+        sum += element(*pattern.predicate, t.predicate);
+        ++bound;
+      }
+      if (pattern.object) {
+        sum += element(*pattern.object, t.object);
+        ++bound;
+      }
+      double d = bound ? sum / bound : 0.0;
+      if (d <= tolerance + 1e-12) out.push_back(id);
+    }
+    return out;
+  }
+
+  Taxonomy vocab_;
+  TripleStore store_;
+  std::unique_ptr<SemanticIndex> index_;
+};
+
+TEST_F(PatternQueryTest, ToStringShowsWildcards) {
+  TriplePattern pattern;
+  pattern.predicate = Term::Concept("accept_cmd", "Fun");
+  EXPECT_EQ(pattern.ToString(), "(?, Fun:accept_cmd, ?)");
+  EXPECT_EQ(pattern.BoundCount(), 1u);
+}
+
+TEST_F(PatternQueryTest, ValidatesArguments) {
+  TriplePattern pattern;
+  PatternQueryOptions opts;
+  opts.tolerance = -1.0;
+  EXPECT_TRUE(EvaluatePattern(*index_, store_, pattern, opts)
+                  .status()
+                  .IsInvalidArgument());
+  TripleStore other;
+  other.Add(store_.Get(0));
+  EXPECT_TRUE(EvaluatePattern(*index_, other, pattern, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PatternQueryTest, ExactSubjectPatternMatchesStoreIndex) {
+  // Find a subject that actually occurs.
+  const Triple& sample = store_.Get(0);
+  TriplePattern pattern;
+  pattern.subject = sample.subject;
+  PatternQueryOptions opts;
+  opts.limit = 100000;
+  auto matches = EvaluatePattern(*index_, store_, pattern, opts);
+  ASSERT_TRUE(matches.ok());
+  auto expected =
+      store_.Match(sample.subject, std::nullopt, std::nullopt);
+  EXPECT_EQ(matches->size(), expected.size());
+  for (const auto& m : *matches) {
+    EXPECT_DOUBLE_EQ(m.pattern_distance, 0.0);
+    EXPECT_EQ(store_.Get(m.id).subject, sample.subject);
+  }
+}
+
+TEST_F(PatternQueryTest, ExactPredicatePatternIncludesSynonyms) {
+  // block_cmd at tolerance 0 must also match triples written with the
+  // synonym reject_cmd — that is what distinguishes the semantic
+  // pattern from a plain store lookup.
+  TripleStore synonym_store;
+  for (const Triple& t : store_.triples()) synonym_store.Add(t);
+  Triple with_synonym(Term::Literal("OBSW999"),
+                      Term::Concept("reject_cmd", "Fun"),
+                      Term::Concept("reset", "CmdType"));
+  synonym_store.Add(with_synonym);
+  SemanticIndexOptions opts;
+  opts.fastmap.dimensions = 8;
+  auto index =
+      SemanticIndex::Build(&vocab_, synonym_store.triples(), opts);
+  ASSERT_TRUE(index.ok());
+
+  TriplePattern pattern;
+  pattern.predicate = Term::Concept("block_cmd", "Fun");
+  PatternQueryOptions popts;
+  popts.limit = 100000;
+  auto matches = EvaluatePattern(**index, synonym_store, pattern, popts);
+  ASSERT_TRUE(matches.ok());
+  bool found_synonym = false;
+  for (const auto& m : *matches) {
+    if (synonym_store.Get(m.id) == with_synonym) found_synonym = true;
+    EXPECT_DOUBLE_EQ(m.pattern_distance, 0.0);
+  }
+  EXPECT_TRUE(found_synonym);
+}
+
+TEST_F(PatternQueryTest, ExactPathMatchesBruteForce) {
+  const Triple& sample = store_.Get(7);
+  for (int variant = 0; variant < 4; ++variant) {
+    TriplePattern pattern;
+    if (variant & 1) pattern.subject = sample.subject;
+    if (variant & 2) pattern.predicate = sample.predicate;
+    PatternQueryOptions opts;
+    opts.limit = 1000000;
+    auto matches = EvaluatePattern(*index_, store_, pattern, opts);
+    ASSERT_TRUE(matches.ok());
+    auto expected = BruteForce(pattern, 0.0);
+    std::unordered_set<TripleId> got;
+    for (const auto& m : *matches) got.insert(m.id);
+    EXPECT_EQ(got.size(), expected.size()) << "variant " << variant;
+    for (TripleId id : expected) {
+      EXPECT_TRUE(got.count(id)) << "variant " << variant;
+    }
+  }
+}
+
+TEST_F(PatternQueryTest, TolerantPatternWidensTheMatchSet) {
+  const Triple& sample = store_.Get(3);
+  TriplePattern pattern;
+  pattern.subject = sample.subject;
+  pattern.predicate = sample.predicate;
+  PatternQueryOptions exact;
+  exact.limit = 100000;
+  PatternQueryOptions loose = exact;
+  loose.tolerance = 0.3;
+  auto tight = EvaluatePattern(*index_, store_, pattern, exact);
+  auto wide = EvaluatePattern(*index_, store_, pattern, loose);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GE(wide->size(), tight->size());
+  // Every returned match respects the tolerance and the ordering.
+  for (size_t i = 0; i < wide->size(); ++i) {
+    EXPECT_LE((*wide)[i].pattern_distance, 0.3 + 1e-9);
+    if (i > 0) {
+      EXPECT_GE((*wide)[i].pattern_distance,
+                (*wide)[i - 1].pattern_distance - 1e-12);
+    }
+  }
+}
+
+TEST_F(PatternQueryTest, TolerantPatternHasHighRecall) {
+  const Triple& sample = store_.Get(11);
+  TriplePattern pattern;
+  pattern.predicate = sample.predicate;
+  pattern.object = sample.object;
+  PatternQueryOptions opts;
+  opts.tolerance = 0.25;
+  opts.limit = 1000000;
+  auto matches = EvaluatePattern(*index_, store_, pattern, opts);
+  ASSERT_TRUE(matches.ok());
+  auto expected = BruteForce(pattern, 0.25);
+  ASSERT_FALSE(expected.empty());
+  std::unordered_set<TripleId> got;
+  for (const auto& m : *matches) got.insert(m.id);
+  size_t recovered = 0;
+  for (TripleId id : expected) recovered += got.count(id);
+  EXPECT_GE(double(recovered) / double(expected.size()), 0.9);
+}
+
+TEST_F(PatternQueryTest, UnboundPatternReturnsUpToLimit) {
+  TriplePattern pattern;  // (?, ?, ?)
+  PatternQueryOptions opts;
+  opts.limit = 10;
+  auto matches = EvaluatePattern(*index_, store_, pattern, opts);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 10u);
+}
+
+TEST_F(PatternQueryTest, LimitTruncatesByDistance) {
+  const Triple& sample = store_.Get(5);
+  TriplePattern pattern;
+  pattern.subject = sample.subject;
+  PatternQueryOptions opts;
+  opts.limit = 1;
+  auto matches = EvaluatePattern(*index_, store_, pattern, opts);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,145 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for index persistence (semtree/index_io.h) and the
+// FastMap::FromParts reassembly path.
+
+#include <gtest/gtest.h>
+
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+#include "semtree/index_io.h"
+
+namespace semtree {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = RequirementsVocabulary();
+    RequirementsCorpusGenerator gen(&vocab_, {.num_documents = 10,
+                                              .seed = 5});
+    auto triples = gen.GenerateTriples();
+    ASSERT_TRUE(triples.ok());
+    corpus_ = std::move(*triples);
+
+    SemanticIndexOptions opts;
+    opts.fastmap.dimensions = 6;
+    opts.weights = TripleDistanceWeights{0.5, 0.25, 0.25};
+    opts.bucket_size = 16;
+    auto index = SemanticIndex::Build(&vocab_, corpus_, opts);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+  }
+
+  Taxonomy vocab_;
+  std::vector<Triple> corpus_;
+  std::unique_ptr<SemanticIndex> index_;
+};
+
+TEST_F(PersistenceTest, SerializeParseRoundTrip) {
+  std::string text = SerializeIndex(*index_);
+  auto bundle = ParseIndex(text);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->index->size(), index_->size());
+  EXPECT_EQ(bundle->index->fastmap().dimensions(), 6u);
+  EXPECT_EQ(bundle->index->options().weights.alpha, 0.5);
+  EXPECT_EQ(bundle->index->options().bucket_size, 16u);
+  // Triples survive byte-exactly.
+  for (TripleId id = 0; id < index_->size(); ++id) {
+    EXPECT_EQ(bundle->index->triple(id), index_->triple(id));
+  }
+}
+
+TEST_F(PersistenceTest, QueriesIdenticalAfterReload) {
+  std::string text = SerializeIndex(*index_);
+  auto bundle = ParseIndex(text);
+  ASSERT_TRUE(bundle.ok());
+  Rng rng(11);
+  for (int q = 0; q < 10; ++q) {
+    const Triple& query = corpus_[rng.Uniform(corpus_.size())];
+    auto a = index_->KnnQuery(query, 7);
+    auto b = bundle->index->KnnQuery(query, 7);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+      EXPECT_DOUBLE_EQ((*a)[i].embedded_distance,
+                       (*b)[i].embedded_distance);
+      EXPECT_DOUBLE_EQ((*a)[i].semantic_distance,
+                       (*b)[i].semantic_distance);
+    }
+    // Out-of-corpus queries must also project identically.
+    auto target = Triple(Term::Literal("GHOST01"),
+                         Term::Concept("block_cmd", "Fun"),
+                         Term::Concept("reset", "CmdType"));
+    EXPECT_EQ(index_->Embed(target), bundle->index->Embed(target));
+  }
+}
+
+TEST_F(PersistenceTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/semtree_index.txt";
+  ASSERT_TRUE(SaveIndex(*index_, path).ok());
+  auto bundle = LoadIndex(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->index->size(), index_->size());
+  EXPECT_TRUE(LoadIndex("/nonexistent/index.txt").status().IsNotFound());
+}
+
+TEST_F(PersistenceTest, RuntimeOverridesApplyOnLoad) {
+  std::string text = SerializeIndex(*index_);
+  SemanticIndexOptions runtime;
+  runtime.max_partitions = 3;
+  runtime.partition_capacity = 64;
+  auto bundle = ParseIndex(text, runtime);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->index->tree().PartitionCount(), 3u);
+  // Persisted fields still win over the runtime struct's defaults.
+  EXPECT_EQ(bundle->index->options().bucket_size, 16u);
+  EXPECT_EQ(bundle->index->options().weights.alpha, 0.5);
+}
+
+TEST_F(PersistenceTest, CorruptInputsRejected) {
+  EXPECT_TRUE(ParseIndex("").status().IsCorruption());
+  EXPECT_TRUE(ParseIndex("not-an-index 1\n").status().IsCorruption());
+  EXPECT_TRUE(
+      ParseIndex("semtree-index 99\n").status().IsNotSupported());
+
+  std::string text = SerializeIndex(*index_);
+  // Truncate in the middle of the coordinate block.
+  std::string truncated = text.substr(0, text.size() * 3 / 4);
+  EXPECT_FALSE(ParseIndex(truncated).ok());
+  // Corrupt a number.
+  std::string broken = text;
+  size_t pos = broken.find("weights ");
+  broken.replace(pos + 8, 3, "xxx");
+  EXPECT_FALSE(ParseIndex(broken).ok());
+}
+
+// ---------------------------------------------------------------------
+// FastMap::FromParts validation
+
+TEST(FastMapFromPartsTest, ValidatesShapes) {
+  EXPECT_FALSE(FastMap::FromParts(0, 2, {}, {}, {}).ok());
+  EXPECT_FALSE(FastMap::FromParts(2, 0, {}, {}, {}).ok());
+  // Wrong coordinate matrix size.
+  EXPECT_FALSE(FastMap::FromParts(2, 2, {0.0, 0.0}, {}, {}).ok());
+  // More pivots than axes.
+  EXPECT_FALSE(FastMap::FromParts(1, 1, {0.0}, {{0, 0}, {0, 0}},
+                                  {1.0, 1.0})
+                   .ok());
+  // Pivot index out of range.
+  EXPECT_FALSE(
+      FastMap::FromParts(2, 1, {0.0, 1.0}, {{0, 5}}, {1.0}).ok());
+  // Non-positive pivot distance.
+  EXPECT_FALSE(
+      FastMap::FromParts(2, 1, {0.0, 1.0}, {{0, 1}}, {0.0}).ok());
+  // A valid reassembly.
+  auto ok = FastMap::FromParts(2, 1, {0.0, 5.0}, {{0, 1}}, {5.0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->effective_dimensions(), 1u);
+  EXPECT_DOUBLE_EQ(ok->Coordinates(1)[0], 5.0);
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,228 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for src/rdf: terms, triples, the Turtle-like notation, and the
+// pattern-indexed triple store.
+
+#include <gtest/gtest.h>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/triple_store.h"
+#include "rdf/turtle.h"
+
+namespace semtree {
+namespace {
+
+Triple PaperTriple() {
+  return Triple(Term::Literal("OBSW001"),
+                Term::Concept("accept_cmd", "Fun"),
+                Term::Concept("start-up", "CmdType"));
+}
+
+// ---------------------------------------------------------------------
+// Term
+
+TEST(TermTest, KindsAndAccessors) {
+  Term lit = Term::Literal("OBSW001");
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_FALSE(lit.is_concept());
+  EXPECT_EQ(lit.value(), "OBSW001");
+  EXPECT_EQ(lit.prefix(), "");
+
+  Term con = Term::Concept("accept_cmd", "Fun");
+  EXPECT_TRUE(con.is_concept());
+  EXPECT_EQ(con.value(), "accept_cmd");
+  EXPECT_EQ(con.prefix(), "Fun");
+}
+
+TEST(TermTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Term::Literal("OBSW001").ToString(), "'OBSW001'");
+  EXPECT_EQ(Term::Concept("accept_cmd", "Fun").ToString(),
+            "Fun:accept_cmd");
+  EXPECT_EQ(Term::Concept("thing").ToString(), "thing");
+}
+
+TEST(TermTest, EqualityDistinguishesKindAndPrefix) {
+  EXPECT_EQ(Term::Literal("x"), Term::Literal("x"));
+  EXPECT_NE(Term::Literal("x"), Term::Concept("x"));
+  EXPECT_NE(Term::Concept("x", "A"), Term::Concept("x", "B"));
+  EXPECT_NE(Term::Literal("x"), Term::Literal("y"));
+}
+
+TEST(TermTest, HashConsistentWithEquality) {
+  Term a = Term::Concept("dog", "X");
+  Term b = Term::Concept("dog", "X");
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TermTest, OrderingIsStrictWeak) {
+  std::vector<Term> terms = {Term::Literal("b"), Term::Concept("a"),
+                             Term::Concept("a", "P"), Term::Literal("a")};
+  std::sort(terms.begin(), terms.end());
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_FALSE(terms[i] < terms[i - 1]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Triple
+
+TEST(TripleTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(PaperTriple().ToString(),
+            "('OBSW001', Fun:accept_cmd, CmdType:start-up)");
+}
+
+TEST(TripleTest, EqualityAndHash) {
+  Triple a = PaperTriple();
+  Triple b = PaperTriple();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.object = Term::Concept("shutdown", "CmdType");
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Turtle notation
+
+TEST(TurtleTest, ParsesPaperExample) {
+  auto t = ParseTriple("('OBSW001', Fun:accept_cmd, CmdType:start-up)");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(*t, PaperTriple());
+}
+
+TEST(TurtleTest, ParsesUnprefixedConceptAndSpaces) {
+  auto t = ParseTriple("(  dog ,  chases,cat )");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->subject, Term::Concept("dog"));
+  EXPECT_EQ(t->predicate, Term::Concept("chases"));
+  EXPECT_EQ(t->object, Term::Concept("cat"));
+}
+
+TEST(TurtleTest, LiteralMayContainCommas) {
+  auto t = ParseTriple("('a, b', p, o)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->subject, Term::Literal("a, b"));
+}
+
+TEST(TurtleTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseTriple("no parens").ok());
+  EXPECT_FALSE(ParseTriple("(a, b)").ok());
+  EXPECT_FALSE(ParseTriple("(a, b, c, d)").ok());
+  EXPECT_FALSE(ParseTriple("('unterminated, b, c)").ok());
+  EXPECT_FALSE(ParseTriple("(a, :bad, c)").ok());
+  EXPECT_FALSE(ParseTriple("(a, bad:, c)").ok());
+  EXPECT_FALSE(ParseTriple("(, b, c)").ok());
+}
+
+TEST(TurtleTest, DocumentRoundTrip) {
+  std::vector<Triple> triples = {
+      PaperTriple(),
+      Triple(Term::Literal("OBSW001"), Term::Concept("send_msg", "Fun"),
+             Term::Concept("power_amplifier", "MsgType")),
+      Triple(Term::Concept("dog"), Term::Concept("chases"),
+             Term::Literal("the red ball")),
+  };
+  std::string text = SerializeTriples(triples);
+  auto parsed = ParseTriples(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, triples);
+}
+
+TEST(TurtleTest, DocumentSkipsCommentsAndNamesBadLines) {
+  auto ok = ParseTriples("# header\n\n(a, b, c)\n  # trailing\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+
+  auto bad = ParseTriples("(a, b, c)\n(broken\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// TripleStore
+
+TEST(TripleStoreTest, AddAndGet) {
+  TripleStore store;
+  EXPECT_TRUE(store.empty());
+  TripleId id = store.Add(PaperTriple(), 7);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Get(id), PaperTriple());
+  EXPECT_EQ(store.document(id), 7u);
+}
+
+TEST(TripleStoreTest, DuplicatesGetDistinctIds) {
+  TripleStore store;
+  TripleId a = store.Add(PaperTriple());
+  TripleId b = store.Add(PaperTriple());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+class TripleStoreMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // (s1,p1,o1) (s1,p2,o1) (s2,p1,o2) (s1,p1,o2)
+    store_.Add(Make("s1", "p1", "o1"), 0);
+    store_.Add(Make("s1", "p2", "o1"), 0);
+    store_.Add(Make("s2", "p1", "o2"), 1);
+    store_.Add(Make("s1", "p1", "o2"), 1);
+  }
+  static Triple Make(const std::string& s, const std::string& p,
+                     const std::string& o) {
+    return Triple(Term::Literal(s), Term::Concept(p), Term::Concept(o));
+  }
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreMatchTest, FullWildcardReturnsAll) {
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, std::nullopt).size(),
+            4u);
+}
+
+TEST_F(TripleStoreMatchTest, SingleBoundPosition) {
+  EXPECT_EQ(store_.Match(Term::Literal("s1"), std::nullopt, std::nullopt)
+                .size(),
+            3u);
+  EXPECT_EQ(store_.Match(std::nullopt, Term::Concept("p1"), std::nullopt)
+                .size(),
+            3u);
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, Term::Concept("o1"))
+                .size(),
+            2u);
+}
+
+TEST_F(TripleStoreMatchTest, MultipleBoundPositions) {
+  auto ids = store_.Match(Term::Literal("s1"), Term::Concept("p1"),
+                          std::nullopt);
+  ASSERT_EQ(ids.size(), 2u);
+  auto exact = store_.Match(Term::Literal("s1"), Term::Concept("p1"),
+                            Term::Concept("o2"));
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(store_.Get(exact[0]), Make("s1", "p1", "o2"));
+}
+
+TEST_F(TripleStoreMatchTest, UnknownTermYieldsEmpty) {
+  EXPECT_TRUE(store_.Match(Term::Literal("ghost"), std::nullopt,
+                           std::nullopt)
+                  .empty());
+  // A literal with the same text as a concept does not match it.
+  EXPECT_TRUE(store_.Match(std::nullopt, std::nullopt,
+                           Term::Literal("o1"))
+                  .empty());
+}
+
+TEST_F(TripleStoreMatchTest, ByDocument) {
+  EXPECT_EQ(store_.ByDocument(0).size(), 2u);
+  EXPECT_EQ(store_.ByDocument(1).size(), 2u);
+  EXPECT_TRUE(store_.ByDocument(99).empty());
+}
+
+TEST_F(TripleStoreMatchTest, DistinctCounts) {
+  EXPECT_EQ(store_.DistinctSubjects(), 2u);
+  EXPECT_EQ(store_.DistinctPredicates(), 2u);
+  EXPECT_EQ(store_.DistinctObjects(), 2u);
+}
+
+}  // namespace
+}  // namespace semtree

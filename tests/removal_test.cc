@@ -1,0 +1,230 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for point removal — the extension the paper defers ("once
+// built, modifying or rebalancing a Kd-tree is a non-trivial task") —
+// on both the sequential KD-tree and the distributed SemTree, plus the
+// batch inconsistency detector built on top of the index.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kdtree/kdtree.h"
+#include "kdtree/linear_scan.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+#include "reqverify/batch_detector.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace {
+
+std::vector<KdPoint> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i].id = i;
+    points[i].coords.resize(dims);
+    for (double& c : points[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------
+// KdTree::Remove
+
+TEST(KdTreeRemoveTest, RemoveThenQueriesForget) {
+  auto points = RandomPoints(500, 3, 1);
+  KdTree tree(3, {.bucket_size = 8});
+  for (const auto& p : points) ASSERT_TRUE(tree.Insert(p.coords, p.id).ok());
+
+  ASSERT_TRUE(tree.Remove(points[42].coords, 42).ok());
+  EXPECT_EQ(tree.size(), 499u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  auto hits = tree.KnnSearch(points[42].coords, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].id, 42u);
+}
+
+TEST(KdTreeRemoveTest, ErrorsOnAbsentOrMismatched) {
+  KdTree tree(2);
+  ASSERT_TRUE(tree.Insert({1.0, 2.0}, 7).ok());
+  EXPECT_TRUE(tree.Remove({1.0, 2.0}, 8).IsNotFound());   // Wrong id.
+  EXPECT_TRUE(tree.Remove({9.0, 9.0}, 7).IsNotFound());   // Wrong coords.
+  EXPECT_TRUE(tree.Remove({1.0}, 7).IsInvalidArgument()); // Wrong dims.
+  EXPECT_TRUE(tree.Remove({1.0, 2.0}, 7).ok());
+  EXPECT_TRUE(tree.Remove({1.0, 2.0}, 7).IsNotFound());   // Already gone.
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(KdTreeRemoveTest, InterleavedInsertRemoveMatchesScan) {
+  const size_t kDims = 3;
+  KdTree tree(kDims, {.bucket_size = 4});
+  LinearScanIndex scan(kDims);
+  Rng rng(3);
+  std::vector<KdPoint> live;
+  PointId next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    bool remove = !live.empty() && rng.Bernoulli(0.4);
+    if (remove) {
+      size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(tree.Remove(live[victim].coords, live[victim].id).ok());
+      live.erase(live.begin() + ptrdiff_t(victim));
+    } else {
+      KdPoint p;
+      p.id = next_id++;
+      p.coords.resize(kDims);
+      for (double& c : p.coords) c = rng.UniformDouble(-1, 1);
+      ASSERT_TRUE(tree.Insert(p.coords, p.id).ok());
+      live.push_back(p);
+    }
+    if (step % 200 == 199) {
+      ASSERT_EQ(tree.size(), live.size());
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+      LinearScanIndex fresh(kDims);
+      for (const auto& p : live) ASSERT_TRUE(fresh.Insert(p.coords, p.id).ok());
+      std::vector<double> q(kDims);
+      for (double& c : q) c = rng.UniformDouble(-1, 1);
+      EXPECT_EQ(tree.KnnSearch(q, 5), fresh.KnnSearch(q, 5));
+      EXPECT_EQ(tree.RangeSearch(q, 0.4), fresh.RangeSearch(q, 0.4));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SemTree::Remove (distributed)
+
+TEST(SemTreeRemoveTest, RemoveAcrossPartitions) {
+  SemTreeOptions opts;
+  opts.dimensions = 3;
+  opts.bucket_size = 8;
+  opts.max_partitions = 5;
+  opts.partition_capacity = opts.bucket_size * opts.max_partitions;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(1000, 3, 7);
+  ASSERT_TRUE((*tree)->BulkInsert(points).ok());
+  ASSERT_GT((*tree)->PartitionCount(), 1u);
+
+  Rng rng(9);
+  std::unordered_set<PointId> removed;
+  for (int step = 0; step < 200; ++step) {
+    size_t victim = rng.Uniform(points.size());
+    if (removed.count(points[victim].id)) continue;
+    ASSERT_TRUE(
+        (*tree)->Remove(points[victim].coords, points[victim].id).ok());
+    removed.insert(points[victim].id);
+  }
+  EXPECT_EQ((*tree)->size(), points.size() - removed.size());
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+
+  // Removed points are gone; the rest is intact.
+  LinearScanIndex scan(3);
+  for (const auto& p : points) {
+    if (!removed.count(p.id)) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query(3);
+    for (double& c : query) c = rng.UniformDouble(-1, 1);
+    auto got = (*tree)->KnnSearch(query, 8);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, scan.KnnSearch(query, 8));
+  }
+}
+
+TEST(SemTreeRemoveTest, RemoveValidatesArguments) {
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Insert({0.5, 0.5}, 1).ok());
+  EXPECT_TRUE((*tree)->Remove({0.5}, 1).IsInvalidArgument());
+  EXPECT_TRUE((*tree)->Remove({0.5, 0.5}, 99).IsNotFound());
+  EXPECT_TRUE((*tree)->Remove({0.5, 0.5}, 1).ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Batch inconsistency detection
+
+class BatchDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = RequirementsVocabulary();
+    RequirementsCorpusGenerator gen(&vocab_,
+                                    {.num_documents = 30,
+                                     .inconsistency_rate = 0.12,
+                                     .seed = 21});
+    auto triples = gen.GenerateTriples();
+    ASSERT_TRUE(triples.ok());
+    for (Triple& t : *triples) store_.Add(std::move(t));
+    SemanticIndexOptions opts;
+    opts.fastmap.dimensions = 8;
+    auto index = SemanticIndex::Build(&vocab_, store_.triples(), opts);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+  }
+
+  Taxonomy vocab_;
+  TripleStore store_;
+  std::unique_ptr<SemanticIndex> index_;
+};
+
+TEST_F(BatchDetectorTest, ExactScanFindsSymmetricVerifiedPairs) {
+  auto pairs = ExactInconsistencyScan(store_, vocab_);
+  EXPECT_GT(pairs.size(), 0u);  // The corpus seeds contradictions.
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.a, p.b);
+    EXPECT_TRUE(AreInconsistent(store_.Get(p.a), store_.Get(p.b), vocab_));
+  }
+  // Sorted and unique.
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_TRUE(pairs[i - 1] < pairs[i]);
+  }
+}
+
+TEST_F(BatchDetectorTest, SweepHasPerfectPrecisionAndHighRecall) {
+  auto report = DetectAllInconsistencies(*index_, store_, vocab_,
+                                         {.k = 15});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->detected.size(), 0u);
+  // Precision 1 by construction: every emitted pair is verified.
+  for (const auto& p : report->detected) {
+    EXPECT_TRUE(AreInconsistent(store_.Get(p.a), store_.Get(p.b), vocab_));
+  }
+  EXPECT_GT(report->recall, 0.6) << report->ToString();
+  EXPECT_GT(report->queries_run, report->sources_swept / 2);
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST_F(BatchDetectorTest, LargerKImprovesRecall) {
+  auto small = DetectAllInconsistencies(*index_, store_, vocab_,
+                                        {.k = 2});
+  auto large = DetectAllInconsistencies(*index_, store_, vocab_,
+                                        {.k = 25});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GE(large->recall, small->recall);
+}
+
+TEST_F(BatchDetectorTest, ValidatesArguments) {
+  EXPECT_TRUE(DetectAllInconsistencies(*index_, store_, vocab_, {.k = 0})
+                  .status()
+                  .IsInvalidArgument());
+  TripleStore other;
+  other.Add(store_.Get(0));
+  EXPECT_TRUE(DetectAllInconsistencies(*index_, other, vocab_, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BatchDetectorTest, MaxSourcesCapsWork) {
+  auto capped = DetectAllInconsistencies(*index_, store_, vocab_,
+                                         {.k = 10, .max_sources = 5});
+  ASSERT_TRUE(capped.ok());
+  EXPECT_LE(capped->sources_swept, 5u);
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,231 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the inconsistency case study: the paper's formal definition
+// (§II), target-triple generation, the annotator oracle and the
+// Precision/Recall evaluation harness.
+
+#include <gtest/gtest.h>
+
+#include "nlp/requirements_corpus.h"
+#include "nlp/triple_extractor.h"
+#include "ontology/requirements_vocabulary.h"
+#include "reqverify/evaluation.h"
+#include "reqverify/inconsistency.h"
+
+namespace semtree {
+namespace {
+
+class ReqVerifyTest : public ::testing::Test {
+ protected:
+  ReqVerifyTest() : vocab_(RequirementsVocabulary()) {}
+
+  static Triple Req(const std::string& actor, const std::string& fn,
+                    const std::string& param) {
+    return Triple(Term::Literal(actor), Term::Concept(fn, "Fun"),
+                  Term::Concept(param, "CmdType"));
+  }
+
+  Taxonomy vocab_;
+};
+
+// ---------------------------------------------------------------------
+// The inconsistency predicate
+
+TEST_F(ReqVerifyTest, PaperMotivatingExample) {
+  // (OBSW001, accept_cmd, start-up) vs (OBSW001, block_cmd, start-up).
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW001", "block_cmd", "startup_cmd");
+  EXPECT_TRUE(AreInconsistent(a, b, vocab_));
+  EXPECT_TRUE(AreInconsistent(b, a, vocab_));
+}
+
+TEST_F(ReqVerifyTest, RequiresAllThreeConditions) {
+  Triple base = Req("OBSW001", "accept_cmd", "startup_cmd");
+  // (i) different subject.
+  EXPECT_FALSE(AreInconsistent(
+      base, Req("OBSW002", "block_cmd", "startup_cmd"), vocab_));
+  // (ii) different object.
+  EXPECT_FALSE(
+      AreInconsistent(base, Req("OBSW001", "block_cmd", "reset"), vocab_));
+  // (iii) predicates not antonymic.
+  EXPECT_FALSE(AreInconsistent(
+      base, Req("OBSW001", "queue_cmd", "startup_cmd"), vocab_));
+  // Same predicate is not an antonym of itself.
+  EXPECT_FALSE(AreInconsistent(base, base, vocab_));
+}
+
+TEST_F(ReqVerifyTest, SynonymPredicateResolvesToAntonym) {
+  // reject_cmd is a synonym of block_cmd, so it contradicts accept_cmd.
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW001", "reject_cmd", "startup_cmd");
+  EXPECT_TRUE(AreInconsistent(a, b, vocab_));
+}
+
+TEST_F(ReqVerifyTest, UnknownPredicateNeverInconsistent) {
+  Triple a = Req("OBSW001", "accept_cmd", "startup_cmd");
+  Triple b = Req("OBSW001", "made_up_fn", "startup_cmd");
+  EXPECT_FALSE(AreInconsistent(a, b, vocab_));
+}
+
+TEST_F(ReqVerifyTest, LiteralPredicatesNeverInconsistent) {
+  Triple a(Term::Literal("s"), Term::Literal("accept_cmd"),
+           Term::Concept("startup_cmd"));
+  Triple b(Term::Literal("s"), Term::Literal("block_cmd"),
+           Term::Concept("startup_cmd"));
+  EXPECT_FALSE(AreInconsistent(a, b, vocab_));
+}
+
+// ---------------------------------------------------------------------
+// Target triples
+
+TEST_F(ReqVerifyTest, MakeTargetSwapsPredicateForAntonym) {
+  Triple source = Req("OBSW001", "accept_cmd", "startup_cmd");
+  auto target = MakeTargetTriple(source, vocab_);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target->subject, source.subject);
+  EXPECT_EQ(target->object, source.object);
+  EXPECT_EQ(target->predicate.value(), "block_cmd");
+  EXPECT_EQ(target->predicate.prefix(), "Fun");
+  EXPECT_TRUE(AreInconsistent(source, *target, vocab_));
+}
+
+TEST_F(ReqVerifyTest, MakeTargetFailsWithoutAntonym) {
+  Triple source = Req("OBSW001", "queue_cmd", "startup_cmd");
+  EXPECT_TRUE(MakeTargetTriple(source, vocab_).status().IsNotFound());
+  Triple literal_pred(Term::Literal("s"), Term::Literal("p"),
+                      Term::Concept("o"));
+  EXPECT_TRUE(
+      MakeTargetTriple(literal_pred, vocab_).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Ground truth oracle
+
+TEST_F(ReqVerifyTest, GroundTruthFindsAllAndOnlyInconsistencies) {
+  TripleStore store;
+  TripleId hit1 =
+      store.Add(Req("OBSW001", "block_cmd", "startup_cmd"));  // antonym
+  store.Add(Req("OBSW001", "block_cmd", "reset"));     // wrong object
+  store.Add(Req("OBSW002", "block_cmd", "startup_cmd"));  // wrong subject
+  TripleId hit2 =
+      store.Add(Req("OBSW001", "reject_cmd", "startup_cmd"));  // synonym
+  store.Add(Req("OBSW001", "accept_cmd", "startup_cmd"));  // same pred
+
+  Triple source = Req("OBSW001", "accept_cmd", "startup_cmd");
+  auto truth = GroundTruthInconsistencies(store, source, vocab_);
+  std::sort(truth.begin(), truth.end());
+  ASSERT_EQ(truth.size(), 2u);
+  EXPECT_EQ(truth[0], hit1);
+  EXPECT_EQ(truth[1], hit2);
+}
+
+TEST_F(ReqVerifyTest, NoisyOracleDegradesGracefully) {
+  TripleStore store;
+  for (int i = 0; i < 50; ++i) {
+    store.Add(Req("OBSW001", "block_cmd", "startup_cmd"));
+  }
+  for (int i = 0; i < 50; ++i) {
+    store.Add(Req("OBSW001", "queue_cmd", "startup_cmd"));
+  }
+  Triple source = Req("OBSW001", "accept_cmd", "startup_cmd");
+
+  AnnotatorOptions perfect;
+  EXPECT_EQ(NoisyGroundTruth(store, source, vocab_, perfect).size(), 50u);
+
+  AnnotatorOptions missing;
+  missing.miss_rate = 0.5;
+  size_t with_misses =
+      NoisyGroundTruth(store, source, vocab_, missing).size();
+  EXPECT_LT(with_misses, 50u);
+  EXPECT_GT(with_misses, 5u);
+
+  AnnotatorOptions spurious;
+  spurious.spurious_rate = 0.3;
+  EXPECT_GT(NoisyGroundTruth(store, source, vocab_, spurious).size(),
+            50u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end effectiveness harness
+
+class EffectivenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vocab_ = RequirementsVocabulary();
+    CorpusOptions copts;
+    copts.num_documents = 40;
+    copts.inconsistency_rate = 0.15;
+    copts.seed = 7;
+    RequirementsCorpusGenerator gen(&vocab_, copts);
+    TripleExtractor extractor(&vocab_);
+    auto count = extractor.ExtractCorpus(gen.Generate(), &store_);
+    ASSERT_TRUE(count.ok());
+    SemanticIndexOptions iopts;
+    iopts.fastmap.dimensions = 8;
+    auto index =
+        SemanticIndex::Build(&vocab_, store_.triples(), iopts);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+  }
+
+  Taxonomy vocab_;
+  TripleStore store_;
+  std::unique_ptr<SemanticIndex> index_;
+};
+
+TEST_F(EffectivenessTest, ValidatesArguments) {
+  EffectivenessOptions opts;
+  opts.ks = {};
+  EXPECT_TRUE(EvaluateEffectiveness(*index_, store_, vocab_, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EffectivenessTest, ProducesFig8Shape) {
+  EffectivenessOptions opts;
+  opts.ks = {1, 3, 8, 20};
+  opts.num_queries = 40;
+  auto points = EvaluateEffectiveness(*index_, store_, vocab_, opts);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), 4u);
+  for (const auto& p : *points) {
+    EXPECT_GE(p.precision, 0.0);
+    EXPECT_LE(p.precision, 1.0);
+    EXPECT_GE(p.recall, 0.0);
+    EXPECT_LE(p.recall, 1.0);
+    EXPECT_GT(p.queries, 0u);
+    EXPECT_FALSE(p.ToString().empty());
+  }
+  // The paper's qualitative shape: recall grows with K, precision
+  // falls (or at least does not improve) as K grows.
+  EXPECT_GE(points->back().recall, points->front().recall - 1e-9);
+  EXPECT_LE(points->back().precision, points->front().precision + 1e-9);
+  // With the semantic distance, a small K should already pinpoint the
+  // seeded contradictions reasonably well.
+  EXPECT_GT(points->front().precision, 0.3);
+  EXPECT_GT(points->back().recall, 0.5);
+}
+
+TEST_F(EffectivenessTest, DeterministicGivenSeed) {
+  EffectivenessOptions opts;
+  opts.ks = {3};
+  opts.num_queries = 20;
+  auto a = EvaluateEffectiveness(*index_, store_, vocab_, opts);
+  auto b = EvaluateEffectiveness(*index_, store_, vocab_, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ((*a)[0].precision, (*b)[0].precision);
+  EXPECT_DOUBLE_EQ((*a)[0].recall, (*b)[0].recall);
+}
+
+TEST_F(EffectivenessTest, MismatchedIndexRejected) {
+  TripleStore other;
+  other.Add(Triple(Term::Literal("x"), Term::Concept("accept_cmd"),
+                   Term::Concept("reset")));
+  EXPECT_TRUE(EvaluateEffectiveness(*index_, other, vocab_, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace semtree

@@ -1,0 +1,280 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the distributed SemTree: insertion, partitioning, search
+// correctness versus the linear-scan baseline, statistics and the
+// protocol's behaviour under concurrency.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kdtree/linear_scan.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace {
+
+std::vector<KdPoint> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i].id = i;
+    points[i].coords.resize(dims);
+    for (double& c : points[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return points;
+}
+
+TEST(SemTreeTest, CreateValidatesOptions) {
+  SemTreeOptions bad;
+  bad.dimensions = 0;
+  EXPECT_FALSE(SemTree::Create(bad).ok());
+  bad = SemTreeOptions{};
+  bad.bucket_size = 0;
+  EXPECT_FALSE(SemTree::Create(bad).ok());
+  bad = SemTreeOptions{};
+  bad.max_partitions = 0;
+  EXPECT_FALSE(SemTree::Create(bad).ok());
+}
+
+TEST(SemTreeTest, EmptyTreeQueries) {
+  SemTreeOptions opts;
+  opts.dimensions = 3;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 0u);
+  EXPECT_EQ((*tree)->PartitionCount(), 1u);
+  auto knn = (*tree)->KnnSearch({0, 0, 0}, 5);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+  auto range = (*tree)->RangeSearch({0, 0, 0}, 1.0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE(range->empty());
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST(SemTreeTest, DimensionMismatchRejected) {
+  SemTreeOptions opts;
+  opts.dimensions = 3;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Insert({1.0}, 0).IsInvalidArgument());
+  EXPECT_TRUE((*tree)->KnnSearch({1.0}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      (*tree)->RangeSearch({1.0}, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      (*tree)->RangeSearch({1, 2, 3}, -1.0).status().IsInvalidArgument());
+}
+
+TEST(SemTreeTest, SinglePartitionMatchesLinearScan) {
+  const size_t kDims = 4;
+  SemTreeOptions opts;
+  opts.dimensions = kDims;
+  opts.bucket_size = 8;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(1000, kDims, 3);
+  LinearScanIndex scan(kDims);
+  for (const auto& p : points) {
+    ASSERT_TRUE((*tree)->Insert(p.coords, p.id).ok());
+    ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  }
+  EXPECT_EQ((*tree)->size(), 1000u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+  Rng rng(5);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query(kDims);
+    for (double& c : query) c = rng.UniformDouble(-1.0, 1.0);
+    auto knn = (*tree)->KnnSearch(query, 7);
+    ASSERT_TRUE(knn.ok());
+    EXPECT_EQ(*knn, scan.KnnSearch(query, 7));
+    auto range = (*tree)->RangeSearch(query, 0.4);
+    ASSERT_TRUE(range.ok());
+    EXPECT_EQ(*range, scan.RangeSearch(query, 0.4));
+  }
+}
+
+TEST(SemTreeTest, BuildPartitionSpreadsData) {
+  const size_t kDims = 2;
+  SemTreeOptions opts;
+  opts.dimensions = kDims;
+  opts.bucket_size = 16;
+  opts.max_partitions = 5;
+  opts.partition_capacity = 200;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(2000, kDims, 7);
+  ASSERT_TRUE((*tree)->BulkInsert(points).ok());
+  EXPECT_EQ((*tree)->size(), 2000u);
+  EXPECT_EQ((*tree)->PartitionCount(), 5u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+
+  auto stats = (*tree)->AllPartitionStats();
+  ASSERT_EQ(stats.size(), 5u);
+  size_t total = 0;
+  size_t storing = 0;
+  size_t edges = 0;
+  for (const auto& s : stats) {
+    total += s.points;
+    storing += (s.points > 0);
+    edges += s.edge_nodes;
+  }
+  EXPECT_EQ(total, 2000u);
+  EXPECT_GE(storing, 2u);  // Data really is distributed.
+  EXPECT_GE(edges, 1u);    // Cross-partition links exist.
+}
+
+TEST(SemTreeTest, DistributedMatchesLinearScan) {
+  const size_t kDims = 4;
+  SemTreeOptions opts;
+  opts.dimensions = kDims;
+  opts.bucket_size = 8;
+  opts.max_partitions = 7;
+  opts.partition_capacity = 100;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(1500, kDims, 11);
+  LinearScanIndex scan(kDims);
+  for (const auto& p : points) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  ASSERT_TRUE((*tree)->BulkInsert(points).ok());
+  ASSERT_GT((*tree)->PartitionCount(), 1u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+
+  Rng rng(13);
+  for (int q = 0; q < 25; ++q) {
+    std::vector<double> query(kDims);
+    for (double& c : query) c = rng.UniformDouble(-1.2, 1.2);
+    for (size_t k : {1u, 3u, 10u}) {
+      auto knn = (*tree)->KnnSearch(query, k);
+      ASSERT_TRUE(knn.ok());
+      EXPECT_EQ(*knn, scan.KnnSearch(query, k)) << "k=" << k;
+    }
+    for (double radius : {0.1, 0.5, 1.5}) {
+      auto range = (*tree)->RangeSearch(query, radius);
+      ASSERT_TRUE(range.ok());
+      EXPECT_EQ(*range, scan.RangeSearch(query, radius));
+    }
+  }
+}
+
+TEST(SemTreeTest, DistributedQueriesCrossPartitions) {
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  opts.bucket_size = 4;
+  opts.max_partitions = 9;
+  opts.partition_capacity = 50;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->BulkInsert(RandomPoints(1000, 2, 17)).ok());
+  ASSERT_GT((*tree)->PartitionCount(), 1u);
+
+  DistributedSearchStats stats;
+  auto knn = (*tree)->KnnSearch({0.0, 0.0}, 20, &stats);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), 20u);
+  EXPECT_GT(stats.messages_after, stats.messages_before);
+
+  DistributedSearchStats rstats;
+  auto range = (*tree)->RangeSearch({0.0, 0.0}, 1.0, &rstats);
+  ASSERT_TRUE(range.ok());
+  EXPECT_GT(rstats.partitions_visited, 1u);
+}
+
+TEST(SemTreeTest, ConcurrentClientInsertsAllLand) {
+  SemTreeOptions opts;
+  opts.dimensions = 3;
+  opts.bucket_size = 16;
+  opts.max_partitions = 5;
+  opts.partition_capacity = 150;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(3000, 3, 19);
+  ASSERT_TRUE((*tree)->BulkInsert(points, /*client_threads=*/8).ok());
+  EXPECT_EQ((*tree)->size(), 3000u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+  // Every point findable at distance zero.
+  LinearScanIndex scan(3);
+  for (const auto& p : points) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  Rng rng(23);
+  for (int q = 0; q < 15; ++q) {
+    const KdPoint& p = points[rng.Uniform(points.size())];
+    auto hit = (*tree)->KnnSearch(p.coords, 1);
+    ASSERT_TRUE(hit.ok());
+    ASSERT_EQ(hit->size(), 1u);
+    EXPECT_DOUBLE_EQ((*hit)[0].distance, 0.0);
+  }
+}
+
+TEST(SemTreeTest, SaturationConditionCallbackHonoured) {
+  // A dynamic resource condition: saturate once a partition holds any
+  // routing structure at all (forces aggressive spreading).
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  opts.bucket_size = 4;
+  opts.max_partitions = 4;
+  opts.saturation = [](const PartitionStats& s) {
+    return s.points > 30;
+  };
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->BulkInsert(RandomPoints(400, 2, 29)).ok());
+  EXPECT_EQ((*tree)->PartitionCount(), 4u);
+  EXPECT_TRUE((*tree)->CheckInvariants().ok());
+}
+
+TEST(SemTreeTest, CapacityNeverReachedKeepsOnePartition) {
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  opts.max_partitions = 9;
+  opts.partition_capacity = SIZE_MAX;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->BulkInsert(RandomPoints(500, 2, 31)).ok());
+  EXPECT_EQ((*tree)->PartitionCount(), 1u);
+}
+
+TEST(SemTreeTest, NetworkLatencySlowsButStaysCorrect) {
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  opts.bucket_size = 8;
+  opts.max_partitions = 3;
+  opts.partition_capacity = 60;
+  opts.network_latency = std::chrono::microseconds(50);
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  auto points = RandomPoints(300, 2, 37);
+  LinearScanIndex scan(2);
+  for (const auto& p : points) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+  ASSERT_TRUE((*tree)->BulkInsert(points, 4).ok());
+  EXPECT_EQ((*tree)->size(), 300u);
+  auto knn = (*tree)->KnnSearch({0.1, -0.2}, 5);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(*knn, scan.KnnSearch({0.1, -0.2}, 5));
+  EXPECT_GT((*tree)->NetworkStats().messages, 0u);
+}
+
+TEST(SemTreeTest, StatsReportRoutingOnlyAndStoringPartitions) {
+  SemTreeOptions opts;
+  opts.dimensions = 2;
+  opts.bucket_size = 4;
+  opts.max_partitions = 8;
+  opts.partition_capacity = 40;
+  auto tree = SemTree::Create(opts);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->BulkInsert(RandomPoints(800, 2, 41)).ok());
+  auto stats = (*tree)->AllPartitionStats();
+  ASSERT_EQ(stats.size(), (*tree)->PartitionCount());
+  // Paper: "some partitions are used just for routing and others for
+  // storing data" — with enough churn the root partition ends up
+  // mostly routing.
+  bool some_routing_heavy = false;
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.nodes, s.leaves + s.routing) << s.ToString();
+    if (s.routing > 0 && s.points == 0) some_routing_heavy = true;
+    EXPECT_FALSE(s.ToString().empty());
+  }
+  EXPECT_TRUE(some_routing_heavy || stats[0].points == 0 ||
+              stats[0].edge_nodes > 0);
+}
+
+}  // namespace
+}  // namespace semtree

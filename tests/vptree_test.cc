@@ -1,0 +1,183 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the VP-tree metric baseline: exactness on true metrics,
+// bounded degradation on the (near-metric) semantic distance.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/metric_audit.h"
+#include "distance/triple_distance.h"
+#include "kdtree/linear_scan.h"
+#include "kdtree/vptree.h"
+#include "nlp/requirements_corpus.h"
+#include "ontology/requirements_vocabulary.h"
+
+namespace semtree {
+namespace {
+
+// A Euclidean point set exposed through the metric oracle interface.
+struct EuclideanSet {
+  std::vector<std::vector<double>> points;
+
+  explicit EuclideanSet(size_t n, size_t dims, uint64_t seed) {
+    Rng rng(seed);
+    points.resize(n);
+    for (auto& p : points) {
+      p.resize(dims);
+      for (double& c : p) c = rng.UniformDouble(-3.0, 3.0);
+    }
+  }
+
+  double Distance(size_t i, size_t j) const {
+    double s = 0.0;
+    for (size_t d = 0; d < points[i].size(); ++d) {
+      double diff = points[i][d] - points[j][d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  }
+};
+
+TEST(VpTreeTest, RejectsBadArguments) {
+  MetricDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  EXPECT_FALSE(VpTree::Build(0, zero).ok());
+  EXPECT_FALSE(VpTree::Build(5, nullptr).ok());
+}
+
+TEST(VpTreeTest, DegenerateInputs) {
+  MetricDistanceFn zero = [](size_t, size_t) { return 0.0; };
+  auto tree = VpTree::Build(40, zero, {.bucket_size = 4});
+  ASSERT_TRUE(tree.ok());  // All identical: one flat leaf.
+  EXPECT_EQ(tree->size(), 40u);
+  auto hits = tree->KnnSearch([](size_t) { return 0.0; }, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_TRUE(tree->KnnSearch([](size_t) { return 0.0; }, 0).empty());
+}
+
+class VpTreeEuclidean : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VpTreeEuclidean, KnnExactOnMetricInput) {
+  EuclideanSet set(800, 4, GetParam());
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  auto tree = VpTree::Build(set.points.size(), d,
+                            {.bucket_size = 8, .seed = GetParam()});
+  ASSERT_TRUE(tree.ok());
+  // Gold standard via linear scan over the same metric.
+  Rng rng(GetParam() + 500);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query(4);
+    for (double& c : query) c = rng.UniformDouble(-3.5, 3.5);
+    auto dq = [&](size_t i) {
+      double s = 0.0;
+      for (size_t dd = 0; dd < 4; ++dd) {
+        double diff = query[dd] - set.points[i][dd];
+        s += diff * diff;
+      }
+      return std::sqrt(s);
+    };
+    // Exact: brute force.
+    std::vector<Neighbor> expected;
+    for (size_t i = 0; i < set.points.size(); ++i) {
+      expected.push_back(Neighbor{i, dq(i)});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    for (size_t k : {1u, 5u, 20u}) {
+      auto got = tree->KnnSearch(dq, k);
+      ASSERT_EQ(got.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k;
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+    // Range search exactness.
+    for (double radius : {0.5, 1.5}) {
+      auto got = tree->RangeSearch(dq, radius);
+      size_t expected_count = 0;
+      for (const auto& n : expected) expected_count += (n.distance <= radius);
+      EXPECT_EQ(got.size(), expected_count) << "radius=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VpTreeEuclidean,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(VpTreeTest, PruningActuallyPrunes) {
+  EuclideanSet set(5000, 3, 9);
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  auto tree = VpTree::Build(set.points.size(), d, {.bucket_size = 16});
+  ASSERT_TRUE(tree.ok());
+  SearchStats stats;
+  auto dq = [&](size_t i) {
+    double s = 0.0;
+    for (size_t dd = 0; dd < 3; ++dd) s += set.points[i][dd] * set.points[i][dd];
+    return std::sqrt(s);
+  };
+  tree->KnnSearch(dq, 3, &stats);
+  EXPECT_LT(stats.points_examined, set.points.size() / 2);
+}
+
+TEST(VpTreeTest, NearMetricSemanticDistanceHighRecall) {
+  Taxonomy vocab = RequirementsVocabulary();
+  RequirementsCorpusGenerator gen(&vocab, {.num_documents = 25,
+                                           .seed = 77});
+  auto triples = gen.GenerateTriples();
+  ASSERT_TRUE(triples.ok());
+  auto dist = TripleDistance::Make(&vocab);
+  ASSERT_TRUE(dist.ok());
+
+  // Slack = worst observed triangle excess restores near-exactness.
+  auto audit = AuditMetric(*triples, *dist, 20000);
+  double slack = audit.worst_triangle_excess;
+
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return (*dist)((*triples)[i], (*triples)[j]);
+  };
+  auto tree = VpTree::Build(triples->size(), d,
+                            {.bucket_size = 16, .prune_slack = slack});
+  ASSERT_TRUE(tree.ok());
+
+  Rng rng(31);
+  size_t total = 0, recovered = 0;
+  const size_t kK = 10;
+  for (int q = 0; q < 25; ++q) {
+    size_t qi = rng.Uniform(triples->size());
+    auto dq = [&](size_t i) { return d(qi, i); };
+    auto got = tree->KnnSearch(dq, kK);
+    // Exact by brute force, compared on distances (heavy ties make id
+    // comparison meaningless).
+    std::vector<double> exact;
+    for (size_t i = 0; i < triples->size(); ++i) exact.push_back(d(qi, i));
+    std::sort(exact.begin(), exact.end());
+    for (size_t i = 0; i < kK; ++i) {
+      ++total;
+      recovered += (got[i].distance <= exact[kK - 1] + 1e-12);
+    }
+  }
+  EXPECT_GE(double(recovered) / double(total), 0.99);
+}
+
+TEST(VpTreeTest, DepthIsLogarithmic) {
+  EuclideanSet set(4096, 3, 21);
+  MetricDistanceFn d = [&](size_t i, size_t j) {
+    return set.Distance(i, j);
+  };
+  auto tree = VpTree::Build(set.points.size(), d, {.bucket_size = 8});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->Depth(), 24u);  // ~log2(4096/8) = 9, generous slack.
+  EXPECT_GE(tree->Depth(), 6u);
+}
+
+}  // namespace
+}  // namespace semtree
