@@ -49,6 +49,9 @@ Workload MakeWorkload(size_t n, uint64_t seed, size_t fastmap_dims) {
   if (!fm.ok()) std::abort();
   w.fastmap = std::make_unique<FastMap>(std::move(*fm));
 
+  // The embedding's flat arena, as one contiguous block; the per-point
+  // vector form stays for benches that exercise the KdPoint API.
+  w.block = w.fastmap->ToPointBlock();
   w.points.resize(w.triples.size());
   for (size_t i = 0; i < w.triples.size(); ++i) {
     w.points[i] = KdPoint{w.fastmap->Coordinates(i), i};

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/point_block.h"
 #include "distance/triple_distance.h"
 #include "fastmap/fastmap.h"
 #include "kdtree/kdtree.h"
@@ -30,6 +31,7 @@ struct Workload {
   std::vector<Triple> triples;
   std::unique_ptr<TripleDistance> distance;
   std::unique_ptr<FastMap> fastmap;
+  PointBlock block;             // Flat row-major embedding (ids == i).
   std::vector<KdPoint> points;  // points[i].id == i (triple id).
 
   size_t dimensions() const { return fastmap->dimensions(); }

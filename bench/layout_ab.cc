@@ -1,0 +1,200 @@
+// Copyright 2026 The SemTree Authors
+//
+// Layout A/B: flat row-major arena (PointStore) versus the seed layout
+// — one heap-allocated std::vector<double> per point (KdPoint), which
+// is what KD-tree leaf buckets and migration payloads stored before the
+// core-layer refactor. Measures a brute-force distance sweep and an
+// exact k-NN scan over both layouts, freshly built and again after a
+// round of migration-style churn (half the points reallocated in random
+// order, as build-partition adoption does), at several corpus sizes.
+// Prints CSV.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/distance.h"
+#include "core/point.h"
+#include "core/point_store.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr size_t kDims = 8;
+constexpr size_t kQueries = 32;
+constexpr size_t kReps = 5;
+constexpr size_t kK = 10;
+
+bool ByDistanceThenId(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+// ---- Layout A: the seed representation, one vector per point. ------
+
+double SweepVov(const std::vector<KdPoint>& points,
+                const std::vector<std::vector<double>>& queries) {
+  double sink = 0.0;
+  for (const auto& q : queries) {
+    for (const KdPoint& p : points) {
+      sink += EuclideanDistance(q.data(), p.coords.data(), kDims);
+    }
+  }
+  return sink;
+}
+
+double KnnVov(const std::vector<KdPoint>& points,
+              const std::vector<std::vector<double>>& queries) {
+  double sink = 0.0;
+  std::vector<Neighbor> all;
+  for (const auto& q : queries) {
+    all.clear();
+    all.reserve(points.size());
+    for (const KdPoint& p : points) {
+      all.push_back(
+          Neighbor{p.id, EuclideanDistance(q.data(), p.coords.data(),
+                                           kDims)});
+    }
+    std::partial_sort(all.begin(), all.begin() + kK, all.end(),
+                      ByDistanceThenId);
+    sink += all[kK - 1].distance;
+  }
+  return sink;
+}
+
+// ---- Layout B: the flat PointStore arena. --------------------------
+
+double SweepFlat(const PointStore& store,
+                 const std::vector<std::vector<double>>& queries) {
+  double sink = 0.0;
+  size_t n = store.slot_count();
+  for (const auto& q : queries) {
+    for (size_t s = 0; s < n; ++s) {
+      sink += EuclideanDistance(
+          q.data(), store.CoordsAt(PointStore::Slot(s)), kDims);
+    }
+  }
+  return sink;
+}
+
+double KnnFlat(const PointStore& store,
+               const std::vector<std::vector<double>>& queries) {
+  double sink = 0.0;
+  size_t n = store.slot_count();
+  std::vector<Neighbor> all;
+  for (const auto& q : queries) {
+    all.clear();
+    all.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      PointStore::Slot slot(s);
+      all.push_back(Neighbor{
+          store.IdAt(slot),
+          EuclideanDistance(q.data(), store.CoordsAt(slot), kDims)});
+    }
+    std::partial_sort(all.begin(), all.begin() + kK, all.end(),
+                      ByDistanceThenId);
+    sink += all[kK - 1].distance;
+  }
+  return sink;
+}
+
+// --------------------------------------------------------------------
+
+// Best-of-reps wall time, in milliseconds.
+template <typename Fn>
+double TimeMs(Fn&& fn, double* sink) {
+  double best = 1e100;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    Stopwatch sw;
+    *sink += fn();
+    best = std::min(best, sw.ElapsedMillis());
+  }
+  return best;
+}
+
+// Migration-style churn on the per-point-vector layout: half the
+// points, in random order, get copied into fresh heap allocations
+// (interleaved with unrelated traffic), exactly what leaf adoption and
+// split-reshuffling do to a long-lived index. The arena under the same
+// churn recycles released rows in place, so it is measured unchanged.
+void ChurnVov(std::vector<KdPoint>* points, Rng* rng) {
+  std::vector<size_t> order(points->size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+  std::vector<std::vector<double>> traffic;
+  traffic.reserve(order.size() / 2);
+  for (size_t i = 0; i < order.size() / 2; ++i) {
+    KdPoint& p = (*points)[order[i]];
+    std::vector<double> fresh(p.coords.begin(), p.coords.end());
+    traffic.emplace_back(rng->Uniform(24) + 4);  // Interleaved alloc.
+    p.coords = std::move(fresh);
+  }
+}
+
+void Report(const char* op, const char* phase, size_t n, double vov_ms,
+            double flat_ms) {
+  char series[64];
+  std::snprintf(series, sizeof(series), "%s_%s_vov_ms", op, phase);
+  PrintRow("layout_ab", series, double(n), vov_ms);
+  std::snprintf(series, sizeof(series), "%s_%s_flat_ms", op, phase);
+  PrintRow("layout_ab", series, double(n), flat_ms);
+  std::snprintf(series, sizeof(series), "%s_%s_speedup", op, phase);
+  PrintRow("layout_ab", series, double(n),
+           flat_ms > 0.0 ? vov_ms / flat_ms : 0.0);
+}
+
+void RunScale(size_t n) {
+  Rng rng(42);
+  std::vector<KdPoint> vov(n);
+  PointStore store(kDims);
+  store.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    vov[i].id = PointId(i);
+    vov[i].coords.resize(kDims);
+    for (double& c : vov[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+    store.Append(vov[i].coords.data(), PointId(i));
+  }
+  std::vector<std::vector<double>> queries;
+  queries.reserve(kQueries);
+  for (size_t q = 0; q < kQueries; ++q) {
+    std::vector<double> query(kDims);
+    for (double& c : query) c = rng.UniformDouble(-1.0, 1.0);
+    queries.push_back(std::move(query));
+  }
+
+  double sink = 0.0;
+  Report("sweep", "fresh", n, TimeMs([&] { return SweepVov(vov, queries); }, &sink),
+         TimeMs([&] { return SweepFlat(store, queries); }, &sink));
+  Report("knn", "fresh", n, TimeMs([&] { return KnnVov(vov, queries); }, &sink),
+         TimeMs([&] { return KnnFlat(store, queries); }, &sink));
+
+  ChurnVov(&vov, &rng);
+  Report("sweep", "churned", n,
+         TimeMs([&] { return SweepVov(vov, queries); }, &sink),
+         TimeMs([&] { return SweepFlat(store, queries); }, &sink));
+  Report("knn", "churned", n,
+         TimeMs([&] { return KnnVov(vov, queries); }, &sink),
+         TimeMs([&] { return KnnFlat(store, queries); }, &sink));
+  if (sink == 12345.6789) std::printf("# sink %f\n", sink);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main() {
+  using namespace semtree::bench;
+  PrintHeader("layout_ab",
+              "flat PointStore arena vs per-point heap vectors (seed "
+              "layout), fresh and after migration churn",
+              "n,value");
+  for (size_t n : {20000u, 100000u, 400000u}) {
+    RunScale(n);
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Copyright 2026 The SemTree Authors
+
+#include "core/backends.h"
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "kdtree/kdtree.h"
+#include "kdtree/linear_scan.h"
+
+namespace semtree {
+
+namespace {
+
+Status CheckDims(size_t got, size_t want) {
+  if (got != want) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  return Status::OK();
+}
+
+// The metric trees report object indices (store slots); translate them
+// back to the PointIds the SpatialIndex contract promises, and restore
+// the canonical ordering (slot-order ties may differ from id-order).
+std::vector<Neighbor> SlotsToIds(const PointStore& store,
+                                 std::vector<Neighbor> hits) {
+  for (Neighbor& n : hits) {
+    n.id = store.IdAt(PointStore::Slot(n.id));
+  }
+  std::sort(hits.begin(), hits.end(), NeighborDistanceThenId);
+  return hits;
+}
+
+// Distance from a query vector to a stored object, as the metric trees'
+// lazy query oracle.
+QueryDistanceFn QueryOracle(const PointStore& store,
+                            const std::vector<double>& query) {
+  return [&store, &query](size_t obj) {
+    return EuclideanDistance(query.data(),
+                             store.CoordsAt(PointStore::Slot(obj)),
+                             store.dimensions());
+  };
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------
+// VpTreeIndex
+
+VpTreeIndex::VpTreeIndex(size_t dimensions, BackendOptions options)
+    : options_(options), store_(dimensions) {}
+
+Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
+  SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
+  store_.Append(coords, id);
+  tree_.reset();  // Static index: rebuild lazily on the next query.
+  return Status::OK();
+}
+
+Status VpTreeIndex::Remove(const std::vector<double>&, PointId) {
+  return Status::NotSupported("VP-tree does not support removal");
+}
+
+void VpTreeIndex::EnsureBuilt() const {
+  if (tree_.has_value() || store_.size() == 0) return;
+  VpTreeOptions vopts;
+  vopts.bucket_size = options_.bucket_size;
+  vopts.seed = options_.seed;
+  const PointStore& store = store_;
+  size_t dim = store.dimensions();
+  auto built = VpTree::Build(
+      store.size(),
+      [&store, dim](size_t a, size_t b) {
+        return EuclideanDistance(store.CoordsAt(PointStore::Slot(a)),
+                                 store.CoordsAt(PointStore::Slot(b)), dim);
+      },
+      vopts);
+  // Build only fails on n == 0 or a null oracle; neither happens here.
+  tree_.emplace(std::move(*built));
+}
+
+std::vector<Neighbor> VpTreeIndex::KnnSearch(
+    const std::vector<double>& query, size_t k, SearchStats* stats) const {
+  if (query.size() != store_.dimensions()) return {};
+  EnsureBuilt();
+  if (!tree_.has_value()) return {};
+  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
+                                             k, stats));
+}
+
+std::vector<Neighbor> VpTreeIndex::RangeSearch(
+    const std::vector<double>& query, double radius,
+    SearchStats* stats) const {
+  if (query.size() != store_.dimensions()) return {};
+  EnsureBuilt();
+  if (!tree_.has_value()) return {};
+  return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
+                                               radius, stats));
+}
+
+// --------------------------------------------------------------------
+// MTreeIndex
+
+MTreeIndex::MTreeIndex(size_t dimensions, BackendOptions options)
+    : store_(dimensions) {
+  MTreeOptions mopts;
+  mopts.node_capacity = options.bucket_size;
+  mopts.seed = options.seed;
+  size_t dim = store_.dimensions();
+  PointStore* store = &store_;
+  auto tree = MTree::Create(
+      [store, dim](size_t a, size_t b) {
+        return EuclideanDistance(store->CoordsAt(PointStore::Slot(a)),
+                                 store->CoordsAt(PointStore::Slot(b)),
+                                 dim);
+      },
+      mopts);
+  tree_ = std::make_unique<MTree>(std::move(*tree));
+}
+
+Status MTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
+  SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
+  PointStore::Slot slot = store_.Append(coords, id);
+  return tree_->Insert(slot);
+}
+
+Status MTreeIndex::Remove(const std::vector<double>&, PointId) {
+  return Status::NotSupported("M-tree does not support removal");
+}
+
+std::vector<Neighbor> MTreeIndex::KnnSearch(
+    const std::vector<double>& query, size_t k, SearchStats* stats) const {
+  if (query.size() != store_.dimensions()) return {};
+  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
+                                             k, stats));
+}
+
+std::vector<Neighbor> MTreeIndex::RangeSearch(
+    const std::vector<double>& query, double radius,
+    SearchStats* stats) const {
+  if (query.size() != store_.dimensions()) return {};
+  return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
+                                               radius, stats));
+}
+
+// --------------------------------------------------------------------
+// Factory
+
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(BackendKind kind,
+                                               size_t dimensions,
+                                               BackendOptions options) {
+  switch (kind) {
+    case BackendKind::kKdTree: {
+      KdTreeOptions kopts;
+      kopts.bucket_size = options.bucket_size;
+      return std::make_unique<KdTree>(dimensions, kopts);
+    }
+    case BackendKind::kLinearScan:
+      return std::make_unique<LinearScanIndex>(dimensions);
+    case BackendKind::kVpTree:
+      return std::make_unique<VpTreeIndex>(dimensions, options);
+    case BackendKind::kMTree:
+      return std::make_unique<MTreeIndex>(dimensions, options);
+  }
+  return nullptr;
+}
+
+std::string_view BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kKdTree:
+      return "kdtree";
+    case BackendKind::kLinearScan:
+      return "linear_scan";
+    case BackendKind::kVpTree:
+      return "vptree";
+    case BackendKind::kMTree:
+      return "mtree";
+  }
+  return "unknown";
+}
+
+}  // namespace semtree

@@ -1,0 +1,105 @@
+// Copyright 2026 The SemTree Authors
+//
+// SpatialIndex adapters and the backend factory. KdTree and
+// LinearScanIndex implement SpatialIndex natively; the metric trees
+// (VpTree, MTree) index abstract objects through a distance oracle, so
+// their adapters own a PointStore of the inserted vectors and present
+// the Euclidean metric over it. All four become interchangeable behind
+// MakeSpatialIndex, which the cross-backend equivalence test and the
+// comparison benches rely on.
+
+#ifndef SEMTREE_CORE_BACKENDS_H_
+#define SEMTREE_CORE_BACKENDS_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/point_store.h"
+#include "core/spatial_index.h"
+#include "kdtree/mtree.h"
+#include "kdtree/vptree.h"
+
+namespace semtree {
+
+enum class BackendKind {
+  kKdTree,
+  kLinearScan,
+  kVpTree,
+  kMTree,
+};
+
+struct BackendOptions {
+  /// Leaf bucket / node capacity of tree backends.
+  size_t bucket_size = 32;
+
+  /// Seed for randomized construction (VP vantage points, M-tree split
+  /// promotion).
+  uint64_t seed = 42;
+};
+
+/// Vantage-point tree over Euclidean vectors. The VP-tree core is a
+/// static (build-once) index, so inserts are buffered in the point
+/// store and the tree is rebuilt lazily on the first query after a
+/// mutation. Removal is not supported.
+class VpTreeIndex : public SpatialIndex {
+ public:
+  VpTreeIndex(size_t dimensions, BackendOptions options = {});
+
+  Status Insert(const std::vector<double>& coords, PointId id) override;
+  Status Remove(const std::vector<double>& coords, PointId id) override;
+  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
+                                  size_t k,
+                                  SearchStats* stats = nullptr) const override;
+  std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return store_.size(); }
+  size_t dimensions() const override { return store_.dimensions(); }
+  std::string_view name() const override { return "vptree"; }
+
+ private:
+  void EnsureBuilt() const;
+
+  BackendOptions options_;
+  PointStore store_;
+  mutable std::optional<VpTree> tree_;  // Rebuilt when stale.
+};
+
+/// Dynamic M-tree over Euclidean vectors. Supports incremental
+/// insertion; removal is not supported.
+class MTreeIndex : public SpatialIndex {
+ public:
+  MTreeIndex(size_t dimensions, BackendOptions options = {});
+
+  // The M-tree's distance oracle captures `this`; pin the adapter.
+  MTreeIndex(const MTreeIndex&) = delete;
+  MTreeIndex& operator=(const MTreeIndex&) = delete;
+
+  Status Insert(const std::vector<double>& coords, PointId id) override;
+  Status Remove(const std::vector<double>& coords, PointId id) override;
+  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
+                                  size_t k,
+                                  SearchStats* stats = nullptr) const override;
+  std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      SearchStats* stats = nullptr) const override;
+  size_t size() const override { return store_.size(); }
+  size_t dimensions() const override { return store_.dimensions(); }
+  std::string_view name() const override { return "mtree"; }
+
+ private:
+  PointStore store_;
+  std::unique_ptr<MTree> tree_;
+};
+
+/// Creates a backend of the requested kind over a `dimensions`-d space.
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(BackendKind kind,
+                                               size_t dimensions,
+                                               BackendOptions options = {});
+
+/// Backend name without instantiating one (for bench series labels).
+std::string_view BackendName(BackendKind kind);
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_BACKENDS_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 The SemTree Authors
+//
+// The single Euclidean distance kernel of the system. Every backend
+// (KD-tree, linear scan, SemTree partitions, FastMap) funnels through
+// the raw-pointer form so there is exactly one hot loop to optimise
+// (SIMD, batching) in later PRs.
+
+#ifndef SEMTREE_CORE_DISTANCE_H_
+#define SEMTREE_CORE_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace semtree {
+
+/// Squared Euclidean distance between two coordinate rows of length n.
+inline double SquaredEuclideanDistance(const double* a, const double* b,
+                                       size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Euclidean distance between two coordinate rows of length n.
+inline double EuclideanDistance(const double* a, const double* b,
+                                size_t n) {
+  return std::sqrt(SquaredEuclideanDistance(a, b, n));
+}
+
+/// Convenience overload for owning vectors; trailing coordinates of the
+/// longer vector are ignored (treated as matching zeros both sides).
+inline double EuclideanDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  return EuclideanDistance(a.data(), b.data(), n);
+}
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_DISTANCE_H_

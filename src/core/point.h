@@ -1,0 +1,67 @@
+// Copyright 2026 The SemTree Authors
+//
+// Fundamental point types shared by every index backend. The hot paths
+// of the system (KD-tree leaves, partition buckets, migration payloads)
+// store coordinates in flat row-major arenas (see point_store.h) and
+// pass them around as non-owning PointViews; the owning per-point
+// KdPoint remains only as an API-boundary convenience type.
+
+#ifndef SEMTREE_CORE_POINT_H_
+#define SEMTREE_CORE_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace semtree {
+
+/// Identifier carried by each indexed point (SemTree stores TripleIds).
+using PointId = uint64_t;
+
+/// Non-owning, trivially copyable view of one stored point: a pointer
+/// into a flat coordinate arena plus the payload id. Valid as long as
+/// the owning PointStore is alive (arena chunks never move).
+struct PointView {
+  const double* coords = nullptr;
+  size_t dim = 0;
+  PointId id = 0;
+
+  double operator[](size_t i) const { return coords[i]; }
+};
+
+/// A point in the embedded space plus its payload id. Owning per-point
+/// representation, used at API boundaries (bulk-load inputs, single
+/// point RPCs); index internals use PointStore slots instead.
+struct KdPoint {
+  std::vector<double> coords;
+  PointId id = 0;
+};
+
+/// One search hit; results are sorted by ascending distance, ties by id.
+struct Neighbor {
+  PointId id = 0;
+  double distance = 0.0;
+
+  bool operator==(const Neighbor& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// Canonical result ordering — ascending distance, ties by id — shared
+/// by every backend so cross-backend results compare byte-for-byte.
+/// Doubles as the max-heap predicate (worst candidate on top).
+inline bool NeighborDistanceThenId(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Work counters filled by the search procedures (for benches/tests).
+struct SearchStats {
+  size_t nodes_visited = 0;
+  size_t leaves_visited = 0;
+  size_t points_examined = 0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_POINT_H_

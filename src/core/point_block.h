@@ -1,0 +1,72 @@
+// Copyright 2026 The SemTree Authors
+//
+// PointBlock: a self-contained, contiguous batch of points — the wire
+// format for every bulk point transfer in the system (leaf migration in
+// build-partition, distributed bulk-load regions). One coordinate
+// buffer plus one id buffer replaces N heap-allocated per-point
+// vectors, following the contiguous transfer-buffer idiom of bp-forest
+// style tree migration.
+
+#ifndef SEMTREE_CORE_POINT_BLOCK_H_
+#define SEMTREE_CORE_POINT_BLOCK_H_
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "core/point.h"
+
+namespace semtree {
+
+struct PointBlock {
+  size_t dimensions = 0;
+  std::vector<double> coords;  // Row-major, ids.size() * dimensions.
+  std::vector<PointId> ids;
+
+  PointBlock() = default;
+  explicit PointBlock(size_t dims) : dimensions(dims) {}
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  const double* Row(size_t i) const {
+    return coords.data() + i * dimensions;
+  }
+
+  void Reserve(size_t points) {
+    coords.reserve(points * dimensions);
+    ids.reserve(points);
+  }
+
+  /// Appends one row (copied; `row` must have `dimensions` entries).
+  void Append(const double* row, PointId id) {
+    coords.insert(coords.end(), row, row + dimensions);
+    ids.push_back(id);
+  }
+
+  PointView View(size_t i) const {
+    return PointView{Row(i), dimensions, ids[i]};
+  }
+
+  /// Approximate wire size, for the simulated interconnect accounting.
+  size_t ApproxBytes() const {
+    return coords.size() * sizeof(double) + ids.size() * sizeof(PointId) +
+           32;
+  }
+
+  /// Gathers owning per-point API inputs into one contiguous block.
+  static PointBlock FromPoints(size_t dims,
+                               const std::vector<KdPoint>& points) {
+    PointBlock block(dims);
+    block.Reserve(points.size());
+    for (const KdPoint& p : points) {
+      assert(p.coords.size() == dims);
+      block.Append(p.coords.data(), p.id);
+    }
+    return block;
+  }
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_POINT_BLOCK_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The SemTree Authors
+//
+// SpatialIndex: the one query surface every sequential backend
+// implements (KdTree, VpTree, MTree, LinearScanIndex). Benches, tests
+// and the distributed layer program against this interface, so backends
+// are comparable apples-to-apples and interchangeable behind a factory
+// (see core/backends.h).
+
+#ifndef SEMTREE_CORE_SPATIAL_INDEX_H_
+#define SEMTREE_CORE_SPATIAL_INDEX_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/point.h"
+
+namespace semtree {
+
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Inserts one point. Fails if `coords` has the wrong dimensionality
+  /// or the backend does not support incremental insertion.
+  virtual Status Insert(const std::vector<double>& coords, PointId id) = 0;
+
+  /// Removes the point with the given coordinates and id. Backends
+  /// without deletion support return NotSupported.
+  virtual Status Remove(const std::vector<double>& coords, PointId id) = 0;
+
+  /// The k nearest points to `query`, sorted by ascending distance,
+  /// ties by id. Returns fewer than k when the index is smaller.
+  virtual std::vector<Neighbor> KnnSearch(
+      const std::vector<double>& query, size_t k,
+      SearchStats* stats = nullptr) const = 0;
+
+  /// All points within `radius` of `query`, sorted by (distance, id).
+  virtual std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      SearchStats* stats = nullptr) const = 0;
+
+  /// Stored point count.
+  virtual size_t size() const = 0;
+
+  /// Dimensionality of the indexed space.
+  virtual size_t dimensions() const = 0;
+
+  /// Human-readable backend name (for bench CSV series).
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_SPATIAL_INDEX_H_

@@ -1,0 +1,136 @@
+// Copyright 2026 The SemTree Authors
+//
+// Shared KD split-point selection. Every layer that builds or splits a
+// bucket KD-tree (KdTree, Partition, the client-side bulk-load region
+// splitter) uses the same policy: split on the widest-spread dimension,
+// at the midpoint between the two central distinct values, as close to
+// the median as possible. One definition here keeps the trees identical
+// across layers.
+
+#ifndef SEMTREE_CORE_SPLIT_H_
+#define SEMTREE_CORE_SPLIT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace semtree {
+
+struct MedianSplit {
+  uint32_t dim = 0;    // Sr
+  double value = 0.0;  // Sv
+  size_t boundary = 0; // First index of the right half within [lo, hi).
+};
+
+/// Picks the widest-spread dimension of rows idx[lo..hi) (coordinates
+/// through `row`: index -> const double*), sorts that span of `idx` by
+/// it, and selects the median-most boundary between distinct values.
+/// Returns false — leaving `idx` unsorted only if no dimension spreads —
+/// when the span cannot be separated (all points identical).
+template <typename Index, typename RowFn>
+bool ChooseMedianSplit(std::vector<Index>& idx, size_t lo, size_t hi,
+                       size_t dimensions, RowFn row, MedianSplit* out) {
+  uint32_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dimensions; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (size_t i = lo; i < hi; ++i) {
+      double c = row(idx[i])[d];
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    if (mx - mn > best_spread) {
+      best_spread = mx - mn;
+      best_dim = static_cast<uint32_t>(d);
+    }
+  }
+  if (best_spread <= 0.0) return false;
+
+  std::sort(idx.begin() + static_cast<ptrdiff_t>(lo),
+            idx.begin() + static_cast<ptrdiff_t>(hi),
+            [&row, best_dim](Index a, Index b) {
+              return row(a)[best_dim] < row(b)[best_dim];
+            });
+  size_t mid = lo + (hi - lo) / 2;
+  size_t split = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = lo + 1; i < hi; ++i) {
+    if (row(idx[i - 1])[best_dim] < row(idx[i])[best_dim]) {
+      double dist =
+          std::fabs(static_cast<double>(i) - static_cast<double>(mid));
+      if (dist < best) {
+        best = dist;
+        split = i;
+      }
+    }
+  }
+  if (split == 0) return false;
+  out->dim = best_dim;
+  out->value =
+      (row(idx[split - 1])[best_dim] + row(idx[split])[best_dim]) / 2.0;
+  out->boundary = split;
+  return true;
+}
+
+struct BucketSplit {
+  uint32_t dim = 0;    // Sr
+  double value = 0.0;  // Sv
+};
+
+/// Split choice for an overflowing leaf bucket: tries dimensions in
+/// order of decreasing spread until one separates the bucket (identical
+/// points cannot be separated; returns false and the bucket overflows).
+/// `row` maps a bucket entry to its coordinate row.
+template <typename Index, typename RowFn>
+bool ChooseBucketSplit(const std::vector<Index>& bucket, size_t dimensions,
+                       RowFn row, BucketSplit* out) {
+  std::vector<std::pair<double, uint32_t>> dims;
+  dims.reserve(dimensions);
+  for (size_t d = 0; d < dimensions; ++d) {
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -mn;
+    for (Index s : bucket) {
+      double c = row(s)[d];
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    dims.emplace_back(mx - mn, static_cast<uint32_t>(d));
+  }
+  std::sort(dims.begin(), dims.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<double> values;
+  for (const auto& [spread, dim] : dims) {
+    if (spread <= 0.0) return false;  // No remaining dimension separates.
+    // Median split: midpoint between the two central distinct values.
+    values.clear();
+    values.reserve(bucket.size());
+    for (Index s : bucket) values.push_back(row(s)[dim]);
+    std::sort(values.begin(), values.end());
+    size_t mid = values.size() / 2;
+    size_t split_pos = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i - 1] < values[i]) {
+        double dist =
+            std::fabs(static_cast<double>(i) - static_cast<double>(mid));
+        if (dist < best) {
+          best = dist;
+          split_pos = i;
+        }
+      }
+    }
+    if (split_pos == 0) continue;  // All values equal on this dim.
+    out->dim = dim;
+    out->value = (values[split_pos - 1] + values[split_pos]) / 2.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_SPLIT_H_

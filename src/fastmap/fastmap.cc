@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "core/distance.h"
 
 namespace semtree {
 
@@ -144,15 +145,19 @@ std::vector<double> FastMap::Project(
   return q;
 }
 
+PointBlock FastMap::ToPointBlock() const {
+  PointBlock block(dimensions_);
+  block.coords = coords_;
+  block.ids.resize(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    block.ids[i] = static_cast<PointId>(i);
+  }
+  return block;
+}
+
 double FastMap::EmbeddedDistance(const std::vector<double>& a,
                                  const std::vector<double>& b) {
-  double sum = 0.0;
-  size_t dims = std::min(a.size(), b.size());
-  for (size_t i = 0; i < dims; ++i) {
-    double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return std::sqrt(sum);
+  return EuclideanDistance(a, b);  // Single kernel in core/distance.h.
 }
 
 double FastMap::SampleStress(const IndexDistanceFn& distance,
@@ -166,12 +171,8 @@ double FastMap::SampleStress(const IndexDistanceFn& distance,
     size_t j = rng.Uniform(n_);
     if (i == j) continue;
     double original = distance(i, j);
-    double embedded = 0.0;
-    for (size_t axis = 0; axis < dimensions_; ++axis) {
-      double diff = AtConst(i, axis) - AtConst(j, axis);
-      embedded += diff * diff;
-    }
-    embedded = std::sqrt(embedded);
+    double embedded =
+        EuclideanDistance(CoordsRow(i), CoordsRow(j), dimensions_);
     double err = original - embedded;
     sum_sq_err += err * err;
     ++counted;

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/point.h"
+#include "core/point_block.h"
 
 namespace semtree {
 
@@ -63,8 +65,23 @@ class FastMap {
   /// Coordinates of training object `i`.
   std::vector<double> Coordinates(size_t i) const;
 
+  /// Pointer to the row of training object `i` in the flat arena
+  /// (contiguous, length dimensions()).
+  const double* CoordsRow(size_t i) const {
+    return coords_.data() + i * dimensions_;
+  }
+
+  /// Non-owning view of training object `i` (id = training index).
+  PointView View(size_t i) const {
+    return PointView{CoordsRow(i), dimensions_, static_cast<PointId>(i)};
+  }
+
   /// All coordinates, row-major [n x dimensions].
   const std::vector<double>& flat_coordinates() const { return coords_; }
+
+  /// The whole embedding as one contiguous block (ids = training
+  /// indices) — the zero-reshaping input to SemTree bulk loading.
+  PointBlock ToPointBlock() const;
 
   /// Pivot object indices (a, b) per effective axis.
   const std::vector<std::pair<size_t, size_t>>& pivots() const {

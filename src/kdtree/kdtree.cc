@@ -7,59 +7,14 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "core/split.h"
 
 namespace semtree {
 
-namespace {
-
-// Max-heap ordering on distance (worst candidate on top), ties by id so
-// results are deterministic.
-bool HeapLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.id < b.id;
-}
-
-void SortResult(std::vector<Neighbor>* result) {
-  std::sort(result->begin(), result->end(), HeapLess);
-}
-
-// Widest-spread dimension of a point span; returns the spread too.
-std::pair<uint32_t, double> WidestSpread(const std::vector<KdPoint>& pts,
-                                         size_t lo, size_t hi,
-                                         size_t dimensions) {
-  uint32_t best_dim = 0;
-  double best_spread = -1.0;
-  for (size_t d = 0; d < dimensions; ++d) {
-    double mn = std::numeric_limits<double>::infinity();
-    double mx = -mn;
-    for (size_t i = lo; i < hi; ++i) {
-      mn = std::min(mn, pts[i].coords[d]);
-      mx = std::max(mx, pts[i].coords[d]);
-    }
-    double spread = mx - mn;
-    if (spread > best_spread) {
-      best_spread = spread;
-      best_dim = static_cast<uint32_t>(d);
-    }
-  }
-  return {best_dim, best_spread};
-}
-
-}  // namespace
-
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b) {
-  double sum = 0.0;
-  size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return std::sqrt(sum);
-}
-
 KdTree::KdTree(size_t dimensions, KdTreeOptions options)
-    : dimensions_(std::max<size_t>(1, dimensions)), options_(options) {
+    : dimensions_(std::max<size_t>(1, dimensions)),
+      options_(options),
+      store_(dimensions_) {
   if (options_.bucket_size == 0) options_.bucket_size = 1;
   NewLeaf();  // Root.
 }
@@ -82,8 +37,7 @@ Status KdTree::Insert(const std::vector<double>& coords, PointId id) {
     const Node& n = nodes_[node];
     node = (coords[n.split_dim] <= n.split_value) ? n.left : n.right;
   }
-  nodes_[node].bucket.push_back(KdPoint{coords, id});
-  ++size_;
+  nodes_[node].bucket.push_back(store_.Append(coords.data(), id));
   if (nodes_[node].bucket.size() > options_.bucket_size) {
     MaybeSplitLeaf(node);
   }
@@ -101,11 +55,13 @@ Status KdTree::Remove(const std::vector<double>& coords, PointId id) {
     const Node& n = nodes_[node];
     node = (coords[n.split_dim] <= n.split_value) ? n.left : n.right;
   }
-  std::vector<KdPoint>& bucket = nodes_[node].bucket;
+  std::vector<Slot>& bucket = nodes_[node].bucket;
   for (size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].id == id && bucket[i].coords == coords) {
+    Slot slot = bucket[i];
+    if (store_.IdAt(slot) == id &&
+        std::equal(coords.begin(), coords.end(), store_.CoordsAt(slot))) {
       bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
-      --size_;
+      store_.Release(slot);
       return Status::OK();
     }
   }
@@ -115,153 +71,102 @@ Status KdTree::Remove(const std::vector<double>& coords, PointId id) {
 }
 
 void KdTree::MaybeSplitLeaf(int32_t node) {
-  std::vector<KdPoint>& bucket = nodes_[node].bucket;
-  // Try dimensions in order of decreasing spread until one separates
-  // the bucket; identical points cannot be separated and overflow.
-  std::vector<std::pair<double, uint32_t>> dims;
-  dims.reserve(dimensions_);
-  for (size_t d = 0; d < dimensions_; ++d) {
-    double mn = std::numeric_limits<double>::infinity();
-    double mx = -mn;
-    for (const KdPoint& p : bucket) {
-      mn = std::min(mn, p.coords[d]);
-      mx = std::max(mx, p.coords[d]);
-    }
-    dims.emplace_back(mx - mn, static_cast<uint32_t>(d));
+  BucketSplit split;
+  if (!ChooseBucketSplit(nodes_[node].bucket, dimensions_,
+                         [this](Slot s) { return store_.CoordsAt(s); },
+                         &split)) {
+    return;  // Identical points: allow overflow.
   }
-  std::sort(dims.begin(), dims.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-
-  for (const auto& [spread, dim] : dims) {
-    if (spread <= 0.0) break;  // No remaining dimension separates.
-    // Median split: midpoint between the two central distinct values.
-    std::vector<double> values;
-    values.reserve(bucket.size());
-    for (const KdPoint& p : bucket) values.push_back(p.coords[dim]);
-    std::sort(values.begin(), values.end());
-    size_t mid = values.size() / 2;
-    // Find a boundary as close to the middle as possible where
-    // consecutive values differ.
-    size_t split_pos = 0;
-    double best_dist = std::numeric_limits<double>::infinity();
-    for (size_t i = 1; i < values.size(); ++i) {
-      if (values[i - 1] < values[i]) {
-        double dist = std::fabs(static_cast<double>(i) -
-                                static_cast<double>(mid));
-        if (dist < best_dist) {
-          best_dist = dist;
-          split_pos = i;
-        }
-      }
-    }
-    if (split_pos == 0) continue;  // All values equal on this dim.
-    double sv = (values[split_pos - 1] + values[split_pos]) / 2.0;
-
-    int32_t left = NewLeaf();
-    int32_t right = NewLeaf();
-    // NewLeaf may reallocate nodes_; re-take the reference.
-    Node& n = nodes_[node];
-    for (KdPoint& p : n.bucket) {
-      (p.coords[dim] <= sv ? nodes_[left] : nodes_[right])
-          .bucket.push_back(std::move(p));
-    }
-    n.bucket.clear();
-    n.bucket.shrink_to_fit();
-    n.is_leaf = false;
-    n.split_dim = dim;
-    n.split_value = sv;
-    n.left = left;
-    n.right = right;
-    return;
+  int32_t left = NewLeaf();
+  int32_t right = NewLeaf();
+  // NewLeaf may reallocate nodes_; re-take the reference.
+  Node& n = nodes_[node];
+  for (Slot s : n.bucket) {
+    (store_.CoordsAt(s)[split.dim] <= split.value ? nodes_[left]
+                                                  : nodes_[right])
+        .bucket.push_back(s);
   }
+  n.bucket.clear();
+  n.bucket.shrink_to_fit();
+  n.is_leaf = false;
+  n.split_dim = split.dim;
+  n.split_value = split.value;
+  n.left = left;
+  n.right = right;
 }
 
-Result<KdTree> KdTree::BulkLoadBalanced(size_t dimensions,
-                                        std::vector<KdPoint> points,
-                                        KdTreeOptions options) {
+Result<std::vector<KdTree::Slot>> KdTree::StoreAll(
+    const std::vector<KdPoint>& points) {
   for (const KdPoint& p : points) {
-    if (p.coords.size() != dimensions) {
+    if (p.coords.size() != dimensions_) {
       return Status::InvalidArgument("point dimensionality mismatch");
     }
   }
+  store_.Reserve(points.size());
+  std::vector<Slot> slots;
+  slots.reserve(points.size());
+  for (const KdPoint& p : points) {
+    slots.push_back(store_.Append(p.coords.data(), p.id));
+  }
+  return slots;
+}
+
+Result<KdTree> KdTree::BulkLoadBalanced(size_t dimensions,
+                                        const std::vector<KdPoint>& points,
+                                        KdTreeOptions options) {
   KdTree tree(dimensions, options);
-  tree.size_ = points.size();
-  if (points.empty()) return tree;
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<Slot> slots,
+                           tree.StoreAll(points));
+  if (slots.empty()) return tree;
   tree.nodes_.clear();
-  BuildBalancedRec(&tree, points, 0, points.size());
+  BuildBalancedRec(&tree, slots, 0, slots.size());
   return tree;
 }
 
-int32_t KdTree::BuildBalancedRec(KdTree* tree, std::vector<KdPoint>& pts,
+int32_t KdTree::BuildBalancedRec(KdTree* tree, std::vector<Slot>& slots,
                                  size_t lo, size_t hi) {
   int32_t node = tree->NewLeaf();
   size_t count = hi - lo;
-  if (count <= tree->options_.bucket_size) {
-    auto& bucket = tree->nodes_[node].bucket;
-    bucket.assign(std::make_move_iterator(pts.begin() + lo),
-                  std::make_move_iterator(pts.begin() + hi));
+  const PointStore& store = tree->store_;
+  MedianSplit split;
+  if (count <= tree->options_.bucket_size ||
+      !ChooseMedianSplit(slots, lo, hi, tree->dimensions_,
+                         [&store](Slot s) { return store.CoordsAt(s); },
+                         &split)) {
+    // Bucket-sized span, or all points identical: one (possibly
+    // overflowing) leaf.
+    tree->nodes_[node].bucket.assign(slots.begin() + lo,
+                                     slots.begin() + hi);
     return node;
   }
-  auto [dim, spread] = WidestSpread(pts, lo, hi, tree->dimensions_);
-  if (spread <= 0.0) {
-    // All points identical: a single (overflowing) leaf.
-    auto& bucket = tree->nodes_[node].bucket;
-    bucket.assign(std::make_move_iterator(pts.begin() + lo),
-                  std::make_move_iterator(pts.begin() + hi));
-    return node;
-  }
-  std::sort(pts.begin() + lo, pts.begin() + hi,
-            [dim](const KdPoint& a, const KdPoint& b) {
-              return a.coords[dim] < b.coords[dim];
-            });
-  size_t mid = lo + count / 2;
-  // Move the boundary to the closest position separating distinct
-  // values (spread > 0 guarantees one exists).
-  size_t split = 0;
-  double best = std::numeric_limits<double>::infinity();
-  for (size_t i = lo + 1; i < hi; ++i) {
-    if (pts[i - 1].coords[dim] < pts[i].coords[dim]) {
-      double dist = std::fabs(static_cast<double>(i) -
-                              static_cast<double>(mid));
-      if (dist < best) {
-        best = dist;
-        split = i;
-      }
-    }
-  }
-  double sv = (pts[split - 1].coords[dim] + pts[split].coords[dim]) / 2.0;
-  int32_t left = BuildBalancedRec(tree, pts, lo, split);
-  int32_t right = BuildBalancedRec(tree, pts, split, hi);
+  int32_t left = BuildBalancedRec(tree, slots, lo, split.boundary);
+  int32_t right = BuildBalancedRec(tree, slots, split.boundary, hi);
   Node& n = tree->nodes_[node];
   n.is_leaf = false;
-  n.split_dim = dim;
-  n.split_value = sv;
+  n.split_dim = split.dim;
+  n.split_value = split.value;
   n.left = left;
   n.right = right;
   return node;
 }
 
 Result<KdTree> KdTree::BuildChain(size_t dimensions,
-                                  std::vector<KdPoint> points,
+                                  const std::vector<KdPoint>& points,
                                   KdTreeOptions options) {
-  for (const KdPoint& p : points) {
-    if (p.coords.size() != dimensions) {
-      return Status::InvalidArgument("point dimensionality mismatch");
-    }
-  }
   KdTree tree(dimensions, options);
-  tree.size_ = points.size();
-  if (points.empty()) return tree;
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<Slot> slots,
+                           tree.StoreAll(points));
+  if (slots.empty()) return tree;
+  const PointStore& store = tree.store_;
 
   // Sort on dimension 0 and group equal values; each group becomes a
   // one-leaf step of the chain.
-  std::sort(points.begin(), points.end(),
-            [](const KdPoint& a, const KdPoint& b) {
-              if (a.coords[0] != b.coords[0]) {
-                return a.coords[0] < b.coords[0];
-              }
-              return a.id < b.id;
-            });
+  std::sort(slots.begin(), slots.end(), [&store](Slot a, Slot b) {
+    double ca = store.CoordsAt(a)[0];
+    double cb = store.CoordsAt(b)[0];
+    if (ca != cb) return ca < cb;
+    return store.IdAt(a) < store.IdAt(b);
+  });
   tree.nodes_.clear();
   tree.NewLeaf();  // Node 0, rebuilt below.
 
@@ -270,17 +175,17 @@ Result<KdTree> KdTree::BuildChain(size_t dimensions,
   // right = tail so far).
   std::vector<std::pair<size_t, size_t>> groups;  // [lo, hi) ranges.
   size_t start = 0;
-  for (size_t i = 1; i <= points.size(); ++i) {
-    if (i == points.size() || points[i].coords[0] != points[start].coords[0]) {
+  for (size_t i = 1; i <= slots.size(); ++i) {
+    if (i == slots.size() ||
+        store.CoordsAt(slots[i])[0] != store.CoordsAt(slots[start])[0]) {
       groups.emplace_back(start, i);
       start = i;
     }
   }
 
   auto fill_leaf = [&](int32_t leaf, size_t lo, size_t hi) {
-    auto& bucket = tree.nodes_[leaf].bucket;
-    bucket.assign(std::make_move_iterator(points.begin() + lo),
-                  std::make_move_iterator(points.begin() + hi));
+    tree.nodes_[leaf].bucket.assign(slots.begin() + lo,
+                                    slots.begin() + hi);
   };
 
   if (groups.size() == 1) {
@@ -299,8 +204,7 @@ Result<KdTree> KdTree::BuildChain(size_t dimensions,
     Node& n = tree.nodes_[routing];
     n.is_leaf = false;
     n.split_dim = 0;
-    n.split_value = points.empty() ? 0.0
-                                   : tree.nodes_[leaf].bucket[0].coords[0];
+    n.split_value = store.CoordsAt(tree.nodes_[leaf].bucket[0])[0];
     n.left = leaf;
     n.right = tail;
     tail = routing;
@@ -312,11 +216,13 @@ std::vector<Neighbor> KdTree::KnnSearch(const std::vector<double>& query,
                                         size_t k,
                                         SearchStats* stats) const {
   std::vector<Neighbor> heap;
-  if (k == 0 || size_ == 0) return heap;
+  // Wrong-arity queries return empty rather than reading out of bounds
+  // (the raw-pointer kernel consumes exactly dimensions_ doubles).
+  if (k == 0 || size() == 0 || query.size() != dimensions_) return heap;
   heap.reserve(k + 1);
   SearchStats local;
   KnnRec(0, query, k, &heap, stats ? stats : &local);
-  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  std::sort_heap(heap.begin(), heap.end(), NeighborDistanceThenId);
   return heap;
 }
 
@@ -327,13 +233,14 @@ void KdTree::KnnRec(int32_t node, const std::vector<double>& query,
   const Node& n = nodes_[node];
   if (n.is_leaf) {
     ++stats->leaves_visited;
-    for (const KdPoint& p : n.bucket) {
+    for (Slot s : n.bucket) {
       ++stats->points_examined;
-      double d = EuclideanDistance(query, p.coords);
-      heap->push_back(Neighbor{p.id, d});
-      std::push_heap(heap->begin(), heap->end(), HeapLess);
+      double d =
+          EuclideanDistance(query.data(), store_.CoordsAt(s), dimensions_);
+      heap->push_back(Neighbor{store_.IdAt(s), d});
+      std::push_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
       if (heap->size() > k) {
-        std::pop_heap(heap->begin(), heap->end(), HeapLess);
+        std::pop_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
         heap->pop_back();
       }
     }
@@ -355,10 +262,12 @@ std::vector<Neighbor> KdTree::RangeSearch(const std::vector<double>& query,
                                           double radius,
                                           SearchStats* stats) const {
   std::vector<Neighbor> out;
-  if (size_ == 0 || radius < 0.0) return out;
+  if (size() == 0 || radius < 0.0 || query.size() != dimensions_) {
+    return out;
+  }
   SearchStats local;
   RangeRec(0, query, radius, &out, stats ? stats : &local);
-  SortResult(&out);
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
 }
 
@@ -369,10 +278,11 @@ void KdTree::RangeRec(int32_t node, const std::vector<double>& query,
   const Node& n = nodes_[node];
   if (n.is_leaf) {
     ++stats->leaves_visited;
-    for (const KdPoint& p : n.bucket) {
+    for (Slot s : n.bucket) {
       ++stats->points_examined;
-      double d = EuclideanDistance(query, p.coords);
-      if (d <= radius) out->push_back(Neighbor{p.id, d});
+      double d =
+          EuclideanDistance(query.data(), store_.CoordsAt(s), dimensions_);
+      if (d <= radius) out->push_back(Neighbor{store_.IdAt(s), d});
     }
     return;
   }
@@ -428,18 +338,19 @@ Status KdTree::CheckInvariants() const {
     }
     const Node& n = nodes_[f.node];
     if (n.is_leaf) {
-      for (const KdPoint& p : n.bucket) {
+      for (Slot s : n.bucket) {
         ++seen_points;
-        if (p.coords.size() != dimensions_) {
-          return Status::Corruption("stored point dimension mismatch");
+        if (s >= store_.slot_count()) {
+          return Status::Corruption("bucket slot out of range");
         }
+        const double* coords = store_.CoordsAt(s);
         for (const auto& [dim, constraint] : f.bounds) {
           const auto& [is_upper, value] = constraint;
-          double c = p.coords[dim];
+          double c = coords[dim];
           if (is_upper ? (c > value) : (c <= value)) {
             return Status::Corruption(StringPrintf(
                 "point %llu violates split on dim %u",
-                (unsigned long long)p.id, dim));
+                (unsigned long long)store_.IdAt(s), dim));
           }
         }
       }
@@ -455,10 +366,10 @@ Status KdTree::CheckInvariants() const {
     stack.push_back(std::move(left));
     stack.push_back(std::move(right));
   }
-  if (seen_points != size_) {
+  if (seen_points != store_.size()) {
     return Status::Corruption(
-        StringPrintf("size_ is %zu but %zu points reachable", size_,
-                     seen_points));
+        StringPrintf("store holds %zu points but %zu reachable",
+                     store_.size(), seen_points));
   }
   return Status::OK();
 }

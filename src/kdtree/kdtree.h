@@ -6,6 +6,10 @@
 // When an insertion saturates a leaf's bucket, two child nodes are
 // instantiated and the points move down (Fig. 1).
 //
+// Coordinates live in a flat row-major PointStore arena; leaf buckets
+// hold 32-bit slot indices into it, so bucket scans stream contiguous
+// rows instead of chasing per-point heap vectors.
+//
 // Besides dynamic insertion, two bulk builders exist for the paper's
 // efficiency experiments: a balanced median build and a "totally
 // unbalanced (chain)" build (Figs. 3, 4, 6).
@@ -17,49 +21,23 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/distance.h"
+#include "core/point.h"
+#include "core/point_store.h"
+#include "core/spatial_index.h"
 
 namespace semtree {
-
-/// Identifier carried by each indexed point (SemTree stores TripleIds).
-using PointId = uint64_t;
-
-/// A point in the embedded space plus its payload id.
-struct KdPoint {
-  std::vector<double> coords;
-  PointId id = 0;
-};
-
-/// One search hit; results are sorted by ascending distance, ties by id.
-struct Neighbor {
-  PointId id = 0;
-  double distance = 0.0;
-
-  bool operator==(const Neighbor& o) const {
-    return id == o.id && distance == o.distance;
-  }
-};
-
-/// Work counters filled by the search procedures (for benches/tests).
-struct SearchStats {
-  size_t nodes_visited = 0;
-  size_t leaves_visited = 0;
-  size_t points_examined = 0;
-};
 
 struct KdTreeOptions {
   /// Bucket capacity Bs of a leaf; exceeding it triggers a split.
   size_t bucket_size = 32;
 };
 
-/// Euclidean distance between two coordinate vectors of equal size.
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b);
-
 /// Bucket KD-tree over a fixed-dimensional space.
 ///
 /// Not thread-safe for mutation; concurrent searches are safe once
 /// construction/insertion stops.
-class KdTree {
+class KdTree : public SpatialIndex {
  public:
   /// An empty tree (a single empty leaf).
   explicit KdTree(size_t dimensions, KdTreeOptions options = {});
@@ -67,19 +45,19 @@ class KdTree {
   /// Balanced bulk load: recursive median split over the widest-spread
   /// dimension. Fails on dimension mismatches.
   static Result<KdTree> BulkLoadBalanced(size_t dimensions,
-                                         std::vector<KdPoint> points,
+                                         const std::vector<KdPoint>& points,
                                          KdTreeOptions options = {});
 
   /// Degenerate chain build: the tree becomes a right-leaning chain of
   /// routing nodes, each shedding one leaf — the paper's "totally
   /// unbalanced (chain)" worst case.
   static Result<KdTree> BuildChain(size_t dimensions,
-                                   std::vector<KdPoint> points,
+                                   const std::vector<KdPoint>& points,
                                    KdTreeOptions options = {});
 
   /// Inserts one point (paper §III-B.1, sequential case). Fails if
   /// `coords` has the wrong dimensionality.
-  Status Insert(const std::vector<double>& coords, PointId id);
+  Status Insert(const std::vector<double>& coords, PointId id) override;
 
   /// Removes the point with the given coordinates and id. The paper
   /// notes that "once built, modifying or rebalancing a Kd-tree is a
@@ -87,22 +65,26 @@ class KdTree {
   /// bucket (the routing structure is kept — regions only ever shrink,
   /// so searches stay correct). Returns NotFound if no such point is
   /// stored.
-  Status Remove(const std::vector<double>& coords, PointId id);
+  Status Remove(const std::vector<double>& coords, PointId id) override;
 
   /// The k nearest points to `query` (paper §III-B.3, sequential case).
   /// Returns fewer than k when the tree is smaller than k.
-  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
-                                  size_t k,
-                                  SearchStats* stats = nullptr) const;
+  std::vector<Neighbor> KnnSearch(
+      const std::vector<double>& query, size_t k,
+      SearchStats* stats = nullptr) const override;
 
   /// All points within `radius` of `query` (paper §III-B.4).
-  std::vector<Neighbor> RangeSearch(const std::vector<double>& query,
-                                    double radius,
-                                    SearchStats* stats = nullptr) const;
+  std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      SearchStats* stats = nullptr) const override;
 
-  size_t size() const { return size_; }
-  size_t dimensions() const { return dimensions_; }
+  size_t size() const override { return store_.size(); }
+  size_t dimensions() const override { return dimensions_; }
+  std::string_view name() const override { return "kdtree"; }
   const KdTreeOptions& options() const { return options_; }
+
+  /// The flat coordinate arena backing this tree.
+  const PointStore& store() const { return store_; }
 
   /// Total node count (routing + leaf).
   size_t NodeCount() const { return nodes_.size(); }
@@ -117,21 +99,26 @@ class KdTree {
   Status CheckInvariants() const;
 
  private:
+  using Slot = PointStore::Slot;
+
   struct Node {
     bool is_leaf = true;
     uint32_t split_dim = 0;    // Sr
     double split_value = 0.0;  // Sv
     int32_t left = -1;
     int32_t right = -1;
-    std::vector<KdPoint> bucket;  // Leaf payload (empty on routing nodes).
+    std::vector<Slot> bucket;  // Leaf payload (empty on routing nodes).
   };
 
   int32_t NewLeaf();
   /// Splits leaf `node` if a separating dimension exists; on totally
   /// duplicated points the bucket is left to overflow.
   void MaybeSplitLeaf(int32_t node);
-  static int32_t BuildBalancedRec(KdTree* tree, std::vector<KdPoint>& pts,
+  static int32_t BuildBalancedRec(KdTree* tree, std::vector<Slot>& slots,
                                   size_t lo, size_t hi);
+  /// Appends `points` into the arena, returning their slots; fails on a
+  /// dimensionality mismatch.
+  Result<std::vector<Slot>> StoreAll(const std::vector<KdPoint>& points);
 
   void KnnRec(int32_t node, const std::vector<double>& query, size_t k,
               std::vector<Neighbor>* heap, SearchStats* stats) const;
@@ -141,8 +128,8 @@ class KdTree {
 
   size_t dimensions_;
   KdTreeOptions options_;
+  PointStore store_;
   std::vector<Node> nodes_;
-  size_t size_ = 0;
 };
 
 }  // namespace semtree

@@ -5,50 +5,84 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "core/distance.h"
 
 namespace semtree {
 
-namespace {
-bool ByDistanceThenId(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.id < b.id;
-}
-}  // namespace
-
 Status LinearScanIndex::Insert(const std::vector<double>& coords,
                                PointId id) {
-  if (coords.size() != dimensions_) {
+  if (coords.size() != store_.dimensions()) {
     return Status::InvalidArgument(
         StringPrintf("point has %zu dimensions, index has %zu",
-                     coords.size(), dimensions_));
+                     coords.size(), store_.dimensions()));
   }
-  points_.push_back(KdPoint{coords, id});
+  slots_.push_back(store_.Append(coords.data(), id));
   return Status::OK();
 }
 
+Status LinearScanIndex::Remove(const std::vector<double>& coords,
+                               PointId id) {
+  if (coords.size() != store_.dimensions()) {
+    return Status::InvalidArgument(
+        StringPrintf("point has %zu dimensions, index has %zu",
+                     coords.size(), store_.dimensions()));
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    PointStore::Slot slot = slots_[i];
+    if (store_.IdAt(slot) == id &&
+        std::equal(coords.begin(), coords.end(), store_.CoordsAt(slot))) {
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+      store_.Release(slot);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StringPrintf(
+      "point %llu not stored at the given coordinates",
+      (unsigned long long)id));
+}
+
 std::vector<Neighbor> LinearScanIndex::KnnSearch(
-    const std::vector<double>& query, size_t k) const {
+    const std::vector<double>& query, size_t k,
+    SearchStats* stats) const {
   std::vector<Neighbor> all;
-  all.reserve(points_.size());
-  for (const KdPoint& p : points_) {
-    all.push_back(Neighbor{p.id, EuclideanDistance(query, p.coords)});
+  // Wrong-arity queries return empty rather than reading out of bounds
+  // (the raw-pointer kernel consumes exactly dimensions() doubles).
+  if (query.size() != store_.dimensions()) return all;
+  all.reserve(slots_.size());
+  size_t dim = store_.dimensions();
+  for (PointStore::Slot s : slots_) {
+    all.push_back(Neighbor{
+        store_.IdAt(s),
+        EuclideanDistance(query.data(), store_.CoordsAt(s), dim)});
+  }
+  if (stats) {
+    ++stats->nodes_visited;
+    ++stats->leaves_visited;
+    stats->points_examined += slots_.size();
   }
   size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    ByDistanceThenId);
+                    NeighborDistanceThenId);
   all.resize(take);
   return all;
 }
 
 std::vector<Neighbor> LinearScanIndex::RangeSearch(
-    const std::vector<double>& query, double radius) const {
+    const std::vector<double>& query, double radius,
+    SearchStats* stats) const {
   std::vector<Neighbor> out;
-  if (radius < 0.0) return out;
-  for (const KdPoint& p : points_) {
-    double d = EuclideanDistance(query, p.coords);
-    if (d <= radius) out.push_back(Neighbor{p.id, d});
+  if (radius < 0.0 || query.size() != store_.dimensions()) return out;
+  size_t dim = store_.dimensions();
+  for (PointStore::Slot s : slots_) {
+    double d = EuclideanDistance(query.data(), store_.CoordsAt(s), dim);
+    if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
   }
-  std::sort(out.begin(), out.end(), ByDistanceThenId);
+  if (stats) {
+    ++stats->nodes_visited;
+    ++stats->leaves_visited;
+    stats->points_examined += slots_.size();
+  }
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
 }
 

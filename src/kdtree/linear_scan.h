@@ -2,7 +2,8 @@
 //
 // Exact linear-scan baseline over embedded points. Tests use it as the
 // gold standard for KD-tree and SemTree searches; benches use it as the
-// brute-force comparator.
+// brute-force comparator. Points live in a flat PointStore arena, so a
+// scan is one sequential sweep over contiguous rows.
 
 #ifndef SEMTREE_KDTREE_LINEAR_SCAN_H_
 #define SEMTREE_KDTREE_LINEAR_SCAN_H_
@@ -10,32 +11,42 @@
 #include <vector>
 
 #include "common/result.h"
-#include "kdtree/kdtree.h"
+#include "core/point.h"
+#include "core/point_store.h"
+#include "core/spatial_index.h"
 
 namespace semtree {
 
-/// Stores points in a flat array; every query scans all of them.
-class LinearScanIndex {
+/// Stores points in a flat arena; every query scans all of them.
+class LinearScanIndex : public SpatialIndex {
  public:
   explicit LinearScanIndex(size_t dimensions)
-      : dimensions_(std::max<size_t>(1, dimensions)) {}
+      : store_(dimensions < 1 ? 1 : dimensions) {}
 
-  Status Insert(const std::vector<double>& coords, PointId id);
+  Status Insert(const std::vector<double>& coords, PointId id) override;
+
+  /// Removes the point with the given coordinates and id.
+  Status Remove(const std::vector<double>& coords, PointId id) override;
 
   /// Exact k nearest neighbours, sorted by (distance, id).
-  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
-                                  size_t k) const;
+  std::vector<Neighbor> KnnSearch(
+      const std::vector<double>& query, size_t k,
+      SearchStats* stats = nullptr) const override;
 
   /// Exact range search, sorted by (distance, id).
-  std::vector<Neighbor> RangeSearch(const std::vector<double>& query,
-                                    double radius) const;
+  std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      SearchStats* stats = nullptr) const override;
 
-  size_t size() const { return points_.size(); }
-  size_t dimensions() const { return dimensions_; }
+  size_t size() const override { return store_.size(); }
+  size_t dimensions() const override { return store_.dimensions(); }
+  std::string_view name() const override { return "linear_scan"; }
+
+  const PointStore& store() const { return store_; }
 
  private:
-  size_t dimensions_;
-  std::vector<KdPoint> points_;
+  PointStore store_;
+  std::vector<PointStore::Slot> slots_;  // Live slots, insertion order.
 };
 
 }  // namespace semtree

@@ -13,11 +13,6 @@ namespace semtree {
 
 namespace {
 
-bool HeapLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.id < b.id;
-}
-
 }  // namespace
 
 Result<MTree> MTree::Create(MetricDistanceFn distance,
@@ -217,9 +212,9 @@ std::vector<Neighbor> MTree::KnnSearch(const QueryDistanceFn& dq,
   };
   auto offer = [&](size_t object, double d) {
     rs.push_back(Neighbor{object, d});
-    std::push_heap(rs.begin(), rs.end(), HeapLess);
+    std::push_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
     if (rs.size() > k) {
-      std::pop_heap(rs.begin(), rs.end(), HeapLess);
+      std::pop_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
       rs.pop_back();
     }
   };
@@ -255,7 +250,7 @@ std::vector<Neighbor> MTree::KnnSearch(const QueryDistanceFn& dq,
       if (dmin <= tau() + slack) queue.push(Pending{dmin, e.child});
     }
   }
-  std::sort_heap(rs.begin(), rs.end(), HeapLess);
+  std::sort_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
   return rs;
 }
 
@@ -288,7 +283,7 @@ std::vector<Neighbor> MTree::RangeSearch(const QueryDistanceFn& dq,
       if (d <= radius + e.radius + slack) stack.push_back(e.child);
     }
   }
-  std::sort(out.begin(), out.end(), HeapLess);
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
 }
 

@@ -11,11 +11,6 @@ namespace semtree {
 
 namespace {
 
-bool HeapLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.id < b.id;
-}
-
 }  // namespace
 
 Result<VpTree> VpTree::Build(size_t n, const MetricDistanceFn& distance,
@@ -95,7 +90,7 @@ std::vector<Neighbor> VpTree::KnnSearch(const QueryDistanceFn& dq,
   if (k == 0 || size_ == 0) return heap;
   SearchStats local;
   KnnRec(0, dq, k, &heap, stats ? stats : &local);
-  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  std::sort_heap(heap.begin(), heap.end(), NeighborDistanceThenId);
   return heap;
 }
 
@@ -106,9 +101,9 @@ void VpTree::KnnRec(int32_t node, const QueryDistanceFn& dq, size_t k,
   const Node& n = nodes_[size_t(node)];
   auto offer = [&](size_t object, double d) {
     heap->push_back(Neighbor{object, d});
-    std::push_heap(heap->begin(), heap->end(), HeapLess);
+    std::push_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
     if (heap->size() > k) {
-      std::pop_heap(heap->begin(), heap->end(), HeapLess);
+      std::pop_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
       heap->pop_back();
     }
   };
@@ -152,7 +147,7 @@ std::vector<Neighbor> VpTree::RangeSearch(const QueryDistanceFn& dq,
   if (size_ == 0 || radius < 0.0) return out;
   SearchStats local;
   RangeRec(0, dq, radius, &out, stats ? stats : &local);
-  std::sort(out.begin(), out.end(), HeapLess);
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
 }
 

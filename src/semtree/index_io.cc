@@ -81,14 +81,14 @@ std::string SerializeIndex(const SemanticIndex& index) {
                         fm.pivot_distances()[axis]);
   }
   out += "coords\n";
-  const std::vector<double>& flat = fm.flat_coordinates();
+  // Bulk-serialize the flat arena: one contiguous row pointer per
+  // object, no per-point coordinate vectors.
   for (size_t i = 0; i < fm.size(); ++i) {
-    std::string row;
+    const double* row = fm.CoordsRow(i);
     for (size_t d = 0; d < fm.dimensions(); ++d) {
-      if (d) row += ' ';
-      row += StringPrintf("%.17g", flat[i * fm.dimensions() + d]);
+      if (d) out += ' ';
+      out += StringPrintf("%.17g", row[d]);
     }
-    out += row;
     out += '\n';
   }
   return out;

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "core/split.h"
 
 namespace semtree {
 
@@ -21,67 +22,28 @@ void Partition::SplitLeafIfNeeded(int32_t leaf) {
   if (nodes_[static_cast<size_t>(leaf)].bucket.size() <= bucket_size_) {
     return;
   }
-  // Pick the dimension with the widest spread; fall back through the
-  // remaining dimensions when the widest cannot separate the bucket.
-  std::vector<std::pair<double, uint32_t>> dims;
-  dims.reserve(dimensions_);
-  {
-    const PNode& n = nodes_[static_cast<size_t>(leaf)];
-    for (size_t d = 0; d < dimensions_; ++d) {
-      double mn = std::numeric_limits<double>::infinity();
-      double mx = -mn;
-      for (const KdPoint& p : n.bucket) {
-        mn = std::min(mn, p.coords[d]);
-        mx = std::max(mx, p.coords[d]);
-      }
-      dims.emplace_back(mx - mn, static_cast<uint32_t>(d));
-    }
+  BucketSplit split;
+  if (!ChooseBucketSplit(nodes_[static_cast<size_t>(leaf)].bucket,
+                         dimensions_,
+                         [this](Slot s) { return store_.CoordsAt(s); },
+                         &split)) {
+    return;  // Identical points: allow overflow.
   }
-  std::sort(dims.begin(), dims.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-
-  for (const auto& [spread, dim] : dims) {
-    if (spread <= 0.0) return;  // Identical points: allow overflow.
-    std::vector<double> values;
-    {
-      const PNode& n = nodes_[static_cast<size_t>(leaf)];
-      values.reserve(n.bucket.size());
-      for (const KdPoint& p : n.bucket) values.push_back(p.coords[dim]);
-    }
-    std::sort(values.begin(), values.end());
-    size_t mid = values.size() / 2;
-    size_t split_pos = 0;
-    double best = std::numeric_limits<double>::infinity();
-    for (size_t i = 1; i < values.size(); ++i) {
-      if (values[i - 1] < values[i]) {
-        double dist =
-            std::fabs(static_cast<double>(i) - static_cast<double>(mid));
-        if (dist < best) {
-          best = dist;
-          split_pos = i;
-        }
-      }
-    }
-    if (split_pos == 0) continue;
-    double sv = (values[split_pos - 1] + values[split_pos]) / 2.0;
-
-    int32_t left = NewLeaf();
-    int32_t right = NewLeaf();
-    PNode& n = nodes_[static_cast<size_t>(leaf)];  // Re-take: realloc.
-    for (KdPoint& p : n.bucket) {
-      PNode& child = nodes_[static_cast<size_t>(
-          p.coords[dim] <= sv ? left : right)];
-      child.bucket.push_back(std::move(p));
-    }
-    n.bucket.clear();
-    n.bucket.shrink_to_fit();
-    n.is_leaf = false;
-    n.split_dim = dim;
-    n.split_value = sv;
-    n.left = ChildRef{id_, left};
-    n.right = ChildRef{id_, right};
-    return;
+  int32_t left = NewLeaf();
+  int32_t right = NewLeaf();
+  PNode& n = nodes_[static_cast<size_t>(leaf)];  // Re-take: realloc.
+  for (Slot s : n.bucket) {
+    PNode& child = nodes_[static_cast<size_t>(
+        store_.CoordsAt(s)[split.dim] <= split.value ? left : right)];
+    child.bucket.push_back(s);
   }
+  n.bucket.clear();
+  n.bucket.shrink_to_fit();
+  n.is_leaf = false;
+  n.split_dim = split.dim;
+  n.split_value = split.value;
+  n.left = ChildRef{id_, left};
+  n.right = ChildRef{id_, right};
 }
 
 int32_t Partition::AdoptRoot() {
@@ -96,93 +58,74 @@ int32_t Partition::AdoptRoot() {
   return root;
 }
 
-namespace {
-
-// Widest-spread dimension over a span; returns (dim, spread).
-std::pair<uint32_t, double> WidestSpreadSpan(
-    const std::vector<KdPoint>& pts, size_t lo, size_t hi, size_t dims) {
-  uint32_t best_dim = 0;
-  double best_spread = -1.0;
-  for (size_t d = 0; d < dims; ++d) {
-    double mn = std::numeric_limits<double>::infinity();
-    double mx = -mn;
-    for (size_t i = lo; i < hi; ++i) {
-      mn = std::min(mn, pts[i].coords[d]);
-      mx = std::max(mx, pts[i].coords[d]);
-    }
-    if (mx - mn > best_spread) {
-      best_spread = mx - mn;
-      best_dim = static_cast<uint32_t>(d);
-    }
+void Partition::AbsorbBlock(int32_t leaf, const PointBlock& block) {
+  store_.Reserve(block.size());
+  std::vector<Slot>& bucket = nodes_[static_cast<size_t>(leaf)].bucket;
+  bucket.reserve(bucket.size() + block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    bucket.push_back(store_.Append(block.Row(i), block.ids[i]));
   }
-  return {best_dim, best_spread};
+  AddPoints(block.size());
 }
 
-}  // namespace
+PointBlock Partition::ExtractLeafBlock(int32_t leaf) {
+  PNode& n = nodes_[static_cast<size_t>(leaf)];
+  PointBlock block(dimensions_);
+  block.Reserve(n.bucket.size());
+  for (Slot s : n.bucket) {
+    block.Append(store_.CoordsAt(s), store_.IdAt(s));
+    store_.Release(s);
+  }
+  n.bucket.clear();
+  n.bucket.shrink_to_fit();
+  return block;
+}
 
-void Partition::BuildBalancedLocal(int32_t root,
-                                   std::vector<KdPoint> points) {
-  size_t count = points.size();
+void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block) {
+  size_t count = block.size();
+  // Copy the block into this partition's arena first; the build then
+  // works purely over slot indices.
+  store_.Reserve(count);
+  std::vector<Slot> slots;
+  slots.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    slots.push_back(store_.Append(block.Row(i), block.ids[i]));
+  }
   // Recursive median build writing into this partition's arena. The
   // recursion allocates children before filling the parent, so `root`
   // is finalized last.
   struct Builder {
     Partition* part;
-    std::vector<KdPoint>& pts;
+    std::vector<Slot>& slots;
 
     void Build(int32_t node, size_t lo, size_t hi) {
-      size_t n = hi - lo;
-      if (n <= part->bucket_size()) {
-        FillLeaf(node, lo, hi);
+      const PointStore& store = part->store();
+      MedianSplit split;
+      if (hi - lo <= part->bucket_size() ||
+          !ChooseMedianSplit(slots, lo, hi, part->dimensions(),
+                             [&store](Slot s) { return store.CoordsAt(s); },
+                             &split)) {
+        // Bucket-sized span, or identical points: one (possibly
+        // overflowing) leaf.
+        part->node(node).bucket.assign(
+            slots.begin() + static_cast<ptrdiff_t>(lo),
+            slots.begin() + static_cast<ptrdiff_t>(hi));
         return;
       }
-      auto [dim, spread] =
-          WidestSpreadSpan(pts, lo, hi, part->dimensions());
-      if (spread <= 0.0) {
-        FillLeaf(node, lo, hi);  // Identical points: overflow bucket.
-        return;
-      }
-      std::sort(pts.begin() + static_cast<ptrdiff_t>(lo),
-                pts.begin() + static_cast<ptrdiff_t>(hi),
-                [dim = dim](const KdPoint& a, const KdPoint& b) {
-                  return a.coords[dim] < b.coords[dim];
-                });
-      size_t mid = lo + n / 2;
-      size_t split = 0;
-      double best = std::numeric_limits<double>::infinity();
-      for (size_t i = lo + 1; i < hi; ++i) {
-        if (pts[i - 1].coords[dim] < pts[i].coords[dim]) {
-          double dist =
-              std::fabs(double(i) - double(mid));
-          if (dist < best) {
-            best = dist;
-            split = i;
-          }
-        }
-      }
-      double sv =
-          (pts[split - 1].coords[dim] + pts[split].coords[dim]) / 2.0;
       int32_t left = part->NewLeaf();
       int32_t right = part->NewLeaf();
-      Build(left, lo, split);
-      Build(right, split, hi);
+      Build(left, lo, split.boundary);
+      Build(right, split.boundary, hi);
       PNode& pn = part->node(node);
       pn.is_leaf = false;
-      pn.split_dim = dim;
-      pn.split_value = sv;
+      pn.split_dim = split.dim;
+      pn.split_value = split.value;
       pn.left = ChildRef{part->id(), left};
       pn.right = ChildRef{part->id(), right};
     }
-
-    void FillLeaf(int32_t node, size_t lo, size_t hi) {
-      auto& bucket = part->node(node).bucket;
-      bucket.assign(
-          std::make_move_iterator(pts.begin() + static_cast<ptrdiff_t>(lo)),
-          std::make_move_iterator(pts.begin() + static_cast<ptrdiff_t>(hi)));
-    }
   };
   if (count > 0) {
-    Builder{this, points}.Build(root, 0, count);
+    Builder{this, slots}.Build(root, 0, count);
   }
   AddPoints(count);
 }

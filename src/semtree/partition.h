@@ -5,6 +5,11 @@
 // remote (another partition's root region); a routing node with at
 // least one remote child is an *edge node*, otherwise it is *internal*
 // (paper §III-B.1).
+//
+// Point coordinates live in the partition's flat PointStore arena; leaf
+// buckets hold slot indices. Leaf migration (build-partition, Fig. 2)
+// ships one contiguous PointBlock per leaf instead of N per-point
+// vectors.
 
 #ifndef SEMTREE_SEMTREE_PARTITION_H_
 #define SEMTREE_SEMTREE_PARTITION_H_
@@ -14,7 +19,9 @@
 #include <vector>
 
 #include "common/result.h"
-#include "kdtree/kdtree.h"
+#include "core/point.h"
+#include "core/point_block.h"
+#include "core/point_store.h"
 
 namespace semtree {
 
@@ -44,8 +51,13 @@ struct PartitionStats {
 /// compute node's worker thread; the class itself is not synchronized.
 class Partition {
  public:
+  using Slot = PointStore::Slot;
+
   Partition(int32_t id, size_t dimensions, size_t bucket_size)
-      : id_(id), dimensions_(dimensions), bucket_size_(bucket_size) {
+      : id_(id),
+        dimensions_(dimensions),
+        bucket_size_(bucket_size),
+        store_(dimensions) {
     roots_.push_back(NewLeaf());  // Node 0: this partition's root.
   }
 
@@ -57,12 +69,16 @@ class Partition {
     double split_value = 0.0;  // Sv
     ChildRef left;
     ChildRef right;
-    std::vector<KdPoint> bucket;
+    std::vector<Slot> bucket;  // Slots into the partition's store.
   };
 
   int32_t id() const { return id_; }
   size_t dimensions() const { return dimensions_; }
   size_t bucket_size() const { return bucket_size_; }
+
+  /// The flat coordinate arena of this partition.
+  PointStore& store() { return store_; }
+  const PointStore& store() const { return store_; }
 
   /// A partition may host several disjoint subtrees: its original root
   /// plus any leaves adopted from saturated partitions (build-partition
@@ -98,9 +114,18 @@ class Partition {
   void SplitLeafIfNeeded(int32_t leaf);
 
   /// Replaces the (empty leaf) node `root` with a balanced median-built
-  /// subtree over `points` — the local half of the distributed bulk
-  /// load. Point accounting is updated.
-  void BuildBalancedLocal(int32_t root, std::vector<KdPoint> points);
+  /// subtree over the block's points — the local half of the
+  /// distributed bulk load. Point accounting is updated.
+  void BuildBalancedLocal(int32_t root, const PointBlock& block);
+
+  /// Copies the block's rows into this partition's arena and appends
+  /// their slots to `leaf`'s bucket. Point accounting is updated.
+  void AbsorbBlock(int32_t leaf, const PointBlock& block);
+
+  /// Gathers `leaf`'s bucket into one contiguous migration payload,
+  /// releasing the arena rows and emptying the bucket. Point accounting
+  /// is NOT touched (the caller decides when the move is committed).
+  PointBlock ExtractLeafBlock(int32_t leaf);
 
   /// Live local leaves reachable from any of the partition's roots,
   /// each with its parent routing node (-1 for roots themselves) and
@@ -119,6 +144,7 @@ class Partition {
   int32_t id_;
   size_t dimensions_;
   size_t bucket_size_;
+  PointStore store_;
   std::vector<PNode> nodes_;
   std::vector<int32_t> roots_;
   size_t points_ = 0;

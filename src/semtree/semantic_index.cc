@@ -70,12 +70,9 @@ Status SemanticIndex::BuildTree() {
                            SemTree::Create(std::move(topts)));
   tree_ = std::move(tree);
 
-  std::vector<KdPoint> points;
-  points.reserve(corpus_.size());
-  for (size_t i = 0; i < corpus_.size(); ++i) {
-    points.push_back(
-        KdPoint{fastmap_->Coordinates(i), static_cast<PointId>(i)});
-  }
+  // Feed the tree straight from the embedding's flat arena — one
+  // contiguous block, no per-point coordinate vectors.
+  PointBlock points = fastmap_->ToPointBlock();
   if (options_.bulk_load) {
     return tree_->BulkLoadBalanced(std::move(points));
   }

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/distance.h"
+#include "core/split.h"
 
 namespace semtree {
 
@@ -85,8 +87,10 @@ struct BuildPartitionResponse {
   size_t leaves_moved = 0;
   std::vector<int32_t> new_partitions;
 };
+// Leaf migration payload: one contiguous coordinate block per Fig. 2
+// build-partition, not N small vectors.
 struct AdoptLeafRequest {
-  std::vector<KdPoint> bucket;
+  PointBlock block;
 };
 struct AdoptLeafResponse {
   int32_t root_node = 0;
@@ -96,7 +100,7 @@ struct StatsResponse {
   PartitionStats stats;
 };
 struct BulkBuildRequest {
-  std::vector<KdPoint> points;
+  PointBlock block;
 };
 struct BulkBuildResponse {
   int32_t root_node = -1;
@@ -119,12 +123,6 @@ struct InstallTopologyResponse {
   bool ok = false;
   std::string error;
 };
-
-// Max-heap ordering on (distance, id): worst candidate on top.
-bool HeapLess(const Neighbor& a, const Neighbor& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.id < b.id;
-}
 
 size_t PointBytes(size_t dims) { return dims * sizeof(double) + 16; }
 size_t NeighborBytes(size_t n) { return n * sizeof(Neighbor) + 16; }
@@ -234,7 +232,8 @@ void SemTree::HandleInsert(Partition* p, const Message& msg) {
   for (;;) {
     Partition::PNode& n = p->node(nd);
     if (n.is_leaf) {
-      n.bucket.push_back(req.point);
+      n.bucket.push_back(
+          p->store().Append(req.point.coords.data(), req.point.id));
       p->AddPoints(1);
       total_points_.fetch_add(1, std::memory_order_relaxed);
       p->SplitLeafIfNeeded(nd);
@@ -260,6 +259,10 @@ void SemTree::HandleInsert(Partition* p, const Message& msg) {
     cluster_->Forward(msg, child.partition, p->id());
     return;
   }
+}
+
+Status SemTree::Insert(const double* coords, size_t dims, PointId id) {
+  return Insert(std::vector<double>(coords, coords + dims), id);
 }
 
 Status SemTree::Insert(const std::vector<double>& coords, PointId id) {
@@ -290,11 +293,15 @@ Status SemTree::Insert(const std::vector<double>& coords, PointId id) {
   return Status::OK();
 }
 
-Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
+Status SemTree::BulkInsert(const PointBlock& points,
                            size_t client_threads) {
+  if (points.dimensions != options_.dimensions && !points.empty()) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
   if (client_threads <= 1) {
-    for (const KdPoint& p : points) {
-      SEMTREE_RETURN_NOT_OK(Insert(p.coords, p.id));
+    for (size_t i = 0; i < points.size(); ++i) {
+      SEMTREE_RETURN_NOT_OK(
+          Insert(points.Row(i), points.dimensions, points.ids[i]));
     }
     return Status::OK();
   }
@@ -302,10 +309,10 @@ Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
   std::atomic<bool> failed{false};
   std::mutex status_mu;
   Status first_error;
-  for (const KdPoint& p : points) {
-    pool.Submit([this, &p, &failed, &status_mu, &first_error]() {
+  for (size_t i = 0; i < points.size(); ++i) {
+    pool.Submit([this, &points, i, &failed, &status_mu, &first_error]() {
       if (failed.load(std::memory_order_relaxed)) return;
-      Status st = Insert(p.coords, p.id);
+      Status st = Insert(points.Row(i), points.dimensions, points.ids[i]);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(status_mu);
         if (first_error.ok()) first_error = st;
@@ -317,6 +324,17 @@ Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
   return first_error;
 }
 
+Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
+                           size_t client_threads) {
+  for (const KdPoint& p : points) {
+    if (p.coords.size() != options_.dimensions) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+  }
+  return BulkInsert(PointBlock::FromPoints(options_.dimensions, points),
+                    client_threads);
+}
+
 void SemTree::HandleRemove(Partition* p, const Message& msg) {
   auto& req = PayloadAs<RemoveRequest>(msg.payload);
   int32_t nd = req.start_node;
@@ -325,9 +343,12 @@ void SemTree::HandleRemove(Partition* p, const Message& msg) {
     if (n.is_leaf) {
       RemoveResponse resp;
       for (size_t i = 0; i < n.bucket.size(); ++i) {
-        if (n.bucket[i].id == req.point.id &&
-            n.bucket[i].coords == req.point.coords) {
+        Partition::Slot slot = n.bucket[i];
+        if (p->store().IdAt(slot) == req.point.id &&
+            std::equal(req.point.coords.begin(), req.point.coords.end(),
+                       p->store().CoordsAt(slot))) {
           n.bucket.erase(n.bucket.begin() + static_cast<ptrdiff_t>(i));
+          p->store().Release(slot);
           p->RemovePoints(1);
           total_points_.fetch_sub(1, std::memory_order_relaxed);
           resp.found = true;
@@ -405,9 +426,10 @@ void SemTree::HandleBuildPartition(Partition* p, const Message& msg) {
         const Partition::LeafLocation& loc = movable[i];
         int32_t q = targets[i * targets.size() / movable.size()];
         AdoptLeafRequest adopt;
-        adopt.bucket = std::move(p->node(loc.leaf).bucket);
-        size_t moved = adopt.bucket.size();
-        size_t bytes = moved * PointBytes(options_.dimensions);
+        // One contiguous coordinate block per migrated leaf (Fig. 2).
+        adopt.block = p->ExtractLeafBlock(loc.leaf);
+        size_t moved = adopt.block.size();
+        size_t bytes = adopt.block.ApproxBytes();
         auto adopted = cluster_->CallAndWait(
             q, kAdoptLeafMsg,
             MakePayload<AdoptLeafRequest>(std::move(adopt)), bytes,
@@ -432,9 +454,7 @@ void SemTree::HandleBuildPartition(Partition* p, const Message& msg) {
 void SemTree::HandleAdoptLeaf(Partition* p, const Message& msg) {
   auto& req = PayloadAs<AdoptLeafRequest>(msg.payload);
   int32_t root = p->AdoptRoot();
-  size_t count = req.bucket.size();
-  p->node(root).bucket = std::move(req.bucket);
-  p->AddPoints(count);
+  p->AbsorbBlock(root, req.block);
   p->SplitLeafIfNeeded(root);
   AdoptLeafResponse resp;
   resp.root_node = root;
@@ -447,9 +467,8 @@ void SemTree::HandleAdoptLeaf(Partition* p, const Message& msg) {
 void SemTree::HandleBulkBuild(Partition* p, const Message& msg) {
   auto& req = PayloadAs<BulkBuildRequest>(msg.payload);
   int32_t root = p->AdoptRoot();
-  size_t count = req.points.size();
-  total_points_.fetch_add(count, std::memory_order_relaxed);
-  p->BuildBalancedLocal(root, std::move(req.points));
+  total_points_.fetch_add(req.block.size(), std::memory_order_relaxed);
+  p->BuildBalancedLocal(root, req.block);
   BulkBuildResponse resp;
   resp.root_node = root;
   cluster_->Respond(msg, MakePayload<BulkBuildResponse>(resp), 32);
@@ -497,12 +516,36 @@ namespace {
 
 // Client-side recursive median partitioning of the corpus into at most
 // `budget` regions; emits skeleton routing entries and region spans.
+// Works over the flat block through an index permutation — rows are
+// gathered into per-region contiguous blocks only once, at dispatch.
 struct RegionSplitter {
-  std::vector<KdPoint>& points;
-  size_t dimensions;
+  const PointBlock& block;
   size_t bucket_size;
+  std::vector<uint32_t> order;  // Row permutation; spans are regions.
   std::vector<SkeletonNode> skeleton;
   std::vector<std::pair<size_t, size_t>> regions;  // [lo, hi) spans.
+
+  explicit RegionSplitter(const PointBlock& b, size_t bucket)
+      : block(b), bucket_size(bucket), order(b.size()) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  double Coord(size_t pos, size_t dim) const {
+    return block.Row(order[pos])[dim];
+  }
+
+  /// Gathers a region span into one contiguous dispatch block.
+  PointBlock GatherRegion(size_t region) const {
+    auto [lo, hi] = regions[region];
+    PointBlock out(block.dimensions);
+    out.Reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      out.Append(block.Row(order[i]), block.ids[order[i]]);
+    }
+    return out;
+  }
 
   // Returns (skeleton_index, region_index): exactly one is >= 0.
   std::pair<int32_t, int32_t> Split(size_t lo, size_t hi, size_t budget) {
@@ -513,42 +556,16 @@ struct RegionSplitter {
     };
     if (budget <= 1 || count <= bucket_size) return emit_region();
 
-    uint32_t best_dim = 0;
-    double best_spread = -1.0;
-    for (size_t d = 0; d < dimensions; ++d) {
-      double mn = std::numeric_limits<double>::infinity();
-      double mx = -mn;
-      for (size_t i = lo; i < hi; ++i) {
-        mn = std::min(mn, points[i].coords[d]);
-        mx = std::max(mx, points[i].coords[d]);
-      }
-      if (mx - mn > best_spread) {
-        best_spread = mx - mn;
-        best_dim = uint32_t(d);
-      }
+    const PointBlock& b = block;
+    MedianSplit median;
+    if (!ChooseMedianSplit(order, lo, hi, b.dimensions,
+                           [&b](uint32_t x) { return b.Row(x); },
+                           &median)) {
+      return emit_region();  // All points identical.
     }
-    if (best_spread <= 0.0) return emit_region();
-
-    std::sort(points.begin() + ptrdiff_t(lo), points.begin() + ptrdiff_t(hi),
-              [best_dim](const KdPoint& a, const KdPoint& b) {
-                return a.coords[best_dim] < b.coords[best_dim];
-              });
-    size_t mid = lo + count / 2;
-    size_t split = 0;
-    double best = std::numeric_limits<double>::infinity();
-    for (size_t i = lo + 1; i < hi; ++i) {
-      if (points[i - 1].coords[best_dim] < points[i].coords[best_dim]) {
-        double dist = std::fabs(double(i) - double(mid));
-        if (dist < best) {
-          best = dist;
-          split = i;
-        }
-      }
-    }
-    if (split == 0) return emit_region();
-    double sv = (points[split - 1].coords[best_dim] +
-                 points[split].coords[best_dim]) /
-                2.0;
+    uint32_t best_dim = median.dim;
+    size_t split = median.boundary;
+    double sv = median.value;
     size_t left_budget = budget / 2;
     size_t right_budget = budget - left_budget;
     // Reserve this skeleton slot before recursing so index 0 is the
@@ -573,31 +590,36 @@ struct RegionSplitter {
 }  // namespace
 
 Status SemTree::BulkLoadBalanced(std::vector<KdPoint> points) {
-  if (size() != 0) {
-    return Status::FailedPrecondition(
-        "bulk load requires an empty tree");
-  }
   for (const KdPoint& p : points) {
     if (p.coords.size() != options_.dimensions) {
       return Status::InvalidArgument("point dimensionality mismatch");
     }
   }
+  return BulkLoadBalanced(
+      PointBlock::FromPoints(options_.dimensions, points));
+}
+
+Status SemTree::BulkLoadBalanced(PointBlock points) {
+  if (size() != 0) {
+    return Status::FailedPrecondition(
+        "bulk load requires an empty tree");
+  }
   if (points.empty()) return Status::OK();
+  if (points.dimensions != options_.dimensions) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
 
   size_t data_partitions =
       options_.max_partitions > 1 ? options_.max_partitions - 1 : 1;
-  RegionSplitter splitter{points, options_.dimensions,
-                          options_.bucket_size,
-                          {},
-                          {}};
+  RegionSplitter splitter(points, options_.bucket_size);
   auto root_out = splitter.Split(0, points.size(), data_partitions);
 
   if (splitter.regions.size() == 1 || options_.max_partitions == 1 ||
       root_out.first < 0) {
     // Everything fits in the root partition.
     BulkBuildRequest req;
-    req.points = std::move(points);
-    size_t bytes = req.points.size() * PointBytes(options_.dimensions);
+    req.block = std::move(points);
+    size_t bytes = req.block.ApproxBytes();
     SEMTREE_ASSIGN_OR_RETURN(
         Payload resp,
         cluster_->CallAndWait(0, kBulkBuildMsg,
@@ -608,24 +630,22 @@ Status SemTree::BulkLoadBalanced(std::vector<KdPoint> points) {
   }
 
   // One new partition per region; dispatch the balanced builds in
-  // parallel.
+  // parallel, one contiguous block per region.
   struct PendingRegion {
     int32_t partition;
     std::future<Payload> future;
   };
   std::vector<PendingRegion> pending;
   pending.reserve(splitter.regions.size());
-  for (const auto& [lo, hi] : splitter.regions) {
+  for (size_t r = 0; r < splitter.regions.size(); ++r) {
     int32_t q = CreatePartition();
     if (q < 0) {
       return Status::ResourceExhausted(
           "not enough compute nodes for the bulk-load regions");
     }
     BulkBuildRequest req;
-    req.points.assign(
-        std::make_move_iterator(points.begin() + ptrdiff_t(lo)),
-        std::make_move_iterator(points.begin() + ptrdiff_t(hi)));
-    size_t bytes = req.points.size() * PointBytes(options_.dimensions);
+    req.block = splitter.GatherRegion(r);
+    size_t bytes = req.block.ApproxBytes();
     pending.push_back(PendingRegion{
         q, cluster_->Call(q, kBulkBuildMsg,
                           MakePayload<BulkBuildRequest>(std::move(req)),
@@ -674,9 +694,9 @@ void SemTree::HandleKnn(Partition* p, const Message& msg) {
 
   auto offer = [&](PointId id, double d) {
     req.rs.push_back(Neighbor{id, d});
-    std::push_heap(req.rs.begin(), req.rs.end(), HeapLess);
+    std::push_heap(req.rs.begin(), req.rs.end(), NeighborDistanceThenId);
     if (req.rs.size() > req.k) {
-      std::pop_heap(req.rs.begin(), req.rs.end(), HeapLess);
+      std::pop_heap(req.rs.begin(), req.rs.end(), NeighborDistanceThenId);
       req.rs.pop_back();
     }
   };
@@ -696,8 +716,11 @@ void SemTree::HandleKnn(Partition* p, const Message& msg) {
       continue;
     }
     if (n.is_leaf) {
-      for (const KdPoint& pt : n.bucket) {
-        offer(pt.id, EuclideanDistance(req.query, pt.coords));
+      const PointStore& store = p->store();
+      for (Partition::Slot s : n.bucket) {
+        offer(store.IdAt(s),
+              EuclideanDistance(req.query.data(), store.CoordsAt(s),
+                                store.dimensions()));
       }
       req.stack.pop_back();
       continue;
@@ -761,7 +784,7 @@ Result<std::vector<Neighbor>> SemTree::KnnSearch(
                             PointBytes(query.size())));
   auto& resp = PayloadAs<KnnResponse>(payload);
   std::vector<Neighbor> out = std::move(resp.rs);
-  std::sort(out.begin(), out.end(), HeapLess);
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;
@@ -779,9 +802,11 @@ void SemTree::RangeLocal(Partition* p, int32_t node,
   const Partition::PNode& n = p->node(node);
   if (n.is_dead) return;
   if (n.is_leaf) {
-    for (const KdPoint& pt : n.bucket) {
-      double d = EuclideanDistance(query, pt.coords);
-      if (d <= radius) out->push_back(Neighbor{pt.id, d});
+    const PointStore& store = p->store();
+    for (Partition::Slot s : n.bucket) {
+      double d = EuclideanDistance(query.data(), store.CoordsAt(s),
+                                   store.dimensions());
+      if (d <= radius) out->push_back(Neighbor{store.IdAt(s), d});
     }
     return;
   }
@@ -856,7 +881,7 @@ Result<std::vector<Neighbor>> SemTree::RangeSearch(
                             PointBytes(query.size())));
   auto& resp = PayloadAs<RangeResponse>(payload);
   std::vector<Neighbor> out = std::move(resp.results);
-  std::sort(out.begin(), out.end(), HeapLess);
+  std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;
@@ -918,17 +943,21 @@ Status SemTree::CheckInvariants() const {
       return Status::Corruption("live edge points at a dead node");
     }
     if (n.is_leaf) {
-      for (const KdPoint& pt : n.bucket) {
+      if (p->store().dimensions() != options_.dimensions) {
+        return Status::Corruption("partition store dimension mismatch");
+      }
+      for (Partition::Slot s : n.bucket) {
         ++seen_points;
-        if (pt.coords.size() != options_.dimensions) {
-          return Status::Corruption("stored point dimension mismatch");
+        if (s >= p->store().slot_count()) {
+          return Status::Corruption("bucket slot out of range");
         }
+        const double* coords = p->store().CoordsAt(s);
         for (const Bound& b : f.bounds) {
-          double c = pt.coords[b.dim];
+          double c = coords[b.dim];
           if (b.is_upper ? (c > b.value) : (c <= b.value)) {
             return Status::Corruption(StringPrintf(
                 "point %llu escapes its region (partition %d)",
-                (unsigned long long)pt.id, p->id()));
+                (unsigned long long)p->store().IdAt(s), p->id()));
           }
         }
       }

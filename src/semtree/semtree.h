@@ -38,7 +38,8 @@
 
 #include "cluster/cluster.h"
 #include "common/result.h"
-#include "kdtree/kdtree.h"
+#include "core/point.h"
+#include "core/point_block.h"
 #include "semtree/partition.h"
 
 namespace semtree {
@@ -94,18 +95,25 @@ class SemTree {
   /// build-partition when the receiving partition saturates.
   Status Insert(const std::vector<double>& coords, PointId id);
 
+  /// Row-pointer form: inserts `dims` coordinates without requiring an
+  /// owning vector (used when feeding from a flat arena).
+  Status Insert(const double* coords, size_t dims, PointId id);
+
   /// Inserts many points using `client_threads` concurrent clients
   /// ("using M-1 data partitions we can perform M-1 parallel
   /// operations", §III-C).
+  Status BulkInsert(const PointBlock& points, size_t client_threads = 1);
   Status BulkInsert(const std::vector<KdPoint>& points,
                     size_t client_threads = 1);
 
   /// Bulk loads an *empty* tree ("Kd-trees are more efficient in
   /// bulk-loading situations", §III-B): the corpus is median-split
   /// client-side into one region per available data partition, every
-  /// region is built as a balanced subtree on its own compute node in
-  /// parallel, and the routing skeleton is installed in the root
-  /// partition. Fails with FailedPrecondition on a non-empty tree.
+  /// region is shipped as one contiguous PointBlock and built as a
+  /// balanced subtree on its own compute node in parallel, and the
+  /// routing skeleton is installed in the root partition. Fails with
+  /// FailedPrecondition on a non-empty tree.
+  Status BulkLoadBalanced(PointBlock points);
   Status BulkLoadBalanced(std::vector<KdPoint> points);
 
   /// Removes a stored point (extension; the paper leaves deletion as

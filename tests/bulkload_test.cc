@@ -103,7 +103,9 @@ TEST(BulkLoadTest, ValidatesDimensions) {
   EXPECT_TRUE((*tree)
                   ->BulkLoadBalanced(RandomPoints(10, 2, 1))
                   .IsInvalidArgument());
-  EXPECT_TRUE((*tree)->BulkLoadBalanced({}).ok());  // Empty is a no-op.
+  // Empty is a no-op (spelled explicitly: {} would be ambiguous between
+  // the KdPoint-vector and PointBlock overloads).
+  EXPECT_TRUE((*tree)->BulkLoadBalanced(std::vector<KdPoint>{}).ok());
   EXPECT_EQ((*tree)->size(), 0u);
 }
 

@@ -122,7 +122,9 @@ TEST(SemTreeRemoveTest, RemoveAcrossPartitions) {
   // Removed points are gone; the rest is intact.
   LinearScanIndex scan(3);
   for (const auto& p : points) {
-    if (!removed.count(p.id)) ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+    if (!removed.count(p.id)) {
+      ASSERT_TRUE(scan.Insert(p.coords, p.id).ok());
+    }
   }
   for (int q = 0; q < 10; ++q) {
     std::vector<double> query(3);

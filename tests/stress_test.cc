@@ -208,7 +208,9 @@ TEST_P(RandomTaxonomyProperty, AllMeasuresAreWellBehaved) {
       EXPECT_DOUBLE_EQ(sab, sba);
       EXPECT_GE(sab, 0.0);
       EXPECT_LE(sab, 1.0);
-      if (a == b) EXPECT_DOUBLE_EQ(sab, 1.0);
+      if (a == b) {
+        EXPECT_DOUBLE_EQ(sab, 1.0);
+      }
       // Self-similarity dominates cross-similarity.
       EXPECT_LE(sab, ConceptSimilarity(m, tax, a, a) + 1e-12);
     }
