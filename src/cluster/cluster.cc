@@ -98,6 +98,17 @@ std::future<Payload> Cluster::Call(NodeId target, uint32_t type,
   return future;
 }
 
+std::vector<std::future<Payload>> Cluster::CallAll(
+    std::vector<OutboundCall> calls, NodeId from) {
+  std::vector<std::future<Payload>> futures;
+  futures.reserve(calls.size());
+  for (OutboundCall& c : calls) {
+    futures.push_back(
+        Call(c.target, c.type, std::move(c.payload), c.approx_bytes, from));
+  }
+  return futures;
+}
+
 Result<Payload> Cluster::CallAndWait(NodeId target, uint32_t type,
                                      Payload payload, size_t approx_bytes,
                                      NodeId from) {

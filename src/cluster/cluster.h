@@ -74,6 +74,21 @@ class Cluster {
                             size_t approx_bytes = 64,
                             NodeId from = kClientNode);
 
+  /// One outbound RPC of a fan-out round (see CallAll).
+  struct OutboundCall {
+    NodeId target = kClientNode;
+    uint32_t type = 0;
+    Payload payload;
+    size_t approx_bytes = 64;
+  };
+
+  /// Issues one RPC per entry and returns the futures in order. This is
+  /// the fan-out primitive of the coalesced batch protocol: a handler
+  /// groups sub-work by target partition and ships each group as a
+  /// single message instead of one RPC per query.
+  std::vector<std::future<Payload>> CallAll(std::vector<OutboundCall> calls,
+                                            NodeId from = kClientNode);
+
   /// Blocking RPC convenience; surfaces shutdown as Unavailable.
   Result<Payload> CallAndWait(NodeId target, uint32_t type,
                               Payload payload, size_t approx_bytes = 64,

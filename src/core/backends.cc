@@ -54,6 +54,7 @@ Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
   SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
   store_.Append(coords, id);
   tree_.reset();  // Static index: rebuild lazily on the next query.
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -62,6 +63,7 @@ Status VpTreeIndex::Remove(const std::vector<double>&, PointId) {
 }
 
 void VpTreeIndex::EnsureBuilt() const {
+  std::lock_guard<std::mutex> lock(build_mu_);
   if (tree_.has_value() || store_.size() == 0) return;
   VpTreeOptions vopts;
   vopts.bucket_size = options_.bucket_size;
@@ -121,7 +123,9 @@ MTreeIndex::MTreeIndex(size_t dimensions, BackendOptions options)
 Status MTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
   SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
   PointStore::Slot slot = store_.Append(coords, id);
-  return tree_->Insert(slot);
+  SEMTREE_RETURN_NOT_OK(tree_->Insert(slot));
+  BumpEpoch();
+  return Status::OK();
 }
 
 Status MTreeIndex::Remove(const std::vector<double>&, PointId) {

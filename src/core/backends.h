@@ -12,6 +12,7 @@
 #define SEMTREE_CORE_BACKENDS_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "core/point_store.h"
@@ -62,6 +63,11 @@ class VpTreeIndex : public SpatialIndex {
 
   BackendOptions options_;
   PointStore store_;
+  // The lazy rebuild makes queries mutate state, so concurrent
+  // searches (safe on every other backend) must serialize the
+  // check-and-build; afterwards the tree is read-only until the next
+  // Insert.
+  mutable std::mutex build_mu_;
   mutable std::optional<VpTree> tree_;  // Rebuilt when stale.
 };
 

@@ -1,0 +1,51 @@
+// Copyright 2026 The SemTree Authors
+//
+// SpatialQuery: one element of a mixed query batch. The QueryEngine
+// (engine/query_engine.h) and the coalesced distributed batch protocol
+// (SemTree::BatchSearch) both consume vectors of these, so the type
+// lives in core/ below either consumer. A query is either k-NN
+// (`k` is meaningful) or range (`radius` is meaningful); results follow
+// the canonical (distance, id) ordering of core/point.h either way.
+
+#ifndef SEMTREE_CORE_QUERY_H_
+#define SEMTREE_CORE_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace semtree {
+
+enum class QueryType : uint8_t {
+  kKnn = 0,
+  kRange = 1,
+};
+
+/// One k-NN or range query over the embedded space.
+struct SpatialQuery {
+  QueryType type = QueryType::kKnn;
+  std::vector<double> coords;
+  size_t k = 0;         ///< Result size bound (k-NN only).
+  double radius = 0.0;  ///< Inclusive distance bound (range only).
+
+  static SpatialQuery Knn(std::vector<double> coords, size_t k) {
+    SpatialQuery q;
+    q.type = QueryType::kKnn;
+    q.coords = std::move(coords);
+    q.k = k;
+    return q;
+  }
+
+  static SpatialQuery Range(std::vector<double> coords, double radius) {
+    SpatialQuery q;
+    q.type = QueryType::kRange;
+    q.coords = std::move(coords);
+    q.radius = radius;
+    return q;
+  }
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_QUERY_H_

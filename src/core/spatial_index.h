@@ -9,6 +9,8 @@
 #ifndef SEMTREE_CORE_SPATIAL_INDEX_H_
 #define SEMTREE_CORE_SPATIAL_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -48,6 +50,30 @@ class SpatialIndex {
 
   /// Human-readable backend name (for bench CSV series).
   virtual std::string_view name() const = 0;
+
+  /// Monotone mutation counter: every successful Insert/Remove bumps
+  /// it. Result caches (engine/result_cache.h) key entries on
+  /// (query, parameters, epoch), so a mutation implicitly invalidates
+  /// everything cached against the previous epoch. Safe to read
+  /// concurrently with searches.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ protected:
+  // The atomic counter would otherwise delete implicit copy/move, which
+  // by-value builders (KdTree::BulkLoadBalanced) rely on; copying an
+  // index carries its epoch along.
+  SpatialIndex() = default;
+  SpatialIndex(const SpatialIndex& other) : epoch_(other.epoch()) {}
+  SpatialIndex& operator=(const SpatialIndex& other) {
+    epoch_.store(other.epoch(), std::memory_order_release);
+    return *this;
+  }
+
+  /// Called by backends after a successful mutation.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace semtree

@@ -1,0 +1,259 @@
+// Copyright 2026 The SemTree Authors
+
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace semtree {
+
+// Partial aggregates of one worker task. Tasks write disjoint outcome
+// spans and their own TaskOutput, so the fan-out needs no locking.
+struct QueryEngine::TaskOutput {
+  size_t cache_hits = 0;
+  SearchStats search;
+  size_t partitions_visited = 0;
+  std::vector<double> latencies_us;
+  Status status;
+};
+
+namespace {
+
+size_t ClampThreads(size_t threads) { return threads < 1 ? 1 : threads; }
+
+void Accumulate(const SearchStats& from, SearchStats* into) {
+  into->nodes_visited += from.nodes_visited;
+  into->leaves_visited += from.leaves_visited;
+  into->points_examined += from.points_examined;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(SpatialIndex* index, QueryEngineOptions options)
+    : index_(index),
+      options_(options),
+      pool_(ClampThreads(options.threads)) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ShardedResultCache>(options_.cache_shards,
+                                                  options_.cache_capacity);
+  }
+}
+
+QueryEngine::QueryEngine(SemTree* tree, QueryEngineOptions options)
+    : tree_(tree),
+      options_(options),
+      pool_(ClampThreads(options.threads)) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ShardedResultCache>(options_.cache_shards,
+                                                  options_.cache_capacity);
+  }
+}
+
+size_t QueryEngine::dimensions() const {
+  return index_ != nullptr ? index_->dimensions()
+                           : tree_->options().dimensions;
+}
+
+uint64_t QueryEngine::epoch() const {
+  return index_ != nullptr ? index_->epoch()
+                           : tree_epoch_.load(std::memory_order_acquire);
+}
+
+ShardedResultCache::Stats QueryEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : ShardedResultCache::Stats{};
+}
+
+Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
+  size_t dims = dimensions();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].coords.size() != dims) {
+      return Status::InvalidArgument(StringPrintf(
+          "query %zu has %zu dimensions, target has %zu", i,
+          batch[i].coords.size(), dims));
+    }
+    if (batch[i].type == QueryType::kRange && batch[i].radius < 0.0) {
+      return Status::InvalidArgument(
+          StringPrintf("query %zu has a negative radius", i));
+    }
+  }
+  return Status::OK();
+}
+
+void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
+                               size_t lo, size_t hi,
+                               std::vector<QueryOutcome>* outcomes,
+                               TaskOutput* out) {
+  for (size_t i = lo; i < hi; ++i) {
+    const SpatialQuery& q = batch[i];
+    QueryOutcome& o = (*outcomes)[i];
+    Stopwatch sw;
+    {
+      // Shared lock: the epoch read, cache probe and search see one
+      // consistent index state even while another thread mutates
+      // through Insert/Remove (which take the lock exclusively).
+      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      CacheKey key;
+      bool hit = false;
+      if (cache_ != nullptr) {
+        key = CacheKey::Make(q, index_->epoch());
+        hit = cache_->Lookup(key, &o.neighbors);
+      }
+      if (hit) {
+        o.from_cache = true;
+        ++out->cache_hits;
+      } else {
+        SearchStats sstats;
+        o.neighbors =
+            q.type == QueryType::kKnn
+                ? index_->KnnSearch(q.coords, q.k, &sstats)
+                : index_->RangeSearch(q.coords, q.radius, &sstats);
+        Accumulate(sstats, &out->search);
+        if (cache_ != nullptr) cache_->Put(key, o.neighbors);
+      }
+    }
+    o.latency_us = sw.ElapsedMicros();
+    out->latencies_us.push_back(o.latency_us);
+  }
+}
+
+Status QueryEngine::RunDistributedSpan(
+    const std::vector<SpatialQuery>& batch, size_t lo, size_t hi,
+    std::vector<QueryOutcome>* outcomes, TaskOutput* out) {
+  Stopwatch sw;
+  uint64_t ep = tree_epoch_.load(std::memory_order_acquire);
+
+  // Probe the cache first; only the misses ship as this worker's
+  // coalesced protocol run.
+  std::vector<size_t> miss;
+  miss.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    QueryOutcome& o = (*outcomes)[i];
+    if (cache_ != nullptr &&
+        cache_->Lookup(CacheKey::Make(batch[i], ep), &o.neighbors)) {
+      o.from_cache = true;
+      ++out->cache_hits;
+    } else {
+      miss.push_back(i);
+    }
+  }
+
+  if (!miss.empty()) {
+    std::vector<SpatialQuery> sub;
+    sub.reserve(miss.size());
+    for (size_t i : miss) sub.push_back(batch[i]);
+    DistributedSearchStats dstats;
+    auto results = tree_->BatchSearch(sub, &dstats);
+    if (!results.ok()) return results.status();
+    out->partitions_visited += dstats.partitions_visited;
+    for (size_t j = 0; j < miss.size(); ++j) {
+      QueryOutcome& o = (*outcomes)[miss[j]];
+      o.neighbors = std::move((*results)[j]);
+      if (cache_ != nullptr) {
+        cache_->Put(CacheKey::Make(batch[miss[j]], ep), o.neighbors);
+      }
+    }
+  }
+
+  // One protocol run answers the whole span, so each query is charged
+  // the span's wall time (see QueryOutcome::latency_us).
+  double span_us = sw.ElapsedMicros();
+  for (size_t i = lo; i < hi; ++i) {
+    (*outcomes)[i].latency_us = span_us;
+    out->latencies_us.push_back(span_us);
+  }
+  return Status::OK();
+}
+
+void QueryEngine::FinalizeStats(std::vector<TaskOutput>& parts,
+                                BatchResult* result) {
+  std::vector<double> latencies;
+  for (TaskOutput& part : parts) {
+    result->stats.cache_hits += part.cache_hits;
+    result->stats.partitions_visited += part.partitions_visited;
+    Accumulate(part.search, &result->stats.search);
+    latencies.insert(latencies.end(), part.latencies_us.begin(),
+                     part.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result->stats.latency.p50_us = Percentile(latencies, 0.50);
+  result->stats.latency.p90_us = Percentile(latencies, 0.90);
+  result->stats.latency.p99_us = Percentile(latencies, 0.99);
+  result->stats.latency.max_us =
+      latencies.empty() ? 0.0 : latencies.back();
+}
+
+Result<BatchResult> QueryEngine::Run(
+    const std::vector<SpatialQuery>& batch) {
+  SEMTREE_RETURN_NOT_OK(Validate(batch));
+  BatchResult result;
+  result.stats.queries = batch.size();
+  for (const SpatialQuery& q : batch) {
+    (q.type == QueryType::kKnn ? result.stats.knn_queries
+                               : result.stats.range_queries)++;
+  }
+  if (batch.empty()) return result;
+
+  size_t per_task = std::max<size_t>(options_.min_queries_per_task, 1);
+  size_t tasks = std::min(pool_.num_threads(),
+                          (batch.size() + per_task - 1) / per_task);
+  if (tasks < 1) tasks = 1;
+  size_t chunk = (batch.size() + tasks - 1) / tasks;
+
+  result.outcomes.resize(batch.size());
+  std::vector<TaskOutput> parts(tasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  Stopwatch wall;
+  for (size_t t = 0; t < tasks; ++t) {
+    size_t lo = t * chunk;
+    size_t hi = std::min(batch.size(), lo + chunk);
+    futures.push_back(pool_.Submit([this, &batch, lo, hi, &result,
+                                    part = &parts[t]]() {
+      if (index_ != nullptr) {
+        RunLocalSpan(batch, lo, hi, &result.outcomes, part);
+      } else {
+        part->status =
+            RunDistributedSpan(batch, lo, hi, &result.outcomes, part);
+      }
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  result.stats.wall_us = wall.ElapsedMicros();
+
+  for (TaskOutput& part : parts) {
+    SEMTREE_RETURN_NOT_OK(part.status);
+  }
+  FinalizeStats(parts, &result);
+  return result;
+}
+
+Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {
+  if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    return index_->Insert(coords, id);  // Bumps the index epoch.
+  }
+  Status st = tree_->Insert(coords, id);
+  if (st.ok()) tree_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
+}
+
+Status QueryEngine::Remove(const std::vector<double>& coords, PointId id) {
+  if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    return index_->Remove(coords, id);
+  }
+  Status st = tree_->Remove(coords, id);
+  if (st.ok()) tree_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return st;
+}
+
+}  // namespace semtree

@@ -1,0 +1,149 @@
+// Copyright 2026 The SemTree Authors
+//
+// QueryEngine: the concurrent batch query layer (see DESIGN.md §1).
+// Clients hand it batches of mixed k-NN/range queries; it fans them out
+// over a worker pool, consults a sharded LRU result cache keyed on
+// (query, parameters, index epoch), and aggregates per-batch search
+// work and latency percentiles. Two targets are supported behind the
+// same API: any sequential SpatialIndex backend (queries run on worker
+// threads under a reader lock, mutations take the writer lock), and the
+// distributed SemTree (each worker ships its share of the batch as one
+// coalesced BatchSearch protocol run). Batched results are identical to
+// issuing every query sequentially against the target.
+
+#ifndef SEMTREE_ENGINE_QUERY_ENGINE_H_
+#define SEMTREE_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/query.h"
+#include "core/spatial_index.h"
+#include "engine/result_cache.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+
+struct QueryEngineOptions {
+  /// Worker threads executing batch queries.
+  size_t threads = 4;
+
+  /// Result-cache shards (1 disables sharding, not caching).
+  size_t cache_shards = 8;
+
+  /// Total cached results across shards; 0 disables the cache.
+  size_t cache_capacity = 4096;
+
+  /// Smallest number of queries handed to one worker task; batches
+  /// smaller than threads * this run on fewer workers.
+  size_t min_queries_per_task = 8;
+};
+
+/// Outcome of one query of a batch.
+struct QueryOutcome {
+  std::vector<Neighbor> neighbors;  ///< Sorted by (distance, id).
+  bool from_cache = false;
+  double latency_us = 0.0;  ///< Distributed target: its sub-batch's time.
+};
+
+/// Latency distribution over one batch, microseconds.
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Aggregated counters for one batch.
+struct BatchStats {
+  size_t queries = 0;
+  size_t knn_queries = 0;
+  size_t range_queries = 0;
+  size_t cache_hits = 0;
+  SearchStats search;             ///< Summed (sequential targets only).
+  size_t partitions_visited = 0;  ///< Summed (distributed target only).
+  LatencySummary latency;
+  double wall_us = 0.0;  ///< Whole-batch wall time.
+};
+
+struct BatchResult {
+  std::vector<QueryOutcome> outcomes;  ///< Aligned with the input batch.
+  BatchStats stats;
+};
+
+/// Concurrent batch executor over one query target.
+///
+/// Thread-safe: any thread may call Run/Insert/Remove concurrently.
+/// The engine does not own its target; the target must outlive it.
+class QueryEngine {
+ public:
+  /// Engine over a sequential backend. The engine serializes its own
+  /// mutations against its own queries with a reader/writer lock; the
+  /// index must not be mutated behind the engine's back while batches
+  /// run.
+  explicit QueryEngine(SpatialIndex* index, QueryEngineOptions options = {});
+
+  /// Engine over the distributed tree (internally thread-safe, so no
+  /// engine-side locking; mutations go through Insert/Remove below so
+  /// the cache epoch advances).
+  explicit QueryEngine(SemTree* tree, QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Executes the batch; outcomes are positionally aligned with
+  /// `batch`. Fails up front on a dimensionality mismatch or negative
+  /// radius, executing nothing.
+  Result<BatchResult> Run(const std::vector<SpatialQuery>& batch);
+
+  /// Inserts through to the target and advances the cache epoch.
+  Status Insert(const std::vector<double>& coords, PointId id);
+
+  /// Removes through to the target and advances the cache epoch.
+  Status Remove(const std::vector<double>& coords, PointId id);
+
+  /// Current cache-key epoch (the target's for sequential backends,
+  /// engine-tracked for the distributed tree).
+  uint64_t epoch() const;
+
+  size_t dimensions() const;
+  size_t num_threads() const { return pool_.num_threads(); }
+  bool cache_enabled() const { return cache_ != nullptr; }
+  ShardedResultCache::Stats cache_stats() const;
+
+ private:
+  struct TaskOutput;  // Per-worker partial aggregates.
+
+  Status Validate(const std::vector<SpatialQuery>& batch) const;
+  void RunLocalSpan(const std::vector<SpatialQuery>& batch, size_t lo,
+                    size_t hi, std::vector<QueryOutcome>* outcomes,
+                    TaskOutput* out);
+  Status RunDistributedSpan(const std::vector<SpatialQuery>& batch,
+                            size_t lo, size_t hi,
+                            std::vector<QueryOutcome>* outcomes,
+                            TaskOutput* out);
+  void FinalizeStats(std::vector<TaskOutput>& parts, BatchResult* result);
+
+  SpatialIndex* index_ = nullptr;  // Exactly one target is non-null.
+  SemTree* tree_ = nullptr;
+  QueryEngineOptions options_;
+  ThreadPool pool_;
+  std::unique_ptr<ShardedResultCache> cache_;  // Null when disabled.
+
+  // Sequential target: queries take the lock shared, mutations
+  // exclusive, so a search never observes a half-applied insert.
+  std::shared_mutex index_mu_;
+
+  // Distributed target: SemTree has no epoch of its own; the engine
+  // versions its mutations here.
+  std::atomic<uint64_t> tree_epoch_{0};
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_ENGINE_QUERY_ENGINE_H_

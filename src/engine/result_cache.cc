@@ -1,0 +1,126 @@
+// Copyright 2026 The SemTree Authors
+
+#include "engine/result_cache.h"
+
+#include <cstring>
+
+namespace semtree {
+
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// 64-bit FNV-1a style mixing; collisions only cost a shard-placement
+// imbalance or a map probe — equality is always verified on the full
+// key.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch) {
+  CacheKey key;
+  key.type = query.type;
+  key.param_bits = query.type == QueryType::kKnn
+                       ? static_cast<uint64_t>(query.k)
+                       : DoubleBits(query.radius);
+  key.epoch = epoch;
+  key.coords = query.coords;
+  return key;
+}
+
+size_t ShardedResultCache::KeyHash::operator()(const CacheKey& key) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = Mix(h, static_cast<uint64_t>(key.type));
+  h = Mix(h, key.param_bits);
+  h = Mix(h, key.epoch);
+  for (double c : key.coords) h = Mix(h, DoubleBits(c));
+  return static_cast<size_t>(h);
+}
+
+ShardedResultCache::ShardedResultCache(size_t shards,
+                                       size_t total_capacity) {
+  if (shards < 1) shards = 1;
+  if (total_capacity < shards) total_capacity = shards;
+  capacity_per_shard_ = total_capacity / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedResultCache::Shard& ShardedResultCache::ShardFor(
+    const CacheKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool ShardedResultCache::Lookup(const CacheKey& key,
+                                std::vector<Neighbor>* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedResultCache::Put(const CacheKey& key,
+                             std::vector<Neighbor> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.map.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > capacity_per_shard_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+ShardedResultCache::Stats ShardedResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ShardedResultCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace semtree

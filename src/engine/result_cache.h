@@ -1,0 +1,104 @@
+// Copyright 2026 The SemTree Authors
+//
+// A sharded LRU cache of query results. Entries are keyed on the full
+// query (coordinates + type + k/radius) *and* the index epoch, so a
+// mutation — which bumps the epoch (core/spatial_index.h) — implicitly
+// invalidates every earlier entry: stale results can never be returned,
+// they simply stop matching and age out of the LRU. Sharding by key
+// hash keeps concurrent clients from serializing on one mutex.
+
+#ifndef SEMTREE_ENGINE_RESULT_CACHE_H_
+#define SEMTREE_ENGINE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/point.h"
+#include "core/query.h"
+
+namespace semtree {
+
+/// Full identity of a cached query result. Two keys are equal only if
+/// every field — including each coordinate — matches, so a hash
+/// collision can never surface a wrong result.
+struct CacheKey {
+  QueryType type = QueryType::kKnn;
+  uint64_t param_bits = 0;  ///< k, or the radius's bit pattern.
+  uint64_t epoch = 0;       ///< Index version the result was computed at.
+  std::vector<double> coords;
+
+  bool operator==(const CacheKey& o) const {
+    return type == o.type && param_bits == o.param_bits &&
+           epoch == o.epoch && coords == o.coords;
+  }
+
+  static CacheKey Make(const SpatialQuery& query, uint64_t epoch);
+};
+
+/// Sharded LRU map from CacheKey to a result vector.
+///
+/// Thread-safe; each shard is guarded by its own mutex and evicts
+/// least-recently-used entries beyond its capacity share.
+class ShardedResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `total_capacity` entries spread over `shards` shards (both
+  /// clamped to at least 1).
+  ShardedResultCache(size_t shards, size_t total_capacity);
+
+  /// Copies the cached result into `*out` and returns true on a hit
+  /// (refreshing the entry's LRU position); returns false on a miss.
+  bool Lookup(const CacheKey& key, std::vector<Neighbor>* out);
+
+  /// Stores (or refreshes) an entry, evicting the shard's LRU tail
+  /// beyond capacity.
+  void Put(const CacheKey& key, std::vector<Neighbor> value);
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+
+  Stats stats() const;
+
+  /// Live entries across all shards.
+  size_t size() const;
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  struct Entry {
+    CacheKey key;
+    std::vector<Neighbor> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t capacity_per_shard_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_ENGINE_RESULT_CACHE_H_

@@ -41,6 +41,7 @@ Status KdTree::Insert(const std::vector<double>& coords, PointId id) {
   if (nodes_[node].bucket.size() > options_.bucket_size) {
     MaybeSplitLeaf(node);
   }
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -62,6 +63,7 @@ Status KdTree::Remove(const std::vector<double>& coords, PointId id) {
         std::equal(coords.begin(), coords.end(), store_.CoordsAt(slot))) {
       bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
       store_.Release(slot);
+      BumpEpoch();
       return Status::OK();
     }
   }

@@ -17,6 +17,7 @@ Status LinearScanIndex::Insert(const std::vector<double>& coords,
                      coords.size(), store_.dimensions()));
   }
   slots_.push_back(store_.Append(coords.data(), id));
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -33,6 +34,7 @@ Status LinearScanIndex::Remove(const std::vector<double>& coords,
         std::equal(coords.begin(), coords.end(), store_.CoordsAt(slot))) {
       slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
       store_.Release(slot);
+      BumpEpoch();
       return Status::OK();
     }
   }

@@ -20,7 +20,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
-#include "kdtree/kdtree.h"
+#include "core/point.h"     // Neighbor, SearchStats.
 #include "kdtree/vptree.h"  // MetricDistanceFn / QueryDistanceFn.
 
 namespace semtree {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "kdtree/kdtree.h"
+#include "core/point.h"  // Neighbor, SearchStats.
 
 namespace semtree {
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -25,6 +26,7 @@ constexpr uint32_t kStatsMsg = 6;
 constexpr uint32_t kRemoveMsg = 7;
 constexpr uint32_t kBulkBuildMsg = 8;
 constexpr uint32_t kInstallTopologyMsg = 9;
+constexpr uint32_t kBatchMsg = 10;
 
 struct InsertRequest {
   int32_t start_node = 0;
@@ -124,8 +126,101 @@ struct InstallTopologyResponse {
   std::string error;
 };
 
+// One query of a coalesced batch (BatchSearch), carrying its in-flight
+// traversal state so any partition can continue it. k-NN items reuse
+// the Table-I frame machinery of KnnRequest; range items use the same
+// stack with the status field unused (a routing node is expanded once,
+// pushing every child the radius condition admits).
+struct BatchItem {
+  uint32_t slot = 0;  // Position in the client's batch.
+  QueryType type = QueryType::kKnn;
+  std::vector<double> query;
+  size_t k = 0;
+  double radius = 0.0;
+  std::vector<Neighbor> rs;     // k-NN: max-heap; range: accumulator.
+  std::vector<KnnFrame> stack;  // Pending nodes, root-side at the bottom.
+};
+struct BatchRequest {
+  std::vector<BatchItem> items;
+};
+struct BatchResponse {
+  std::vector<BatchItem> items;
+  size_t partitions_visited = 0;  // Handler activations, all partitions.
+};
+
 size_t PointBytes(size_t dims) { return dims * sizeof(double) + 16; }
 size_t NeighborBytes(size_t n) { return n * sizeof(Neighbor) + 16; }
+
+size_t BatchItemBytes(const BatchItem& item) {
+  return item.query.size() * sizeof(double) +
+         item.rs.size() * sizeof(Neighbor) +
+         item.stack.size() * sizeof(KnnFrame) + 32;
+}
+
+size_t BatchBytes(const std::vector<BatchItem>& items) {
+  size_t bytes = 32;
+  for (const BatchItem& item : items) bytes += BatchItemBytes(item);
+  return bytes;
+}
+
+// One local step of the k-NN forward/backward visit (§III-B.3,
+// Table I): a leaf scan into the rs max-heap, or one status
+// transition of the routing frame on top of `stack`. Shared by the
+// single-query handler and the batch advance loop so batched results
+// cannot diverge from sequential ones. Precondition: stack->back() is
+// a frame hosted by `p`.
+void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
+             std::vector<Neighbor>* rs, std::vector<KnnFrame>* stack) {
+  KnnFrame& frame = stack->back();
+  const Partition::PNode& n = p->node(frame.node);
+  if (n.is_dead) {
+    stack->pop_back();
+    return;
+  }
+  if (n.is_leaf) {
+    const PointStore& store = p->store();
+    for (Partition::Slot s : n.bucket) {
+      rs->push_back(Neighbor{
+          store.IdAt(s), EuclideanDistance(query.data(), store.CoordsAt(s),
+                                           store.dimensions())});
+      std::push_heap(rs->begin(), rs->end(), NeighborDistanceThenId);
+      if (rs->size() > k) {
+        std::pop_heap(rs->begin(), rs->end(), NeighborDistanceThenId);
+        rs->pop_back();
+      }
+    }
+    stack->pop_back();
+    return;
+  }
+  double diff = query[n.split_dim] - n.split_value;
+  ChildRef near = (diff <= 0.0) ? n.left : n.right;
+  ChildRef far = (diff <= 0.0) ? n.right : n.left;
+  switch (frame.status) {
+    case VisitStatus::kNotVisited:
+      // Forward visit: descend the near side first.
+      frame.status = VisitStatus::kNearVisited;
+      stack->push_back(
+          KnnFrame{near.partition, near.node, VisitStatus::kNotVisited});
+      break;
+    case VisitStatus::kNearVisited:
+      // Backward visit: enter the unexplored subtree when the result
+      // set is not full (|Rs| < K) or the splitting plane is closer
+      // than the worst result (the disjunction of §III-B.3). The
+      // empty-heap guard also covers k == 0.
+      if (rs->size() < k ||
+          (!rs->empty() && std::fabs(diff) < rs->front().distance)) {
+        frame.status = VisitStatus::kAllVisited;
+        stack->push_back(
+            KnnFrame{far.partition, far.node, VisitStatus::kNotVisited});
+      } else {
+        stack->pop_back();
+      }
+      break;
+    case VisitStatus::kAllVisited:
+      stack->pop_back();
+      break;
+  }
+}
 
 }  // namespace
 
@@ -221,6 +316,9 @@ void SemTree::RegisterHandlers(Partition* part, ComputeNode* node) {
                         [this, part](const Message& m) {
                           HandleInstallTopology(part, m);
                         });
+  node->RegisterHandler(kBatchMsg, [this, part](const Message& m) {
+    HandleBatch(part, m);
+  });
 }
 
 // --------------------------------------------------------------------
@@ -692,69 +790,15 @@ void SemTree::HandleKnn(Partition* p, const Message& msg) {
   auto& req = PayloadAs<KnnRequest>(msg.payload);
   ++req.partitions_visited;
 
-  auto offer = [&](PointId id, double d) {
-    req.rs.push_back(Neighbor{id, d});
-    std::push_heap(req.rs.begin(), req.rs.end(), NeighborDistanceThenId);
-    if (req.rs.size() > req.k) {
-      std::pop_heap(req.rs.begin(), req.rs.end(), NeighborDistanceThenId);
-      req.rs.pop_back();
-    }
-  };
-
   // Drive the traversal off the frame stack until it drains (answer
   // the client) or reaches a node hosted elsewhere (forward the whole
   // work item there, insertion-style).
   while (!req.stack.empty()) {
-    KnnFrame& frame = req.stack.back();
-    if (frame.partition != p->id()) {
-      cluster_->Forward(msg, frame.partition, p->id());
+    if (req.stack.back().partition != p->id()) {
+      cluster_->Forward(msg, req.stack.back().partition, p->id());
       return;
     }
-    const Partition::PNode& n = p->node(frame.node);
-    if (n.is_dead) {
-      req.stack.pop_back();
-      continue;
-    }
-    if (n.is_leaf) {
-      const PointStore& store = p->store();
-      for (Partition::Slot s : n.bucket) {
-        offer(store.IdAt(s),
-              EuclideanDistance(req.query.data(), store.CoordsAt(s),
-                                store.dimensions()));
-      }
-      req.stack.pop_back();
-      continue;
-    }
-    double diff = req.query[n.split_dim] - n.split_value;
-    ChildRef near = (diff <= 0.0) ? n.left : n.right;
-    ChildRef far = (diff <= 0.0) ? n.right : n.left;
-    switch (frame.status) {
-      case VisitStatus::kNotVisited: {
-        // Forward visit: descend the near side first.
-        frame.status = VisitStatus::kNearVisited;
-        req.stack.push_back(
-            KnnFrame{near.partition, near.node, VisitStatus::kNotVisited});
-        break;
-      }
-      case VisitStatus::kNearVisited: {
-        // Backward visit: enter the unexplored subtree when the result
-        // set is not full (|Rs| < K) or the splitting plane is closer
-        // than the worst result (the disjunction of §III-B.3).
-        if (req.rs.size() < req.k ||
-            std::fabs(diff) < req.rs.front().distance) {
-          frame.status = VisitStatus::kAllVisited;
-          req.stack.push_back(
-              KnnFrame{far.partition, far.node, VisitStatus::kNotVisited});
-        } else {
-          req.stack.pop_back();
-        }
-        break;
-      }
-      case VisitStatus::kAllVisited: {
-        req.stack.pop_back();
-        break;
-      }
-    }
+    KnnStep(p, req.query, req.k, &req.rs, &req.stack);
   }
   // Backward visit finished (at the root partition per §III-B.3, since
   // the bottom frame lives there).
@@ -882,6 +926,210 @@ Result<std::vector<Neighbor>> SemTree::RangeSearch(
   auto& resp = PayloadAs<RangeResponse>(payload);
   std::vector<Neighbor> out = std::move(resp.results);
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
+  if (stats) {
+    stats->messages_after = cluster_->Stats().messages;
+    stats->partitions_visited = resp.partitions_visited;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------
+// Coalesced batch search
+//
+// A batch travels the partition tree as whole work items. At each
+// partition every item advances locally until it completes, blocks on
+// a child partition, or pops back out of this partition's frames; the
+// blocked items are then grouped by target partition and each group is
+// shipped as ONE sub-RPC (instead of one RPC per query). Sub-calls
+// only ever follow down-edges of the partition tree — partitions are
+// linked strictly old-to-new — so the nested-Call chains cannot
+// deadlock (see compute_node.h).
+
+namespace {
+
+enum class ItemState : uint8_t {
+  kDone,     // Stack drained: the item is fully answered.
+  kExited,   // Popped out of this partition's frames; an ancestor
+             // owns the new top frame — hand the item back.
+  kBlocked,  // Top frame lives in a child partition.
+};
+
+// Advances `item` while its top frame is hosted by `p`. `entry_depth`
+// is the stack size at arrival: the frame at entry_depth-1 is the one
+// that addressed this partition, so shrinking below it means the
+// traversal has left p's subtree.
+ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
+  for (;;) {
+    if (item->stack.empty()) return ItemState::kDone;
+    if (item->stack.size() < entry_depth) return ItemState::kExited;
+    KnnFrame& frame = item->stack.back();
+    if (frame.partition != p->id()) return ItemState::kBlocked;
+
+    if (item->type == QueryType::kKnn) {
+      // The exact per-frame step the single-query handler runs.
+      KnnStep(p, item->query, item->k, &item->rs, &item->stack);
+      continue;
+    }
+
+    const Partition::PNode& n = p->node(frame.node);
+    if (n.is_dead) {
+      item->stack.pop_back();
+      continue;
+    }
+    if (n.is_leaf) {
+      const PointStore& store = p->store();
+      for (Partition::Slot s : n.bucket) {
+        double d = EuclideanDistance(item->query.data(),
+                                     store.CoordsAt(s),
+                                     store.dimensions());
+        if (d <= item->radius) {
+          item->rs.push_back(Neighbor{store.IdAt(s), d});
+        }
+      }
+      item->stack.pop_back();
+      continue;
+    }
+
+    // Expand once: pop the routing frame, push every child the radius
+    // condition admits (§III-B.4).
+    double diff = item->query[n.split_dim] - n.split_value;
+    ChildRef left = n.left;
+    ChildRef right = n.right;
+    item->stack.pop_back();
+    if (std::fabs(diff) <= item->radius) {
+      item->stack.push_back(
+          KnnFrame{left.partition, left.node, VisitStatus::kNotVisited});
+      item->stack.push_back(
+          KnnFrame{right.partition, right.node, VisitStatus::kNotVisited});
+    } else if (diff <= 0.0) {
+      item->stack.push_back(
+          KnnFrame{left.partition, left.node, VisitStatus::kNotVisited});
+    } else {
+      item->stack.push_back(
+          KnnFrame{right.partition, right.node, VisitStatus::kNotVisited});
+    }
+  }
+}
+
+}  // namespace
+
+void SemTree::HandleBatch(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<BatchRequest>(msg.payload);
+  BatchResponse resp;
+  resp.partitions_visited = 1;
+  resp.items.reserve(req.items.size());
+
+  struct ActiveItem {
+    BatchItem item;
+    size_t entry_depth;
+  };
+  // The entry depth is fixed at arrival: frames below it belong to
+  // ancestor partitions forever, while frames at or above it are this
+  // partition's (or pushed into descendants during local advancing) —
+  // including after a sub-call hands an item back.
+  std::map<uint32_t, size_t> entry_depth_of;
+  std::vector<ActiveItem> active;
+  active.reserve(req.items.size());
+  for (BatchItem& item : req.items) {
+    size_t depth = item.stack.size();
+    entry_depth_of[item.slot] = depth;
+    active.push_back(ActiveItem{std::move(item), depth});
+  }
+
+  while (!active.empty()) {
+    // Advance everything locally; settled items go straight into the
+    // response, blocked ones group by the partition they need next.
+    std::map<int32_t, std::vector<ActiveItem>> blocked;
+    for (ActiveItem& a : active) {
+      switch (AdvanceItem(p, &a.item, a.entry_depth)) {
+        case ItemState::kDone:
+        case ItemState::kExited:
+          resp.items.push_back(std::move(a.item));
+          break;
+        case ItemState::kBlocked:
+          blocked[a.item.stack.back().partition].push_back(std::move(a));
+          break;
+      }
+    }
+    active.clear();
+    if (blocked.empty()) break;
+
+    // One sub-RPC per child partition, carrying every item that needs
+    // it this round.
+    std::vector<Cluster::OutboundCall> calls;
+    calls.reserve(blocked.size());
+    for (auto& [target, group] : blocked) {
+      BatchRequest sub;
+      sub.items.reserve(group.size());
+      for (ActiveItem& a : group) sub.items.push_back(std::move(a.item));
+      size_t bytes = BatchBytes(sub.items);
+      calls.push_back(Cluster::OutboundCall{
+          target, kBatchMsg, MakePayload<BatchRequest>(std::move(sub)),
+          bytes});
+    }
+    std::vector<std::future<Payload>> futures =
+        cluster_->CallAll(std::move(calls), p->id());
+
+    // The children work in parallel; returned items re-enter the local
+    // advance loop (a k-NN item may resume a backward visit here).
+    for (std::future<Payload>& f : futures) {
+      Payload payload = f.get();
+      if (payload == nullptr) continue;  // Cluster shut down mid-batch.
+      auto& sub = PayloadAs<BatchResponse>(payload);
+      resp.partitions_visited += sub.partitions_visited;
+      for (BatchItem& item : sub.items) {
+        size_t depth = entry_depth_of.at(item.slot);
+        active.push_back(ActiveItem{std::move(item), depth});
+      }
+    }
+  }
+
+  size_t bytes = BatchBytes(resp.items);
+  cluster_->Respond(msg, MakePayload<BatchResponse>(std::move(resp)),
+                    bytes);
+}
+
+Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
+    const std::vector<SpatialQuery>& queries,
+    DistributedSearchStats* stats) const {
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  if (queries.empty()) return out;
+
+  BatchRequest req;
+  req.items.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const SpatialQuery& q = queries[i];
+    if (q.coords.size() != options_.dimensions) {
+      return Status::InvalidArgument(StringPrintf(
+          "query %zu has %zu dimensions, tree has %zu", i,
+          q.coords.size(), options_.dimensions));
+    }
+    if (q.type == QueryType::kRange && q.radius < 0.0) {
+      return Status::InvalidArgument(
+          StringPrintf("query %zu has a negative radius", i));
+    }
+    BatchItem item;
+    item.slot = static_cast<uint32_t>(i);
+    item.type = q.type;
+    item.query = q.coords;
+    item.k = q.k;
+    item.radius = q.radius;
+    item.stack.push_back(KnnFrame{0, 0, VisitStatus::kNotVisited});
+    req.items.push_back(std::move(item));
+  }
+
+  if (stats) stats->messages_before = cluster_->Stats().messages;
+  size_t bytes = BatchBytes(req.items);
+  SEMTREE_ASSIGN_OR_RETURN(
+      Payload payload,
+      cluster_->CallAndWait(0, kBatchMsg,
+                            MakePayload<BatchRequest>(std::move(req)),
+                            bytes));
+  auto& resp = PayloadAs<BatchResponse>(payload);
+  for (BatchItem& item : resp.items) {
+    std::sort(item.rs.begin(), item.rs.end(), NeighborDistanceThenId);
+    out[item.slot] = std::move(item.rs);
+  }
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;

@@ -40,6 +40,7 @@
 #include "common/result.h"
 #include "core/point.h"
 #include "core/point_block.h"
+#include "core/query.h"
 #include "semtree/partition.h"
 
 namespace semtree {
@@ -134,6 +135,18 @@ class SemTree {
       const std::vector<double>& query, double radius,
       DistributedSearchStats* stats = nullptr) const;
 
+  /// Executes a batch of mixed k-NN/range queries as ONE coalesced
+  /// protocol run: the whole batch ships to the root partition in a
+  /// single message, and at every partition the sub-queries that must
+  /// descend into the same child partition travel there together in one
+  /// RPC per (partition, round) instead of one RPC per query. Results
+  /// are positionally aligned with `queries` and identical to issuing
+  /// each query through KnnSearch/RangeSearch. `stats`, if given,
+  /// aggregates over the batch.
+  Result<std::vector<std::vector<Neighbor>>> BatchSearch(
+      const std::vector<SpatialQuery>& queries,
+      DistributedSearchStats* stats = nullptr) const;
+
   /// Total points stored across partitions.
   size_t size() const { return total_points_.load(); }
 
@@ -173,6 +186,7 @@ class SemTree {
   void HandleStats(Partition* p, const Message& msg);
   void HandleBulkBuild(Partition* p, const Message& msg);
   void HandleInstallTopology(Partition* p, const Message& msg);
+  void HandleBatch(Partition* p, const Message& msg);
 
   // Local recursion used by the range handler (k-NN is fully
   // stack-driven inside HandleKnn).

@@ -1,0 +1,461 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the QueryEngine subsystem: batched/concurrent execution
+// must be byte-identical to sequential single-query execution across
+// every SpatialIndex backend and the distributed SemTree, the sharded
+// result cache must hit on repeats and invalidate on mutation (epoch
+// bump), and the coalesced distributed batch protocol must spend fewer
+// messages than one RPC per query.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/backends.h"
+#include "core/query.h"
+#include "engine/query_engine.h"
+#include "engine/result_cache.h"
+#include "semtree/semtree.h"
+
+namespace semtree {
+namespace {
+
+std::vector<std::vector<double>> RandomVectors(size_t n, size_t dims,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> out(n);
+  for (auto& v : out) {
+    v.resize(dims);
+    for (double& c : v) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return out;
+}
+
+// A mixed batch: alternating k-NN and range queries over perturbed
+// corpus points.
+std::vector<SpatialQuery> MixedBatch(
+    const std::vector<std::vector<double>>& queries) {
+  std::vector<SpatialQuery> batch;
+  batch.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i % 2 == 0) {
+      batch.push_back(SpatialQuery::Knn(queries[i], 1 + i % 7));
+    } else {
+      batch.push_back(SpatialQuery::Range(queries[i], 0.3 + 0.1 * (i % 5)));
+    }
+  }
+  return batch;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance) << context;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batched == sequential across every SpatialIndex backend.
+
+class EngineBackendTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(EngineBackendTest, BatchMatchesSequential) {
+  const size_t kDims = 5;
+  auto rows = RandomVectors(500, kDims, 21);
+
+  BackendOptions bopts;
+  bopts.bucket_size = 16;
+  auto index = MakeSpatialIndex(GetParam(), kDims, bopts);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(index->Insert(rows[i], PointId(i)).ok());
+  }
+
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  opts.min_queries_per_task = 4;
+  QueryEngine engine(index.get(), opts);
+
+  auto batch = MixedBatch(RandomVectors(48, kDims, 22));
+  auto result = engine.Run(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->outcomes.size(), batch.size());
+  EXPECT_EQ(result->stats.queries, batch.size());
+  EXPECT_EQ(result->stats.knn_queries + result->stats.range_queries,
+            batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<Neighbor> want =
+        batch[i].type == QueryType::kKnn
+            ? index->KnnSearch(batch[i].coords, batch[i].k)
+            : index->RangeSearch(batch[i].coords, batch[i].radius);
+    ExpectSameNeighbors(result->outcomes[i].neighbors, want,
+                        std::string(index->name()) + " query " +
+                            std::to_string(i));
+  }
+
+  // Second run of the same batch: served from cache, still identical.
+  auto again = engine.Run(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.cache_hits, batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(again->outcomes[i].from_cache);
+    ExpectSameNeighbors(again->outcomes[i].neighbors,
+                        result->outcomes[i].neighbors, "cached");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EngineBackendTest,
+                         ::testing::Values(BackendKind::kKdTree,
+                                           BackendKind::kVpTree,
+                                           BackendKind::kMTree,
+                                           BackendKind::kLinearScan),
+                         [](const auto& info) {
+                           return std::string(BackendName(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// Epoch hook
+
+TEST(EpochTest, MutationsBumpTheEpoch) {
+  for (BackendKind kind :
+       {BackendKind::kKdTree, BackendKind::kLinearScan,
+        BackendKind::kVpTree, BackendKind::kMTree}) {
+    auto index = MakeSpatialIndex(kind, 2);
+    EXPECT_EQ(index->epoch(), 0u) << BackendName(kind);
+    ASSERT_TRUE(index->Insert({0.1, 0.2}, 1).ok());
+    EXPECT_EQ(index->epoch(), 1u) << BackendName(kind);
+    // Failed mutations leave the epoch alone.
+    EXPECT_FALSE(index->Insert({0.1}, 2).ok());
+    EXPECT_EQ(index->epoch(), 1u) << BackendName(kind);
+    Status removed = index->Remove({0.1, 0.2}, 1);
+    if (removed.ok()) {
+      EXPECT_EQ(index->epoch(), 2u) << BackendName(kind);
+    } else {
+      EXPECT_TRUE(removed.IsNotSupported());
+      EXPECT_EQ(index->epoch(), 1u) << BackendName(kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cache invalidation: a mutation after a cached query must surface
+// fresh results, not the stale cached ones.
+
+TEST(EngineCacheTest, InsertInvalidatesCachedResults) {
+  const size_t kDims = 3;
+  auto rows = RandomVectors(200, kDims, 31);
+  auto index = MakeSpatialIndex(BackendKind::kKdTree, kDims);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(index->Insert(rows[i], PointId(i)).ok());
+  }
+  QueryEngine engine(index.get());
+
+  std::vector<double> q(kDims, 0.0);
+  std::vector<SpatialQuery> batch = {SpatialQuery::Knn(q, 3)};
+
+  auto before = engine.Run(batch);
+  ASSERT_TRUE(before.ok());
+  uint64_t epoch_before = engine.epoch();
+
+  // Cached now: a repeat is a hit.
+  auto repeat = engine.Run(batch);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->stats.cache_hits, 1u);
+
+  // Insert a point at the query location — the new nearest neighbour.
+  ASSERT_TRUE(engine.Insert(q, 9999).ok());
+  EXPECT_GT(engine.epoch(), epoch_before);
+
+  auto after = engine.Run(batch);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->outcomes[0].from_cache);  // Epoch changed: miss.
+  ASSERT_FALSE(after->outcomes[0].neighbors.empty());
+  EXPECT_EQ(after->outcomes[0].neighbors[0].id, 9999u);
+  EXPECT_DOUBLE_EQ(after->outcomes[0].neighbors[0].distance, 0.0);
+
+  // Remove it again: another epoch bump, results revert to the
+  // original set (computed fresh, not replayed from the stale entry).
+  ASSERT_TRUE(engine.Remove(q, 9999).ok());
+  auto reverted = engine.Run(batch);
+  ASSERT_TRUE(reverted.ok());
+  EXPECT_FALSE(reverted->outcomes[0].from_cache);
+  ExpectSameNeighbors(reverted->outcomes[0].neighbors,
+                      before->outcomes[0].neighbors, "post-remove");
+}
+
+TEST(EngineCacheTest, RangeResultsInvalidateToo) {
+  const size_t kDims = 2;
+  auto index = MakeSpatialIndex(BackendKind::kLinearScan, kDims);
+  ASSERT_TRUE(index->Insert({1.0, 0.0}, 1).ok());
+  QueryEngine engine(index.get());
+
+  std::vector<SpatialQuery> batch = {
+      SpatialQuery::Range({0.0, 0.0}, 0.5)};
+  auto empty = engine.Run(batch);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->outcomes[0].neighbors.empty());
+
+  ASSERT_TRUE(engine.Insert({0.1, 0.0}, 2).ok());
+  auto hit = engine.Run(batch);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->outcomes[0].neighbors.size(), 1u);
+  EXPECT_EQ(hit->outcomes[0].neighbors[0].id, 2u);
+}
+
+TEST(EngineCacheTest, DisabledCacheNeverHits) {
+  auto index = MakeSpatialIndex(BackendKind::kLinearScan, 2);
+  ASSERT_TRUE(index->Insert({0.5, 0.5}, 1).ok());
+  QueryEngineOptions opts;
+  opts.cache_capacity = 0;
+  QueryEngine engine(index.get(), opts);
+  EXPECT_FALSE(engine.cache_enabled());
+  std::vector<SpatialQuery> batch = {SpatialQuery::Knn({0.0, 0.0}, 1)};
+  for (int i = 0; i < 3; ++i) {
+    auto r = engine.Run(batch);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->stats.cache_hits, 0u);
+  }
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedResultCache cache(/*shards=*/1, /*total_capacity=*/2);
+  auto key = [](double x) {
+    return CacheKey::Make(SpatialQuery::Knn({x}, 1), /*epoch=*/0);
+  };
+  cache.Put(key(1.0), {Neighbor{1, 0.0}});
+  cache.Put(key(2.0), {Neighbor{2, 0.0}});
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(cache.Lookup(key(1.0), &out));  // Refresh 1.0.
+  cache.Put(key(3.0), {Neighbor{3, 0.0}});    // Evicts 2.0.
+  EXPECT_TRUE(cache.Lookup(key(1.0), &out));
+  EXPECT_FALSE(cache.Lookup(key(2.0), &out));
+  EXPECT_TRUE(cache.Lookup(key(3.0), &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Validation
+
+TEST(EngineTest, RejectsMalformedQueriesUpFront) {
+  auto index = MakeSpatialIndex(BackendKind::kKdTree, 3);
+  QueryEngine engine(index.get());
+  EXPECT_TRUE(engine
+                  .Run({SpatialQuery::Knn({1.0, 2.0}, 1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine
+                  .Run({SpatialQuery::Range({1.0, 2.0, 3.0}, -1.0)})
+                  .status()
+                  .IsInvalidArgument());
+  auto empty = engine.Run({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->outcomes.empty());
+}
+
+// ---------------------------------------------------------------------
+// Distributed target: the coalesced batch protocol.
+
+std::unique_ptr<SemTree> MakeLoadedTree(
+    const std::vector<std::vector<double>>& rows, size_t partitions) {
+  SemTreeOptions opts;
+  opts.dimensions = rows[0].size();
+  opts.bucket_size = 8;
+  opts.max_partitions = partitions;
+  opts.partition_capacity = 64;
+  auto tree = SemTree::Create(opts);
+  EXPECT_TRUE(tree.ok());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE((*tree)->Insert(rows[i], PointId(i)).ok());
+  }
+  return std::move(*tree);
+}
+
+TEST(DistributedBatchTest, MatchesSequentialAcrossPartitions) {
+  const size_t kDims = 4;
+  auto rows = RandomVectors(600, kDims, 41);
+  auto tree = MakeLoadedTree(rows, /*partitions=*/5);
+  ASSERT_GT(tree->PartitionCount(), 1u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  auto batch = MixedBatch(RandomVectors(40, kDims, 42));
+  DistributedSearchStats stats;
+  auto results = tree->BatchSearch(batch, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), batch.size());
+  EXPECT_GT(stats.partitions_visited, 0u);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto want = batch[i].type == QueryType::kKnn
+                    ? tree->KnnSearch(batch[i].coords, batch[i].k)
+                    : tree->RangeSearch(batch[i].coords, batch[i].radius);
+    ASSERT_TRUE(want.ok());
+    ExpectSameNeighbors((*results)[i], *want,
+                        "distributed query " + std::to_string(i));
+  }
+}
+
+TEST(DistributedBatchTest, KZeroReturnsEmptyEverywhere) {
+  // k == 0 must not dereference the empty result heap in the batch
+  // traversal (or the single-query handler it shares its step with).
+  auto rows = RandomVectors(200, 3, 91);
+  auto tree = MakeLoadedTree(rows, /*partitions=*/3);
+  ASSERT_GT(tree->PartitionCount(), 1u);
+  auto res = tree->BatchSearch({SpatialQuery::Knn(rows[0], 0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE((*res)[0].empty());
+  auto single = tree->KnnSearch(rows[0], 0);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single->empty());
+}
+
+TEST(DistributedBatchTest, CoalescingSpendsFewerMessagesThanPerQueryRpcs) {
+  const size_t kDims = 4;
+  auto rows = RandomVectors(600, kDims, 51);
+  auto tree = MakeLoadedTree(rows, /*partitions=*/5);
+  ASSERT_GT(tree->PartitionCount(), 1u);
+
+  auto batch = MixedBatch(RandomVectors(32, kDims, 52));
+
+  uint64_t before_seq = tree->NetworkStats().messages;
+  for (const SpatialQuery& q : batch) {
+    if (q.type == QueryType::kKnn) {
+      ASSERT_TRUE(tree->KnnSearch(q.coords, q.k).ok());
+    } else {
+      ASSERT_TRUE(tree->RangeSearch(q.coords, q.radius).ok());
+    }
+  }
+  uint64_t sequential = tree->NetworkStats().messages - before_seq;
+
+  uint64_t before_batch = tree->NetworkStats().messages;
+  ASSERT_TRUE(tree->BatchSearch(batch).ok());
+  uint64_t batched = tree->NetworkStats().messages - before_batch;
+
+  // The whole point of coalescing: per-partition sub-queries share
+  // messages, so the batch spends strictly less interconnect traffic.
+  EXPECT_LT(batched, sequential);
+  // And at minimum the per-query request/response pairs collapse into
+  // far fewer envelopes than 2 * |batch|.
+  EXPECT_LT(batched, 2 * batch.size());
+}
+
+TEST(DistributedBatchTest, EngineOverSemTreeMatchesAndCaches) {
+  const size_t kDims = 4;
+  auto rows = RandomVectors(400, kDims, 61);
+  auto tree = MakeLoadedTree(rows, /*partitions=*/4);
+
+  QueryEngineOptions opts;
+  opts.threads = 3;
+  opts.min_queries_per_task = 4;
+  QueryEngine engine(tree.get(), opts);
+
+  auto batch = MixedBatch(RandomVectors(30, kDims, 62));
+  auto result = engine.Run(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto want = batch[i].type == QueryType::kKnn
+                    ? tree->KnnSearch(batch[i].coords, batch[i].k)
+                    : tree->RangeSearch(batch[i].coords, batch[i].radius);
+    ASSERT_TRUE(want.ok());
+    ExpectSameNeighbors(result->outcomes[i].neighbors, *want,
+                        "engine/semtree query " + std::to_string(i));
+  }
+
+  // Repeat: all hits. Mutate through the engine: epoch advances and the
+  // repeat is computed fresh.
+  auto again = engine.Run(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.cache_hits, batch.size());
+  ASSERT_TRUE(engine.Insert(batch[0].coords, 7777).ok());
+  auto fresh = engine.Run(batch);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->stats.cache_hits, 0u);
+  ASSERT_FALSE(fresh->outcomes[0].neighbors.empty());
+  EXPECT_EQ(fresh->outcomes[0].neighbors[0].id, 7777u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: many client threads sharing one engine, with mutations
+// interleaved, must produce exactly-sequential results afterwards and
+// internally consistent ones throughout.
+
+TEST(EngineConcurrencyTest, ParallelClientsWithInterleavedMutations) {
+  const size_t kDims = 4;
+  const size_t kClients = 6;
+  auto rows = RandomVectors(400, kDims, 71);
+  auto index = MakeSpatialIndex(BackendKind::kKdTree, kDims);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(index->Insert(rows[i], PointId(i)).ok());
+  }
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  opts.min_queries_per_task = 2;
+  QueryEngine engine(index.get(), opts);
+
+  auto queries = RandomVectors(64, kDims, 72);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      Rng rng(80 + c);
+      for (int round = 0; round < 10; ++round) {
+        std::vector<SpatialQuery> batch;
+        for (int j = 0; j < 8; ++j) {
+          const auto& q = queries[rng.Uniform(queries.size())];
+          if (j % 2 == 0) {
+            batch.push_back(SpatialQuery::Knn(q, 4));
+          } else {
+            batch.push_back(SpatialQuery::Range(q, 0.6));
+          }
+        }
+        auto result = engine.Run(batch);
+        if (!result.ok()) {
+          failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const auto& hits = result->outcomes[i].neighbors;
+          if (batch[i].type == QueryType::kKnn && hits.size() > 4) {
+            failed.store(true);
+          }
+          for (size_t r = 1; r < hits.size(); ++r) {
+            if (!NeighborDistanceThenId(hits[r - 1], hits[r])) {
+              failed.store(true);  // Ordering violated.
+            }
+          }
+        }
+        // One client also mutates, exercising epoch invalidation under
+        // concurrent readers.
+        if (c == 0) {
+          std::vector<double> p = queries[rng.Uniform(queries.size())];
+          (void)engine.Insert(p, PointId(100000 + round));
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiescent again: batched results must equal sequential ones.
+  auto batch = MixedBatch(queries);
+  auto result = engine.Run(batch);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<Neighbor> want =
+        batch[i].type == QueryType::kKnn
+            ? index->KnnSearch(batch[i].coords, batch[i].k)
+            : index->RangeSearch(batch[i].coords, batch[i].radius);
+    ExpectSameNeighbors(result->outcomes[i].neighbors, want,
+                        "post-churn query " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace semtree
