@@ -1,0 +1,177 @@
+// Copyright 2026 The SemTree Authors
+//
+// Snapshot I/O bench: save/load throughput (MB/s) of the v2 binary
+// snapshot for every SpatialIndex backend, and the speedup of a
+// structure-preserving load over a rebuild — the number that justifies
+// warm restart (expect >= 5x on 100k points).
+//
+// "Rebuild" is what a restart had to do before v2 snapshots existed:
+// parse the points back out of a v1-style text dump (the only
+// persisted form) and re-insert every one. The raw in-memory insert
+// loop is reported separately (insert_ms) for transparency.
+//
+//   ./bench_snapshot_io [--smoke]
+//
+// Output: CSV — backend, points, snapshot_mb, save_mb_s, load_mb_s,
+// insert_ms, rebuild_ms, load_ms, speedup (= rebuild_ms / load_ms).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/stopwatch.h"
+#include "core/backends.h"
+#include "persist/index_snapshot.h"
+
+namespace semtree {
+namespace {
+
+constexpr size_t kDims = 8;
+
+std::vector<KdPoint> MakePoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    KdPoint p;
+    p.id = i;
+    p.coords.reserve(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      p.coords.push_back(rng.UniformDouble(0.0, 100.0));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::unique_ptr<SpatialIndex> InsertAll(
+    BackendKind kind, const std::vector<KdPoint>& points) {
+  auto index = MakeSpatialIndex(kind, kDims, {.bucket_size = 32});
+  for (const KdPoint& p : points) {
+    Status st = index->Insert(p.coords, p.id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  // The VP-tree adapter builds lazily; charge the build to the rebuild
+  // like any real restart would experience on its first query.
+  index->KnnSearch(points[0].coords, 1);
+  return index;
+}
+
+// The v1-style persisted form: one "id c0 c1 ..." line per point, the
+// coords-block notation of semtree/index_io.h.
+std::string DumpText(const std::vector<KdPoint>& points) {
+  std::string out;
+  for (const KdPoint& p : points) {
+    out += std::to_string(p.id);
+    for (double c : p.coords) {
+      out += ' ';
+      out += FormatDouble(c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// What a restart did before v2 snapshots: parse the text dump back
+// into points, then re-insert all of them.
+std::unique_ptr<SpatialIndex> RestoreFromText(BackendKind kind,
+                                              const std::string& text) {
+  std::vector<KdPoint> points;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitWhitespace(line);
+    KdPoint p;
+    uint64_t id = 0;
+    if (fields.size() != kDims + 1 || !ParseUint64Text(fields[0], &id)) {
+      std::fprintf(stderr, "bad dump line\n");
+      std::exit(1);
+    }
+    p.id = id;
+    p.coords.reserve(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      double v = 0.0;
+      if (!ParseDoubleText(fields[d + 1], &v)) {
+        std::fprintf(stderr, "bad dump number\n");
+        std::exit(1);
+      }
+      p.coords.push_back(v);
+    }
+    points.push_back(std::move(p));
+  }
+  return InsertAll(kind, points);
+}
+
+void RunBackend(BackendKind kind, const std::vector<KdPoint>& points) {
+  Stopwatch insert_sw;
+  auto index = InsertAll(kind, points);
+  double insert_ms = insert_sw.ElapsedMicros() / 1000.0;
+
+  std::string text = DumpText(points);
+  Stopwatch rebuild_sw;
+  auto rebuilt = RestoreFromText(kind, text);
+  double rebuild_ms = rebuild_sw.ElapsedMicros() / 1000.0;
+  if (rebuilt->size() != index->size()) {
+    std::fprintf(stderr, "text restore size mismatch\n");
+    std::exit(1);
+  }
+
+  Stopwatch save_sw;
+  auto bytes = persist::SerializeSpatialIndex(*index);
+  double save_ms = save_sw.ElapsedMicros() / 1000.0;
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "save failed: %s\n",
+                 bytes.status().ToString().c_str());
+    std::exit(1);
+  }
+  double mb = double(bytes->size()) / (1024.0 * 1024.0);
+
+  Stopwatch load_sw;
+  auto loaded = persist::ParseSpatialIndex(*bytes);
+  double load_ms = load_sw.ElapsedMicros() / 1000.0;
+  if (!loaded.ok() || (*loaded)->size() != index->size()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.ok() ? "size mismatch"
+                             : loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::printf("%s,%zu,%.2f,%.1f,%.1f,%.2f,%.2f,%.2f,%.1f\n",
+              BackendName(kind).data(), points.size(), mb,
+              save_ms > 0 ? mb / (save_ms / 1000.0) : 0.0,
+              load_ms > 0 ? mb / (load_ms / 1000.0) : 0.0, insert_ms,
+              rebuild_ms, load_ms,
+              load_ms > 0 ? rebuild_ms / load_ms : 0.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace semtree
+
+int main(int argc, char** argv) {
+  using namespace semtree;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // The M-tree's O(n log n) inserts with exact split promotion make
+  // 100k-point rebuilds slow; bench it at a tenth of the corpus.
+  size_t n = smoke ? 20000 : 100000;
+  size_t n_mtree = n / 10;
+
+  std::printf(
+      "backend,points,snapshot_mb,save_mb_s,load_mb_s,insert_ms,"
+      "rebuild_ms,load_ms,speedup\n");
+  auto points = semtree::MakePoints(n, /*seed=*/42);
+  RunBackend(semtree::BackendKind::kKdTree, points);
+  RunBackend(semtree::BackendKind::kLinearScan, points);
+  RunBackend(semtree::BackendKind::kVpTree, points);
+  points.resize(n_mtree);
+  RunBackend(semtree::BackendKind::kMTree, points);
+  return 0;
+}

@@ -3,8 +3,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
+#include <clocale>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace semtree {
 
@@ -82,6 +85,69 @@ std::string StringPrintf(const char* fmt, ...) {
     std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
   }
   va_end(ap2);
+  return out;
+}
+
+namespace {
+
+// The decimal separator LC_NUMERIC currently imposes on strtod and
+// printf ('.' in the classic locale).
+char LocaleDecimalPoint() {
+  const struct lconv* lc = std::localeconv();
+  return (lc != nullptr && lc->decimal_point != nullptr &&
+          lc->decimal_point[0] != '\0')
+             ? lc->decimal_point[0]
+             : '.';
+}
+
+}  // namespace
+
+bool ParseDoubleText(std::string_view s, double* out) {
+  if (s.empty()) return false;
+#if defined(__cpp_lib_to_chars)
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+#else
+  // strtod fallback: only trustworthy under the classic numeric
+  // locale; otherwise rewrite '.' to the active decimal point first.
+  std::string buf(s);
+  char point = LocaleDecimalPoint();
+  if (point != '.') {
+    for (char& c : buf) {
+      if (c == '.') c = point;
+    }
+  }
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end != buf.c_str() && *end == '\0';
+#endif
+}
+
+bool ParseUint64Text(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out, 10);
+  return ec == std::errc() && ptr == last;
+}
+
+std::string FormatDouble(double v) {
+#if defined(__cpp_lib_to_chars)
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc()) return std::string(buf, ptr);
+#endif
+  // printf fallback: %.17g round-trips every double but writes the
+  // locale's decimal point; normalize it back to '.'.
+  std::string out = StringPrintf("%.17g", v);
+  char point = LocaleDecimalPoint();
+  if (point != '.') {
+    for (char& c : out) {
+      if (c == point) c = '.';
+    }
+  }
   return out;
 }
 

@@ -35,6 +35,21 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 std::string StringPrintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Locale-independent parse of a decimal floating-point number (the
+/// whole string must be consumed). strtod honours LC_NUMERIC, so under
+/// a de_DE-style locale it stops at the '.' of "1.5" and a persisted
+/// index fails to round-trip; these helpers always read and write the
+/// C-locale "1.5" form regardless of the process locale.
+bool ParseDoubleText(std::string_view s, double* out);
+
+/// Locale-independent parse of a base-10 unsigned integer.
+bool ParseUint64Text(std::string_view s, uint64_t* out);
+
+/// Locale-independent shortest round-trip formatting of a double
+/// (always '.' as the decimal separator; ParseDoubleText inverts it
+/// bit-exactly).
+std::string FormatDouble(double v);
+
 /// Formats a byte count as a human-readable string ("1.5 MiB").
 std::string HumanBytes(uint64_t bytes);
 

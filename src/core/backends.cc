@@ -7,6 +7,7 @@
 #include "core/distance.h"
 #include "kdtree/kdtree.h"
 #include "kdtree/linear_scan.h"
+#include "persist/snapshot.h"
 
 namespace semtree {
 
@@ -100,6 +101,41 @@ std::vector<Neighbor> VpTreeIndex::RangeSearch(
                                                radius, stats));
 }
 
+void VpTreeIndex::SaveTo(persist::ByteWriter* out) const {
+  EnsureBuilt();  // Snapshot the structure, not a pending rebuild.
+  std::lock_guard<std::mutex> lock(build_mu_);
+  out->PutU64(options_.bucket_size);
+  out->PutU64(options_.seed);
+  out->PutU64(epoch());
+  persist::WritePointStore(store_, out);
+  out->PutU8(tree_.has_value() ? 1 : 0);
+  if (tree_.has_value()) tree_->SaveTo(out);
+}
+
+Result<std::unique_ptr<VpTreeIndex>> VpTreeIndex::LoadFrom(
+    persist::ByteReader* in) {
+  BackendOptions options;
+  SEMTREE_ASSIGN_OR_RETURN(options.bucket_size, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(options.seed, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(PointStore store, persist::ReadPointStore(in));
+  auto index =
+      std::make_unique<VpTreeIndex>(store.dimensions(), options);
+  index->store_ = std::move(store);
+  SEMTREE_ASSIGN_OR_RETURN(uint8_t has_tree, in->U8());
+  if (has_tree != 0) {
+    SEMTREE_ASSIGN_OR_RETURN(VpTree tree, VpTree::LoadFrom(in));
+    if (tree.size() != index->store_.size()) {
+      return Status::Corruption("vp-tree size disagrees with arena");
+    }
+    index->tree_.emplace(std::move(tree));
+  } else if (index->store_.size() != 0) {
+    return Status::Corruption("vp-tree snapshot missing its tree");
+  }
+  index->RestoreEpoch(epoch);
+  return index;
+}
+
 // --------------------------------------------------------------------
 // MTreeIndex
 
@@ -145,6 +181,39 @@ std::vector<Neighbor> MTreeIndex::RangeSearch(
   if (query.size() != store_.dimensions()) return {};
   return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
                                                radius, stats));
+}
+
+void MTreeIndex::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(epoch());
+  persist::WritePointStore(store_, out);
+  tree_->SaveTo(out);
+}
+
+Result<std::unique_ptr<MTreeIndex>> MTreeIndex::LoadFrom(
+    persist::ByteReader* in) {
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(PointStore loaded, persist::ReadPointStore(in));
+  auto index = std::make_unique<MTreeIndex>(loaded.dimensions());
+  index->store_ = std::move(loaded);
+  // Re-bind the distance oracle to the loaded arena (the adapter is
+  // pinned, so the captured pointer stays valid).
+  size_t dim = index->store_.dimensions();
+  PointStore* store = &index->store_;
+  SEMTREE_ASSIGN_OR_RETURN(
+      MTree tree,
+      MTree::LoadFrom(
+          [store, dim](size_t a, size_t b) {
+            return EuclideanDistance(store->CoordsAt(PointStore::Slot(a)),
+                                     store->CoordsAt(PointStore::Slot(b)),
+                                     dim);
+          },
+          index->store_.slot_count(), in));
+  if (tree.size() != index->store_.size()) {
+    return Status::Corruption("m-tree size disagrees with arena");
+  }
+  index->tree_ = std::make_unique<MTree>(std::move(tree));
+  index->RestoreEpoch(epoch);
+  return index;
 }
 
 // --------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "core/spatial_index.h"
 #include "kdtree/mtree.h"
 #include "kdtree/vptree.h"
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -58,6 +59,12 @@ class VpTreeIndex : public SpatialIndex {
   size_t dimensions() const override { return store_.dimensions(); }
   std::string_view name() const override { return "vptree"; }
 
+  /// Serializes the adapter (arena + built tree + epoch). Forces the
+  /// lazy rebuild first so the snapshot preserves the tree structure.
+  void SaveTo(persist::ByteWriter* out) const;
+  static Result<std::unique_ptr<VpTreeIndex>> LoadFrom(
+      persist::ByteReader* in);
+
  private:
   void EnsureBuilt() const;
 
@@ -92,6 +99,12 @@ class MTreeIndex : public SpatialIndex {
   size_t size() const override { return store_.size(); }
   size_t dimensions() const override { return store_.dimensions(); }
   std::string_view name() const override { return "mtree"; }
+
+  /// Serializes the adapter (arena + tree + epoch); the loaded tree's
+  /// distance oracle is re-bound to the loaded arena.
+  void SaveTo(persist::ByteWriter* out) const;
+  static Result<std::unique_ptr<MTreeIndex>> LoadFrom(
+      persist::ByteReader* in);
 
  private:
   PointStore store_;

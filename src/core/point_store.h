@@ -123,6 +123,30 @@ class PointStore {
     return PointView{CoordsAt(slot), dim_, ids_[slot]};
   }
 
+  /// Serialization access (persist/snapshot.h): the id of every
+  /// allocated slot, and the free list in recycling order.
+  const std::vector<PointId>& slot_ids() const { return ids_; }
+  const std::vector<Slot>& free_slots() const { return free_; }
+
+  /// Rebuilds a store's slot layout from its serialized parts — same
+  /// slot indices, same free-list recycling order — so structures
+  /// holding slot indices stay valid without translation. Coordinate
+  /// rows are left uninitialized; the caller (persist::ReadPointStore)
+  /// streams them straight into the chunks via MutableCoordsAt. Inputs
+  /// must be pre-validated.
+  static PointStore Preallocate(size_t dimensions, size_t chunk_capacity,
+                                std::vector<PointId> ids,
+                                std::vector<Slot> free_slots) {
+    PointStore store(dimensions, chunk_capacity);
+    assert(free_slots.size() <= ids.size());
+    while (store.cap_ < ids.size()) store.AddChunk();
+    store.slots_ = ids.size();
+    store.live_ = ids.size() - free_slots.size();
+    store.ids_ = std::move(ids);
+    store.free_ = std::move(free_slots);
+    return store;
+  }
+
  private:
   void AddChunk() {
     chunks_.push_back(std::make_unique<double[]>(chunk_capacity() * dim_));

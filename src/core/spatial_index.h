@@ -72,6 +72,13 @@ class SpatialIndex {
   /// Called by backends after a successful mutation.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Called by backends when loading a snapshot: a restarted index
+  /// resumes at the epoch it was saved at, so epoch-keyed caches warmed
+  /// against the old process stay semantically consistent.
+  void RestoreEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
  private:
   std::atomic<uint64_t> epoch_{0};
 };

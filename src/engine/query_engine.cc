@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "persist/index_snapshot.h"
 
 namespace semtree {
 
@@ -234,6 +235,28 @@ Result<BatchResult> QueryEngine::Run(
   }
   FinalizeStats(parts, &result);
   return result;
+}
+
+Status QueryEngine::SaveSnapshot(const std::string& path) {
+  if (index_ == nullptr) {
+    return Status::NotSupported(
+        "snapshot the distributed tree through SaveIndexSnapshot");
+  }
+  // Reader side of the lock: concurrent batches may keep querying, but
+  // no Insert/Remove can interleave with the serialization.
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return persist::SaveSpatialIndex(*index_, path);
+}
+
+Result<QueryEngine::WarmStarted> QueryEngine::WarmStart(
+    const std::string& path, QueryEngineOptions options) {
+  WarmStarted out;
+  SEMTREE_ASSIGN_OR_RETURN(out.index, persist::LoadSpatialIndex(path));
+  // The loaded backend resumed at its saved epoch, so the fresh
+  // (empty, zero-stat) cache keys line up with where the saved engine
+  // left off.
+  out.engine = std::make_unique<QueryEngine>(out.index.get(), options);
+  return out;
 }
 
 Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {

@@ -107,6 +107,24 @@ class QueryEngine {
   /// Removes through to the target and advances the cache epoch.
   Status Remove(const std::vector<double>& coords, PointId id);
 
+  /// Saves the sequential target to a v2 snapshot (persist/, DESIGN.md
+  /// §5) under the reader/writer lock, so the snapshot captures one
+  /// consistent index state even while batches run. Distributed
+  /// targets persist through SaveIndexSnapshot instead.
+  Status SaveSnapshot(const std::string& path);
+
+  /// A warm-started engine plus the index it owns serving it.
+  struct WarmStarted {
+    std::unique_ptr<SpatialIndex> index;  ///< Must outlive `engine`.
+    std::unique_ptr<QueryEngine> engine;
+  };
+
+  /// Stands a fresh engine up from a SaveSnapshot file: the index
+  /// loads structure-preserving, the engine resumes at the saved index
+  /// epoch, and the cache starts empty with zeroed stats.
+  static Result<WarmStarted> WarmStart(const std::string& path,
+                                       QueryEngineOptions options = {});
+
   /// Current cache-key epoch (the target's for sequential backends,
   /// engine-tracked for the distributed tree).
   uint64_t epoch() const;

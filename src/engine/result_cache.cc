@@ -29,11 +29,20 @@ uint64_t Mix(uint64_t h, uint64_t v) {
 CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch) {
   CacheKey key;
   key.type = query.type;
+  // Normalize the radius: -0.0 and 0.0 compare equal and bound the
+  // same result set, but their bit patterns differ — without this a
+  // negative-zero radius would miss (and duplicate) the 0.0 entry.
+  double radius = query.radius == 0.0 ? 0.0 : query.radius;
   key.param_bits = query.type == QueryType::kKnn
                        ? static_cast<uint64_t>(query.k)
-                       : DoubleBits(query.radius);
+                       : DoubleBits(radius);
   key.epoch = epoch;
+  // Same normalization for coordinates: operator== treats -0.0 and
+  // 0.0 as equal keys, so their hashes must agree as well.
   key.coords = query.coords;
+  for (double& c : key.coords) {
+    if (c == 0.0) c = 0.0;
+  }
   return key;
 }
 
@@ -103,6 +112,13 @@ void ShardedResultCache::Clear() {
     shard->map.clear();
     shard->lru.clear();
   }
+  // Reset the counters too: a cleared cache reporting the old
+  // process's hits/misses would skew every post-warm-start hit-rate
+  // computation.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 ShardedResultCache::Stats ShardedResultCache::stats() const {

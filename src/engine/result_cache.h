@@ -65,7 +65,9 @@ class ShardedResultCache {
   /// beyond capacity.
   void Put(const CacheKey& key, std::vector<Neighbor> value);
 
-  /// Drops every entry (stats are kept).
+  /// Drops every entry and resets the hit/miss/insertion/eviction
+  /// counters — after a Clear (e.g. a warm start) the cache reports
+  /// like a freshly constructed one.
   void Clear();
 
   Stats stats() const;

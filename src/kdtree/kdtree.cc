@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "core/split.h"
+#include "persist/snapshot.h"
 
 namespace semtree {
 
@@ -298,6 +299,85 @@ void KdTree::RangeRec(int32_t node, const std::vector<double>& query,
   } else {
     RangeRec(n.right, query, radius, out, stats);
   }
+}
+
+void KdTree::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(dimensions_);
+  out->PutU64(options_.bucket_size);
+  out->PutU64(epoch());
+  persist::WritePointStore(store_, out);
+  out->PutU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    out->PutU8(n.is_leaf ? 1 : 0);
+    out->PutU32(n.split_dim);
+    out->PutDouble(n.split_value);
+    out->PutI32(n.left);
+    out->PutI32(n.right);
+    out->PutU32Array(n.bucket);
+  }
+}
+
+Result<KdTree> KdTree::LoadFrom(persist::ByteReader* in) {
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t dimensions, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t bucket_size, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
+  KdTreeOptions options;
+  options.bucket_size = bucket_size;
+  KdTree tree(dimensions, options);
+  SEMTREE_ASSIGN_OR_RETURN(tree.store_, persist::ReadPointStore(in));
+  if (tree.store_.dimensions() != tree.dimensions_) {
+    return Status::Corruption("kd-tree arena dimensionality mismatch");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t node_count, in->U64());
+  if (node_count == 0) {
+    return Status::Corruption("kd-tree snapshot has no nodes");
+  }
+  // 29 = serialized bytes of an empty node (flag, split, children,
+  // bucket length).
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(node_count, 29));
+  tree.nodes_.clear();
+  tree.nodes_.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node n;
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t is_leaf, in->U8());
+    n.is_leaf = is_leaf != 0;
+    SEMTREE_ASSIGN_OR_RETURN(n.split_dim, in->U32());
+    SEMTREE_ASSIGN_OR_RETURN(n.split_value, in->Double());
+    SEMTREE_ASSIGN_OR_RETURN(n.left, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.right, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.bucket, in->U32Array());
+    if (n.is_leaf) {
+      for (Slot s : n.bucket) {
+        if (s >= tree.store_.slot_count()) {
+          return Status::Corruption("kd-tree bucket slot out of range");
+        }
+      }
+    } else if (n.split_dim >= tree.dimensions_ || n.left < 0 ||
+               n.right < 0 || uint64_t(n.left) >= node_count ||
+               uint64_t(n.right) >= node_count) {
+      return Status::Corruption("kd-tree routing node malformed");
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+  // Range checks alone admit cycles, which would overflow the search
+  // recursion; require the children to form a tree below node 0.
+  std::vector<bool> visited(node_count, false);
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    int32_t node = stack.back();
+    stack.pop_back();
+    if (visited[size_t(node)]) {
+      return Status::Corruption("kd-tree snapshot topology has a cycle");
+    }
+    visited[size_t(node)] = true;
+    const Node& n = tree.nodes_[size_t(node)];
+    if (!n.is_leaf) {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  tree.RestoreEpoch(epoch);
+  return tree;
 }
 
 size_t KdTree::LeafCount() const {

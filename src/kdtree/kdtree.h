@@ -25,6 +25,7 @@
 #include "core/point.h"
 #include "core/point_store.h"
 #include "core/spatial_index.h"
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -97,6 +98,15 @@ class KdTree : public SpatialIndex {
   /// Verifies structural invariants: every stored point lies in the
   /// region its ancestors' splits induce; size bookkeeping matches.
   Status CheckInvariants() const;
+
+  /// Serializes the tree — node topology, leaf buckets, the arena and
+  /// the mutation epoch — for the v2 snapshot (DESIGN.md §5).
+  void SaveTo(persist::ByteWriter* out) const;
+
+  /// Structure-preserving load: the saved topology is read back
+  /// directly (O(bytes), no rebuild), so searches on the loaded tree
+  /// visit the same nodes and return byte-identical results.
+  static Result<KdTree> LoadFrom(persist::ByteReader* in);
 
  private:
   using Slot = PointStore::Slot;

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "core/distance.h"
+#include "persist/snapshot.h"
 
 namespace semtree {
 
@@ -41,6 +42,35 @@ Status LinearScanIndex::Remove(const std::vector<double>& coords,
   return Status::NotFound(StringPrintf(
       "point %llu not stored at the given coordinates",
       (unsigned long long)id));
+}
+
+void LinearScanIndex::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(store_.dimensions());
+  out->PutU64(epoch());
+  persist::WritePointStore(store_, out);
+  out->PutU32Array(slots_);
+}
+
+Result<LinearScanIndex> LinearScanIndex::LoadFrom(
+    persist::ByteReader* in) {
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t dimensions, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
+  LinearScanIndex index(dimensions);
+  SEMTREE_ASSIGN_OR_RETURN(index.store_, persist::ReadPointStore(in));
+  if (index.store_.dimensions() != dimensions) {
+    return Status::Corruption("linear-scan arena dimensionality mismatch");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(index.slots_, in->U32Array());
+  if (index.slots_.size() != index.store_.size()) {
+    return Status::Corruption("linear-scan slot list disagrees with arena");
+  }
+  for (PointStore::Slot s : index.slots_) {
+    if (s >= index.store_.slot_count()) {
+      return Status::Corruption("linear-scan slot out of range");
+    }
+  }
+  index.RestoreEpoch(epoch);
+  return index;
 }
 
 std::vector<Neighbor> LinearScanIndex::KnnSearch(

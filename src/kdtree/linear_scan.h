@@ -14,6 +14,7 @@
 #include "core/point.h"
 #include "core/point_store.h"
 #include "core/spatial_index.h"
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -43,6 +44,12 @@ class LinearScanIndex : public SpatialIndex {
   std::string_view name() const override { return "linear_scan"; }
 
   const PointStore& store() const { return store_; }
+
+  /// Serializes the arena, scan order and epoch (DESIGN.md §5).
+  void SaveTo(persist::ByteWriter* out) const;
+
+  /// Loads a saved index back, preserving insertion order and epoch.
+  static Result<LinearScanIndex> LoadFrom(persist::ByteReader* in);
 
  private:
   PointStore store_;

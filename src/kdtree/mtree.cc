@@ -287,6 +287,99 @@ std::vector<Neighbor> MTree::RangeSearch(const QueryDistanceFn& dq,
   return out;
 }
 
+void MTree::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(options_.node_capacity);
+  out->PutU64(options_.seed);
+  out->PutDouble(options_.prune_slack);
+  out->PutI32(root_);
+  out->PutU64(size_);
+  out->PutU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    out->PutU8(n.is_leaf ? 1 : 0);
+    out->PutI32(n.parent);
+    out->PutU64(n.entries.size());
+    for (const Entry& e : n.entries) {
+      out->PutU64(e.object);
+      out->PutDouble(e.parent_distance);
+      out->PutDouble(e.radius);
+      out->PutI32(e.child);
+    }
+  }
+}
+
+Result<MTree> MTree::LoadFrom(MetricDistanceFn distance,
+                              uint64_t object_bound,
+                              persist::ByteReader* in) {
+  if (!distance) {
+    return Status::InvalidArgument("distance oracle must be callable");
+  }
+  MTreeOptions options;
+  SEMTREE_ASSIGN_OR_RETURN(options.node_capacity, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(options.seed, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(options.prune_slack, in->Double());
+  if (options.node_capacity < 2) {
+    return Status::Corruption("m-tree snapshot has bad node capacity");
+  }
+  MTree tree(std::move(distance), options);
+  SEMTREE_ASSIGN_OR_RETURN(tree.root_, in->I32());
+  SEMTREE_ASSIGN_OR_RETURN(tree.size_, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t node_count, in->U64());
+  if (node_count == 0 || tree.root_ < 0 ||
+      uint64_t(tree.root_) >= node_count) {
+    return Status::Corruption("m-tree snapshot root out of range");
+  }
+  // 13 = serialized bytes of an empty node (flag, parent, entry count).
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(node_count, 13));
+  tree.nodes_.clear();
+  tree.nodes_.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node n;
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t is_leaf, in->U8());
+    n.is_leaf = is_leaf != 0;
+    SEMTREE_ASSIGN_OR_RETURN(n.parent, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t entry_count, in->U64());
+    // 28 = serialized bytes per entry.
+    SEMTREE_RETURN_NOT_OK(in->CheckCount(entry_count, 28));
+    n.entries.reserve(entry_count);
+    for (uint64_t j = 0; j < entry_count; ++j) {
+      Entry e;
+      SEMTREE_ASSIGN_OR_RETURN(e.object, in->U64());
+      SEMTREE_ASSIGN_OR_RETURN(e.parent_distance, in->Double());
+      SEMTREE_ASSIGN_OR_RETURN(e.radius, in->Double());
+      SEMTREE_ASSIGN_OR_RETURN(e.child, in->I32());
+      if (e.object >= object_bound) {
+        return Status::Corruption("m-tree entry object out of range");
+      }
+      if (!n.is_leaf &&
+          (e.child < 0 || uint64_t(e.child) >= node_count)) {
+        return Status::Corruption("m-tree routing entry malformed");
+      }
+      n.entries.push_back(e);
+    }
+    if (!n.is_leaf && n.entries.empty()) {
+      return Status::Corruption("m-tree routing node has no entries");
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+  // Reject cyclic child links (Height() and the searches assume a
+  // tree): every node may be entered at most once from root_.
+  std::vector<bool> visited(node_count, false);
+  std::vector<int32_t> stack = {tree.root_};
+  while (!stack.empty()) {
+    int32_t node = stack.back();
+    stack.pop_back();
+    if (visited[size_t(node)]) {
+      return Status::Corruption("m-tree snapshot topology has a cycle");
+    }
+    visited[size_t(node)] = true;
+    const Node& n = tree.nodes_[size_t(node)];
+    if (!n.is_leaf) {
+      for (const Entry& e : n.entries) stack.push_back(e.child);
+    }
+  }
+  return tree;
+}
+
 size_t MTree::Height() const {
   size_t height = 0;
   int32_t node = root_;

@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "core/point.h"     // Neighbor, SearchStats.
 #include "kdtree/vptree.h"  // MetricDistanceFn / QueryDistanceFn.
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -72,6 +73,19 @@ class MTree {
   /// each ancestor routing entry (up to prune_slack), and entry counts
   /// reconcile.
   Status CheckInvariants() const;
+
+  /// Serializes the tree structure — options, nodes, routing entries,
+  /// cached distances — for the v2 snapshot (DESIGN.md §5).
+  void SaveTo(persist::ByteWriter* out) const;
+
+  /// Structure-preserving load. The caller supplies the distance
+  /// oracle (it cannot be persisted) and the exclusive upper bound on
+  /// valid object indices; the split-promotion Rng restarts from the
+  /// saved seed, which only influences future splits, never query
+  /// results.
+  static Result<MTree> LoadFrom(MetricDistanceFn distance,
+                                uint64_t object_bound,
+                                persist::ByteReader* in);
 
  private:
   struct Entry {

@@ -176,6 +176,83 @@ void VpTree::RangeRec(int32_t node, const QueryDistanceFn& dq,
   }
 }
 
+void VpTree::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(options_.bucket_size);
+  out->PutU64(options_.seed);
+  out->PutDouble(options_.prune_slack);
+  out->PutU64(size_);
+  out->PutU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    out->PutU8(n.is_leaf ? 1 : 0);
+    out->PutU64(n.vantage);
+    out->PutDouble(n.threshold);
+    out->PutI32(n.inside);
+    out->PutI32(n.outside);
+    out->PutU64(n.bucket.size());
+    for (size_t object : n.bucket) out->PutU64(object);
+  }
+}
+
+Result<VpTree> VpTree::LoadFrom(persist::ByteReader* in) {
+  VpTreeOptions options;
+  SEMTREE_ASSIGN_OR_RETURN(options.bucket_size, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(options.seed, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(options.prune_slack, in->Double());
+  VpTree tree(options);
+  SEMTREE_ASSIGN_OR_RETURN(tree.size_, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t node_count, in->U64());
+  if (node_count == 0 || tree.size_ == 0) {
+    return Status::Corruption("vp-tree snapshot is empty");
+  }
+  // 33 = serialized bytes of an empty node.
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(node_count, 33));
+  tree.nodes_.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node n;
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t is_leaf, in->U8());
+    n.is_leaf = is_leaf != 0;
+    SEMTREE_ASSIGN_OR_RETURN(n.vantage, in->U64());
+    SEMTREE_ASSIGN_OR_RETURN(n.threshold, in->Double());
+    SEMTREE_ASSIGN_OR_RETURN(n.inside, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.outside, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t bucket_len, in->U64());
+    SEMTREE_RETURN_NOT_OK(in->CheckCount(bucket_len, 8));
+    n.bucket.reserve(bucket_len);
+    for (uint64_t b = 0; b < bucket_len; ++b) {
+      SEMTREE_ASSIGN_OR_RETURN(uint64_t object, in->U64());
+      if (object >= tree.size_) {
+        return Status::Corruption("vp-tree bucket object out of range");
+      }
+      n.bucket.push_back(object);
+    }
+    if (!n.is_leaf &&
+        (n.vantage >= tree.size_ || n.inside < 0 || n.outside < 0 ||
+         uint64_t(n.inside) >= node_count ||
+         uint64_t(n.outside) >= node_count)) {
+      return Status::Corruption("vp-tree routing node malformed");
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+  // Reject cyclic topologies (they would overflow the search
+  // recursion); the children must form a tree below node 0.
+  std::vector<bool> visited(node_count, false);
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    int32_t node = stack.back();
+    stack.pop_back();
+    if (visited[size_t(node)]) {
+      return Status::Corruption("vp-tree snapshot topology has a cycle");
+    }
+    visited[size_t(node)] = true;
+    const Node& n = tree.nodes_[size_t(node)];
+    if (!n.is_leaf) {
+      stack.push_back(n.inside);
+      stack.push_back(n.outside);
+    }
+  }
+  return tree;
+}
+
 size_t VpTree::Depth() const {
   struct Frame {
     int32_t node;

@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "core/point.h"  // Neighbor, SearchStats.
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -66,6 +67,12 @@ class VpTree {
   size_t size() const { return size_; }
   size_t NodeCount() const { return nodes_.size(); }
   size_t Depth() const;
+
+  /// Serializes the built tree (options, nodes, buckets) so a load
+  /// reproduces the exact vantage-point structure without re-running
+  /// the randomized build (DESIGN.md §5).
+  void SaveTo(persist::ByteWriter* out) const;
+  static Result<VpTree> LoadFrom(persist::ByteReader* in);
 
  private:
   struct Node {

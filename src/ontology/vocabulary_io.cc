@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "persist/snapshot.h"
 
 namespace semtree {
 
@@ -70,9 +71,10 @@ Result<Taxonomy> ParseVocabulary(std::string_view text) {
       }
       auto c = tax.Find(fields[1]);
       if (!c.ok()) return LineError(line_no, c.status().message());
-      char* end = nullptr;
-      unsigned long long count = std::strtoull(fields[2].c_str(), &end, 10);
-      if (end == fields[2].c_str() || *end != '\0') {
+      // Locale-independent (string_util.h): strtoull honours the
+      // process locale's digit grouping.
+      uint64_t count = 0;
+      if (!ParseUint64Text(fields[2], &count)) {
         return LineError(line_no, "freq count must be an integer");
       }
       Status st = tax.AddFrequency(*c, count);
@@ -126,14 +128,9 @@ std::string SerializeVocabulary(const Taxonomy& tax) {
 }
 
 Status SaveVocabularyFile(const Taxonomy& tax, const std::string& path) {
-  std::ofstream outf(path);
-  if (!outf) {
-    return Status::Unavailable(
-        StringPrintf("cannot write vocabulary file '%s'", path.c_str()));
-  }
-  outf << SerializeVocabulary(tax);
-  return outf.good() ? Status::OK()
-                     : Status::Unavailable("short write to " + path);
+  // Same atomic write-temp-then-rename discipline as every other save
+  // path; a crash mid-write cannot leave a torn vocabulary behind.
+  return persist::AtomicWriteFile(path, SerializeVocabulary(tax));
 }
 
 }  // namespace semtree

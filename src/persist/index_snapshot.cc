@@ -1,0 +1,274 @@
+// Copyright 2026 The SemTree Authors
+
+#include "persist/index_snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/backends.h"
+#include "kdtree/kdtree.h"
+#include "kdtree/linear_scan.h"
+#include "ontology/vocabulary_io.h"
+#include "persist/snapshot.h"
+#include "rdf/turtle.h"
+
+namespace semtree {
+namespace persist {
+
+namespace {
+
+// Section tags. Spatial-index and semantic-index snapshots use
+// disjoint ranges so a file of one family cannot half-parse as the
+// other.
+constexpr uint32_t kSecBackendKind = 0x10;
+constexpr uint32_t kSecBackendBlob = 0x11;
+constexpr uint32_t kSecSemOptions = 0x20;
+constexpr uint32_t kSecSemVocabulary = 0x21;
+constexpr uint32_t kSecSemTriples = 0x22;
+constexpr uint32_t kSecSemFastMap = 0x23;
+constexpr uint32_t kSecSemTree = 0x24;
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StringPrintf("cannot open snapshot '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------
+// Spatial-index snapshots
+
+Result<std::string> SerializeSpatialIndex(const SpatialIndex& index) {
+  Snapshot snap;
+  BackendKind kind;
+  ByteWriter* blob = nullptr;
+  if (auto* kd = dynamic_cast<const KdTree*>(&index)) {
+    kind = BackendKind::kKdTree;
+    blob = snap.AddSection(kSecBackendBlob);
+    kd->SaveTo(blob);
+  } else if (auto* lin = dynamic_cast<const LinearScanIndex*>(&index)) {
+    kind = BackendKind::kLinearScan;
+    blob = snap.AddSection(kSecBackendBlob);
+    lin->SaveTo(blob);
+  } else if (auto* vp = dynamic_cast<const VpTreeIndex*>(&index)) {
+    kind = BackendKind::kVpTree;
+    blob = snap.AddSection(kSecBackendBlob);
+    vp->SaveTo(blob);
+  } else if (auto* mt = dynamic_cast<const MTreeIndex*>(&index)) {
+    kind = BackendKind::kMTree;
+    blob = snap.AddSection(kSecBackendBlob);
+    mt->SaveTo(blob);
+  } else {
+    return Status::NotSupported(StringPrintf(
+        "no snapshot support for backend '%.*s'",
+        static_cast<int>(index.name().size()), index.name().data()));
+  }
+  snap.AddSection(kSecBackendKind)->PutU32(static_cast<uint32_t>(kind));
+  return snap.Serialize();
+}
+
+Status SaveSpatialIndex(const SpatialIndex& index,
+                        const std::string& path) {
+  SEMTREE_ASSIGN_OR_RETURN(std::string bytes,
+                           SerializeSpatialIndex(index));
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
+    std::string bytes) {
+  SEMTREE_ASSIGN_OR_RETURN(SnapshotReader snap,
+                           SnapshotReader::Parse(std::move(bytes)));
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader kind_in,
+                           snap.Section(kSecBackendKind));
+  SEMTREE_ASSIGN_OR_RETURN(uint32_t kind, kind_in.U32());
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader blob,
+                           snap.Section(kSecBackendBlob));
+  switch (static_cast<BackendKind>(kind)) {
+    case BackendKind::kKdTree: {
+      SEMTREE_ASSIGN_OR_RETURN(KdTree tree, KdTree::LoadFrom(&blob));
+      return std::unique_ptr<SpatialIndex>(
+          std::make_unique<KdTree>(std::move(tree)));
+    }
+    case BackendKind::kLinearScan: {
+      SEMTREE_ASSIGN_OR_RETURN(LinearScanIndex index,
+                               LinearScanIndex::LoadFrom(&blob));
+      return std::unique_ptr<SpatialIndex>(
+          std::make_unique<LinearScanIndex>(std::move(index)));
+    }
+    case BackendKind::kVpTree: {
+      SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<VpTreeIndex> index,
+                               VpTreeIndex::LoadFrom(&blob));
+      return std::unique_ptr<SpatialIndex>(std::move(index));
+    }
+    case BackendKind::kMTree: {
+      SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<MTreeIndex> index,
+                               MTreeIndex::LoadFrom(&blob));
+      return std::unique_ptr<SpatialIndex>(std::move(index));
+    }
+  }
+  return Status::Corruption(
+      StringPrintf("unknown backend kind %u in snapshot", kind));
+}
+
+Result<std::unique_ptr<SpatialIndex>> LoadSpatialIndex(
+    const std::string& path) {
+  SEMTREE_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+  return ParseSpatialIndex(std::move(bytes));
+}
+
+// --------------------------------------------------------------------
+// Semantic-index snapshots
+
+Result<std::string> SerializeIndexSnapshot(const SemanticIndex& index) {
+  Snapshot snap;
+
+  const SemanticIndexOptions& opts = index.options();
+  ByteWriter* meta = snap.AddSection(kSecSemOptions);
+  meta->PutDouble(opts.weights.alpha);
+  meta->PutDouble(opts.weights.beta);
+  meta->PutDouble(opts.weights.gamma);
+  meta->PutU32(static_cast<uint32_t>(opts.element.string_distance));
+  meta->PutU32(static_cast<uint32_t>(opts.element.concept_measure));
+  meta->PutDouble(opts.element.mixed_kind_distance);
+  meta->PutU64(opts.bucket_size);
+  meta->PutU8(opts.rerank_by_semantic_distance ? 1 : 0);
+
+  snap.AddSection(kSecSemVocabulary)
+      ->PutString(SerializeVocabulary(index.taxonomy()));
+
+  ByteWriter* triples = snap.AddSection(kSecSemTriples);
+  triples->PutU64(index.size());
+  for (TripleId id = 0; id < index.size(); ++id) {
+    triples->PutString(index.triple(id).ToString());
+  }
+
+  const FastMap& fm = index.fastmap();
+  ByteWriter* fastmap = snap.AddSection(kSecSemFastMap);
+  fastmap->PutU64(fm.size());
+  fastmap->PutU64(fm.dimensions());
+  fastmap->PutU64(fm.effective_dimensions());
+  for (size_t axis = 0; axis < fm.effective_dimensions(); ++axis) {
+    fastmap->PutU64(fm.pivots()[axis].first);
+    fastmap->PutU64(fm.pivots()[axis].second);
+    fastmap->PutDouble(fm.pivot_distances()[axis]);
+  }
+  fastmap->PutDoubleArray(fm.flat_coordinates().data(),
+                          fm.flat_coordinates().size());
+
+  SEMTREE_RETURN_NOT_OK(index.tree().SaveTo(snap.AddSection(kSecSemTree)));
+  return snap.Serialize();
+}
+
+Status SaveIndexSnapshot(const SemanticIndex& index,
+                         const std::string& path) {
+  SEMTREE_ASSIGN_OR_RETURN(std::string bytes,
+                           SerializeIndexSnapshot(index));
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<IndexBundle> ParseIndexSnapshot(
+    std::string bytes, const SemanticIndexOptions& runtime) {
+  SEMTREE_ASSIGN_OR_RETURN(SnapshotReader snap,
+                           SnapshotReader::Parse(std::move(bytes)));
+
+  SemanticIndexOptions opts = runtime;
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kSecSemOptions));
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.alpha, meta.Double());
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.beta, meta.Double());
+  SEMTREE_ASSIGN_OR_RETURN(opts.weights.gamma, meta.Double());
+  SEMTREE_ASSIGN_OR_RETURN(uint32_t string_kind, meta.U32());
+  SEMTREE_ASSIGN_OR_RETURN(uint32_t measure, meta.U32());
+  opts.element.string_distance =
+      static_cast<StringDistanceKind>(string_kind);
+  opts.element.concept_measure = static_cast<SimilarityMeasure>(measure);
+  SEMTREE_ASSIGN_OR_RETURN(opts.element.mixed_kind_distance,
+                           meta.Double());
+  SEMTREE_ASSIGN_OR_RETURN(opts.bucket_size, meta.U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint8_t rerank, meta.U8());
+  opts.rerank_by_semantic_distance = rerank != 0;
+
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader vocab_in,
+                           snap.Section(kSecSemVocabulary));
+  SEMTREE_ASSIGN_OR_RETURN(std::string vocab_text, vocab_in.String());
+  SEMTREE_ASSIGN_OR_RETURN(Taxonomy vocab, ParseVocabulary(vocab_text));
+
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader triples_in,
+                           snap.Section(kSecSemTriples));
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t triple_count, triples_in.U64());
+  SEMTREE_RETURN_NOT_OK(triples_in.CheckCount(triple_count, 8));
+  std::vector<Triple> corpus;
+  corpus.reserve(triple_count);
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    SEMTREE_ASSIGN_OR_RETURN(std::string line, triples_in.String());
+    auto triple = ParseTriple(line);
+    if (!triple.ok()) {
+      return Status::Corruption(StringPrintf(
+          "triple %llu: %s", (unsigned long long)i,
+          triple.status().message().c_str()));
+    }
+    corpus.push_back(std::move(*triple));
+  }
+
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader fm_in, snap.Section(kSecSemFastMap));
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t fm_n, fm_in.U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t fm_dims, fm_in.U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t fm_eff, fm_in.U64());
+  if (fm_n != corpus.size()) {
+    return Status::Corruption("embedding size disagrees with corpus");
+  }
+  SEMTREE_RETURN_NOT_OK(fm_in.CheckCount(fm_eff, 24));
+  std::vector<std::pair<size_t, size_t>> pivots;
+  std::vector<double> pivot_distances;
+  pivots.reserve(fm_eff);
+  pivot_distances.reserve(fm_eff);
+  for (uint64_t axis = 0; axis < fm_eff; ++axis) {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t a, fm_in.U64());
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t b, fm_in.U64());
+    SEMTREE_ASSIGN_OR_RETURN(double dist, fm_in.Double());
+    pivots.emplace_back(size_t(a), size_t(b));
+    pivot_distances.push_back(dist);
+  }
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<double> flat, fm_in.DoubleArray());
+  if (flat.size() != fm_n * fm_dims) {
+    return Status::Corruption("embedding coordinate block has wrong size");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      FastMap fastmap,
+      FastMap::FromParts(fm_n, fm_dims, std::move(flat), std::move(pivots),
+                         std::move(pivot_distances)));
+
+  // Reassemble the SemTree from its partition blobs — runtime knobs
+  // (partitions, latency) come from the caller like in the v1 loader.
+  SemTreeOptions topts;
+  topts.max_partitions = opts.max_partitions;
+  topts.partition_capacity = opts.partition_capacity;
+  topts.network_latency = opts.network_latency;
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader tree_in, snap.Section(kSecSemTree));
+  SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<SemTree> tree,
+                           SemTree::LoadFrom(&tree_in, std::move(topts)));
+
+  IndexBundle bundle;
+  bundle.vocabulary = std::make_unique<Taxonomy>(std::move(vocab));
+  SEMTREE_ASSIGN_OR_RETURN(
+      bundle.index,
+      SemanticIndex::RestoreWithTree(bundle.vocabulary.get(),
+                                     std::move(corpus), std::move(fastmap),
+                                     std::move(tree), opts));
+  return bundle;
+}
+
+Result<IndexBundle> LoadIndexSnapshot(const std::string& path,
+                                      const SemanticIndexOptions& runtime) {
+  SEMTREE_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+  return ParseIndexSnapshot(std::move(bytes), runtime);
+}
+
+}  // namespace persist
+}  // namespace semtree

@@ -1,0 +1,69 @@
+// Copyright 2026 The SemTree Authors
+//
+// Top-level save/load entry points of the v2 snapshot subsystem
+// (DESIGN.md §5). Two snapshot families share the container format of
+// snapshot.h:
+//
+//  * Spatial-index snapshots — any of the four SpatialIndex backends
+//    (KdTree, LinearScan, VP-tree, M-tree), saved structure-preserving:
+//    tree topology and the PointStore arena are written directly, so a
+//    load is O(read) with no rebuild and the loaded index answers
+//    queries byte-identically (same nodes visited, same tie-breaks).
+//
+//  * Semantic-index snapshots — the full end-to-end SemanticIndex:
+//    vocabulary, triple corpus, distance configuration, the trained
+//    FastMap (pivots + flat coordinates) and the distributed SemTree,
+//    the latter as one blob per partition fanned out and reassembled
+//    via the cluster layer.
+//
+// The v1 line-oriented text format (semtree/index_io.h) stays loadable;
+// LoadIndex sniffs the magic and routes here for v2 files.
+
+#ifndef SEMTREE_PERSIST_INDEX_SNAPSHOT_H_
+#define SEMTREE_PERSIST_INDEX_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/spatial_index.h"
+#include "semtree/index_io.h"
+
+namespace semtree {
+namespace persist {
+
+/// Serializes any of the four backends into a v2 snapshot image.
+/// Fails with NotSupported on an unknown SpatialIndex implementation.
+Result<std::string> SerializeSpatialIndex(const SpatialIndex& index);
+
+/// SerializeSpatialIndex to `path`, atomically.
+Status SaveSpatialIndex(const SpatialIndex& index, const std::string& path);
+
+/// Loads a spatial-index snapshot, reconstructing the concrete backend
+/// it was saved from (structure-preserving, no rebuild).
+Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(std::string bytes);
+Result<std::unique_ptr<SpatialIndex>> LoadSpatialIndex(
+    const std::string& path);
+
+/// Serializes a full SemanticIndex — vocabulary, corpus, options,
+/// embedding and the SemTree partition blobs — into a v2 snapshot.
+Result<std::string> SerializeIndexSnapshot(const SemanticIndex& index);
+
+/// SerializeIndexSnapshot to `path`, atomically.
+Status SaveIndexSnapshot(const SemanticIndex& index,
+                         const std::string& path);
+
+/// Loads a semantic-index snapshot. Like ParseIndex (v1), `runtime`
+/// supplies the deployment knobs that are deliberately not persisted;
+/// distance weights, element options, bucket size and the embedding
+/// come from the snapshot, and the SemTree is reassembled partition by
+/// partition instead of re-bulk-loaded.
+Result<IndexBundle> ParseIndexSnapshot(
+    std::string bytes, const SemanticIndexOptions& runtime = {});
+Result<IndexBundle> LoadIndexSnapshot(
+    const std::string& path, const SemanticIndexOptions& runtime = {});
+
+}  // namespace persist
+}  // namespace semtree
+
+#endif  // SEMTREE_PERSIST_INDEX_SNAPSHOT_H_

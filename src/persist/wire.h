@@ -1,0 +1,258 @@
+// Copyright 2026 The SemTree Authors
+//
+// Wire primitives of the binary snapshot format (see DESIGN.md §5):
+// a little-endian ByteWriter/ByteReader pair and the CRC32 used to
+// checksum snapshot sections. Encoding is explicitly little-endian —
+// bytes are assembled with shifts, never by dumping structs — so a
+// snapshot written on one machine loads on any other. The reader is
+// bounds-checked everywhere: a truncated or malformed buffer yields
+// Status::Corruption, never an out-of-range read.
+//
+// This layer knows nothing about files or sections; snapshot.h builds
+// the framed, checksummed container on top of it.
+
+#ifndef SEMTREE_PERSIST_WIRE_H_
+#define SEMTREE_PERSIST_WIRE_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace semtree {
+namespace persist {
+
+/// Fixed-width arrays are memcpy'd wholesale on little-endian hosts
+/// (every supported target) and fall back to per-element shifts on
+/// big-endian ones, so the on-disk bytes are identical either way.
+inline constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `size` bytes. Pass a
+/// previous checksum as `seed` to extend it over several buffers.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes, no prefix (container framing, magic numbers).
+  void PutRaw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  /// `count` doubles with no length prefix (bit-exact); for spans the
+  /// reader knows the size of, e.g. arena chunk runs.
+  void PutDoublesRaw(const double* data, size_t count) {
+    if constexpr (kHostIsLittleEndian) {
+      buf_.append(reinterpret_cast<const char*>(data),
+                  count * sizeof(double));
+    } else {
+      for (size_t i = 0; i < count; ++i) PutDouble(data[i]);
+    }
+  }
+
+  /// Length-prefixed coordinate rows (count doubles, bit-exact).
+  void PutDoubleArray(const double* data, size_t count) {
+    PutU64(count);
+    PutDoublesRaw(data, count);
+  }
+
+  void PutU32Array(const std::vector<uint32_t>& v) {
+    PutU64(v.size());
+    if constexpr (kHostIsLittleEndian) {
+      buf_.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(uint32_t));
+    } else {
+      for (uint32_t x : v) PutU32(x);
+    }
+  }
+
+  void PutU64Array(const std::vector<uint64_t>& v) {
+    PutU64(v.size());
+    if constexpr (kHostIsLittleEndian) {
+      buf_.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(uint64_t));
+    } else {
+      for (uint64_t x : v) PutU64(x);
+    }
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reads over a non-owned byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    SEMTREE_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    SEMTREE_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    SEMTREE_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int32_t> I32() {
+    SEMTREE_ASSIGN_OR_RETURN(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+
+  Result<double> Double() {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> String() {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
+    SEMTREE_RETURN_NOT_OK(Need(n));
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  /// `count` doubles with no length prefix, into `out` (the bulk
+  /// counterpart of PutDoublesRaw).
+  Status DoublesRaw(double* out, uint64_t count) {
+    SEMTREE_RETURN_NOT_OK(NeedElems(count, sizeof(double)));
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(out, data_.data() + pos_, count * sizeof(double));
+      pos_ += count * sizeof(double);
+    } else {
+      for (uint64_t i = 0; i < count; ++i) out[i] = *Double();
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<double>> DoubleArray() {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
+    SEMTREE_RETURN_NOT_OK(NeedElems(n, sizeof(double)));
+    std::vector<double> out(n);
+    SEMTREE_RETURN_NOT_OK(DoublesRaw(out.data(), n));
+    return out;
+  }
+
+  Result<std::vector<uint32_t>> U32Array() {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
+    SEMTREE_RETURN_NOT_OK(NeedElems(n, sizeof(uint32_t)));
+    std::vector<uint32_t> out(n);
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(uint32_t));
+      pos_ += n * sizeof(uint32_t);
+    } else {
+      for (uint64_t i = 0; i < n; ++i) out[i] = *U32();
+    }
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> U64Array() {
+    SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
+    SEMTREE_RETURN_NOT_OK(NeedElems(n, sizeof(uint64_t)));
+    std::vector<uint64_t> out(n);
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(out.data(), data_.data() + pos_, n * sizeof(uint64_t));
+      pos_ += n * sizeof(uint64_t);
+    } else {
+      for (uint64_t i = 0; i < n; ++i) out[i] = *U64();
+    }
+    return out;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// Overflow-safe sanity bound for a deserialized element count: OK
+  /// iff `count` records of at least `min_record_bytes` each could
+  /// still fit in the remaining buffer. Loaders call this before
+  /// reserve()ing, so a crafted count can neither wrap arithmetic nor
+  /// trigger a huge allocation (which would abort, not return Status).
+  Status CheckCount(uint64_t count, size_t min_record_bytes) const {
+    if (count > (data_.size() - pos_) / min_record_bytes) {
+      return Status::Corruption("snapshot count exceeds remaining bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(uint64_t n) const {
+    if (n > data_.size() - pos_) {
+      return Status::Corruption("snapshot truncated mid-record");
+    }
+    return Status::OK();
+  }
+
+  /// Overflow-safe Need(count * elem_size) for length-prefixed arrays:
+  /// a hostile count cannot wrap the multiplication or trigger a huge
+  /// allocation — the buffer itself bounds it.
+  Status NeedElems(uint64_t count, size_t elem_size) const {
+    if (count > (data_.size() - pos_) / elem_size) {
+      return Status::Corruption("snapshot truncated mid-record");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace persist
+}  // namespace semtree
+
+#endif  // SEMTREE_PERSIST_WIRE_H_

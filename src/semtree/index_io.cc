@@ -2,12 +2,13 @@
 
 #include "semtree/index_io.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
 #include "ontology/vocabulary_io.h"
+#include "persist/index_snapshot.h"
+#include "persist/snapshot.h"
 #include "rdf/turtle.h"
 
 namespace semtree {
@@ -23,10 +24,12 @@ Status LineError(size_t line_no, std::string_view message) {
                    static_cast<int>(message.size()), message.data()));
 }
 
+// Locale-independent: a "%.17g"-style file written under the classic
+// locale must parse identically under de_DE-style locales whose
+// LC_NUMERIC would make strtod stop at the '.' (string_util.h).
 Result<double> ParseDouble(const std::string& s, size_t line_no) {
-  char* end = nullptr;
-  double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0') {
+  double v = 0.0;
+  if (!ParseDoubleText(s, &v)) {
     return LineError(line_no, "malformed number '" + s + "'");
   }
   return v;
@@ -34,12 +37,11 @@ Result<double> ParseDouble(const std::string& s, size_t line_no) {
 
 Result<unsigned long long> ParseUint(const std::string& s,
                                      size_t line_no) {
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0') {
+  uint64_t v = 0;
+  if (!ParseUint64Text(s, &v)) {
     return LineError(line_no, "malformed integer '" + s + "'");
   }
-  return v;
+  return static_cast<unsigned long long>(v);
 }
 
 }  // namespace
@@ -48,13 +50,16 @@ std::string SerializeIndex(const SemanticIndex& index) {
   std::string out;
   out += StringPrintf("%s %d\n", kMagic, kVersion);
 
+  // Numbers are written with FormatDouble, never "%.17g": printf's
+  // float output follows LC_NUMERIC too, and a comma-decimal index
+  // file would be unreadable anywhere else.
   const SemanticIndexOptions& opts = index.options();
-  out += StringPrintf("weights %.17g %.17g %.17g\n", opts.weights.alpha,
-                      opts.weights.beta, opts.weights.gamma);
-  out += StringPrintf("element %d %d %.17g\n",
-                      int(opts.element.string_distance),
-                      int(opts.element.concept_measure),
-                      opts.element.mixed_kind_distance);
+  out += "weights " + FormatDouble(opts.weights.alpha) + ' ' +
+         FormatDouble(opts.weights.beta) + ' ' +
+         FormatDouble(opts.weights.gamma) + '\n';
+  out += StringPrintf("element %d %d ", int(opts.element.string_distance),
+                      int(opts.element.concept_measure));
+  out += FormatDouble(opts.element.mixed_kind_distance) + '\n';
   out += StringPrintf("bucket %zu\n", opts.bucket_size);
   out += StringPrintf("rerank %d\n",
                       opts.rerank_by_semantic_distance ? 1 : 0);
@@ -76,9 +81,9 @@ std::string SerializeIndex(const SemanticIndex& index) {
   out += StringPrintf("fastmap %zu %zu %zu\n", fm.size(),
                       fm.dimensions(), fm.effective_dimensions());
   for (size_t axis = 0; axis < fm.effective_dimensions(); ++axis) {
-    out += StringPrintf("pivot %zu %zu %.17g\n", fm.pivots()[axis].first,
-                        fm.pivots()[axis].second,
-                        fm.pivot_distances()[axis]);
+    out += StringPrintf("pivot %zu %zu ", fm.pivots()[axis].first,
+                        fm.pivots()[axis].second);
+    out += FormatDouble(fm.pivot_distances()[axis]) + '\n';
   }
   out += "coords\n";
   // Bulk-serialize the flat arena: one contiguous row pointer per
@@ -87,7 +92,7 @@ std::string SerializeIndex(const SemanticIndex& index) {
     const double* row = fm.CoordsRow(i);
     for (size_t d = 0; d < fm.dimensions(); ++d) {
       if (d) out += ' ';
-      out += StringPrintf("%.17g", row[d]);
+      out += FormatDouble(row[d]);
     }
     out += '\n';
   }
@@ -95,14 +100,10 @@ std::string SerializeIndex(const SemanticIndex& index) {
 }
 
 Status SaveIndex(const SemanticIndex& index, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Unavailable(
-        StringPrintf("cannot write index file '%s'", path.c_str()));
-  }
-  out << SerializeIndex(index);
-  return out.good() ? Status::OK()
-                    : Status::Unavailable("short write to " + path);
+  // Write-to-temp + atomic rename (in binary mode, so no newline
+  // translation ever skews byte offsets): a crash mid-save leaves the
+  // previous index file intact instead of a torn, unloadable one.
+  return persist::AtomicWriteFile(path, SerializeIndex(index));
 }
 
 Result<IndexBundle> ParseIndex(std::string_view text,
@@ -199,8 +200,13 @@ Result<IndexBundle> ParseIndex(std::string_view text,
   std::vector<Triple> corpus;
   corpus.reserve(triple_count);
   for (size_t i = 0; i < triple_count; ++i) {
-    auto triple = ParseTriple(lines[cursor++]);
-    if (!triple.ok()) return LineError(cursor, triple.status().message());
+    // lines[cursor] is 1-based file line cursor + 1; compute it before
+    // advancing so the error provably points at the malformed triple
+    // itself (asserted by TripleParseErrorReportsItsOwnLine).
+    const size_t line_no = cursor + 1;
+    auto triple = ParseTriple(lines[cursor]);
+    if (!triple.ok()) return LineError(line_no, triple.status().message());
+    ++cursor;
     corpus.push_back(std::move(*triple));
   }
 
@@ -266,14 +272,20 @@ Result<IndexBundle> ParseIndex(std::string_view text,
 
 Result<IndexBundle> LoadIndex(const std::string& path,
                               const SemanticIndexOptions& runtime) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound(
         StringPrintf("cannot open index file '%s'", path.c_str()));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseIndex(buffer.str(), runtime);
+  std::string contents = std::move(buffer).str();
+  // One entry point for both generations: v2 binary snapshots are
+  // sniffed by magic, everything else parses as the v1 text format.
+  if (persist::LooksLikeSnapshot(contents)) {
+    return persist::ParseIndexSnapshot(std::move(contents), runtime);
+  }
+  return ParseIndex(contents, runtime);
 }
 
 }  // namespace semtree

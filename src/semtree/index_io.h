@@ -1,11 +1,15 @@
 // Copyright 2026 The SemTree Authors
 //
-// Persistence for a built SemanticIndex: vocabulary, corpus, distance
-// configuration and the trained FastMap embedding are written to one
-// self-contained text file. Loading reconstructs the index without
-// re-training FastMap (the expensive part); the KD-tree itself is
-// rebuilt from the stored coordinates, which is cheap and keeps the
-// on-disk format independent of the in-memory tree layout.
+// Persistence for a built SemanticIndex. Two generations share the
+// LoadIndex entry point:
+//  * v1 — the original self-contained text format written by
+//    SaveIndex: vocabulary, corpus, distance configuration and the
+//    trained FastMap embedding. Loading skips FastMap training but
+//    rebuilds the SemTree from the stored coordinates.
+//  * v2 — the binary snapshot of persist/index_snapshot.h, which also
+//    carries the SemTree partition blobs so loading reassembles the
+//    tree without a rebuild. LoadIndex sniffs the magic and routes
+//    v2 files there automatically.
 
 #ifndef SEMTREE_SEMTREE_INDEX_IO_H_
 #define SEMTREE_SEMTREE_INDEX_IO_H_

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "core/split.h"
+#include "persist/snapshot.h"
 
 namespace semtree {
 
@@ -128,6 +129,102 @@ void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block) {
     Builder{this, slots}.Build(root, 0, count);
   }
   AddPoints(count);
+}
+
+void Partition::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(dimensions_);
+  out->PutU64(bucket_size_);
+  out->PutU64(points_);
+  persist::WritePointStore(store_, out);
+  out->PutU64(roots_.size());
+  for (int32_t root : roots_) out->PutI32(root);
+  out->PutU64(nodes_.size());
+  for (const PNode& n : nodes_) {
+    out->PutU8(static_cast<uint8_t>((n.is_leaf ? 1 : 0) |
+                                    (n.is_dead ? 2 : 0)));
+    out->PutU32(n.split_dim);
+    out->PutDouble(n.split_value);
+    out->PutI32(n.left.partition);
+    out->PutI32(n.left.node);
+    out->PutI32(n.right.partition);
+    out->PutI32(n.right.node);
+    out->PutU32Array(n.bucket);
+  }
+}
+
+Status Partition::RestoreFrom(persist::ByteReader* in,
+                              size_t expected_partitions) {
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t dimensions, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t bucket_size, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t points, in->U64());
+  if (dimensions != dimensions_ || bucket_size != bucket_size_) {
+    return Status::Corruption(
+        "partition blob disagrees with tree options");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(PointStore store, persist::ReadPointStore(in));
+  if (store.dimensions() != dimensions_) {
+    return Status::Corruption("partition arena dimensionality mismatch");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t root_count, in->U64());
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(root_count, 4));
+  std::vector<int32_t> roots;
+  roots.reserve(root_count);
+  for (uint64_t i = 0; i < root_count; ++i) {
+    SEMTREE_ASSIGN_OR_RETURN(int32_t root, in->I32());
+    roots.push_back(root);
+  }
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t node_count, in->U64());
+  if (root_count == 0 || node_count == 0) {
+    return Status::Corruption("partition blob has no nodes");
+  }
+  for (int32_t root : roots) {
+    if (root < 0 || uint64_t(root) >= node_count) {
+      return Status::Corruption("partition root out of range");
+    }
+  }
+  auto check_ref = [&](const ChildRef& ref) {
+    if (ref.partition < 0 ||
+        size_t(ref.partition) >= expected_partitions || ref.node < 0) {
+      return false;
+    }
+    // Local child nodes must exist; remote node indices are validated
+    // by the partition that hosts them.
+    return ref.partition != id_ || uint64_t(ref.node) < node_count;
+  };
+  // 37 = serialized bytes of an empty node.
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(node_count, 37));
+  std::vector<PNode> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    PNode n;
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t flags, in->U8());
+    n.is_leaf = (flags & 1) != 0;
+    n.is_dead = (flags & 2) != 0;
+    SEMTREE_ASSIGN_OR_RETURN(n.split_dim, in->U32());
+    SEMTREE_ASSIGN_OR_RETURN(n.split_value, in->Double());
+    SEMTREE_ASSIGN_OR_RETURN(n.left.partition, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.left.node, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.right.partition, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.right.node, in->I32());
+    SEMTREE_ASSIGN_OR_RETURN(n.bucket, in->U32Array());
+    if (n.is_leaf) {
+      for (Slot s : n.bucket) {
+        if (s >= store.slot_count()) {
+          return Status::Corruption("partition bucket slot out of range");
+        }
+      }
+    } else if (!n.is_dead &&
+               (n.split_dim >= dimensions_ || !check_ref(n.left) ||
+                !check_ref(n.right))) {
+      return Status::Corruption("partition routing node malformed");
+    }
+    nodes.push_back(std::move(n));
+  }
+  store_ = std::move(store);
+  nodes_ = std::move(nodes);
+  roots_ = std::move(roots);
+  points_ = points;
+  return Status::OK();
 }
 
 std::vector<Partition::LeafLocation> Partition::LocalLeaves() const {

@@ -22,6 +22,7 @@
 #include "core/point.h"
 #include "core/point_block.h"
 #include "core/point_store.h"
+#include "persist/wire.h"
 
 namespace semtree {
 
@@ -139,6 +140,16 @@ class Partition {
 
   /// Local statistics (traverses the live local subtree).
   PartitionStats Stats() const;
+
+  /// Serializes this partition — node arena, roots, buckets, point
+  /// count, coordinate store — into one snapshot blob. Runs on the
+  /// owning compute node's worker (the snapshot protocol handler), so
+  /// it sees a quiescent partition.
+  void SaveTo(persist::ByteWriter* out) const;
+
+  /// Replaces all state with a saved blob's. `expected_partitions`
+  /// bounds the ChildRef partition ids the blob may reference.
+  Status RestoreFrom(persist::ByteReader* in, size_t expected_partitions);
 
  private:
   int32_t id_;

@@ -59,6 +59,30 @@ Result<std::unique_ptr<SemanticIndex>> SemanticIndex::Restore(
   return index;
 }
 
+Result<std::unique_ptr<SemanticIndex>> SemanticIndex::RestoreWithTree(
+    const Taxonomy* taxonomy, std::vector<Triple> corpus, FastMap fastmap,
+    std::unique_ptr<SemTree> tree, SemanticIndexOptions options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("corpus must not be empty");
+  }
+  if (fastmap.size() != corpus.size()) {
+    return Status::InvalidArgument("embedding and corpus sizes disagree");
+  }
+  if (tree == nullptr || tree->size() != corpus.size() ||
+      tree->options().dimensions != fastmap.dimensions()) {
+    return Status::InvalidArgument(
+        "restored tree disagrees with the embedding");
+  }
+  SEMTREE_ASSIGN_OR_RETURN(
+      TripleDistance distance,
+      TripleDistance::Make(taxonomy, options.weights, options.element));
+  std::unique_ptr<SemanticIndex> index(new SemanticIndex(
+      options, std::move(distance), std::move(corpus)));
+  index->fastmap_ = std::make_unique<FastMap>(std::move(fastmap));
+  index->tree_ = std::move(tree);
+  return index;
+}
+
 Status SemanticIndex::BuildTree() {
   SemTreeOptions topts;
   topts.dimensions = fastmap_->dimensions();

@@ -84,6 +84,14 @@ class SemanticIndex {
       const Taxonomy* taxonomy, std::vector<Triple> corpus,
       FastMap fastmap, SemanticIndexOptions options = {});
 
+  /// Like Restore, but installs an already-reassembled SemTree (the v2
+  /// snapshot load path, persist/index_snapshot.h): neither FastMap
+  /// training nor tree construction runs.
+  static Result<std::unique_ptr<SemanticIndex>> RestoreWithTree(
+      const Taxonomy* taxonomy, std::vector<Triple> corpus,
+      FastMap fastmap, std::unique_ptr<SemTree> tree,
+      SemanticIndexOptions options = {});
+
   /// K nearest triples to `query` under the embedded distance
   /// (query-by-example, §II).
   Result<std::vector<Hit>> KnnQuery(const Triple& query, size_t k) const;

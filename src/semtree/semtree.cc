@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -27,6 +28,8 @@ constexpr uint32_t kRemoveMsg = 7;
 constexpr uint32_t kBulkBuildMsg = 8;
 constexpr uint32_t kInstallTopologyMsg = 9;
 constexpr uint32_t kBatchMsg = 10;
+constexpr uint32_t kSnapshotMsg = 11;
+constexpr uint32_t kRestoreMsg = 12;
 
 struct InsertRequest {
   int32_t start_node = 0;
@@ -122,6 +125,21 @@ struct InstallTopologyRequest {
   std::vector<SkeletonNode> skeleton;  // skeleton[0] becomes the root.
 };
 struct InstallTopologyResponse {
+  bool ok = false;
+  std::string error;
+};
+// Snapshot protocol: each partition serializes (or restores) itself on
+// its own compute node; the client only assembles the per-partition
+// blobs (one per partition, DESIGN.md §5).
+struct SnapshotRequest {};
+struct SnapshotResponse {
+  std::string blob;
+};
+struct RestoreRequest {
+  std::string blob;
+  size_t partition_count = 0;  // ChildRef partition-id bound.
+};
+struct RestoreResponse {
   bool ok = false;
   std::string error;
 };
@@ -318,6 +336,12 @@ void SemTree::RegisterHandlers(Partition* part, ComputeNode* node) {
                         });
   node->RegisterHandler(kBatchMsg, [this, part](const Message& m) {
     HandleBatch(part, m);
+  });
+  node->RegisterHandler(kSnapshotMsg, [this, part](const Message& m) {
+    HandleSnapshot(part, m);
+  });
+  node->RegisterHandler(kRestoreMsg, [this, part](const Message& m) {
+    HandleRestore(part, m);
   });
 }
 
@@ -1138,6 +1162,103 @@ Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
 }
 
 // --------------------------------------------------------------------
+// Snapshot save / restore (DESIGN.md §5)
+
+void SemTree::HandleSnapshot(Partition* p, const Message& msg) {
+  persist::ByteWriter blob;
+  p->SaveTo(&blob);
+  SnapshotResponse resp;
+  resp.blob = blob.Take();
+  size_t bytes = resp.blob.size() + 16;
+  cluster_->Respond(msg, MakePayload<SnapshotResponse>(std::move(resp)),
+                    bytes);
+}
+
+void SemTree::HandleRestore(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<RestoreRequest>(msg.payload);
+  persist::ByteReader in(req.blob);
+  Status st = p->RestoreFrom(&in, req.partition_count);
+  RestoreResponse resp;
+  resp.ok = st.ok();
+  if (!st.ok()) resp.error = st.ToString();
+  cluster_->Respond(msg, MakePayload<RestoreResponse>(std::move(resp)),
+                    64);
+}
+
+Status SemTree::SaveTo(persist::ByteWriter* out) const {
+  out->PutU64(options_.dimensions);
+  out->PutU64(options_.bucket_size);
+  out->PutU64(size());
+  size_t count = PartitionCount();
+  out->PutU64(count);
+  // One blob per partition, produced on its own compute node. The
+  // fan-out is issued up front so partitions serialize in parallel.
+  std::vector<Cluster::OutboundCall> calls;
+  calls.reserve(count);
+  for (size_t id = 0; id < count; ++id) {
+    calls.push_back(Cluster::OutboundCall{
+        static_cast<NodeId>(id), kSnapshotMsg,
+        MakePayload<SnapshotRequest>(SnapshotRequest{}), 16});
+  }
+  std::vector<std::future<Payload>> futures =
+      cluster_->CallAll(std::move(calls));
+  for (std::future<Payload>& f : futures) {
+    Payload payload = f.get();
+    if (payload == nullptr) {
+      return Status::Unavailable("cluster shut down during snapshot");
+    }
+    out->PutString(PayloadAs<SnapshotResponse>(payload).blob);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SemTree>> SemTree::LoadFrom(
+    persist::ByteReader* in, SemTreeOptions runtime) {
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t dimensions, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t bucket_size, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t total_points, in->U64());
+  SEMTREE_ASSIGN_OR_RETURN(uint64_t partition_count, in->U64());
+  // Each partition gets a compute node (thread); a crafted count must
+  // not exhaust the host before the blobs are even looked at.
+  if (partition_count == 0 || partition_count > (1u << 16)) {
+    return Status::Corruption("snapshot partition count implausible");
+  }
+  SEMTREE_RETURN_NOT_OK(in->CheckCount(partition_count, 8));
+  SemTreeOptions options = std::move(runtime);
+  options.dimensions = dimensions;
+  options.bucket_size = bucket_size;
+  options.max_partitions =
+      std::max<size_t>(options.max_partitions, partition_count);
+  SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<SemTree> tree,
+                           SemTree::Create(std::move(options)));
+  while (tree->PartitionCount() < partition_count) {
+    if (tree->CreatePartition() < 0) {
+      return Status::Internal("cannot recreate snapshot partitions");
+    }
+  }
+  for (uint64_t id = 0; id < partition_count; ++id) {
+    RestoreRequest req;
+    SEMTREE_ASSIGN_OR_RETURN(req.blob, in->String());
+    req.partition_count = partition_count;
+    size_t bytes = req.blob.size() + 16;
+    SEMTREE_ASSIGN_OR_RETURN(
+        Payload payload,
+        tree->cluster_->CallAndWait(
+            static_cast<NodeId>(id), kRestoreMsg,
+            MakePayload<RestoreRequest>(std::move(req)), bytes));
+    auto& resp = PayloadAs<RestoreResponse>(payload);
+    if (!resp.ok) {
+      return Status::Corruption(StringPrintf(
+          "partition %llu rejected its snapshot blob: %s",
+          (unsigned long long)id, resp.error.c_str()));
+    }
+  }
+  tree->total_points_.store(total_points, std::memory_order_relaxed);
+  SEMTREE_RETURN_NOT_OK(tree->CheckInvariants());
+  return tree;
+}
+
+// --------------------------------------------------------------------
 // Stats & invariants
 
 void SemTree::HandleStats(Partition* p, const Message& msg) {
@@ -1173,6 +1294,10 @@ Status SemTree::CheckInvariants() const {
     std::vector<Bound> bounds;
   };
   size_t seen_points = 0;
+  // Each node has exactly one parent edge in a sound tree; a revisit
+  // means a cycle or a shared subtree (possible only in a corrupt
+  // snapshot), which would otherwise loop this walk forever.
+  std::set<std::pair<int32_t, int32_t>> visited;
   std::vector<Frame> stack;
   stack.push_back(Frame{ChildRef{0, 0}, {}});
   while (!stack.empty()) {
@@ -1185,6 +1310,9 @@ Status SemTree::CheckInvariants() const {
     if (f.ref.node < 0 ||
         static_cast<size_t>(f.ref.node) >= p->arena_size()) {
       return Status::Corruption("child node index out of range");
+    }
+    if (!visited.emplace(f.ref.partition, f.ref.node).second) {
+      return Status::Corruption("node reachable through two paths");
     }
     const Partition::PNode& n = p->node(f.ref.node);
     if (n.is_dead) {

@@ -41,6 +41,7 @@
 #include "core/point.h"
 #include "core/point_block.h"
 #include "core/query.h"
+#include "persist/wire.h"
 #include "semtree/partition.h"
 
 namespace semtree {
@@ -165,6 +166,21 @@ class SemTree {
   /// called when no operations are in flight.
   Status CheckInvariants() const;
 
+  /// Serializes the whole tree for the v2 snapshot (DESIGN.md §5):
+  /// metadata plus one blob per partition, each produced by that
+  /// partition's compute node over the snapshot protocol — the same
+  /// fan-out discipline as every other cross-partition interaction.
+  /// Must only be called when no operations are in flight.
+  Status SaveTo(persist::ByteWriter* out) const;
+
+  /// Reassembles a saved tree: partitions (and their compute nodes)
+  /// are recreated and every blob ships back to its node for restore —
+  /// no re-insertion, no rebuild. `runtime` supplies the deployment
+  /// knobs (latency, bandwidth, saturation, extra partition headroom);
+  /// dimensions and bucket size come from the snapshot.
+  static Result<std::unique_ptr<SemTree>> LoadFrom(
+      persist::ByteReader* in, SemTreeOptions runtime = {});
+
  private:
   explicit SemTree(SemTreeOptions options);
 
@@ -187,6 +203,8 @@ class SemTree {
   void HandleBulkBuild(Partition* p, const Message& msg);
   void HandleInstallTopology(Partition* p, const Message& msg);
   void HandleBatch(Partition* p, const Message& msg);
+  void HandleSnapshot(Partition* p, const Message& msg);
+  void HandleRestore(Partition* p, const Message& msg);
 
   // Local recursion used by the range handler (k-NN is fully
   // stack-driven inside HandleKnn).
