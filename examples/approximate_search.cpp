@@ -1,0 +1,89 @@
+// Copyright 2026 The SemTree Authors
+//
+// Approximate search walkthrough (DESIGN.md §6): run the same k-NN
+// query exact, under a distance-computation cap, and under epsilon
+// pruning slack — through the raw SpatialIndex surface and through a
+// QueryEngine batch — and read the work counters and truncation flags
+// back.
+//
+//   $ ./build/example_approximate_search
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/backends.h"
+#include "engine/query_engine.h"
+
+int main() {
+  using namespace semtree;
+
+  // 1. An indexed corpus: 20k clustered points in 8 dimensions.
+  constexpr size_t kDims = 8;
+  auto index = MakeSpatialIndex(BackendKind::kKdTree, kDims,
+                                {.bucket_size = 16});
+  Rng rng(42);
+  std::vector<double> center(kDims);
+  for (size_t i = 0; i < 20000; ++i) {
+    if (i % 700 == 0) {  // New cluster center now and then.
+      for (double& c : center) c = rng.UniformDouble(0.0, 100.0);
+    }
+    std::vector<double> p(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      p[d] = center[d] + rng.Gaussian() * 10.0;
+    }
+    if (!index->Insert(p, PointId(i)).ok()) return 1;
+  }
+  std::vector<double> query(kDims);
+  for (double& c : query) c = rng.UniformDouble(0.0, 100.0);
+
+  // 2. The same query under three budgets. Every search reports its
+  //    work in SearchStats; `truncated` tells approximate results
+  //    apart from proven-exact ones.
+  auto run = [&](const char* label, SearchBudget budget) {
+    SearchStats stats;
+    auto hits = index->KnnSearch(query, 10, budget, &stats);
+    std::printf("%-22s top=%llu dist=%.3f  distances=%zu  truncated=%s\n",
+                label,
+                (unsigned long long)(hits.empty() ? 0 : hits[0].id),
+                hits.empty() ? 0.0 : hits[0].distance,
+                stats.points_examined, stats.truncated ? "yes" : "no");
+  };
+  run("exact", SearchBudget::Exact());
+  run("max 500 distances", SearchBudget::MaxDistances(500));
+  run("epsilon 1.0", SearchBudget::Epsilon(1.0));
+
+  // 3. The engine threads per-query budgets through batches, caches
+  //    budgeted and exact results under distinct keys, and counts the
+  //    truncated outcomes.
+  QueryEngine engine(index.get());
+  std::vector<SpatialQuery> batch = {
+      SpatialQuery::Knn(query, 10),
+      SpatialQuery::Knn(query, 10, SearchBudget::MaxDistances(500)),
+      SpatialQuery::Range(query, 60.0, SearchBudget::Epsilon(0.5)),
+  };
+  auto result = engine.Run(batch);
+  if (!result.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("batch: %zu queries, %zu truncated, %zu cache hits\n",
+              result->stats.queries, result->stats.truncated_queries,
+              result->stats.cache_hits);
+  for (size_t i = 0; i < result->outcomes.size(); ++i) {
+    std::printf("  query %zu: %zu hits%s\n", i,
+                result->outcomes[i].neighbors.size(),
+                result->outcomes[i].truncated ? " (truncated)" : "");
+  }
+
+  // 4. An index-wide default budget: every budget-less search on this
+  //    index now runs approximately — and the setting survives a
+  //    snapshot (persist/index_snapshot.h).
+  index->set_default_budget(SearchBudget::Epsilon(0.5));
+  SearchStats stats;
+  (void)index->KnnSearch(query, 10, &stats);
+  std::printf("default-budget search: distances=%zu truncated=%s\n",
+              stats.points_examined, stats.truncated ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link target named in the repo's
+# top-level docs must exist, so stale cross-references (a renamed
+# bench, a dropped DESIGN section anchor file, a moved example) fail
+# the build instead of rotting silently. External (http/mailto) links
+# and intra-document #anchors are out of scope.
+#
+#   scripts/check_links.sh [file ...]     # default: the top-level docs
+
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md DESIGN.md CHANGES.md ROADMAP.md)
+fi
+
+status=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || { echo "missing doc: $f"; status=1; continue; }
+  # Inline links: [text](target). Strip any #fragment; keep local paths.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|"") continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "$f: broken link -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "docs link check FAILED"
+else
+  echo "docs link check OK (${files[*]})"
+fi
+exit "$status"

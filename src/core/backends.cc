@@ -83,22 +83,23 @@ void VpTreeIndex::EnsureBuilt() const {
 }
 
 std::vector<Neighbor> VpTreeIndex::KnnSearch(
-    const std::vector<double>& query, size_t k, SearchStats* stats) const {
-  if (query.size() != store_.dimensions()) return {};
-  EnsureBuilt();
-  if (!tree_.has_value()) return {};
-  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
-                                             k, stats));
-}
-
-std::vector<Neighbor> VpTreeIndex::RangeSearch(
-    const std::vector<double>& query, double radius,
+    const std::vector<double>& query, size_t k, const SearchBudget& budget,
     SearchStats* stats) const {
   if (query.size() != store_.dimensions()) return {};
   EnsureBuilt();
   if (!tree_.has_value()) return {};
+  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
+                                             k, budget, stats));
+}
+
+std::vector<Neighbor> VpTreeIndex::RangeSearch(
+    const std::vector<double>& query, double radius,
+    const SearchBudget& budget, SearchStats* stats) const {
+  if (query.size() != store_.dimensions()) return {};
+  EnsureBuilt();
+  if (!tree_.has_value()) return {};
   return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
-                                               radius, stats));
+                                               radius, budget, stats));
 }
 
 void VpTreeIndex::SaveTo(persist::ByteWriter* out) const {
@@ -169,18 +170,19 @@ Status MTreeIndex::Remove(const std::vector<double>&, PointId) {
 }
 
 std::vector<Neighbor> MTreeIndex::KnnSearch(
-    const std::vector<double>& query, size_t k, SearchStats* stats) const {
+    const std::vector<double>& query, size_t k, const SearchBudget& budget,
+    SearchStats* stats) const {
   if (query.size() != store_.dimensions()) return {};
   return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
-                                             k, stats));
+                                             k, budget, stats));
 }
 
 std::vector<Neighbor> MTreeIndex::RangeSearch(
     const std::vector<double>& query, double radius,
-    SearchStats* stats) const {
+    const SearchBudget& budget, SearchStats* stats) const {
   if (query.size() != store_.dimensions()) return {};
   return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
-                                               radius, stats));
+                                               radius, budget, stats));
 }
 
 void MTreeIndex::SaveTo(persist::ByteWriter* out) const {

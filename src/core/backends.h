@@ -49,11 +49,19 @@ class VpTreeIndex : public SpatialIndex {
 
   Status Insert(const std::vector<double>& coords, PointId id) override;
   Status Remove(const std::vector<double>& coords, PointId id) override;
+
+  using SpatialIndex::KnnSearch;
+  using SpatialIndex::RangeSearch;
+
+  /// Budgeted searches (core/query.h): the budget is forwarded to the
+  /// VP-tree's best-first walker; `stats->truncated` reports
+  /// approximate results.
   std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
-                                  size_t k,
+                                  size_t k, const SearchBudget& budget,
                                   SearchStats* stats = nullptr) const override;
   std::vector<Neighbor> RangeSearch(
       const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
   size_t size() const override { return store_.size(); }
   size_t dimensions() const override { return store_.dimensions(); }
@@ -90,11 +98,19 @@ class MTreeIndex : public SpatialIndex {
 
   Status Insert(const std::vector<double>& coords, PointId id) override;
   Status Remove(const std::vector<double>& coords, PointId id) override;
+
+  using SpatialIndex::KnnSearch;
+  using SpatialIndex::RangeSearch;
+
+  /// Budgeted searches (core/query.h): the budget is forwarded to the
+  /// M-tree's best-first walker; `stats->truncated` reports
+  /// approximate results.
   std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
-                                  size_t k,
+                                  size_t k, const SearchBudget& budget,
                                   SearchStats* stats = nullptr) const override;
   std::vector<Neighbor> RangeSearch(
       const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
   size_t size() const override { return store_.size(); }
   size_t dimensions() const override { return store_.dimensions(); }

@@ -56,10 +56,17 @@ inline bool NeighborDistanceThenId(const Neighbor& a, const Neighbor& b) {
 }
 
 /// Work counters filled by the search procedures (for benches/tests).
+/// `points_examined` counts distance computations (leaf points scanned
+/// plus routing pivots probed) — the unit `SearchBudget` caps.
+/// `truncated` is set when the search stopped short of proving its
+/// result exact: a budget ran out, or epsilon-relaxed pruning skipped a
+/// subtree the exact bound would have entered. Exact budgets never set
+/// it.
 struct SearchStats {
   size_t nodes_visited = 0;
   size_t leaves_visited = 0;
   size_t points_examined = 0;
+  bool truncated = false;
 };
 
 }  // namespace semtree

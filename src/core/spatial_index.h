@@ -5,6 +5,10 @@
 // and the distributed layer program against this interface, so backends
 // are comparable apples-to-apples and interchangeable behind a factory
 // (see core/backends.h).
+//
+// Every search takes a SearchBudget (core/query.h, DESIGN.md §6); the
+// budget-less overloads run under the index's default budget, which is
+// exact unless set_default_budget was called.
 
 #ifndef SEMTREE_CORE_SPATIAL_INDEX_H_
 #define SEMTREE_CORE_SPATIAL_INDEX_H_
@@ -16,6 +20,7 @@
 
 #include "common/result.h"
 #include "core/point.h"
+#include "core/query.h"
 
 namespace semtree {
 
@@ -31,16 +36,36 @@ class SpatialIndex {
   /// without deletion support return NotSupported.
   virtual Status Remove(const std::vector<double>& coords, PointId id) = 0;
 
-  /// The k nearest points to `query`, sorted by ascending distance,
-  /// ties by id. Returns fewer than k when the index is smaller.
+  /// The k nearest points to `query` under `budget`, sorted by
+  /// ascending distance, ties by id. Returns fewer than k when the
+  /// index is smaller — or when the budget ran out first, in which
+  /// case `stats->truncated` is set. Distances are always true
+  /// distances to stored points: a budget can only make the result
+  /// miss members, never report a wrong one. An exact budget
+  /// reproduces the budget-less result byte-identically.
   virtual std::vector<Neighbor> KnnSearch(
-      const std::vector<double>& query, size_t k,
+      const std::vector<double>& query, size_t k, const SearchBudget& budget,
       SearchStats* stats = nullptr) const = 0;
 
-  /// All points within `radius` of `query`, sorted by (distance, id).
+  /// All points within `radius` of `query` under `budget`, sorted by
+  /// (distance, id). Budgeted/epsilon searches may omit members (with
+  /// `stats->truncated` set) but never include a point outside the
+  /// radius.
   virtual std::vector<Neighbor> RangeSearch(
       const std::vector<double>& query, double radius,
-      SearchStats* stats = nullptr) const = 0;
+      const SearchBudget& budget, SearchStats* stats = nullptr) const = 0;
+
+  /// Budget-less convenience forms: search under default_budget().
+  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
+                                  size_t k,
+                                  SearchStats* stats = nullptr) const {
+    return KnnSearch(query, k, default_budget_, stats);
+  }
+  std::vector<Neighbor> RangeSearch(const std::vector<double>& query,
+                                    double radius,
+                                    SearchStats* stats = nullptr) const {
+    return RangeSearch(query, radius, default_budget_, stats);
+  }
 
   /// Stored point count.
   virtual size_t size() const = 0;
@@ -50,6 +75,21 @@ class SpatialIndex {
 
   /// Human-readable backend name (for bench CSV series).
   virtual std::string_view name() const = 0;
+
+  /// Index-wide search budget — an operator knob for serving whole
+  /// workloads approximately without touching call sites. Exact by
+  /// default. Applied by the budget-less search overloads AND by
+  /// QueryEngine batches whose queries carry an unspecified (exact)
+  /// budget; an explicit non-exact per-query budget always wins.
+  /// Persisted by the spatial-index snapshot (persist/index_snapshot.h)
+  /// so a warm-restarted index keeps its tuning.
+  const SearchBudget& default_budget() const { return default_budget_; }
+
+  /// Sets the default budget. Not synchronized against concurrent
+  /// searches; set it during configuration, before serving.
+  void set_default_budget(const SearchBudget& budget) {
+    default_budget_ = budget;
+  }
 
   /// Monotone mutation counter: every successful Insert/Remove bumps
   /// it. Result caches (engine/result_cache.h) key entries on
@@ -61,10 +101,12 @@ class SpatialIndex {
  protected:
   // The atomic counter would otherwise delete implicit copy/move, which
   // by-value builders (KdTree::BulkLoadBalanced) rely on; copying an
-  // index carries its epoch along.
+  // index carries its epoch (and default budget) along.
   SpatialIndex() = default;
-  SpatialIndex(const SpatialIndex& other) : epoch_(other.epoch()) {}
+  SpatialIndex(const SpatialIndex& other)
+      : default_budget_(other.default_budget_), epoch_(other.epoch()) {}
   SpatialIndex& operator=(const SpatialIndex& other) {
+    default_budget_ = other.default_budget_;
     epoch_.store(other.epoch(), std::memory_order_release);
     return *this;
   }
@@ -80,6 +122,7 @@ class SpatialIndex {
   }
 
  private:
+  SearchBudget default_budget_;
   std::atomic<uint64_t> epoch_{0};
 };
 

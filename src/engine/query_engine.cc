@@ -15,6 +15,7 @@ namespace semtree {
 // spans and their own TaskOutput, so the fan-out needs no locking.
 struct QueryEngine::TaskOutput {
   size_t cache_hits = 0;
+  size_t truncated = 0;
   SearchStats search;
   size_t partitions_visited = 0;
   std::vector<double> latencies_us;
@@ -29,6 +30,7 @@ void Accumulate(const SearchStats& from, SearchStats* into) {
   into->nodes_visited += from.nodes_visited;
   into->leaves_visited += from.leaves_visited;
   into->points_examined += from.points_examined;
+  into->truncated = into->truncated || from.truncated;
 }
 
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -85,6 +87,12 @@ Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
       return Status::InvalidArgument(
           StringPrintf("query %zu has a negative radius", i));
     }
+    // NaN fails both comparisons, so it is rejected here too.
+    double eps = batch[i].budget.epsilon;
+    if (!(eps >= 0.0)) {
+      return Status::InvalidArgument(StringPrintf(
+          "query %zu has a negative or NaN budget epsilon", i));
+    }
   }
   return Status::OK();
 }
@@ -102,11 +110,20 @@ void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
       // consistent index state even while another thread mutates
       // through Insert/Remove (which take the lock exclusively).
       std::shared_lock<std::shared_mutex> lock(index_mu_);
+      // Queries with an unspecified (exact) budget inherit the
+      // index's default — that is how a warm-restarted server keeps
+      // serving at its persisted approximation level. An explicit
+      // per-query budget always wins.
+      const SearchBudget& budget =
+          q.budget.exact() ? index_->default_budget() : q.budget;
       CacheKey key;
       bool hit = false;
       if (cache_ != nullptr) {
-        key = CacheKey::Make(q, index_->epoch());
-        hit = cache_->Lookup(key, &o.neighbors);
+        // The key carries the *effective* budget, so a truncated
+        // result can never be served where an exact one was computed,
+        // and retuning the default re-keys subsequent queries.
+        key = CacheKey::Make(q, index_->epoch(), budget);
+        hit = cache_->Lookup(key, &o.neighbors, &o.truncated);
       }
       if (hit) {
         o.from_cache = true;
@@ -115,11 +132,14 @@ void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
         SearchStats sstats;
         o.neighbors =
             q.type == QueryType::kKnn
-                ? index_->KnnSearch(q.coords, q.k, &sstats)
-                : index_->RangeSearch(q.coords, q.radius, &sstats);
+                ? index_->KnnSearch(q.coords, q.k, budget, &sstats)
+                : index_->RangeSearch(q.coords, q.radius, budget,
+                                      &sstats);
+        o.truncated = sstats.truncated;
         Accumulate(sstats, &out->search);
-        if (cache_ != nullptr) cache_->Put(key, o.neighbors);
+        if (cache_ != nullptr) cache_->Put(key, o.neighbors, o.truncated);
       }
+      if (o.truncated) ++out->truncated;
     }
     o.latency_us = sw.ElapsedMicros();
     out->latencies_us.push_back(o.latency_us);
@@ -139,9 +159,11 @@ Status QueryEngine::RunDistributedSpan(
   for (size_t i = lo; i < hi; ++i) {
     QueryOutcome& o = (*outcomes)[i];
     if (cache_ != nullptr &&
-        cache_->Lookup(CacheKey::Make(batch[i], ep), &o.neighbors)) {
+        cache_->Lookup(CacheKey::Make(batch[i], ep), &o.neighbors,
+                       &o.truncated)) {
       o.from_cache = true;
       ++out->cache_hits;
+      if (o.truncated) ++out->truncated;
     } else {
       miss.push_back(i);
     }
@@ -152,14 +174,18 @@ Status QueryEngine::RunDistributedSpan(
     sub.reserve(miss.size());
     for (size_t i : miss) sub.push_back(batch[i]);
     DistributedSearchStats dstats;
-    auto results = tree_->BatchSearch(sub, &dstats);
+    std::vector<uint8_t> truncated;
+    auto results = tree_->BatchSearch(sub, &dstats, &truncated);
     if (!results.ok()) return results.status();
     out->partitions_visited += dstats.partitions_visited;
     for (size_t j = 0; j < miss.size(); ++j) {
       QueryOutcome& o = (*outcomes)[miss[j]];
       o.neighbors = std::move((*results)[j]);
+      o.truncated = truncated[j] != 0;
+      if (o.truncated) ++out->truncated;
       if (cache_ != nullptr) {
-        cache_->Put(CacheKey::Make(batch[miss[j]], ep), o.neighbors);
+        cache_->Put(CacheKey::Make(batch[miss[j]], ep), o.neighbors,
+                    o.truncated);
       }
     }
   }
@@ -179,6 +205,7 @@ void QueryEngine::FinalizeStats(std::vector<TaskOutput>& parts,
   std::vector<double> latencies;
   for (TaskOutput& part : parts) {
     result->stats.cache_hits += part.cache_hits;
+    result->stats.truncated_queries += part.truncated;
     result->stats.partitions_visited += part.partitions_visited;
     Accumulate(part.search, &result->stats.search);
     latencies.insert(latencies.end(), part.latencies_us.begin(),

@@ -48,6 +48,13 @@ struct QueryEngineOptions {
 struct QueryOutcome {
   std::vector<Neighbor> neighbors;  ///< Sorted by (distance, id).
   bool from_cache = false;
+  /// The query's SearchBudget ran out or its epsilon pruning bit:
+  /// `neighbors` may be missing members (distances are still true).
+  /// Always false for exact budgets. Cached results replay the flag
+  /// the original computation produced (the budget is part of the
+  /// cache key, so a truncated result can never satisfy an exact
+  /// query).
+  bool truncated = false;
   double latency_us = 0.0;  ///< Distributed target: its sub-batch's time.
 };
 
@@ -65,6 +72,7 @@ struct BatchStats {
   size_t knn_queries = 0;
   size_t range_queries = 0;
   size_t cache_hits = 0;
+  size_t truncated_queries = 0;   ///< Outcomes flagged truncated.
   SearchStats search;             ///< Summed (sequential targets only).
   size_t partitions_visited = 0;  ///< Summed (distributed target only).
   LatencySummary latency;
@@ -97,8 +105,16 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Executes the batch; outcomes are positionally aligned with
-  /// `batch`. Fails up front on a dimensionality mismatch or negative
-  /// radius, executing nothing.
+  /// `batch`. Each query runs under its own SearchBudget
+  /// (SpatialQuery::budget); sequential-target queries whose budget is
+  /// unspecified (exact) inherit the index's default_budget, so a
+  /// warm-restarted server keeps serving at its persisted
+  /// approximation level. Budgeted outcomes carry `truncated` when
+  /// they may be missing members, and the *effective* budget is part
+  /// of the result-cache key, so a budgeted and an exact run of the
+  /// same query never share a cache slot. Fails up front on a
+  /// dimensionality mismatch, negative radius or negative/NaN epsilon,
+  /// executing nothing.
   Result<BatchResult> Run(const std::vector<SpatialQuery>& batch);
 
   /// Inserts through to the target and advances the cache epoch.
@@ -120,7 +136,9 @@ class QueryEngine {
   };
 
   /// Stands a fresh engine up from a SaveSnapshot file: the index
-  /// loads structure-preserving, the engine resumes at the saved index
+  /// loads structure-preserving (including its default SearchBudget —
+  /// the restarted engine keeps the saved approximation tuning for
+  /// budget-less callers), the engine resumes at the saved index
   /// epoch, and the cache starts empty with zeroed stats.
   static Result<WarmStarted> WarmStart(const std::string& path,
                                        QueryEngineOptions options = {});

@@ -27,6 +27,11 @@ uint64_t Mix(uint64_t h, uint64_t v) {
 }  // namespace
 
 CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch) {
+  return Make(query, epoch, query.budget);
+}
+
+CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch,
+                        const SearchBudget& budget) {
   CacheKey key;
   key.type = query.type;
   // Normalize the radius: -0.0 and 0.0 compare equal and bound the
@@ -37,6 +42,13 @@ CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch) {
                        ? static_cast<uint64_t>(query.k)
                        : DoubleBits(radius);
   key.epoch = epoch;
+  // The budget is part of the result's identity: a truncated result
+  // must never be served for an exact query (or for a different
+  // budget). Epsilon gets the same -0.0 normalization as the radius.
+  key.budget_distances = budget.max_distance_computations;
+  key.budget_nodes = budget.max_nodes_visited;
+  double epsilon = budget.epsilon == 0.0 ? 0.0 : budget.epsilon;
+  key.epsilon_bits = DoubleBits(epsilon);
   // Same normalization for coordinates: operator== treats -0.0 and
   // 0.0 as equal keys, so their hashes must agree as well.
   key.coords = query.coords;
@@ -51,6 +63,9 @@ size_t ShardedResultCache::KeyHash::operator()(const CacheKey& key) const {
   h = Mix(h, static_cast<uint64_t>(key.type));
   h = Mix(h, key.param_bits);
   h = Mix(h, key.epoch);
+  h = Mix(h, key.budget_distances);
+  h = Mix(h, key.budget_nodes);
+  h = Mix(h, key.epsilon_bits);
   for (double c : key.coords) h = Mix(h, DoubleBits(c));
   return static_cast<size_t>(h);
 }
@@ -72,7 +87,8 @@ ShardedResultCache::Shard& ShardedResultCache::ShardFor(
 }
 
 bool ShardedResultCache::Lookup(const CacheKey& key,
-                                std::vector<Neighbor>* out) {
+                                std::vector<Neighbor>* out,
+                                bool* truncated) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -82,21 +98,23 @@ bool ShardedResultCache::Lookup(const CacheKey& key,
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->value;
+  if (truncated != nullptr) *truncated = it->second->truncated;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void ShardedResultCache::Put(const CacheKey& key,
-                             std::vector<Neighbor> value) {
+                             std::vector<Neighbor> value, bool truncated) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->value = std::move(value);
+    it->second->truncated = truncated;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.lru.push_front(Entry{key, std::move(value), truncated});
   shard.map.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > capacity_per_shard_) {

@@ -24,20 +24,35 @@
 namespace semtree {
 
 /// Full identity of a cached query result. Two keys are equal only if
-/// every field — including each coordinate — matches, so a hash
-/// collision can never surface a wrong result.
+/// every field — including each coordinate and the search budget —
+/// matches, so a hash collision can never surface a wrong result and a
+/// budgeted (approximate) result can never be served for an exact
+/// query or vice versa: the budget is part of the key, not a side
+/// channel.
 struct CacheKey {
   QueryType type = QueryType::kKnn;
   uint64_t param_bits = 0;  ///< k, or the radius's bit pattern.
   uint64_t epoch = 0;       ///< Index version the result was computed at.
+  uint64_t budget_distances = 0;  ///< SearchBudget caps (0 = unlimited);
+  uint64_t budget_nodes = 0;      ///< exact queries keep all three zero.
+  uint64_t epsilon_bits = 0;      ///< Epsilon's bit pattern, -0.0 → 0.0.
   std::vector<double> coords;
 
   bool operator==(const CacheKey& o) const {
     return type == o.type && param_bits == o.param_bits &&
-           epoch == o.epoch && coords == o.coords;
+           epoch == o.epoch && budget_distances == o.budget_distances &&
+           budget_nodes == o.budget_nodes &&
+           epsilon_bits == o.epsilon_bits && coords == o.coords;
   }
 
   static CacheKey Make(const SpatialQuery& query, uint64_t epoch);
+
+  /// Same, but keyed under `budget` instead of `query.budget` — for
+  /// callers that resolve an *effective* budget (e.g. the engine
+  /// substituting the index's default for unspecified ones). The key
+  /// must always reflect the budget the search actually ran under.
+  static CacheKey Make(const SpatialQuery& query, uint64_t epoch,
+                       const SearchBudget& budget);
 };
 
 /// Sharded LRU map from CacheKey to a result vector.
@@ -59,11 +74,18 @@ class ShardedResultCache {
 
   /// Copies the cached result into `*out` and returns true on a hit
   /// (refreshing the entry's LRU position); returns false on a miss.
-  bool Lookup(const CacheKey& key, std::vector<Neighbor>* out);
+  /// `truncated`, if given, receives the flag the result was stored
+  /// with, so a cache hit replays the original search's approximation
+  /// verdict.
+  bool Lookup(const CacheKey& key, std::vector<Neighbor>* out,
+              bool* truncated = nullptr);
 
   /// Stores (or refreshes) an entry, evicting the shard's LRU tail
-  /// beyond capacity.
-  void Put(const CacheKey& key, std::vector<Neighbor> value);
+  /// beyond capacity. `truncated` records whether the result was
+  /// produced by a search that stopped short of proving exactness
+  /// (SearchStats::truncated); it rides along with the value.
+  void Put(const CacheKey& key, std::vector<Neighbor> value,
+           bool truncated = false);
 
   /// Drops every entry and resets the hit/miss/insertion/eviction
   /// counters — after a Clear (e.g. a warm start) the cache reports
@@ -84,6 +106,7 @@ class ShardedResultCache {
   struct Entry {
     CacheKey key;
     std::vector<Neighbor> value;
+    bool truncated = false;
   };
   struct Shard {
     std::mutex mu;

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "core/best_first.h"
 #include "core/split.h"
 #include "persist/snapshot.h"
 
@@ -217,88 +218,79 @@ Result<KdTree> KdTree::BuildChain(size_t dimensions,
 
 std::vector<Neighbor> KdTree::KnnSearch(const std::vector<double>& query,
                                         size_t k,
+                                        const SearchBudget& budget,
                                         SearchStats* stats) const {
-  std::vector<Neighbor> heap;
   // Wrong-arity queries return empty rather than reading out of bounds
   // (the raw-pointer kernel consumes exactly dimensions_ doubles).
-  if (k == 0 || size() == 0 || query.size() != dimensions_) return heap;
-  heap.reserve(k + 1);
+  if (k == 0 || size() == 0 || query.size() != dimensions_) return {};
   SearchStats local;
-  KnnRec(0, query, k, &heap, stats ? stats : &local);
-  std::sort_heap(heap.begin(), heap.end(), NeighborDistanceThenId);
-  return heap;
-}
-
-void KdTree::KnnRec(int32_t node, const std::vector<double>& query,
-                    size_t k, std::vector<Neighbor>* heap,
-                    SearchStats* stats) const {
-  ++stats->nodes_visited;
-  const Node& n = nodes_[node];
-  if (n.is_leaf) {
-    ++stats->leaves_visited;
-    for (Slot s : n.bucket) {
-      ++stats->points_examined;
-      double d =
-          EuclideanDistance(query.data(), store_.CoordsAt(s), dimensions_);
-      heap->push_back(Neighbor{store_.IdAt(s), d});
-      std::push_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
-      if (heap->size() > k) {
-        std::pop_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
-        heap->pop_back();
-      }
-    }
-    return;
-  }
-  double diff = query[n.split_dim] - n.split_value;
-  int32_t near = (diff <= 0.0) ? n.left : n.right;
-  int32_t far = (diff <= 0.0) ? n.right : n.left;
-  KnnRec(near, query, k, heap, stats);
-  // Backward visit: enter the far subtree when the splitting plane is
-  // closer than the current k-th distance, or the result set is not
-  // full yet (the disjunction of §III-B.3).
-  if (heap->size() < k || std::fabs(diff) < heap->front().distance) {
-    KnnRec(far, query, k, heap, stats);
-  }
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
+  KnnAccumulator acc(k);
+  double scale = budget.pruning_scale();
+  BestFirstSearch(
+      0, &gauge, [&] { return acc.tau() * scale; }, [&] { return acc.tau(); },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (Slot s : n.bucket) {
+            if (!gauge.ChargeDistance()) return;
+            acc.Offer(store_.IdAt(s),
+                      EuclideanDistance(query.data(), store_.CoordsAt(s),
+                                        dimensions_));
+          }
+          return;
+        }
+        // The near child inherits this region's bound; the far child's
+        // region lies beyond the splitting plane, so its distance is at
+        // least |query[Sr] - Sv| (the backward-visit quantity of
+        // §III-B.3) as well as the inherited bound.
+        double diff = query[n.split_dim] - n.split_value;
+        int32_t near = (diff <= 0.0) ? n.left : n.right;
+        int32_t far = (diff <= 0.0) ? n.right : n.left;
+        frontier->Push(bound, near);
+        frontier->Push(std::max(bound, std::fabs(diff)), far);
+      });
+  return acc.Take();
 }
 
 std::vector<Neighbor> KdTree::RangeSearch(const std::vector<double>& query,
                                           double radius,
+                                          const SearchBudget& budget,
                                           SearchStats* stats) const {
   std::vector<Neighbor> out;
   if (size() == 0 || radius < 0.0 || query.size() != dimensions_) {
     return out;
   }
   SearchStats local;
-  RangeRec(0, query, radius, &out, stats ? stats : &local);
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
+  double limit = radius * budget.pruning_scale();
+  BestFirstSearch(
+      0, &gauge, [&] { return limit; }, [&] { return radius; },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (Slot s : n.bucket) {
+            if (!gauge.ChargeDistance()) return;
+            double d = EuclideanDistance(query.data(), store_.CoordsAt(s),
+                                         dimensions_);
+            if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
+          }
+          return;
+        }
+        // |P[SI] - Sv| <= D admits both children (§III-B.4); the walker
+        // prunes the far child through its |diff| bound.
+        double diff = query[n.split_dim] - n.split_value;
+        int32_t near = (diff <= 0.0) ? n.left : n.right;
+        int32_t far = (diff <= 0.0) ? n.right : n.left;
+        frontier->Push(bound, near);
+        frontier->Push(std::max(bound, std::fabs(diff)), far);
+      });
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
-}
-
-void KdTree::RangeRec(int32_t node, const std::vector<double>& query,
-                      double radius, std::vector<Neighbor>* out,
-                      SearchStats* stats) const {
-  ++stats->nodes_visited;
-  const Node& n = nodes_[node];
-  if (n.is_leaf) {
-    ++stats->leaves_visited;
-    for (Slot s : n.bucket) {
-      ++stats->points_examined;
-      double d =
-          EuclideanDistance(query.data(), store_.CoordsAt(s), dimensions_);
-      if (d <= radius) out->push_back(Neighbor{store_.IdAt(s), d});
-    }
-    return;
-  }
-  double diff = query[n.split_dim] - n.split_value;
-  if (std::fabs(diff) <= radius) {
-    // |P[SI] - Sv| < D: both children may contain results (§III-B.4).
-    RangeRec(n.left, query, radius, out, stats);
-    RangeRec(n.right, query, radius, out, stats);
-  } else if (diff <= 0.0) {
-    RangeRec(n.left, query, radius, out, stats);
-  } else {
-    RangeRec(n.right, query, radius, out, stats);
-  }
 }
 
 void KdTree::SaveTo(persist::ByteWriter* out) const {

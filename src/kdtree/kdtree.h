@@ -68,15 +68,25 @@ class KdTree : public SpatialIndex {
   /// stored.
   Status Remove(const std::vector<double>& coords, PointId id) override;
 
-  /// The k nearest points to `query` (paper §III-B.3, sequential case).
-  /// Returns fewer than k when the tree is smaller than k.
+  // Re-expose the budget-less convenience overloads next to the
+  // budgeted overrides below.
+  using SpatialIndex::KnnSearch;
+  using SpatialIndex::RangeSearch;
+
+  /// The k nearest points to `query` (paper §III-B.3, sequential
+  /// case), as a budgeted best-first walk over region lower bounds
+  /// (core/best_first.h): exact budgets reproduce the textbook result,
+  /// spent budgets truncate (stats->truncated) having visited the
+  /// closest regions first.
   std::vector<Neighbor> KnnSearch(
-      const std::vector<double>& query, size_t k,
+      const std::vector<double>& query, size_t k, const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
 
-  /// All points within `radius` of `query` (paper §III-B.4).
+  /// All points within `radius` of `query` (paper §III-B.4), under the
+  /// same budget semantics (truncation may drop members, never add).
   std::vector<Neighbor> RangeSearch(
       const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
 
   size_t size() const override { return store_.size(); }
@@ -129,12 +139,6 @@ class KdTree : public SpatialIndex {
   /// Appends `points` into the arena, returning their slots; fails on a
   /// dimensionality mismatch.
   Result<std::vector<Slot>> StoreAll(const std::vector<KdPoint>& points);
-
-  void KnnRec(int32_t node, const std::vector<double>& query, size_t k,
-              std::vector<Neighbor>* heap, SearchStats* stats) const;
-  void RangeRec(int32_t node, const std::vector<double>& query,
-                double radius, std::vector<Neighbor>* out,
-                SearchStats* stats) const;
 
   size_t dimensions_;
   KdTreeOptions options_;

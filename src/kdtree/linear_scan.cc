@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "core/best_first.h"
 #include "core/distance.h"
 #include "persist/snapshot.h"
 
@@ -74,23 +75,25 @@ Result<LinearScanIndex> LinearScanIndex::LoadFrom(
 }
 
 std::vector<Neighbor> LinearScanIndex::KnnSearch(
-    const std::vector<double>& query, size_t k,
+    const std::vector<double>& query, size_t k, const SearchBudget& budget,
     SearchStats* stats) const {
   std::vector<Neighbor> all;
   // Wrong-arity queries return empty rather than reading out of bounds
   // (the raw-pointer kernel consumes exactly dimensions() doubles).
   if (query.size() != store_.dimensions()) return all;
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
   all.reserve(slots_.size());
   size_t dim = store_.dimensions();
-  for (PointStore::Slot s : slots_) {
-    all.push_back(Neighbor{
-        store_.IdAt(s),
-        EuclideanDistance(query.data(), store_.CoordsAt(s), dim)});
-  }
-  if (stats) {
-    ++stats->nodes_visited;
-    ++stats->leaves_visited;
-    stats->points_examined += slots_.size();
+  if (gauge.ChargeNode()) {
+    ++st->leaves_visited;
+    for (PointStore::Slot s : slots_) {
+      if (!gauge.ChargeDistance()) break;
+      all.push_back(Neighbor{
+          store_.IdAt(s),
+          EuclideanDistance(query.data(), store_.CoordsAt(s), dim)});
+    }
   }
   size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
@@ -101,18 +104,20 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(
 
 std::vector<Neighbor> LinearScanIndex::RangeSearch(
     const std::vector<double>& query, double radius,
-    SearchStats* stats) const {
+    const SearchBudget& budget, SearchStats* stats) const {
   std::vector<Neighbor> out;
   if (radius < 0.0 || query.size() != store_.dimensions()) return out;
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
   size_t dim = store_.dimensions();
-  for (PointStore::Slot s : slots_) {
-    double d = EuclideanDistance(query.data(), store_.CoordsAt(s), dim);
-    if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
-  }
-  if (stats) {
-    ++stats->nodes_visited;
-    ++stats->leaves_visited;
-    stats->points_examined += slots_.size();
+  if (gauge.ChargeNode()) {
+    ++st->leaves_visited;
+    for (PointStore::Slot s : slots_) {
+      if (!gauge.ChargeDistance()) break;
+      double d = EuclideanDistance(query.data(), store_.CoordsAt(s), dim);
+      if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
+    }
   }
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;

@@ -29,14 +29,21 @@ class LinearScanIndex : public SpatialIndex {
   /// Removes the point with the given coordinates and id.
   Status Remove(const std::vector<double>& coords, PointId id) override;
 
-  /// Exact k nearest neighbours, sorted by (distance, id).
+  using SpatialIndex::KnnSearch;
+  using SpatialIndex::RangeSearch;
+
+  /// K nearest neighbours, sorted by (distance, id). A distance budget
+  /// stops the sweep after that many points (insertion order, flagged
+  /// truncated); a scan has no pruning bound, so epsilon is a no-op
+  /// and exact budgets stay the gold standard.
   std::vector<Neighbor> KnnSearch(
-      const std::vector<double>& query, size_t k,
+      const std::vector<double>& query, size_t k, const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
 
-  /// Exact range search, sorted by (distance, id).
+  /// Range search, sorted by (distance, id); budget semantics as above.
   std::vector<Neighbor> RangeSearch(
       const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
       SearchStats* stats = nullptr) const override;
 
   size_t size() const override { return store_.size(); }

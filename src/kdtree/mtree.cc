@@ -5,9 +5,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "common/string_util.h"
+#include "core/best_first.h"
 
 namespace semtree {
 
@@ -198,91 +198,76 @@ void MTree::SplitNode(int32_t node_index) {
   if (pnode.entries.size() > options_.node_capacity) SplitNode(parent);
 }
 
+// Both searches run the shared budgeted best-first walker
+// (core/best_first.h) on covering-ball lower bounds: a routing entry
+// with pivot distance d and covering radius r cannot contain anything
+// closer than d - r (minus prune_slack for near-metric distances).
+
 std::vector<Neighbor> MTree::KnnSearch(const QueryDistanceFn& dq,
                                        size_t k,
+                                       const SearchBudget& budget,
                                        SearchStats* stats) const {
-  std::vector<Neighbor> rs;
-  if (k == 0 || size_ == 0) return rs;
+  if (k == 0 || size_ == 0) return {};
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
-
-  auto tau = [&]() {
-    return rs.size() < k ? std::numeric_limits<double>::infinity()
-                         : rs.front().distance;
-  };
-  auto offer = [&](size_t object, double d) {
-    rs.push_back(Neighbor{object, d});
-    std::push_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
-    if (rs.size() > k) {
-      std::pop_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
-      rs.pop_back();
-    }
-  };
-
-  // Best-first traversal on the lower distance bound of each subtree.
-  struct Pending {
-    double dmin;
-    int32_t node;
-    bool operator>(const Pending& o) const { return dmin > o.dmin; }
-  };
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
-      queue;
-  queue.push(Pending{0.0, root_});
+  BudgetGauge gauge(budget, st);
+  KnnAccumulator acc(k);
+  double scale = budget.pruning_scale();
   double slack = options_.prune_slack;
-  while (!queue.empty()) {
-    Pending top = queue.top();
-    queue.pop();
-    if (top.dmin > tau() + slack) break;  // Min-heap: all others worse.
-    const Node& n = nodes_[size_t(top.node)];
-    ++st->nodes_visited;
-    if (n.is_leaf) {
-      ++st->leaves_visited;
-      for (const Entry& e : n.entries) {
-        ++st->points_examined;
-        offer(e.object, dq(e.object));
-      }
-      continue;
-    }
-    for (const Entry& e : n.entries) {
-      ++st->points_examined;
-      double d = dq(e.object);
-      double dmin = std::max(0.0, d - e.radius - slack);
-      if (dmin <= tau() + slack) queue.push(Pending{dmin, e.child});
-    }
-  }
-  std::sort_heap(rs.begin(), rs.end(), NeighborDistanceThenId);
-  return rs;
+  BestFirstSearch(
+      root_, &gauge, [&] { return acc.tau() * scale + slack; },
+      [&] { return acc.tau() + slack; },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (const Entry& e : n.entries) {
+            if (!gauge.ChargeDistance()) return;
+            acc.Offer(e.object, dq(e.object));
+          }
+          return;
+        }
+        for (const Entry& e : n.entries) {
+          if (!gauge.ChargeDistance()) return;
+          double d = dq(e.object);
+          double dmin = std::max(0.0, d - e.radius - slack);
+          frontier->Push(std::max(bound, dmin), d, e.child);
+        }
+      });
+  return acc.Take();
 }
 
 std::vector<Neighbor> MTree::RangeSearch(const QueryDistanceFn& dq,
                                          double radius,
+                                         const SearchBudget& budget,
                                          SearchStats* stats) const {
   std::vector<Neighbor> out;
   if (size_ == 0 || radius < 0.0) return out;
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
+  double limit = radius * budget.pruning_scale();
   double slack = options_.prune_slack;
-  std::vector<int32_t> stack = {root_};
-  while (!stack.empty()) {
-    int32_t node = stack.back();
-    stack.pop_back();
-    const Node& n = nodes_[size_t(node)];
-    ++st->nodes_visited;
-    if (n.is_leaf) {
-      ++st->leaves_visited;
-      for (const Entry& e : n.entries) {
-        ++st->points_examined;
-        double d = dq(e.object);
-        if (d <= radius) out.push_back(Neighbor{e.object, d});
-      }
-      continue;
-    }
-    for (const Entry& e : n.entries) {
-      ++st->points_examined;
-      double d = dq(e.object);
-      if (d <= radius + e.radius + slack) stack.push_back(e.child);
-    }
-  }
+  BestFirstSearch(
+      root_, &gauge, [&] { return limit; }, [&] { return radius; },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (const Entry& e : n.entries) {
+            if (!gauge.ChargeDistance()) return;
+            double d = dq(e.object);
+            if (d <= radius) out.push_back(Neighbor{e.object, d});
+          }
+          return;
+        }
+        for (const Entry& e : n.entries) {
+          if (!gauge.ChargeDistance()) return;
+          double d = dq(e.object);
+          double dmin = std::max(0.0, d - e.radius - slack);
+          frontier->Push(std::max(bound, dmin), d, e.child);
+        }
+      });
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
 }

@@ -54,16 +54,33 @@ class MTree {
   /// duplicate indices are allowed (multiset semantics).
   Status Insert(size_t index);
 
-  /// K nearest objects to the query, sorted by (distance, id).
-  /// `distance_to_query` is evaluated lazily.
+  /// K nearest objects to the query under `budget`, sorted by
+  /// (distance, id). `distance_to_query` is evaluated lazily; routing
+  /// pivot probes and leaf scans both count against the budget's
+  /// distance cap. The traversal was already best-first on covering-
+  /// ball lower bounds — it now runs on the shared budgeted walker
+  /// (core/best_first.h), so exact budgets reproduce the classic
+  /// result and spent budgets truncate (stats->truncated) having
+  /// visited the closest balls first.
+  std::vector<Neighbor> KnnSearch(const QueryDistanceFn& distance_to_query,
+                                  size_t k, const SearchBudget& budget,
+                                  SearchStats* stats = nullptr) const;
   std::vector<Neighbor> KnnSearch(const QueryDistanceFn& distance_to_query,
                                   size_t k,
-                                  SearchStats* stats = nullptr) const;
+                                  SearchStats* stats = nullptr) const {
+    return KnnSearch(distance_to_query, k, SearchBudget{}, stats);
+  }
 
-  /// All objects within `radius` of the query.
+  /// All objects within `radius` of the query, same budget semantics
+  /// (members may be missed, never misreported).
   std::vector<Neighbor> RangeSearch(
       const QueryDistanceFn& distance_to_query, double radius,
-      SearchStats* stats = nullptr) const;
+      const SearchBudget& budget, SearchStats* stats = nullptr) const;
+  std::vector<Neighbor> RangeSearch(
+      const QueryDistanceFn& distance_to_query, double radius,
+      SearchStats* stats = nullptr) const {
+    return RangeSearch(distance_to_query, radius, SearchBudget{}, stats);
+  }
 
   size_t size() const { return size_; }
   size_t NodeCount() const { return nodes_.size(); }

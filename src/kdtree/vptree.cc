@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "core/best_first.h"
 
 namespace semtree {
 
@@ -83,97 +84,84 @@ int32_t VpTree::BuildRec(const MetricDistanceFn& distance,
   return node;
 }
 
+// Both searches run the shared best-first walker over metric ball
+// bounds: for a routing node with vantage distance d and threshold t,
+// anything inside the ball is at least d - t away and anything outside
+// at least t - d (triangle inequality; prune_slack widens both for
+// near-metric distances). Bounds are admissible, so exact budgets
+// reproduce the recursive traversal's results; spent budgets leave the
+// farthest balls unvisited.
+
 std::vector<Neighbor> VpTree::KnnSearch(const QueryDistanceFn& dq,
                                         size_t k,
+                                        const SearchBudget& budget,
                                         SearchStats* stats) const {
-  std::vector<Neighbor> heap;
-  if (k == 0 || size_ == 0) return heap;
+  if (k == 0 || size_ == 0) return {};
   SearchStats local;
-  KnnRec(0, dq, k, &heap, stats ? stats : &local);
-  std::sort_heap(heap.begin(), heap.end(), NeighborDistanceThenId);
-  return heap;
-}
-
-void VpTree::KnnRec(int32_t node, const QueryDistanceFn& dq, size_t k,
-                    std::vector<Neighbor>* heap,
-                    SearchStats* stats) const {
-  ++stats->nodes_visited;
-  const Node& n = nodes_[size_t(node)];
-  auto offer = [&](size_t object, double d) {
-    heap->push_back(Neighbor{object, d});
-    std::push_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
-    if (heap->size() > k) {
-      std::pop_heap(heap->begin(), heap->end(), NeighborDistanceThenId);
-      heap->pop_back();
-    }
-  };
-  if (n.is_leaf) {
-    ++stats->leaves_visited;
-    for (size_t object : n.bucket) {
-      ++stats->points_examined;
-      offer(object, dq(object));
-    }
-    return;
-  }
-  // The vantage object itself lives in the inside subtree (distance 0
-  // to itself <= threshold), so it is offered when that leaf is
-  // scanned; here its distance only steers navigation.
-  double d = dq(n.vantage);
-  ++stats->points_examined;
-
-  auto tau = [&]() {
-    return heap->size() < k
-               ? std::numeric_limits<double>::infinity()
-               : heap->front().distance;
-  };
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
+  KnnAccumulator acc(k);
+  double scale = budget.pruning_scale();
   double slack = options_.prune_slack;
-  if (d < n.threshold) {
-    KnnRec(n.inside, dq, k, heap, stats);
-    if (d + tau() + slack >= n.threshold) {
-      KnnRec(n.outside, dq, k, heap, stats);
-    }
-  } else {
-    KnnRec(n.outside, dq, k, heap, stats);
-    if (d - tau() - slack <= n.threshold) {
-      KnnRec(n.inside, dq, k, heap, stats);
-    }
-  }
+  BestFirstSearch(
+      0, &gauge, [&] { return acc.tau() * scale; }, [&] { return acc.tau(); },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (size_t object : n.bucket) {
+            if (!gauge.ChargeDistance()) return;
+            acc.Offer(object, dq(object));
+          }
+          return;
+        }
+        // The vantage object itself lives in the inside subtree
+        // (distance 0 to itself <= threshold), so it is offered when
+        // that leaf is scanned; here its distance only steers
+        // navigation.
+        if (!gauge.ChargeDistance()) return;
+        double d = dq(n.vantage);
+        frontier->Push(std::max(bound, d - n.threshold - slack),
+                       n.inside);
+        frontier->Push(std::max(bound, n.threshold - d - slack),
+                       n.outside);
+      });
+  return acc.Take();
 }
 
 std::vector<Neighbor> VpTree::RangeSearch(const QueryDistanceFn& dq,
                                           double radius,
+                                          const SearchBudget& budget,
                                           SearchStats* stats) const {
   std::vector<Neighbor> out;
   if (size_ == 0 || radius < 0.0) return out;
   SearchStats local;
-  RangeRec(0, dq, radius, &out, stats ? stats : &local);
+  SearchStats* st = stats ? stats : &local;
+  BudgetGauge gauge(budget, st);
+  double limit = radius * budget.pruning_scale();
+  double slack = options_.prune_slack;
+  BestFirstSearch(
+      0, &gauge, [&] { return limit; }, [&] { return radius; },
+      [&](int32_t nd, double bound, Frontier* frontier) {
+        const Node& n = nodes_[size_t(nd)];
+        if (n.is_leaf) {
+          ++st->leaves_visited;
+          for (size_t object : n.bucket) {
+            if (!gauge.ChargeDistance()) return;
+            double d = dq(object);
+            if (d <= radius) out.push_back(Neighbor{object, d});
+          }
+          return;
+        }
+        if (!gauge.ChargeDistance()) return;
+        double d = dq(n.vantage);
+        frontier->Push(std::max(bound, d - n.threshold - slack),
+                       n.inside);
+        frontier->Push(std::max(bound, n.threshold - d - slack),
+                       n.outside);
+      });
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;
-}
-
-void VpTree::RangeRec(int32_t node, const QueryDistanceFn& dq,
-                      double radius, std::vector<Neighbor>* out,
-                      SearchStats* stats) const {
-  ++stats->nodes_visited;
-  const Node& n = nodes_[size_t(node)];
-  if (n.is_leaf) {
-    ++stats->leaves_visited;
-    for (size_t object : n.bucket) {
-      ++stats->points_examined;
-      double d = dq(object);
-      if (d <= radius) out->push_back(Neighbor{object, d});
-    }
-    return;
-  }
-  double d = dq(n.vantage);
-  ++stats->points_examined;
-  double slack = options_.prune_slack;
-  if (d - radius - slack <= n.threshold) {
-    RangeRec(n.inside, dq, radius, out, stats);
-  }
-  if (d + radius + slack >= n.threshold) {
-    RangeRec(n.outside, dq, radius, out, stats);
-  }
 }
 
 void VpTree::SaveTo(persist::ByteWriter* out) const {

@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "core/point.h"  // Neighbor, SearchStats.
+#include "core/query.h"  // SearchBudget.
 #include "persist/wire.h"
 
 namespace semtree {
@@ -52,17 +53,32 @@ class VpTree {
   static Result<VpTree> Build(size_t n, const MetricDistanceFn& distance,
                               const VpTreeOptions& options = {});
 
-  /// K nearest indexed objects to the query, sorted by (distance, id).
-  /// `distance_to_query` is invoked lazily, only for objects the
-  /// search actually visits.
+  /// K nearest indexed objects to the query under `budget`, sorted by
+  /// (distance, id). `distance_to_query` is invoked lazily, only for
+  /// objects the search actually visits — vantage-point probes and
+  /// leaf scans both count against the budget's distance cap. The
+  /// traversal is a best-first walk over metric ball bounds
+  /// (core/best_first.h); an exact budget reproduces textbook VP-tree
+  /// results, truncation is reported via `stats->truncated`.
+  std::vector<Neighbor> KnnSearch(const QueryDistanceFn& distance_to_query,
+                                  size_t k, const SearchBudget& budget,
+                                  SearchStats* stats = nullptr) const;
   std::vector<Neighbor> KnnSearch(const QueryDistanceFn& distance_to_query,
                                   size_t k,
-                                  SearchStats* stats = nullptr) const;
+                                  SearchStats* stats = nullptr) const {
+    return KnnSearch(distance_to_query, k, SearchBudget{}, stats);
+  }
 
-  /// All indexed objects within `radius` of the query.
+  /// All indexed objects within `radius` of the query, under the same
+  /// budget semantics (members may be missed, never misreported).
   std::vector<Neighbor> RangeSearch(
       const QueryDistanceFn& distance_to_query, double radius,
-      SearchStats* stats = nullptr) const;
+      const SearchBudget& budget, SearchStats* stats = nullptr) const;
+  std::vector<Neighbor> RangeSearch(
+      const QueryDistanceFn& distance_to_query, double radius,
+      SearchStats* stats = nullptr) const {
+    return RangeSearch(distance_to_query, radius, SearchBudget{}, stats);
+  }
 
   size_t size() const { return size_; }
   size_t NodeCount() const { return nodes_.size(); }
@@ -89,10 +105,6 @@ class VpTree {
   int32_t BuildRec(const MetricDistanceFn& distance,
                    std::vector<size_t>& objects, size_t lo, size_t hi,
                    class Rng* rng);
-  void KnnRec(int32_t node, const QueryDistanceFn& dq, size_t k,
-              std::vector<Neighbor>* heap, SearchStats* stats) const;
-  void RangeRec(int32_t node, const QueryDistanceFn& dq, double radius,
-                std::vector<Neighbor>* out, SearchStats* stats) const;
 
   VpTreeOptions options_;
   std::vector<Node> nodes_;

@@ -23,6 +23,9 @@ namespace {
 // other.
 constexpr uint32_t kSecBackendKind = 0x10;
 constexpr uint32_t kSecBackendBlob = 0x11;
+// Per-index tuning state (the default SearchBudget, DESIGN.md §6).
+// Absent in pre-approximation snapshots, which load as exact.
+constexpr uint32_t kSecBackendBudget = 0x12;
 constexpr uint32_t kSecSemOptions = 0x20;
 constexpr uint32_t kSecSemVocabulary = 0x21;
 constexpr uint32_t kSecSemTriples = 0x22;
@@ -71,6 +74,14 @@ Result<std::string> SerializeSpatialIndex(const SpatialIndex& index) {
         static_cast<int>(index.name().size()), index.name().data()));
   }
   snap.AddSection(kSecBackendKind)->PutU32(static_cast<uint32_t>(kind));
+  // The index's default SearchBudget is tuning state: a warm-restarted
+  // server keeps serving at the approximation level it was configured
+  // for. (Per-query budgets are request state and are never persisted.)
+  const SearchBudget& budget = index.default_budget();
+  ByteWriter* tuning = snap.AddSection(kSecBackendBudget);
+  tuning->PutU64(budget.max_distance_computations);
+  tuning->PutU64(budget.max_nodes_visited);
+  tuning->PutDouble(budget.epsilon);
   return snap.Serialize();
 }
 
@@ -81,6 +92,29 @@ Status SaveSpatialIndex(const SpatialIndex& index,
   return AtomicWriteFile(path, bytes);
 }
 
+namespace {
+
+// Loads the optional tuning section onto a reconstructed backend;
+// snapshots from before the approximation subsystem simply stay exact.
+Status RestoreDefaultBudget(const SnapshotReader& snap,
+                            SpatialIndex* index) {
+  if (!snap.Has(kSecBackendBudget)) return Status::OK();
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader tuning,
+                           snap.Section(kSecBackendBudget));
+  SearchBudget budget;
+  SEMTREE_ASSIGN_OR_RETURN(budget.max_distance_computations,
+                           tuning.U64());
+  SEMTREE_ASSIGN_OR_RETURN(budget.max_nodes_visited, tuning.U64());
+  SEMTREE_ASSIGN_OR_RETURN(budget.epsilon, tuning.Double());
+  if (!(budget.epsilon >= 0.0)) {
+    return Status::Corruption("snapshot default budget has bad epsilon");
+  }
+  index->set_default_budget(budget);
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
     std::string bytes) {
   SEMTREE_ASSIGN_OR_RETURN(SnapshotReader snap,
@@ -90,31 +124,38 @@ Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
   SEMTREE_ASSIGN_OR_RETURN(uint32_t kind, kind_in.U32());
   SEMTREE_ASSIGN_OR_RETURN(ByteReader blob,
                            snap.Section(kSecBackendBlob));
+  std::unique_ptr<SpatialIndex> out;
   switch (static_cast<BackendKind>(kind)) {
     case BackendKind::kKdTree: {
       SEMTREE_ASSIGN_OR_RETURN(KdTree tree, KdTree::LoadFrom(&blob));
-      return std::unique_ptr<SpatialIndex>(
-          std::make_unique<KdTree>(std::move(tree)));
+      out = std::make_unique<KdTree>(std::move(tree));
+      break;
     }
     case BackendKind::kLinearScan: {
       SEMTREE_ASSIGN_OR_RETURN(LinearScanIndex index,
                                LinearScanIndex::LoadFrom(&blob));
-      return std::unique_ptr<SpatialIndex>(
-          std::make_unique<LinearScanIndex>(std::move(index)));
+      out = std::make_unique<LinearScanIndex>(std::move(index));
+      break;
     }
     case BackendKind::kVpTree: {
       SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<VpTreeIndex> index,
                                VpTreeIndex::LoadFrom(&blob));
-      return std::unique_ptr<SpatialIndex>(std::move(index));
+      out = std::move(index);
+      break;
     }
     case BackendKind::kMTree: {
       SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<MTreeIndex> index,
                                MTreeIndex::LoadFrom(&blob));
-      return std::unique_ptr<SpatialIndex>(std::move(index));
+      out = std::move(index);
+      break;
     }
   }
-  return Status::Corruption(
-      StringPrintf("unknown backend kind %u in snapshot", kind));
+  if (out == nullptr) {
+    return Status::Corruption(
+        StringPrintf("unknown backend kind %u in snapshot", kind));
+  }
+  SEMTREE_RETURN_NOT_OK(RestoreDefaultBudget(snap, out.get()));
+  return out;
 }
 
 Result<std::unique_ptr<SpatialIndex>> LoadSpatialIndex(

@@ -9,6 +9,11 @@
 //    tree topology and the PointStore arena are written directly, so a
 //    load is O(read) with no rebuild and the loaded index answers
 //    queries byte-identically (same nodes visited, same tie-breaks).
+//    The index's default SearchBudget (DESIGN.md §6) rides along in a
+//    tuning section, so a warm-restarted index keeps serving at the
+//    approximation level it was configured for; the section is
+//    optional on read, so pre-approximation snapshots load as exact.
+//    Per-query budgets are request state and are never persisted.
 //
 //  * Semantic-index snapshots — the full end-to-end SemanticIndex:
 //    vocabulary, triple corpus, distance configuration, the trained
@@ -40,7 +45,9 @@ Result<std::string> SerializeSpatialIndex(const SpatialIndex& index);
 Status SaveSpatialIndex(const SpatialIndex& index, const std::string& path);
 
 /// Loads a spatial-index snapshot, reconstructing the concrete backend
-/// it was saved from (structure-preserving, no rebuild).
+/// it was saved from (structure-preserving, no rebuild) and restoring
+/// its default SearchBudget (exact when the snapshot predates the
+/// approximation subsystem).
 Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(std::string bytes);
 Result<std::unique_ptr<SpatialIndex>> LoadSpatialIndex(
     const std::string& path);

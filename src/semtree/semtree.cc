@@ -48,6 +48,40 @@ struct RemoveRequest {
 struct RemoveResponse {
   bool found = false;
 };
+
+// Budget accounting that travels inside a search work item: the caps
+// (SearchBudget, core/query.h) plus the work already spent across
+// every partition the item visited, so the cap is global to the
+// query, not reset per hop. Mirrors core/best_first.h's BudgetGauge
+// for the message-passing traversal.
+struct TravelBudget {
+  SearchBudget budget;
+  uint64_t nodes = 0;
+  uint64_t points = 0;
+  bool truncated = false;
+
+  bool ChargeNode() {
+    if (budget.max_nodes_visited != 0 &&
+        nodes >= budget.max_nodes_visited) {
+      truncated = true;
+      return false;
+    }
+    ++nodes;
+    return true;
+  }
+  bool ChargeDistance() {
+    if (budget.max_distance_computations != 0 &&
+        points >= budget.max_distance_computations) {
+      truncated = true;
+      return false;
+    }
+    ++points;
+    return true;
+  }
+  double eps() const {
+    return budget.epsilon > 0.0 ? budget.epsilon : 0.0;
+  }
+};
 // Node status of the k-nearest traversal — Table I of the paper:
 // Not Visited (Nv), Left/Right (near side) Visited, All Visited (Av).
 enum class VisitStatus : uint8_t {
@@ -70,6 +104,7 @@ struct KnnFrame {
 struct KnnRequest {
   std::vector<double> query;
   size_t k = 0;                 // K of Table I.
+  TravelBudget tb;              // Budget + spent counters, hop to hop.
   std::vector<Neighbor> rs;     // Result set Rs (max-heap on distance D).
   std::vector<KnnFrame> stack;  // Pending nodes with their status S.
   size_t partitions_visited = 0;
@@ -77,15 +112,18 @@ struct KnnRequest {
 struct KnnResponse {
   std::vector<Neighbor> rs;
   size_t partitions_visited = 0;
+  bool truncated = false;
 };
 struct RangeRequest {
   int32_t start_node = 0;
   std::vector<double> query;
   double radius = 0.0;
+  SearchBudget budget;  // Enforced per partition subtree (semtree.h).
 };
 struct RangeResponse {
   std::vector<Neighbor> results;
   size_t partitions_visited = 0;
+  bool truncated = false;
 };
 struct BuildPartitionRequest {};
 struct BuildPartitionResponse {
@@ -155,6 +193,7 @@ struct BatchItem {
   std::vector<double> query;
   size_t k = 0;
   double radius = 0.0;
+  TravelBudget tb;              // Budget + spent counters, hop to hop.
   std::vector<Neighbor> rs;     // k-NN: max-heap; range: accumulator.
   std::vector<KnnFrame> stack;  // Pending nodes, root-side at the bottom.
 };
@@ -187,8 +226,16 @@ size_t BatchBytes(const std::vector<BatchItem>& items) {
 // single-query handler and the batch advance loop so batched results
 // cannot diverge from sequential ones. Precondition: stack->back() is
 // a frame hosted by `p`.
+//
+// `tb` meters the item's SearchBudget: when a cap runs out the stack
+// is cleared (the traversal ends wherever it is, flagged truncated),
+// and epsilon relaxes the backward-visit condition to
+// |P[Sr] - Sv|·(1+eps) < max(Rs) — the (1+ε)-approximate criterion.
+// With an exact budget every charge succeeds and the relaxed condition
+// equals the textbook one, so the traversal is unchanged.
 void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
-             std::vector<Neighbor>* rs, std::vector<KnnFrame>* stack) {
+             TravelBudget* tb, std::vector<Neighbor>* rs,
+             std::vector<KnnFrame>* stack) {
   KnnFrame& frame = stack->back();
   const Partition::PNode& n = p->node(frame.node);
   if (n.is_dead) {
@@ -196,8 +243,16 @@ void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
     return;
   }
   if (n.is_leaf) {
+    if (!tb->ChargeNode()) {
+      stack->clear();
+      return;
+    }
     const PointStore& store = p->store();
     for (Partition::Slot s : n.bucket) {
+      if (!tb->ChargeDistance()) {
+        stack->clear();
+        return;
+      }
       rs->push_back(Neighbor{
           store.IdAt(s), EuclideanDistance(query.data(), store.CoordsAt(s),
                                            store.dimensions())});
@@ -215,25 +270,40 @@ void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
   ChildRef far = (diff <= 0.0) ? n.right : n.left;
   switch (frame.status) {
     case VisitStatus::kNotVisited:
+      if (!tb->ChargeNode()) {
+        stack->clear();
+        return;
+      }
       // Forward visit: descend the near side first.
       frame.status = VisitStatus::kNearVisited;
       stack->push_back(
           KnnFrame{near.partition, near.node, VisitStatus::kNotVisited});
       break;
-    case VisitStatus::kNearVisited:
+    case VisitStatus::kNearVisited: {
       // Backward visit: enter the unexplored subtree when the result
       // set is not full (|Rs| < K) or the splitting plane is closer
-      // than the worst result (the disjunction of §III-B.3). The
-      // empty-heap guard also covers k == 0.
-      if (rs->size() < k ||
-          (!rs->empty() && std::fabs(diff) < rs->front().distance)) {
+      // than the worst result (the disjunction of §III-B.3), the
+      // latter relaxed by epsilon. The empty-heap guard also covers
+      // k == 0.
+      double adiff = std::fabs(diff);
+      bool full = rs->size() >= k;
+      bool enter_relaxed =
+          !full ||
+          (!rs->empty() && adiff * (1.0 + tb->eps()) < rs->front().distance);
+      if (enter_relaxed) {
         frame.status = VisitStatus::kAllVisited;
         stack->push_back(
             KnnFrame{far.partition, far.node, VisitStatus::kNotVisited});
       } else {
+        // Epsilon (not the geometry) pruned a subtree the exact
+        // condition would have entered: the result is approximate.
+        if (!rs->empty() && adiff < rs->front().distance) {
+          tb->truncated = true;
+        }
         stack->pop_back();
       }
       break;
+    }
     case VisitStatus::kAllVisited:
       stack->pop_back();
       break;
@@ -822,20 +892,22 @@ void SemTree::HandleKnn(Partition* p, const Message& msg) {
       cluster_->Forward(msg, req.stack.back().partition, p->id());
       return;
     }
-    KnnStep(p, req.query, req.k, &req.rs, &req.stack);
+    KnnStep(p, req.query, req.k, &req.tb, &req.rs, &req.stack);
   }
   // Backward visit finished (at the root partition per §III-B.3, since
-  // the bottom frame lives there).
+  // the bottom frame lives there) — or the budget ran out and cleared
+  // the stack wherever the traversal was.
   KnnResponse resp;
   resp.rs = std::move(req.rs);
   resp.partitions_visited = req.partitions_visited;
+  resp.truncated = req.tb.truncated;
   size_t bytes = NeighborBytes(resp.rs.size());
   cluster_->Respond(msg, MakePayload<KnnResponse>(std::move(resp)),
                     bytes);
 }
 
 Result<std::vector<Neighbor>> SemTree::KnnSearch(
-    const std::vector<double>& query, size_t k,
+    const std::vector<double>& query, size_t k, const SearchBudget& budget,
     DistributedSearchStats* stats) const {
   if (query.size() != options_.dimensions) {
     return Status::InvalidArgument("query dimensionality mismatch");
@@ -844,6 +916,7 @@ Result<std::vector<Neighbor>> SemTree::KnnSearch(
   KnnRequest req;
   req.query = query;
   req.k = k;
+  req.tb.budget = budget;
   req.stack.push_back(KnnFrame{0, 0, VisitStatus::kNotVisited});
   SEMTREE_ASSIGN_OR_RETURN(
       Payload payload,
@@ -856,6 +929,7 @@ Result<std::vector<Neighbor>> SemTree::KnnSearch(
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;
+    stats->truncated = resp.truncated;
   }
   return out;
 }
@@ -863,63 +937,83 @@ Result<std::vector<Neighbor>> SemTree::KnnSearch(
 // --------------------------------------------------------------------
 // Range search (§III-B.4)
 
-void SemTree::RangeLocal(Partition* p, int32_t node,
-                         const std::vector<double>& query, double radius,
-                         std::vector<Neighbor>* out,
-                         std::vector<std::future<Payload>>* remote) const {
+namespace {
+
+// Local half of the distributed range search. The budget is metered
+// per partition subtree (see semtree.h): this partition's TravelBudget
+// charges local nodes and points, while border-crossing subqueries
+// ship the original caps and meter themselves. Epsilon prunes the
+// both-children descent exactly like the sequential walkers:
+// |P[Sr] - Sv|·(1+eps) <= D admits both sides.
+void RangeLocalWalk(Cluster* cluster, Partition* p, int32_t node,
+                    const RangeRequest& req, TravelBudget* tb,
+                    std::vector<Neighbor>* out,
+                    std::vector<std::future<Payload>>* remote) {
   const Partition::PNode& n = p->node(node);
   if (n.is_dead) return;
   if (n.is_leaf) {
+    if (!tb->ChargeNode()) return;
     const PointStore& store = p->store();
     for (Partition::Slot s : n.bucket) {
-      double d = EuclideanDistance(query.data(), store.CoordsAt(s),
+      if (!tb->ChargeDistance()) return;
+      double d = EuclideanDistance(req.query.data(), store.CoordsAt(s),
                                    store.dimensions());
-      if (d <= radius) out->push_back(Neighbor{store.IdAt(s), d});
+      if (d <= req.radius) out->push_back(Neighbor{store.IdAt(s), d});
     }
     return;
   }
+  if (!tb->ChargeNode()) return;
 
   auto visit = [&](const ChildRef& child) {
     if (child.partition == p->id()) {
-      RangeLocal(p, child.node, query, radius, out, remote);
+      RangeLocalWalk(cluster, p, child.node, req, tb, out, remote);
       return;
     }
     // Border node: launch the remote subquery and keep navigating —
     // the remote partitions work in parallel (§III-B.4).
-    RangeRequest req;
-    req.start_node = child.node;
-    req.query = query;
-    req.radius = radius;
-    remote->push_back(cluster_->Call(
+    RangeRequest sub;
+    sub.start_node = child.node;
+    sub.query = req.query;
+    sub.radius = req.radius;
+    sub.budget = req.budget;
+    remote->push_back(cluster->Call(
         child.partition, kRangeMsg,
-        MakePayload<RangeRequest>(std::move(req)),
-        PointBytes(query.size()), p->id()));
+        MakePayload<RangeRequest>(std::move(sub)),
+        PointBytes(req.query.size()), p->id()));
   };
 
-  double diff = query[n.split_dim] - n.split_value;
-  if (std::fabs(diff) <= radius) {
+  double diff = req.query[n.split_dim] - n.split_value;
+  double adiff = std::fabs(diff);
+  if (adiff * (1.0 + tb->eps()) <= req.radius) {
     visit(n.left);
     visit(n.right);
-  } else if (diff <= 0.0) {
-    visit(n.left);
   } else {
-    visit(n.right);
+    // Epsilon pruned the far side the exact condition would have
+    // entered: the result may be missing borderline members.
+    if (adiff <= req.radius) tb->truncated = true;
+    visit(diff <= 0.0 ? n.left : n.right);
   }
 }
+
+}  // namespace
 
 void SemTree::HandleRange(Partition* p, const Message& msg) {
   auto& req = PayloadAs<RangeRequest>(msg.payload);
   RangeResponse resp;
   resp.partitions_visited = 1;
+  TravelBudget tb;
+  tb.budget = req.budget;
   std::vector<std::future<Payload>> remote;
-  RangeLocal(p, req.start_node, req.query, req.radius, &resp.results,
-             &remote);
+  RangeLocalWalk(cluster_.get(), p, req.start_node, req, &tb,
+                 &resp.results, &remote);
+  resp.truncated = tb.truncated;
   // Backward phase: merge the parallel partial result sets.
   for (std::future<Payload>& f : remote) {
     Payload payload = f.get();
     if (payload == nullptr) continue;  // Cluster shut down mid-query.
     auto& sub = PayloadAs<RangeResponse>(payload);
     resp.partitions_visited += sub.partitions_visited;
+    resp.truncated = resp.truncated || sub.truncated;
     resp.results.insert(resp.results.end(), sub.results.begin(),
                         sub.results.end());
   }
@@ -930,7 +1024,7 @@ void SemTree::HandleRange(Partition* p, const Message& msg) {
 
 Result<std::vector<Neighbor>> SemTree::RangeSearch(
     const std::vector<double>& query, double radius,
-    DistributedSearchStats* stats) const {
+    const SearchBudget& budget, DistributedSearchStats* stats) const {
   if (query.size() != options_.dimensions) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -942,6 +1036,7 @@ Result<std::vector<Neighbor>> SemTree::RangeSearch(
   req.start_node = 0;
   req.query = query;
   req.radius = radius;
+  req.budget = budget;
   SEMTREE_ASSIGN_OR_RETURN(
       Payload payload,
       cluster_->CallAndWait(0, kRangeMsg,
@@ -953,6 +1048,7 @@ Result<std::vector<Neighbor>> SemTree::RangeSearch(
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;
+    stats->truncated = resp.truncated;
   }
   return out;
 }
@@ -991,7 +1087,7 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
 
     if (item->type == QueryType::kKnn) {
       // The exact per-frame step the single-query handler runs.
-      KnnStep(p, item->query, item->k, &item->rs, &item->stack);
+      KnnStep(p, item->query, item->k, &item->tb, &item->rs, &item->stack);
       continue;
     }
 
@@ -1001,8 +1097,17 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
       continue;
     }
     if (n.is_leaf) {
+      if (!item->tb.ChargeNode()) {
+        item->stack.clear();
+        continue;
+      }
       const PointStore& store = p->store();
+      bool spent = false;
       for (Partition::Slot s : n.bucket) {
+        if (!item->tb.ChargeDistance()) {
+          spent = true;
+          break;
+        }
         double d = EuclideanDistance(item->query.data(),
                                      store.CoordsAt(s),
                                      store.dimensions());
@@ -1010,27 +1115,37 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
           item->rs.push_back(Neighbor{store.IdAt(s), d});
         }
       }
-      item->stack.pop_back();
+      if (spent) {
+        item->stack.clear();
+      } else {
+        item->stack.pop_back();
+      }
       continue;
     }
 
     // Expand once: pop the routing frame, push every child the radius
-    // condition admits (§III-B.4).
+    // condition admits (§III-B.4) — the both-children condition
+    // relaxed by the item's epsilon, like the sequential walkers.
+    if (!item->tb.ChargeNode()) {
+      item->stack.clear();
+      continue;
+    }
     double diff = item->query[n.split_dim] - n.split_value;
+    double adiff = std::fabs(diff);
     ChildRef left = n.left;
     ChildRef right = n.right;
     item->stack.pop_back();
-    if (std::fabs(diff) <= item->radius) {
+    if (adiff * (1.0 + item->tb.eps()) <= item->radius) {
       item->stack.push_back(
           KnnFrame{left.partition, left.node, VisitStatus::kNotVisited});
       item->stack.push_back(
           KnnFrame{right.partition, right.node, VisitStatus::kNotVisited});
-    } else if (diff <= 0.0) {
-      item->stack.push_back(
-          KnnFrame{left.partition, left.node, VisitStatus::kNotVisited});
     } else {
+      // Epsilon pruned a side the exact condition would have entered.
+      if (adiff <= item->radius) item->tb.truncated = true;
+      ChildRef near = (diff <= 0.0) ? left : right;
       item->stack.push_back(
-          KnnFrame{right.partition, right.node, VisitStatus::kNotVisited});
+          KnnFrame{near.partition, near.node, VisitStatus::kNotVisited});
     }
   }
 }
@@ -1115,8 +1230,10 @@ void SemTree::HandleBatch(Partition* p, const Message& msg) {
 
 Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
     const std::vector<SpatialQuery>& queries,
-    DistributedSearchStats* stats) const {
+    DistributedSearchStats* stats,
+    std::vector<uint8_t>* truncated) const {
   std::vector<std::vector<Neighbor>> out(queries.size());
+  if (truncated) truncated->assign(queries.size(), 0);
   if (queries.empty()) return out;
 
   BatchRequest req;
@@ -1138,6 +1255,7 @@ Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
     item.query = q.coords;
     item.k = q.k;
     item.radius = q.radius;
+    item.tb.budget = q.budget;
     item.stack.push_back(KnnFrame{0, 0, VisitStatus::kNotVisited});
     req.items.push_back(std::move(item));
   }
@@ -1150,13 +1268,17 @@ Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
                             MakePayload<BatchRequest>(std::move(req)),
                             bytes));
   auto& resp = PayloadAs<BatchResponse>(payload);
+  bool any_truncated = false;
   for (BatchItem& item : resp.items) {
     std::sort(item.rs.begin(), item.rs.end(), NeighborDistanceThenId);
     out[item.slot] = std::move(item.rs);
+    any_truncated = any_truncated || item.tb.truncated;
+    if (truncated) (*truncated)[item.slot] = item.tb.truncated ? 1 : 0;
   }
   if (stats) {
     stats->messages_after = cluster_->Stats().messages;
     stats->partitions_visited = resp.partitions_visited;
+    stats->truncated = any_truncated;
   }
   return out;
 }

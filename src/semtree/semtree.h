@@ -76,10 +76,14 @@ struct SemTreeOptions {
 };
 
 /// Outcome counters for a distributed search (network cost included).
+/// `truncated` mirrors SearchStats::truncated (core/point.h): the
+/// query's SearchBudget ran out, or epsilon pruning skipped a subtree
+/// an exact search would have entered, somewhere in the cluster.
 struct DistributedSearchStats {
   size_t partitions_visited = 0;
   uint64_t messages_before = 0;
   uint64_t messages_after = 0;
+  bool truncated = false;
 };
 
 /// The distributed index. Create once, then use from any thread:
@@ -126,15 +130,37 @@ class SemTree {
   Status Remove(const std::vector<double>& coords, PointId id);
 
   /// Distributed k-nearest query (§III-B.3). Results sorted by
-  /// ascending distance, ties by id.
+  /// ascending distance, ties by id. The SearchBudget travels inside
+  /// the work-item message together with its spent-so-far counters, so
+  /// the cap is enforced globally across partition hops (not per
+  /// partition); an exact budget reproduces the budget-less protocol
+  /// run message-for-message. Truncation is reported through
+  /// `stats->truncated`.
   Result<std::vector<Neighbor>> KnnSearch(
       const std::vector<double>& query, size_t k,
+      const SearchBudget& budget,
       DistributedSearchStats* stats = nullptr) const;
+  Result<std::vector<Neighbor>> KnnSearch(
+      const std::vector<double>& query, size_t k,
+      DistributedSearchStats* stats = nullptr) const {
+    return KnnSearch(query, k, SearchBudget{}, stats);
+  }
 
-  /// Distributed range query (§III-B.4).
+  /// Distributed range query (§III-B.4). Because the remote subqueries
+  /// of a range search run in parallel (no traversal state travels
+  /// between them), the budget is enforced *per partition subtree* —
+  /// each partition meters its local work independently — rather than
+  /// globally; the batch protocol below, which advances items
+  /// serially, enforces it globally.
   Result<std::vector<Neighbor>> RangeSearch(
       const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
       DistributedSearchStats* stats = nullptr) const;
+  Result<std::vector<Neighbor>> RangeSearch(
+      const std::vector<double>& query, double radius,
+      DistributedSearchStats* stats = nullptr) const {
+    return RangeSearch(query, radius, SearchBudget{}, stats);
+  }
 
   /// Executes a batch of mixed k-NN/range queries as ONE coalesced
   /// protocol run: the whole batch ships to the root partition in a
@@ -142,11 +168,16 @@ class SemTree {
   /// descend into the same child partition travel there together in one
   /// RPC per (partition, round) instead of one RPC per query. Results
   /// are positionally aligned with `queries` and identical to issuing
-  /// each query through KnnSearch/RangeSearch. `stats`, if given,
-  /// aggregates over the batch.
+  /// each query through KnnSearch/RangeSearch. Each query's
+  /// SearchBudget (SpatialQuery::budget) travels with its work item —
+  /// counters included — so budgets are enforced globally across
+  /// partitions; `truncated`, if given, receives one flag per query
+  /// (nonzero = that result may be missing members). `stats`, if
+  /// given, aggregates over the batch.
   Result<std::vector<std::vector<Neighbor>>> BatchSearch(
       const std::vector<SpatialQuery>& queries,
-      DistributedSearchStats* stats = nullptr) const;
+      DistributedSearchStats* stats = nullptr,
+      std::vector<uint8_t>* truncated = nullptr) const;
 
   /// Total points stored across partitions.
   size_t size() const { return total_points_.load(); }
@@ -205,13 +236,6 @@ class SemTree {
   void HandleBatch(Partition* p, const Message& msg);
   void HandleSnapshot(Partition* p, const Message& msg);
   void HandleRestore(Partition* p, const Message& msg);
-
-  // Local recursion used by the range handler (k-NN is fully
-  // stack-driven inside HandleKnn).
-  void RangeLocal(Partition* p, int32_t node,
-                  const std::vector<double>& query, double radius,
-                  std::vector<Neighbor>* out,
-                  std::vector<std::future<Payload>>* remote) const;
 
   SemTreeOptions options_;
   std::unique_ptr<Cluster> cluster_;
