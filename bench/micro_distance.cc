@@ -1,160 +1,220 @@
 // Copyright 2026 The SemTree Authors
 //
-// google-benchmark microbenches for the hot primitives: string
-// distances, taxonomy similarity, the Eq. (1) triple distance (plain
-// and cached), FastMap projection and KD-tree searches.
+// Microbench for the distance-kernel layer (core/kernels.h, DESIGN.md
+// §7): one-vs-many batched kernels against the per-point scalar calls
+// they replace, per metric, across dimensionalities, on a contiguous
+// row-major block and on gathered (pointer-per-row) leaf-bucket rows.
+//
+// The headline the kernel layer must earn — the batched L2 kernel is
+// at least 2x the per-point scalar throughput at d >= 16 — is asserted
+// by the exit code (--smoke), so a regression in the kernel (or a
+// compiler flag change that defeats it) fails CI smoke, not just a CSV
+// nobody reads. The assertion keys off BatchKernelsUseSimd(): on
+// hardware without usable AVX the portable fallback is merely faster,
+// not 2x, and the claim is reported instead of enforced. --report runs
+// the same sweep without the assertion (for the optimization configs
+// where the scalar baseline gets software-pipelined and the margin is
+// microarchitecture noise, e.g. -O3; see ci.yml).
+//
+//   ./bench_micro_distance [--smoke | --report]
+//
+// Output: CSV — kernel (scalar | batch | batch_gather), metric, dim,
+// ns_per_distance, speedup (batched rows only, vs the same metric's
+// scalar row). The batched results are also verified bit-identical to
+// the scalar calls on every run, because the whole exact-search
+// byte-identity story rests on that.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
-#include "bench/bench_util.h"
-#include "distance/triple_distance.h"
-#include "kdtree/kdtree.h"
-#include "kdtree/linear_scan.h"
-#include "ontology/requirements_vocabulary.h"
-#include "ontology/similarity.h"
-#include "text/string_distance.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/distance.h"
+#include "core/kernels.h"
 
 namespace semtree {
 namespace bench {
 namespace {
 
-void BM_Levenshtein(benchmark::State& state) {
-  std::string a = "OBSW001_component_identifier";
-  std::string b = "OBSW017_component_identifler";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
-  }
-}
-BENCHMARK(BM_Levenshtein);
+constexpr size_t kRows = 4096;
 
-void BM_JaroWinkler(benchmark::State& state) {
-  std::string a = "OBSW001_component_identifier";
-  std::string b = "OBSW017_component_identifler";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
-  }
-}
-BENCHMARK(BM_JaroWinkler);
+// Keeps results alive so the timed loops cannot be optimized away.
+volatile double g_sink = 0.0;
 
-void BM_ConceptSimilarity(benchmark::State& state) {
-  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
-  auto measure = static_cast<SimilarityMeasure>(state.range(0));
-  ConceptId a = *vocab->Find("accept_cmd");
-  ConceptId b = *vocab->Find("power_off");
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ConceptSimilarity(measure, *vocab, a, b));
-  }
-  state.SetLabel(SimilarityMeasureName(measure));
+std::vector<double> RandomBlock(size_t rows, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> block(rows * dim);
+  for (double& v : block) v = rng.UniformDouble(-1.0, 1.0);
+  return block;
 }
-BENCHMARK(BM_ConceptSimilarity)
-    ->Arg(int(SimilarityMeasure::kWuPalmer))
-    ->Arg(int(SimilarityMeasure::kPath))
-    ->Arg(int(SimilarityMeasure::kResnik))
-    ->Arg(int(SimilarityMeasure::kLin));
 
-void BM_TripleDistance(benchmark::State& state) {
-  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
-  auto dist = TripleDistance::Make(vocab);
-  Triple a(Term::Literal("OBSW001"), Term::Concept("accept_cmd", "Fun"),
-           Term::Concept("startup_cmd", "CmdType"));
-  Triple b(Term::Literal("OBSW044"), Term::Concept("inhibit_msg", "Fun"),
-           Term::Concept("heartbeat", "MsgType"));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize((*dist)(a, b));
-  }
+// Nanoseconds per distance for one timed burst of `run` (which
+// computes kRows distances per rep).
+template <typename Fn>
+double TimeOnce(size_t reps, Fn run) {
+  Stopwatch sw;
+  for (size_t r = 0; r < reps; ++r) run();
+  return double(sw.ElapsedNanos()) / double(reps * kRows);
 }
-BENCHMARK(BM_TripleDistance);
 
-void BM_TripleDistanceCached(benchmark::State& state) {
-  static const Taxonomy* vocab = new Taxonomy(RequirementsVocabulary());
-  auto dist = TripleDistance::Make(vocab);
-  CachingTripleDistance cached(*dist);
-  Triple a(Term::Literal("OBSW001"), Term::Concept("accept_cmd", "Fun"),
-           Term::Concept("startup_cmd", "CmdType"));
-  Triple b(Term::Literal("OBSW044"), Term::Concept("inhibit_msg", "Fun"),
-           Term::Concept("heartbeat", "MsgType"));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cached(a, b));
-  }
-}
-BENCHMARK(BM_TripleDistanceCached);
-
-struct MicroWorkload {
-  Workload workload;
-  MicroWorkload() : workload(MakeWorkload(20000)) {}
+struct KernelRates {
+  double scalar_ns = 0.0;  // Best-of-trials, for the CSV.
+  double batch_ns = 0.0;
+  double gather_ns = 0.0;
+  // Best scalar/batch ratio over *paired* trials (scalar and batch
+  // timed back to back within one trial). Scheduler noise — a stolen
+  // time slice on a shared runner — can only make a measured ratio
+  // worse, never better, so the cleanest pair is the honest estimate
+  // of the kernel's capability and the one the 2x gate asserts on;
+  // independent best-of per kernel would compare a clean scalar run
+  // against a stolen batch run and flake.
+  double best_speedup = 0.0;
 };
 
-MicroWorkload& SharedWorkload() {
-  static MicroWorkload* w = new MicroWorkload();
-  return *w;
-}
+KernelRates MeasureMetric(Metric metric, size_t dim, size_t reps,
+                          size_t trials) {
+  std::vector<double> block = RandomBlock(kRows, dim, 7 + dim);
+  std::vector<double> query = RandomBlock(1, dim, 991 + dim);
+  std::vector<double> out(kRows);
 
-void BM_FastMapProject(benchmark::State& state) {
-  Workload& w = SharedWorkload().workload;
-  const Triple& query = w.triples[123];
-  for (auto _ : state) {
-    auto coords = w.fastmap->Project([&](size_t train) {
-      return (*w.distance)(query, w.triples[train]);
-    });
-    benchmark::DoNotOptimize(coords);
+  // Gathered view of the same rows (what a leaf-bucket scan sees).
+  std::vector<const double*> rows(kRows);
+  for (size_t r = 0; r < kRows; ++r) rows[r] = block.data() + r * dim;
+
+  // Correctness first: batched output must be bit-identical to the
+  // scalar calls, contiguous and gathered alike.
+  std::vector<double> expected(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    expected[r] = MetricDistance(metric, query.data(), rows[r], dim);
   }
-}
-BENCHMARK(BM_FastMapProject);
-
-void BM_KdTreeKnn(benchmark::State& state) {
-  Workload& w = SharedWorkload().workload;
-  static const KdTree* tree = [] {
-    auto t = KdTree::BulkLoadBalanced(
-        SharedWorkload().workload.dimensions(),
-        SharedWorkload().workload.points, {.bucket_size = 32});
-    return new KdTree(std::move(*t));
-  }();
-  auto queries = MakeQueries(w, 64, 7);
-  size_t i = 0;
-  size_t k = size_t(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree->KnnSearch(queries[i++ % 64], k));
+  BatchDistance(metric, query.data(), dim, block.data(), kRows,
+                out.data());
+  if (std::memcmp(out.data(), expected.data(),
+                  kRows * sizeof(double)) != 0) {
+    std::fprintf(stderr, "FAIL: batch %s d=%zu not bit-identical\n",
+                 MetricName(metric).data(), dim);
+    std::exit(1);
   }
-}
-BENCHMARK(BM_KdTreeKnn)->Arg(1)->Arg(3)->Arg(10)->Arg(50);
+  BatchDistance(metric, query.data(), dim, rows.data(), kRows,
+                out.data());
+  if (std::memcmp(out.data(), expected.data(),
+                  kRows * sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: batch_gather %s d=%zu not bit-identical\n",
+                 MetricName(metric).data(), dim);
+    std::exit(1);
+  }
 
-void BM_LinearScanKnn(benchmark::State& state) {
-  Workload& w = SharedWorkload().workload;
-  static const LinearScanIndex* scan = [] {
-    auto* s = new LinearScanIndex(
-        SharedWorkload().workload.dimensions());
-    for (const auto& p : SharedWorkload().workload.points) {
-      (void)s->Insert(p.coords, p.id);
+  auto run_scalar = [&] {
+    double sink = 0.0;
+    for (size_t r = 0; r < kRows; ++r) {
+      sink += MetricDistance(metric, query.data(),
+                             block.data() + r * dim, dim);
     }
-    return s;
-  }();
-  auto queries = MakeQueries(w, 16, 7);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scan->KnnSearch(queries[i++ % 16], 3));
-  }
-}
-BENCHMARK(BM_LinearScanKnn);
+    g_sink = sink;
+  };
+  auto run_batch = [&] {
+    BatchDistance(metric, query.data(), dim, block.data(), kRows,
+                  out.data());
+    g_sink = out[kRows - 1];
+  };
+  auto run_gather = [&] {
+    BatchDistance(metric, query.data(), dim, rows.data(), kRows,
+                  out.data());
+    g_sink = out[kRows - 1];
+  };
 
-void BM_KdTreeRange(benchmark::State& state) {
-  Workload& w = SharedWorkload().workload;
-  static const KdTree* tree = [] {
-    auto t = KdTree::BulkLoadBalanced(
-        SharedWorkload().workload.dimensions(),
-        SharedWorkload().workload.points, {.bucket_size = 32});
-    return new KdTree(std::move(*t));
-  }();
-  double radius = CalibrateRadius(w, 0.01, 3);
-  auto queries = MakeQueries(w, 64, 11);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree->RangeSearch(queries[i++ % 64], radius));
+  KernelRates rates;
+  rates.scalar_ns = rates.batch_ns = rates.gather_ns = 1e300;
+  for (size_t t = 0; t < trials; ++t) {
+    double s = TimeOnce(reps, run_scalar);
+    double b = TimeOnce(reps, run_batch);
+    double g = TimeOnce(reps, run_gather);
+    rates.scalar_ns = std::min(rates.scalar_ns, s);
+    rates.batch_ns = std::min(rates.batch_ns, b);
+    rates.gather_ns = std::min(rates.gather_ns, g);
+    rates.best_speedup = std::max(rates.best_speedup, s / b);
   }
+  return rates;
 }
-BENCHMARK(BM_KdTreeRange);
+
+int Run(bool assert_speedup) {
+  const size_t reps = 100;
+  const size_t trials = 9;
+  const size_t dims[] = {4, 8, 16, 32, 64};
+  const Metric metrics[] = {Metric::kL2, Metric::kL1, Metric::kCosine};
+  // The asserted dims: d = 16 carries the "at d >= 16" claim, d = 32
+  // guards against a regression that only shows at higher arity. d =
+  // 64 is reported but not asserted — its 2 MiB working set makes the
+  // ratio memory-system dependent.
+  const size_t asserted_dims[] = {16, 32};
+
+  bool simd = BatchKernelsUseSimd();
+  std::printf("# simd_path=%s\n", simd ? "avx" : "fallback");
+  std::printf("bench,kernel,metric,dim,ns_per_distance,speedup\n");
+  bool ok = true;
+  for (Metric metric : metrics) {
+    for (size_t dim : dims) {
+      KernelRates r = MeasureMetric(metric, dim, reps, trials);
+      std::printf("micro_distance,scalar,%s,%zu,%.3f,1.00\n",
+                  MetricName(metric).data(), dim, r.scalar_ns);
+      std::printf("micro_distance,batch,%s,%zu,%.3f,%.2f\n",
+                  MetricName(metric).data(), dim, r.batch_ns,
+                  r.scalar_ns / r.batch_ns);
+      std::printf("micro_distance,batch_gather,%s,%zu,%.3f,%.2f\n",
+                  MetricName(metric).data(), dim, r.gather_ns,
+                  r.scalar_ns / r.gather_ns);
+      // Without SIMD the portable fallback is merely faster, not 2x;
+      // skip the check entirely so the log never shows a FAIL the
+      // exit code then ignores.
+      if (!assert_speedup || !simd || metric != Metric::kL2) continue;
+      for (size_t asserted : asserted_dims) {
+        if (dim != asserted) continue;
+        if (r.best_speedup < 2.0) {
+          std::fprintf(stderr,
+                       "FAIL: batched l2 kernel %.2fx scalar at d=%zu "
+                       "(need >= 2x in the best paired trial)\n",
+                       r.best_speedup, dim);
+          ok = false;
+        }
+      }
+    }
+  }
+  if (assert_speedup && !simd) {
+    std::printf(
+        "# no usable SIMD on this machine; 2x assertion skipped\n");
+    return 0;
+  }
+  if (!ok) return 1;
+  if (assert_speedup) {
+    std::printf("# batched l2 kernel >= 2x scalar at d in {16,32}: OK\n");
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace bench
 }  // namespace semtree
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool assert_speedup = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      assert_speedup = false;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      assert_speedup = true;
+    } else {
+      // Reject typos instead of silently falling back to assert mode
+      // (which is deliberately off on the Release CI leg).
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: bench_micro_distance [--smoke | --report]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  return semtree::bench::Run(assert_speedup);
+}

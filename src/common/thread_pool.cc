@@ -12,13 +12,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
+  // Idempotent: a second call finds no workers left to join. Workers
+  // drain the queue before exiting (see WorkerLoop), so every task
+  // submitted before Shutdown still runs to completion.
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::Wait() {

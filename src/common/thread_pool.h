@@ -29,6 +29,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; returns a future for its result.
+  ///
+  /// After Shutdown (or during destruction) the task is NOT enqueued:
+  /// it would never run, so a caller blocking on the future would hang
+  /// forever. Instead the returned future reports
+  /// std::future_errc::broken_promise from get() — the enqueue-after-
+  /// shutdown surfaces as an exception at the waiter, never as a
+  /// deadlock.
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -37,6 +44,11 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        // Dropping `task` here abandons its shared state; the future
+        // throws broken_promise when queried.
+        return future;
+      }
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -45,6 +57,11 @@ class ThreadPool {
 
   /// Blocks until every task submitted so far has completed.
   void Wait();
+
+  /// Drains the queue, stops and joins every worker. Idempotent; the
+  /// destructor calls it. Submit afterwards returns broken-promise
+  /// futures (see Submit).
+  void Shutdown();
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "core/distance.h"
+#include "core/kernels.h"
 #include "kdtree/kdtree.h"
 #include "kdtree/linear_scan.h"
 #include "persist/snapshot.h"
@@ -13,11 +13,11 @@ namespace semtree {
 
 namespace {
 
-Status CheckDims(size_t got, size_t want) {
-  if (got != want) {
+Status CheckInsertable(const std::vector<double>& coords, size_t want) {
+  if (coords.size() != want) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
-  return Status::OK();
+  return CheckFiniteCoords(coords);
 }
 
 // The metric trees report object indices (store slots); translate them
@@ -32,14 +32,25 @@ std::vector<Neighbor> SlotsToIds(const PointStore& store,
   return hits;
 }
 
-// Distance from a query vector to a stored object, as the metric trees'
-// lazy query oracle.
-QueryDistanceFn QueryOracle(const PointStore& store,
+// Distance from a query vector to a stored object under the adapter's
+// metric, as the metric trees' lazy query oracle. The cosine path
+// hoists the query's own norm out of the per-object calls (one O(d)
+// pass per search instead of per distance); CosineChordDistance is
+// bit-identical to MetricDistance(kCosine, ...).
+QueryDistanceFn QueryOracle(Metric metric, const PointStore& store,
                             const std::vector<double>& query) {
-  return [&store, &query](size_t obj) {
-    return EuclideanDistance(query.data(),
-                             store.CoordsAt(PointStore::Slot(obj)),
-                             store.dimensions());
+  if (metric == Metric::kCosine) {
+    double query_norm2 = SquaredNorm(query.data(), query.size());
+    return [&store, &query, query_norm2](size_t obj) {
+      return CosineChordDistance(query.data(), query_norm2,
+                                 store.CoordsAt(PointStore::Slot(obj)),
+                                 store.dimensions());
+    };
+  }
+  return [metric, &store, &query](size_t obj) {
+    return MetricDistance(metric, query.data(),
+                          store.CoordsAt(PointStore::Slot(obj)),
+                          store.dimensions());
   };
 }
 
@@ -49,10 +60,12 @@ QueryDistanceFn QueryOracle(const PointStore& store,
 // VpTreeIndex
 
 VpTreeIndex::VpTreeIndex(size_t dimensions, BackendOptions options)
-    : options_(options), store_(dimensions) {}
+    : options_(options), store_(dimensions) {
+  (void)SpatialIndex::set_metric(options.metric);
+}
 
 Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
-  SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
+  SEMTREE_RETURN_NOT_OK(CheckInsertable(coords, store_.dimensions()));
   store_.Append(coords, id);
   tree_.reset();  // Static index: rebuild lazily on the next query.
   BumpEpoch();
@@ -63,6 +76,15 @@ Status VpTreeIndex::Remove(const std::vector<double>&, PointId) {
   return Status::NotSupported("VP-tree does not support removal");
 }
 
+Status VpTreeIndex::set_metric(Metric metric) {
+  std::lock_guard<std::mutex> lock(build_mu_);
+  // The ball decomposition is metric-dependent; drop any built tree
+  // and rebuild lazily under the new distances on the next query.
+  if (metric != this->metric()) tree_.reset();
+  options_.metric = metric;  // Keep the stored options in sync.
+  return SpatialIndex::set_metric(metric);
+}
+
 void VpTreeIndex::EnsureBuilt() const {
   std::lock_guard<std::mutex> lock(build_mu_);
   if (tree_.has_value() || store_.size() == 0) return;
@@ -71,11 +93,12 @@ void VpTreeIndex::EnsureBuilt() const {
   vopts.seed = options_.seed;
   const PointStore& store = store_;
   size_t dim = store.dimensions();
+  Metric m = metric();
   auto built = VpTree::Build(
       store.size(),
-      [&store, dim](size_t a, size_t b) {
-        return EuclideanDistance(store.CoordsAt(PointStore::Slot(a)),
-                                 store.CoordsAt(PointStore::Slot(b)), dim);
+      [&store, dim, m](size_t a, size_t b) {
+        return MetricDistance(m, store.CoordsAt(PointStore::Slot(a)),
+                              store.CoordsAt(PointStore::Slot(b)), dim);
       },
       vopts);
   // Build only fails on n == 0 or a null oracle; neither happens here.
@@ -85,21 +108,27 @@ void VpTreeIndex::EnsureBuilt() const {
 std::vector<Neighbor> VpTreeIndex::KnnSearch(
     const std::vector<double>& query, size_t k, const SearchBudget& budget,
     SearchStats* stats) const {
-  if (query.size() != store_.dimensions()) return {};
+  if (query.size() != store_.dimensions() || !AllFinite(query)) return {};
   EnsureBuilt();
   if (!tree_.has_value()) return {};
-  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
-                                             k, budget, stats));
+  return SlotsToIds(store_,
+                    tree_->KnnSearch(QueryOracle(metric(), store_, query),
+                                     k, budget, stats));
 }
 
 std::vector<Neighbor> VpTreeIndex::RangeSearch(
     const std::vector<double>& query, double radius,
     const SearchBudget& budget, SearchStats* stats) const {
-  if (query.size() != store_.dimensions()) return {};
+  // !(radius >= 0) also rejects a NaN radius.
+  if (query.size() != store_.dimensions() || !AllFinite(query) ||
+      !(radius >= 0.0)) {
+    return {};
+  }
   EnsureBuilt();
   if (!tree_.has_value()) return {};
-  return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
-                                               radius, budget, stats));
+  return SlotsToIds(
+      store_, tree_->RangeSearch(QueryOracle(metric(), store_, query),
+                                 radius, budget, stats));
 }
 
 void VpTreeIndex::SaveTo(persist::ByteWriter* out) const {
@@ -114,8 +143,9 @@ void VpTreeIndex::SaveTo(persist::ByteWriter* out) const {
 }
 
 Result<std::unique_ptr<VpTreeIndex>> VpTreeIndex::LoadFrom(
-    persist::ByteReader* in) {
+    persist::ByteReader* in, Metric metric) {
   BackendOptions options;
+  options.metric = metric;
   SEMTREE_ASSIGN_OR_RETURN(options.bucket_size, in->U64());
   SEMTREE_ASSIGN_OR_RETURN(options.seed, in->U64());
   SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
@@ -142,23 +172,27 @@ Result<std::unique_ptr<VpTreeIndex>> VpTreeIndex::LoadFrom(
 
 MTreeIndex::MTreeIndex(size_t dimensions, BackendOptions options)
     : store_(dimensions) {
+  (void)SpatialIndex::set_metric(options.metric);
   MTreeOptions mopts;
   mopts.node_capacity = options.bucket_size;
   mopts.seed = options.seed;
-  size_t dim = store_.dimensions();
-  PointStore* store = &store_;
+  // The oracle reads the adapter's metric at call time (the adapter is
+  // pinned — non-copyable — so `this` stays valid), which lets the
+  // snapshot loader bind the oracle before the persisted metric is
+  // restored.
   auto tree = MTree::Create(
-      [store, dim](size_t a, size_t b) {
-        return EuclideanDistance(store->CoordsAt(PointStore::Slot(a)),
-                                 store->CoordsAt(PointStore::Slot(b)),
-                                 dim);
+      [this](size_t a, size_t b) {
+        return MetricDistance(metric(),
+                              store_.CoordsAt(PointStore::Slot(a)),
+                              store_.CoordsAt(PointStore::Slot(b)),
+                              store_.dimensions());
       },
       mopts);
   tree_ = std::make_unique<MTree>(std::move(*tree));
 }
 
 Status MTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
-  SEMTREE_RETURN_NOT_OK(CheckDims(coords.size(), store_.dimensions()));
+  SEMTREE_RETURN_NOT_OK(CheckInsertable(coords, store_.dimensions()));
   PointStore::Slot slot = store_.Append(coords, id);
   SEMTREE_RETURN_NOT_OK(tree_->Insert(slot));
   BumpEpoch();
@@ -169,20 +203,36 @@ Status MTreeIndex::Remove(const std::vector<double>&, PointId) {
   return Status::NotSupported("M-tree does not support removal");
 }
 
+Status MTreeIndex::set_metric(Metric metric) {
+  if (metric == this->metric()) return Status::OK();
+  if (store_.size() != 0) {
+    return Status::FailedPrecondition(
+        "M-tree routing radii were computed under the current metric; "
+        "set the metric before inserting points");
+  }
+  return SpatialIndex::set_metric(metric);
+}
+
 std::vector<Neighbor> MTreeIndex::KnnSearch(
     const std::vector<double>& query, size_t k, const SearchBudget& budget,
     SearchStats* stats) const {
-  if (query.size() != store_.dimensions()) return {};
-  return SlotsToIds(store_, tree_->KnnSearch(QueryOracle(store_, query),
-                                             k, budget, stats));
+  if (query.size() != store_.dimensions() || !AllFinite(query)) return {};
+  return SlotsToIds(store_,
+                    tree_->KnnSearch(QueryOracle(metric(), store_, query),
+                                     k, budget, stats));
 }
 
 std::vector<Neighbor> MTreeIndex::RangeSearch(
     const std::vector<double>& query, double radius,
     const SearchBudget& budget, SearchStats* stats) const {
-  if (query.size() != store_.dimensions()) return {};
-  return SlotsToIds(store_, tree_->RangeSearch(QueryOracle(store_, query),
-                                               radius, budget, stats));
+  // !(radius >= 0) also rejects a NaN radius.
+  if (query.size() != store_.dimensions() || !AllFinite(query) ||
+      !(radius >= 0.0)) {
+    return {};
+  }
+  return SlotsToIds(
+      store_, tree_->RangeSearch(QueryOracle(metric(), store_, query),
+                                 radius, budget, stats));
 }
 
 void MTreeIndex::SaveTo(persist::ByteWriter* out) const {
@@ -192,22 +242,26 @@ void MTreeIndex::SaveTo(persist::ByteWriter* out) const {
 }
 
 Result<std::unique_ptr<MTreeIndex>> MTreeIndex::LoadFrom(
-    persist::ByteReader* in) {
+    persist::ByteReader* in, Metric metric) {
   SEMTREE_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
   SEMTREE_ASSIGN_OR_RETURN(PointStore loaded, persist::ReadPointStore(in));
-  auto index = std::make_unique<MTreeIndex>(loaded.dimensions());
+  BackendOptions options;
+  options.metric = metric;
+  auto index = std::make_unique<MTreeIndex>(loaded.dimensions(), options);
   index->store_ = std::move(loaded);
   // Re-bind the distance oracle to the loaded arena (the adapter is
-  // pinned, so the captured pointer stays valid).
-  size_t dim = index->store_.dimensions();
-  PointStore* store = &index->store_;
+  // pinned, so the captured pointer stays valid) under the restored
+  // metric.
+  MTreeIndex* self = index.get();
   SEMTREE_ASSIGN_OR_RETURN(
       MTree tree,
       MTree::LoadFrom(
-          [store, dim](size_t a, size_t b) {
-            return EuclideanDistance(store->CoordsAt(PointStore::Slot(a)),
-                                     store->CoordsAt(PointStore::Slot(b)),
-                                     dim);
+          [self](size_t a, size_t b) {
+            return MetricDistance(
+                self->metric(),
+                self->store_.CoordsAt(PointStore::Slot(a)),
+                self->store_.CoordsAt(PointStore::Slot(b)),
+                self->store_.dimensions());
           },
           index->store_.slot_count(), in));
   if (tree.size() != index->store_.size()) {
@@ -228,10 +282,12 @@ std::unique_ptr<SpatialIndex> MakeSpatialIndex(BackendKind kind,
     case BackendKind::kKdTree: {
       KdTreeOptions kopts;
       kopts.bucket_size = options.bucket_size;
+      kopts.metric = options.metric;
       return std::make_unique<KdTree>(dimensions, kopts);
     }
     case BackendKind::kLinearScan:
-      return std::make_unique<LinearScanIndex>(dimensions);
+      return std::make_unique<LinearScanIndex>(dimensions,
+                                               options.metric);
     case BackendKind::kVpTree:
       return std::make_unique<VpTreeIndex>(dimensions, options);
     case BackendKind::kMTree:

@@ -37,6 +37,13 @@ struct BackendOptions {
   /// Seed for randomized construction (VP vantage points, M-tree split
   /// promotion).
   uint64_t seed = 42;
+
+  /// Distance function the index evaluates (core/kernels.h): L2
+  /// (default), L1, or cosine (angular chord). The metric trees prune
+  /// under any of the three (all satisfy the triangle inequality); the
+  /// KD-tree stays exact under cosine but loses its splitting-plane
+  /// pruning (see KdPlaneLowerBound).
+  Metric metric = Metric::kL2;
 };
 
 /// Vantage-point tree over Euclidean vectors. The VP-tree core is a
@@ -67,11 +74,19 @@ class VpTreeIndex : public SpatialIndex {
   size_t dimensions() const override { return store_.dimensions(); }
   std::string_view name() const override { return "vptree"; }
 
+  /// Changing the metric invalidates the built tree (its ball
+  /// decomposition was computed under the old distances); the next
+  /// query rebuilds lazily under the new one.
+  Status set_metric(Metric metric) override;
+
   /// Serializes the adapter (arena + built tree + epoch). Forces the
   /// lazy rebuild first so the snapshot preserves the tree structure.
+  /// The metric itself rides in the snapshot tuning section
+  /// (persist/index_snapshot.cc) and is handed back through `metric`
+  /// on load — before the tree binds its distance oracle.
   void SaveTo(persist::ByteWriter* out) const;
   static Result<std::unique_ptr<VpTreeIndex>> LoadFrom(
-      persist::ByteReader* in);
+      persist::ByteReader* in, Metric metric = Metric::kL2);
 
  private:
   void EnsureBuilt() const;
@@ -116,11 +131,17 @@ class MTreeIndex : public SpatialIndex {
   size_t dimensions() const override { return store_.dimensions(); }
   std::string_view name() const override { return "mtree"; }
 
+  /// The M-tree's routing radii are computed at insert time, so the
+  /// metric cannot change once points are stored (FailedPrecondition);
+  /// re-setting the current metric is a no-op.
+  Status set_metric(Metric metric) override;
+
   /// Serializes the adapter (arena + tree + epoch); the loaded tree's
-  /// distance oracle is re-bound to the loaded arena.
+  /// distance oracle is re-bound to the loaded arena under `metric`
+  /// (restored from the snapshot tuning section).
   void SaveTo(persist::ByteWriter* out) const;
   static Result<std::unique_ptr<MTreeIndex>> LoadFrom(
-      persist::ByteReader* in);
+      persist::ByteReader* in, Metric metric = Metric::kL2);
 
  private:
   PointStore store_;

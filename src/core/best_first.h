@@ -70,6 +70,29 @@ class BudgetGauge {
     return true;
   }
 
+  /// Bulk form for batched leaf scans: grants as many of `want`
+  /// distance charges as the budget allows and returns the granted
+  /// count. Granting less than `want` marks the search truncated —
+  /// exactly the accounting a per-point ChargeDistance loop would
+  /// produce (compute `granted` distances, fail on the next), so
+  /// batched and scalar scans report identical stats and results.
+  size_t ChargeDistances(size_t want) {
+    size_t granted = want;
+    if (budget_.max_distance_computations != 0) {
+      size_t remaining =
+          budget_.max_distance_computations > distances_
+              ? budget_.max_distance_computations - distances_
+              : 0;
+      if (remaining < want) {
+        granted = remaining;
+        MarkTruncated();
+      }
+    }
+    distances_ += granted;
+    stats_->points_examined += granted;
+    return granted;
+  }
+
   /// Records that the search result may be missing members. A failed
   /// charge also means no further work is possible: the walk must
   /// stop, not merely skip (see exhausted()).

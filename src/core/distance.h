@@ -10,6 +10,8 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace semtree {
@@ -31,12 +33,29 @@ inline double EuclideanDistance(const double* a, const double* b,
   return std::sqrt(SquaredEuclideanDistance(a, b, n));
 }
 
-/// Convenience overload for owning vectors; trailing coordinates of the
-/// longer vector are ignored (treated as matching zeros both sides).
+namespace internal {
+
+/// A dimension mismatch is a programming error, never data: silently
+/// truncating to the shorter vector (the old behavior) returned a
+/// plausible-looking distance computed in the wrong space. Abort so
+/// the bug surfaces at the call site instead of corrupting results.
+[[noreturn]] inline void FatalDimensionMismatch(size_t a, size_t b) {
+  std::fprintf(stderr,
+               "EuclideanDistance: dimension mismatch (%zu vs %zu)\n", a,
+               b);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Convenience overload for owning vectors. The vectors must have the
+/// same dimensionality; mismatches abort (see FatalDimensionMismatch).
 inline double EuclideanDistance(const std::vector<double>& a,
                                 const std::vector<double>& b) {
-  size_t n = a.size() < b.size() ? a.size() : b.size();
-  return EuclideanDistance(a.data(), b.data(), n);
+  if (a.size() != b.size()) {
+    internal::FatalDimensionMismatch(a.size(), b.size());
+  }
+  return EuclideanDistance(a.data(), b.data(), a.size());
 }
 
 }  // namespace semtree

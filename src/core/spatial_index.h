@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/kernels.h"
 #include "core/point.h"
 #include "core/query.h"
 
@@ -28,8 +29,10 @@ class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
 
-  /// Inserts one point. Fails if `coords` has the wrong dimensionality
-  /// or the backend does not support incremental insertion.
+  /// Inserts one point. Fails if `coords` has the wrong dimensionality,
+  /// contains a non-finite (NaN/Inf) coordinate — a single NaN would
+  /// poison best-first frontier ordering undetected — or the backend
+  /// does not support incremental insertion.
   virtual Status Insert(const std::vector<double>& coords, PointId id) = 0;
 
   /// Removes the point with the given coordinates and id. Backends
@@ -42,7 +45,9 @@ class SpatialIndex {
   /// case `stats->truncated` is set. Distances are always true
   /// distances to stored points: a budget can only make the result
   /// miss members, never report a wrong one. An exact budget
-  /// reproduces the budget-less result byte-identically.
+  /// reproduces the budget-less result byte-identically. Queries of
+  /// the wrong arity or with non-finite coordinates return empty
+  /// (QueryEngine::Run rejects them with a Status up front).
   virtual std::vector<Neighbor> KnnSearch(
       const std::vector<double>& query, size_t k, const SearchBudget& budget,
       SearchStats* stats = nullptr) const = 0;
@@ -76,6 +81,24 @@ class SpatialIndex {
   /// Human-readable backend name (for bench CSV series).
   virtual std::string_view name() const = 0;
 
+  /// The distance function this index evaluates (core/kernels.h).
+  /// L2 unless configured otherwise at construction
+  /// (BackendOptions::metric) or through set_metric.
+  Metric metric() const { return metric_; }
+
+  /// Sets the metric. Configuration-time only, like
+  /// set_default_budget: call it before serving queries. Backends
+  /// whose *structure* depends on the metric override this — the
+  /// VP-tree adapter discards its built tree (rebuilt lazily under
+  /// the new metric), and the M-tree adapter rejects a metric change
+  /// once points have been inserted (its routing radii were computed
+  /// under the old one). The snapshot loader restores the persisted
+  /// metric through this hook.
+  virtual Status set_metric(Metric metric) {
+    metric_ = metric;
+    return Status::OK();
+  }
+
   /// Index-wide search budget — an operator knob for serving whole
   /// workloads approximately without touching call sites. Exact by
   /// default. Applied by the budget-less search overloads AND by
@@ -104,8 +127,11 @@ class SpatialIndex {
   // index carries its epoch (and default budget) along.
   SpatialIndex() = default;
   SpatialIndex(const SpatialIndex& other)
-      : default_budget_(other.default_budget_), epoch_(other.epoch()) {}
+      : metric_(other.metric_),
+        default_budget_(other.default_budget_),
+        epoch_(other.epoch()) {}
   SpatialIndex& operator=(const SpatialIndex& other) {
+    metric_ = other.metric_;
     default_budget_ = other.default_budget_;
     epoch_.store(other.epoch(), std::memory_order_release);
     return *this;
@@ -122,6 +148,7 @@ class SpatialIndex {
   }
 
  private:
+  Metric metric_ = Metric::kL2;
   SearchBudget default_budget_;
   std::atomic<uint64_t> epoch_{0};
 };

@@ -83,9 +83,16 @@ Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
           "query %zu has %zu dimensions, target has %zu", i,
           batch[i].coords.size(), dims));
     }
-    if (batch[i].type == QueryType::kRange && batch[i].radius < 0.0) {
+    if (!AllFinite(batch[i].coords)) {
+      return Status::InvalidArgument(StringPrintf(
+          "query %zu has non-finite (NaN/Inf) coordinates", i));
+    }
+    // !(radius >= 0) also rejects NaN, which would defeat every
+    // pruning comparison.
+    if (batch[i].type == QueryType::kRange &&
+        !(batch[i].radius >= 0.0)) {
       return Status::InvalidArgument(
-          StringPrintf("query %zu has a negative radius", i));
+          StringPrintf("query %zu has a negative or NaN radius", i));
     }
     // NaN fails both comparisons, so it is rejected here too.
     double eps = batch[i].budget.epsilon;
@@ -122,7 +129,8 @@ void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
         // The key carries the *effective* budget, so a truncated
         // result can never be served where an exact one was computed,
         // and retuning the default re-keys subsequent queries.
-        key = CacheKey::Make(q, index_->epoch(), budget);
+        key = CacheKey::Make(q, index_->epoch(), budget,
+                             index_->metric());
         hit = cache_->Lookup(key, &o.neighbors, &o.truncated);
       }
       if (hit) {

@@ -26,14 +26,16 @@ uint64_t Mix(uint64_t h, uint64_t v) {
 
 }  // namespace
 
-CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch) {
-  return Make(query, epoch, query.budget);
+CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch,
+                        Metric metric) {
+  return Make(query, epoch, query.budget, metric);
 }
 
 CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch,
-                        const SearchBudget& budget) {
+                        const SearchBudget& budget, Metric metric) {
   CacheKey key;
   key.type = query.type;
+  key.metric = metric;
   // Normalize the radius: -0.0 and 0.0 compare equal and bound the
   // same result set, but their bit patterns differ — without this a
   // negative-zero radius would miss (and duplicate) the 0.0 entry.
@@ -61,6 +63,7 @@ CacheKey CacheKey::Make(const SpatialQuery& query, uint64_t epoch,
 size_t ShardedResultCache::KeyHash::operator()(const CacheKey& key) const {
   uint64_t h = 0xcbf29ce484222325ull;
   h = Mix(h, static_cast<uint64_t>(key.type));
+  h = Mix(h, static_cast<uint64_t>(key.metric));
   h = Mix(h, key.param_bits);
   h = Mix(h, key.epoch);
   h = Mix(h, key.budget_distances);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/kernels.h"
 #include "core/point.h"
 #include "core/query.h"
 
@@ -31,6 +32,10 @@ namespace semtree {
 /// channel.
 struct CacheKey {
   QueryType type = QueryType::kKnn;
+  /// The index's Metric: a result computed under one geometry must
+  /// never be served under another (set_metric does not bump the
+  /// epoch, so the metric needs its own key field).
+  Metric metric = Metric::kL2;
   uint64_t param_bits = 0;  ///< k, or the radius's bit pattern.
   uint64_t epoch = 0;       ///< Index version the result was computed at.
   uint64_t budget_distances = 0;  ///< SearchBudget caps (0 = unlimited);
@@ -39,20 +44,23 @@ struct CacheKey {
   std::vector<double> coords;
 
   bool operator==(const CacheKey& o) const {
-    return type == o.type && param_bits == o.param_bits &&
-           epoch == o.epoch && budget_distances == o.budget_distances &&
+    return type == o.type && metric == o.metric &&
+           param_bits == o.param_bits && epoch == o.epoch &&
+           budget_distances == o.budget_distances &&
            budget_nodes == o.budget_nodes &&
            epsilon_bits == o.epsilon_bits && coords == o.coords;
   }
 
-  static CacheKey Make(const SpatialQuery& query, uint64_t epoch);
+  static CacheKey Make(const SpatialQuery& query, uint64_t epoch,
+                       Metric metric = Metric::kL2);
 
   /// Same, but keyed under `budget` instead of `query.budget` — for
   /// callers that resolve an *effective* budget (e.g. the engine
   /// substituting the index's default for unspecified ones). The key
   /// must always reflect the budget the search actually ran under.
   static CacheKey Make(const SpatialQuery& query, uint64_t epoch,
-                       const SearchBudget& budget);
+                       const SearchBudget& budget,
+                       Metric metric = Metric::kL2);
 };
 
 /// Sharded LRU map from CacheKey to a result vector.

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "core/distance.h"
+#include "core/kernels.h"
 
 namespace semtree {
 
@@ -157,7 +158,14 @@ PointBlock FastMap::ToPointBlock() const {
 
 double FastMap::EmbeddedDistance(const std::vector<double>& a,
                                  const std::vector<double>& b) {
-  return EuclideanDistance(a, b);  // Single kernel in core/distance.h.
+  // The embedded space is Euclidean by construction (coordinates are
+  // built from L2 residuals), so the embedded metric is pinned to kL2
+  // regardless of any index-side Metric choice; route through the
+  // kernel layer so there is exactly one hot implementation.
+  if (a.size() != b.size()) {
+    internal::FatalDimensionMismatch(a.size(), b.size());
+  }
+  return MetricDistance(Metric::kL2, a.data(), b.data(), a.size());
 }
 
 double FastMap::SampleStress(const IndexDistanceFn& distance,
@@ -172,7 +180,8 @@ double FastMap::SampleStress(const IndexDistanceFn& distance,
     if (i == j) continue;
     double original = distance(i, j);
     double embedded =
-        EuclideanDistance(CoordsRow(i), CoordsRow(j), dimensions_);
+        MetricDistance(Metric::kL2, CoordsRow(i), CoordsRow(j),
+                       dimensions_);
     double err = original - embedded;
     sum_sq_err += err * err;
     ++counted;

@@ -18,6 +18,7 @@ KdTree::KdTree(size_t dimensions, KdTreeOptions options)
       options_(options),
       store_(dimensions_) {
   if (options_.bucket_size == 0) options_.bucket_size = 1;
+  (void)set_metric(options_.metric);  // Base setter; cannot fail here.
   NewLeaf();  // Root.
 }
 
@@ -32,6 +33,7 @@ Status KdTree::Insert(const std::vector<double>& coords, PointId id) {
         StringPrintf("point has %zu dimensions, tree has %zu",
                      coords.size(), dimensions_));
   }
+  SEMTREE_RETURN_NOT_OK(CheckFiniteCoords(coords));
   // Navigate by (Sr, Sv) as in the standard Kd-Tree: left holds
   // coords[Sr] <= Sv, right holds coords[Sr] > Sv.
   int32_t node = 0;
@@ -105,6 +107,7 @@ Result<std::vector<KdTree::Slot>> KdTree::StoreAll(
     if (p.coords.size() != dimensions_) {
       return Status::InvalidArgument("point dimensionality mismatch");
     }
+    SEMTREE_RETURN_NOT_OK(CheckFiniteCoords(p.coords));
   }
   store_.Reserve(points.size());
   std::vector<Slot> slots;
@@ -220,37 +223,47 @@ std::vector<Neighbor> KdTree::KnnSearch(const std::vector<double>& query,
                                         size_t k,
                                         const SearchBudget& budget,
                                         SearchStats* stats) const {
-  // Wrong-arity queries return empty rather than reading out of bounds
-  // (the raw-pointer kernel consumes exactly dimensions_ doubles).
-  if (k == 0 || size() == 0 || query.size() != dimensions_) return {};
+  // Wrong-arity and non-finite queries return empty rather than
+  // reading out of bounds or poisoning the frontier ordering (the
+  // raw-pointer kernel consumes exactly dimensions_ doubles).
+  if (k == 0 || size() == 0 || query.size() != dimensions_ ||
+      !AllFinite(query)) {
+    return {};
+  }
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
   BudgetGauge gauge(budget, st);
   KnnAccumulator acc(k);
   double scale = budget.pruning_scale();
+  const Metric m = metric();
   BestFirstSearch(
       0, &gauge, [&] { return acc.tau() * scale; }, [&] { return acc.tau(); },
       [&](int32_t nd, double bound, Frontier* frontier) {
         const Node& n = nodes_[size_t(nd)];
         if (n.is_leaf) {
           ++st->leaves_visited;
-          for (Slot s : n.bucket) {
-            if (!gauge.ChargeDistance()) return;
-            acc.Offer(store_.IdAt(s),
-                      EuclideanDistance(query.data(), store_.CoordsAt(s),
-                                        dimensions_));
-          }
+          // Batched leaf scan (core/kernels.h): the bulk charge grants
+          // exactly what a per-point loop would have computed, so
+          // budgeted results and stats are unchanged.
+          size_t granted = gauge.ChargeDistances(n.bucket.size());
+          BatchScan(
+              m, query.data(), dimensions_, granted,
+              [&](size_t j) { return store_.CoordsAt(n.bucket[j]); },
+              [&](size_t j, double d) {
+                acc.Offer(store_.IdAt(n.bucket[j]), d);
+              });
           return;
         }
         // The near child inherits this region's bound; the far child's
         // region lies beyond the splitting plane, so its distance is at
-        // least |query[Sr] - Sv| (the backward-visit quantity of
-        // §III-B.3) as well as the inherited bound.
+        // least the plane gap (|query[Sr] - Sv| under L2/L1 — the
+        // backward-visit quantity of §III-B.3) as well as the
+        // inherited bound.
         double diff = query[n.split_dim] - n.split_value;
         int32_t near = (diff <= 0.0) ? n.left : n.right;
         int32_t far = (diff <= 0.0) ? n.right : n.left;
         frontier->Push(bound, near);
-        frontier->Push(std::max(bound, std::fabs(diff)), far);
+        frontier->Push(std::max(bound, KdPlaneLowerBound(m, diff)), far);
       });
   return acc.Take();
 }
@@ -260,34 +273,41 @@ std::vector<Neighbor> KdTree::RangeSearch(const std::vector<double>& query,
                                           const SearchBudget& budget,
                                           SearchStats* stats) const {
   std::vector<Neighbor> out;
-  if (size() == 0 || radius < 0.0 || query.size() != dimensions_) {
+  // !(radius >= 0) also rejects a NaN radius, which would otherwise
+  // defeat every pruning comparison and walk the whole tree.
+  if (size() == 0 || !(radius >= 0.0) || query.size() != dimensions_ ||
+      !AllFinite(query)) {
     return out;
   }
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
   BudgetGauge gauge(budget, st);
   double limit = radius * budget.pruning_scale();
+  const Metric m = metric();
   BestFirstSearch(
       0, &gauge, [&] { return limit; }, [&] { return radius; },
       [&](int32_t nd, double bound, Frontier* frontier) {
         const Node& n = nodes_[size_t(nd)];
         if (n.is_leaf) {
           ++st->leaves_visited;
-          for (Slot s : n.bucket) {
-            if (!gauge.ChargeDistance()) return;
-            double d = EuclideanDistance(query.data(), store_.CoordsAt(s),
-                                         dimensions_);
-            if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
-          }
+          size_t granted = gauge.ChargeDistances(n.bucket.size());
+          BatchScan(
+              m, query.data(), dimensions_, granted,
+              [&](size_t j) { return store_.CoordsAt(n.bucket[j]); },
+              [&](size_t j, double d) {
+                if (d <= radius) {
+                  out.push_back(Neighbor{store_.IdAt(n.bucket[j]), d});
+                }
+              });
           return;
         }
         // |P[SI] - Sv| <= D admits both children (§III-B.4); the walker
-        // prunes the far child through its |diff| bound.
+        // prunes the far child through its plane-gap bound.
         double diff = query[n.split_dim] - n.split_value;
         int32_t near = (diff <= 0.0) ? n.left : n.right;
         int32_t far = (diff <= 0.0) ? n.right : n.left;
         frontier->Push(bound, near);
-        frontier->Push(std::max(bound, std::fabs(diff)), far);
+        frontier->Push(std::max(bound, KdPlaneLowerBound(m, diff)), far);
       });
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;

@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "core/distance.h"
+#include "core/kernels.h"
 #include "core/point.h"
 #include "core/point_store.h"
 #include "core/spatial_index.h"
@@ -32,6 +33,13 @@ namespace semtree {
 struct KdTreeOptions {
   /// Bucket capacity Bs of a leaf; exceeding it triggers a split.
   size_t bucket_size = 32;
+
+  /// Distance function evaluated by searches (core/kernels.h). The
+  /// splitting structure is coordinate-based and metric-independent;
+  /// only leaf distances and the far-child pruning bound change. For
+  /// kCosine the splitting-plane bound degenerates to 0 (searches stay
+  /// exact but approach an exhaustive scan; see KdPlaneLowerBound).
+  Metric metric = Metric::kL2;
 };
 
 /// Bucket KD-tree over a fixed-dimensional space.
@@ -72,6 +80,13 @@ class KdTree : public SpatialIndex {
   // budgeted overrides below.
   using SpatialIndex::KnnSearch;
   using SpatialIndex::RangeSearch;
+
+  /// Keeps options().metric in sync so the stored options never
+  /// disagree with metric() (the single source of truth).
+  Status set_metric(Metric metric) override {
+    options_.metric = metric;
+    return SpatialIndex::set_metric(metric);
+  }
 
   /// The k nearest points to `query` (paper §III-B.3, sequential
   /// case), as a budgeted best-first walk over region lower bounds

@@ -6,7 +6,7 @@
 
 #include "common/string_util.h"
 #include "core/best_first.h"
-#include "core/distance.h"
+#include "core/kernels.h"
 #include "persist/snapshot.h"
 
 namespace semtree {
@@ -18,6 +18,7 @@ Status LinearScanIndex::Insert(const std::vector<double>& coords,
         StringPrintf("point has %zu dimensions, index has %zu",
                      coords.size(), store_.dimensions()));
   }
+  SEMTREE_RETURN_NOT_OK(CheckFiniteCoords(coords));
   slots_.push_back(store_.Append(coords.data(), id));
   BumpEpoch();
   return Status::OK();
@@ -78,9 +79,12 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(
     const std::vector<double>& query, size_t k, const SearchBudget& budget,
     SearchStats* stats) const {
   std::vector<Neighbor> all;
-  // Wrong-arity queries return empty rather than reading out of bounds
-  // (the raw-pointer kernel consumes exactly dimensions() doubles).
-  if (query.size() != store_.dimensions()) return all;
+  // Wrong-arity and non-finite queries return empty rather than
+  // reading out of bounds (the raw-pointer kernel consumes exactly
+  // dimensions() doubles).
+  if (query.size() != store_.dimensions() || !AllFinite(query)) {
+    return all;
+  }
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
   BudgetGauge gauge(budget, st);
@@ -88,12 +92,13 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(
   size_t dim = store_.dimensions();
   if (gauge.ChargeNode()) {
     ++st->leaves_visited;
-    for (PointStore::Slot s : slots_) {
-      if (!gauge.ChargeDistance()) break;
-      all.push_back(Neighbor{
-          store_.IdAt(s),
-          EuclideanDistance(query.data(), store_.CoordsAt(s), dim)});
-    }
+    size_t granted = gauge.ChargeDistances(slots_.size());
+    BatchScan(
+        metric(), query.data(), dim, granted,
+        [&](size_t j) { return store_.CoordsAt(slots_[j]); },
+        [&](size_t j, double d) {
+          all.push_back(Neighbor{store_.IdAt(slots_[j]), d});
+        });
   }
   size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
@@ -106,18 +111,24 @@ std::vector<Neighbor> LinearScanIndex::RangeSearch(
     const std::vector<double>& query, double radius,
     const SearchBudget& budget, SearchStats* stats) const {
   std::vector<Neighbor> out;
-  if (radius < 0.0 || query.size() != store_.dimensions()) return out;
+  // !(radius >= 0) also rejects a NaN radius.
+  if (!(radius >= 0.0) || query.size() != store_.dimensions() ||
+      !AllFinite(query)) {
+    return out;
+  }
   SearchStats local;
   SearchStats* st = stats ? stats : &local;
   BudgetGauge gauge(budget, st);
   size_t dim = store_.dimensions();
   if (gauge.ChargeNode()) {
     ++st->leaves_visited;
-    for (PointStore::Slot s : slots_) {
-      if (!gauge.ChargeDistance()) break;
-      double d = EuclideanDistance(query.data(), store_.CoordsAt(s), dim);
-      if (d <= radius) out.push_back(Neighbor{store_.IdAt(s), d});
-    }
+    size_t granted = gauge.ChargeDistances(slots_.size());
+    BatchScan(
+        metric(), query.data(), dim, granted,
+        [&](size_t j) { return store_.CoordsAt(slots_[j]); },
+        [&](size_t j, double d) {
+          if (d <= radius) out.push_back(Neighbor{store_.IdAt(slots_[j]), d});
+        });
   }
   std::sort(out.begin(), out.end(), NeighborDistanceThenId);
   return out;

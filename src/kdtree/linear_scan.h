@@ -21,8 +21,11 @@ namespace semtree {
 /// Stores points in a flat arena; every query scans all of them.
 class LinearScanIndex : public SpatialIndex {
  public:
-  explicit LinearScanIndex(size_t dimensions)
-      : store_(dimensions < 1 ? 1 : dimensions) {}
+  explicit LinearScanIndex(size_t dimensions,
+                           Metric metric = Metric::kL2)
+      : store_(dimensions < 1 ? 1 : dimensions) {
+    (void)set_metric(metric);  // Base setter; cannot fail here.
+  }
 
   Status Insert(const std::vector<double>& coords, PointId id) override;
 

@@ -23,8 +23,11 @@ namespace {
 // other.
 constexpr uint32_t kSecBackendKind = 0x10;
 constexpr uint32_t kSecBackendBlob = 0x11;
-// Per-index tuning state (the default SearchBudget, DESIGN.md §6).
-// Absent in pre-approximation snapshots, which load as exact.
+// Per-index tuning state: the default SearchBudget (DESIGN.md §6)
+// followed — since the kernel layer (DESIGN.md §7) — by one Metric
+// byte. Both tails are optional on read: pre-approximation snapshots
+// have no section and load exact/L2; pre-metric snapshots have the
+// 24-byte budget-only section and load under L2.
 constexpr uint32_t kSecBackendBudget = 0x12;
 constexpr uint32_t kSecSemOptions = 0x20;
 constexpr uint32_t kSecSemVocabulary = 0x21;
@@ -74,14 +77,16 @@ Result<std::string> SerializeSpatialIndex(const SpatialIndex& index) {
         static_cast<int>(index.name().size()), index.name().data()));
   }
   snap.AddSection(kSecBackendKind)->PutU32(static_cast<uint32_t>(kind));
-  // The index's default SearchBudget is tuning state: a warm-restarted
-  // server keeps serving at the approximation level it was configured
-  // for. (Per-query budgets are request state and are never persisted.)
+  // The index's default SearchBudget and its Metric are tuning state:
+  // a warm-restarted server keeps serving at the approximation level
+  // and under the geometry it was configured for. (Per-query budgets
+  // are request state and are never persisted.)
   const SearchBudget& budget = index.default_budget();
   ByteWriter* tuning = snap.AddSection(kSecBackendBudget);
   tuning->PutU64(budget.max_distance_computations);
   tuning->PutU64(budget.max_nodes_visited);
   tuning->PutDouble(budget.epsilon);
+  tuning->PutU8(static_cast<uint8_t>(index.metric()));
   return snap.Serialize();
 }
 
@@ -94,23 +99,40 @@ Status SaveSpatialIndex(const SpatialIndex& index,
 
 namespace {
 
-// Loads the optional tuning section onto a reconstructed backend;
-// snapshots from before the approximation subsystem simply stay exact.
-Status RestoreDefaultBudget(const SnapshotReader& snap,
-                            SpatialIndex* index) {
-  if (!snap.Has(kSecBackendBudget)) return Status::OK();
-  SEMTREE_ASSIGN_OR_RETURN(ByteReader tuning,
-                           snap.Section(kSecBackendBudget));
+// Decoded tuning section; defaults describe snapshots that predate it
+// (exact budget, L2 metric).
+struct BackendTuning {
+  bool has_budget = false;
   SearchBudget budget;
-  SEMTREE_ASSIGN_OR_RETURN(budget.max_distance_computations,
-                           tuning.U64());
-  SEMTREE_ASSIGN_OR_RETURN(budget.max_nodes_visited, tuning.U64());
-  SEMTREE_ASSIGN_OR_RETURN(budget.epsilon, tuning.Double());
-  if (!(budget.epsilon >= 0.0)) {
+  Metric metric = Metric::kL2;
+};
+
+// Reads the optional tuning section. The metric must be known *before*
+// the backend blob is reconstructed — the metric trees bind their
+// distance oracles at load time — so this runs first and the budget is
+// applied after.
+Result<BackendTuning> ReadTuning(const SnapshotReader& snap) {
+  BackendTuning tuning;
+  if (!snap.Has(kSecBackendBudget)) return tuning;
+  SEMTREE_ASSIGN_OR_RETURN(ByteReader in,
+                           snap.Section(kSecBackendBudget));
+  tuning.has_budget = true;
+  SEMTREE_ASSIGN_OR_RETURN(tuning.budget.max_distance_computations,
+                           in.U64());
+  SEMTREE_ASSIGN_OR_RETURN(tuning.budget.max_nodes_visited, in.U64());
+  SEMTREE_ASSIGN_OR_RETURN(tuning.budget.epsilon, in.Double());
+  if (!(tuning.budget.epsilon >= 0.0)) {
     return Status::Corruption("snapshot default budget has bad epsilon");
   }
-  index->set_default_budget(budget);
-  return Status::OK();
+  // Optional tail: pre-metric snapshots end after the epsilon.
+  if (in.remaining() > 0) {
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t raw, in.U8());
+    if (!MetricFromU8(raw, &tuning.metric)) {
+      return Status::Corruption(
+          StringPrintf("unknown metric %u in snapshot", raw));
+    }
+  }
+  return tuning;
 }
 
 }  // namespace
@@ -122,6 +144,7 @@ Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
   SEMTREE_ASSIGN_OR_RETURN(ByteReader kind_in,
                            snap.Section(kSecBackendKind));
   SEMTREE_ASSIGN_OR_RETURN(uint32_t kind, kind_in.U32());
+  SEMTREE_ASSIGN_OR_RETURN(BackendTuning tuning, ReadTuning(snap));
   SEMTREE_ASSIGN_OR_RETURN(ByteReader blob,
                            snap.Section(kSecBackendBlob));
   std::unique_ptr<SpatialIndex> out;
@@ -129,23 +152,29 @@ Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
     case BackendKind::kKdTree: {
       SEMTREE_ASSIGN_OR_RETURN(KdTree tree, KdTree::LoadFrom(&blob));
       out = std::make_unique<KdTree>(std::move(tree));
+      // Coordinate splits are metric-independent, so the metric can be
+      // applied to the loaded structure (same for the linear scan).
+      SEMTREE_RETURN_NOT_OK(out->set_metric(tuning.metric));
       break;
     }
     case BackendKind::kLinearScan: {
       SEMTREE_ASSIGN_OR_RETURN(LinearScanIndex index,
                                LinearScanIndex::LoadFrom(&blob));
       out = std::make_unique<LinearScanIndex>(std::move(index));
+      SEMTREE_RETURN_NOT_OK(out->set_metric(tuning.metric));
       break;
     }
     case BackendKind::kVpTree: {
-      SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<VpTreeIndex> index,
-                               VpTreeIndex::LoadFrom(&blob));
+      SEMTREE_ASSIGN_OR_RETURN(
+          std::unique_ptr<VpTreeIndex> index,
+          VpTreeIndex::LoadFrom(&blob, tuning.metric));
       out = std::move(index);
       break;
     }
     case BackendKind::kMTree: {
-      SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<MTreeIndex> index,
-                               MTreeIndex::LoadFrom(&blob));
+      SEMTREE_ASSIGN_OR_RETURN(
+          std::unique_ptr<MTreeIndex> index,
+          MTreeIndex::LoadFrom(&blob, tuning.metric));
       out = std::move(index);
       break;
     }
@@ -154,7 +183,7 @@ Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
     return Status::Corruption(
         StringPrintf("unknown backend kind %u in snapshot", kind));
   }
-  SEMTREE_RETURN_NOT_OK(RestoreDefaultBudget(snap, out.get()));
+  if (tuning.has_budget) out->set_default_budget(tuning.budget);
   return out;
 }
 

@@ -74,6 +74,7 @@ class ByteWriter {
   /// `count` doubles with no length prefix (bit-exact); for spans the
   /// reader knows the size of, e.g. arena chunk runs.
   void PutDoublesRaw(const double* data, size_t count) {
+    if (count == 0) return;  // Empty spans may carry a null pointer.
     if constexpr (kHostIsLittleEndian) {
       buf_.append(reinterpret_cast<const char*>(data),
                   count * sizeof(double));
@@ -90,6 +91,7 @@ class ByteWriter {
 
   void PutU32Array(const std::vector<uint32_t>& v) {
     PutU64(v.size());
+    if (v.empty()) return;  // data() may be null on empty vectors.
     if constexpr (kHostIsLittleEndian) {
       buf_.append(reinterpret_cast<const char*>(v.data()),
                   v.size() * sizeof(uint32_t));
@@ -100,6 +102,7 @@ class ByteWriter {
 
   void PutU64Array(const std::vector<uint64_t>& v) {
     PutU64(v.size());
+    if (v.empty()) return;  // data() may be null on empty vectors.
     if constexpr (kHostIsLittleEndian) {
       buf_.append(reinterpret_cast<const char*>(v.data()),
                   v.size() * sizeof(uint64_t));
@@ -172,6 +175,7 @@ class ByteReader {
   /// counterpart of PutDoublesRaw).
   Status DoublesRaw(double* out, uint64_t count) {
     SEMTREE_RETURN_NOT_OK(NeedElems(count, sizeof(double)));
+    if (count == 0) return Status::OK();  // `out` may be null here.
     if constexpr (kHostIsLittleEndian) {
       std::memcpy(out, data_.data() + pos_, count * sizeof(double));
       pos_ += count * sizeof(double);
@@ -193,6 +197,7 @@ class ByteReader {
     SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
     SEMTREE_RETURN_NOT_OK(NeedElems(n, sizeof(uint32_t)));
     std::vector<uint32_t> out(n);
+    if (n == 0) return out;  // out.data() may be null on empty vectors.
     if constexpr (kHostIsLittleEndian) {
       std::memcpy(out.data(), data_.data() + pos_, n * sizeof(uint32_t));
       pos_ += n * sizeof(uint32_t);
@@ -206,6 +211,7 @@ class ByteReader {
     SEMTREE_ASSIGN_OR_RETURN(uint64_t n, U64());
     SEMTREE_RETURN_NOT_OK(NeedElems(n, sizeof(uint64_t)));
     std::vector<uint64_t> out(n);
+    if (n == 0) return out;  // out.data() may be null on empty vectors.
     if constexpr (kHostIsLittleEndian) {
       std::memcpy(out.data(), data_.data() + pos_, n * sizeof(uint64_t));
       pos_ += n * sizeof(uint64_t);

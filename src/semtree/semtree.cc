@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/distance.h"
+#include "core/kernels.h"
 #include "core/split.h"
 
 namespace semtree {
@@ -77,6 +78,22 @@ struct TravelBudget {
     }
     ++points;
     return true;
+  }
+  // Bulk grant for batched leaf scans — same accounting as `want`
+  // ChargeDistance calls (mirrors BudgetGauge::ChargeDistances).
+  size_t ChargeDistances(size_t want) {
+    size_t granted = want;
+    if (budget.max_distance_computations != 0) {
+      uint64_t remaining = budget.max_distance_computations > points
+                               ? budget.max_distance_computations - points
+                               : 0;
+      if (remaining < want) {
+        granted = size_t(remaining);
+        truncated = true;
+      }
+    }
+    points += granted;
+    return granted;
   }
   double eps() const {
     return budget.epsilon > 0.0 ? budget.epsilon : 0.0;
@@ -248,21 +265,27 @@ void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
       return;
     }
     const PointStore& store = p->store();
-    for (Partition::Slot s : n.bucket) {
-      if (!tb->ChargeDistance()) {
-        stack->clear();
-        return;
-      }
-      rs->push_back(Neighbor{
-          store.IdAt(s), EuclideanDistance(query.data(), store.CoordsAt(s),
-                                           store.dimensions())});
-      std::push_heap(rs->begin(), rs->end(), NeighborDistanceThenId);
-      if (rs->size() > k) {
-        std::pop_heap(rs->begin(), rs->end(), NeighborDistanceThenId);
-        rs->pop_back();
-      }
+    // Batched leaf scan (core/kernels.h); the embedded space is L2 by
+    // construction. The bulk grant reproduces a per-point charge loop
+    // exactly, including the truncation point.
+    size_t granted = tb->ChargeDistances(n.bucket.size());
+    BatchScan(
+        Metric::kL2, query.data(), store.dimensions(), granted,
+        [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
+        [&](size_t j, double d) {
+          rs->push_back(Neighbor{store.IdAt(n.bucket[j]), d});
+          std::push_heap(rs->begin(), rs->end(), NeighborDistanceThenId);
+          if (rs->size() > k) {
+            std::pop_heap(rs->begin(), rs->end(),
+                          NeighborDistanceThenId);
+            rs->pop_back();
+          }
+        });
+    if (granted < n.bucket.size()) {
+      stack->clear();
+    } else {
+      stack->pop_back();
     }
-    stack->pop_back();
     return;
   }
   double diff = query[n.split_dim] - n.split_value;
@@ -463,6 +486,7 @@ Status SemTree::Insert(const std::vector<double>& coords, PointId id) {
         StringPrintf("point has %zu dimensions, tree has %zu",
                      coords.size(), options_.dimensions));
   }
+  SEMTREE_RETURN_NOT_OK(CheckFiniteCoords(coords));
   InsertRequest req;
   req.start_node = 0;
   req.point = KdPoint{coords, id};
@@ -912,6 +936,10 @@ Result<std::vector<Neighbor>> SemTree::KnnSearch(
   if (query.size() != options_.dimensions) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  if (!AllFinite(query)) {
+    return Status::InvalidArgument(
+        "query has non-finite (NaN/Inf) coordinates");
+  }
   if (stats) stats->messages_before = cluster_->Stats().messages;
   KnnRequest req;
   req.query = query;
@@ -954,12 +982,15 @@ void RangeLocalWalk(Cluster* cluster, Partition* p, int32_t node,
   if (n.is_leaf) {
     if (!tb->ChargeNode()) return;
     const PointStore& store = p->store();
-    for (Partition::Slot s : n.bucket) {
-      if (!tb->ChargeDistance()) return;
-      double d = EuclideanDistance(req.query.data(), store.CoordsAt(s),
-                                   store.dimensions());
-      if (d <= req.radius) out->push_back(Neighbor{store.IdAt(s), d});
-    }
+    size_t granted = tb->ChargeDistances(n.bucket.size());
+    BatchScan(
+        Metric::kL2, req.query.data(), store.dimensions(), granted,
+        [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
+        [&](size_t j, double d) {
+          if (d <= req.radius) {
+            out->push_back(Neighbor{store.IdAt(n.bucket[j]), d});
+          }
+        });
     return;
   }
   if (!tb->ChargeNode()) return;
@@ -1028,7 +1059,13 @@ Result<std::vector<Neighbor>> SemTree::RangeSearch(
   if (query.size() != options_.dimensions) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
-  if (radius < 0.0) {
+  if (!AllFinite(query)) {
+    return Status::InvalidArgument(
+        "query has non-finite (NaN/Inf) coordinates");
+  }
+  // !(radius >= 0) also rejects a NaN radius, which would defeat
+  // every pruning comparison on the partition walks.
+  if (!(radius >= 0.0)) {
     return Status::InvalidArgument("radius must be non-negative");
   }
   if (stats) stats->messages_before = cluster_->Stats().messages;
@@ -1102,19 +1139,16 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
         continue;
       }
       const PointStore& store = p->store();
-      bool spent = false;
-      for (Partition::Slot s : n.bucket) {
-        if (!item->tb.ChargeDistance()) {
-          spent = true;
-          break;
-        }
-        double d = EuclideanDistance(item->query.data(),
-                                     store.CoordsAt(s),
-                                     store.dimensions());
-        if (d <= item->radius) {
-          item->rs.push_back(Neighbor{store.IdAt(s), d});
-        }
-      }
+      size_t granted = item->tb.ChargeDistances(n.bucket.size());
+      BatchScan(
+          Metric::kL2, item->query.data(), store.dimensions(), granted,
+          [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
+          [&](size_t j, double d) {
+            if (d <= item->radius) {
+              item->rs.push_back(Neighbor{store.IdAt(n.bucket[j]), d});
+            }
+          });
+      bool spent = granted < n.bucket.size();
       if (spent) {
         item->stack.clear();
       } else {
@@ -1245,9 +1279,14 @@ Result<std::vector<std::vector<Neighbor>>> SemTree::BatchSearch(
           "query %zu has %zu dimensions, tree has %zu", i,
           q.coords.size(), options_.dimensions));
     }
-    if (q.type == QueryType::kRange && q.radius < 0.0) {
+    if (!AllFinite(q.coords)) {
+      return Status::InvalidArgument(StringPrintf(
+          "query %zu has non-finite (NaN/Inf) coordinates", i));
+    }
+    // !(radius >= 0) also rejects NaN.
+    if (q.type == QueryType::kRange && !(q.radius >= 0.0)) {
       return Status::InvalidArgument(
-          StringPrintf("query %zu has a negative radius", i));
+          StringPrintf("query %zu has a negative or NaN radius", i));
     }
     BatchItem item;
     item.slot = static_cast<uint32_t>(i);

@@ -4,6 +4,7 @@
 // ThreadPool, Stopwatch.
 
 #include <atomic>
+#include <future>
 #include <cmath>
 #include <set>
 #include <thread>
@@ -312,6 +313,40 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   EXPECT_EQ(pool.num_threads(), 1u);
   auto f = pool.Submit([]() { return 1; });
   EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsBrokenFuture) {
+  // Regression: Submit used to enqueue unconditionally, so a task
+  // submitted after shutdown would never run and its future would
+  // block forever. Now the task is dropped and the future reports
+  // broken_promise instead of deadlocking.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 16);  // Shutdown drains the queue first.
+  auto late = pool.Submit([&counter]() {
+    counter.fetch_add(1);
+    return 99;
+  });
+  EXPECT_EQ(counter.load(), 16);  // The late task never ran.
+  try {
+    (void)late.get();
+    FAIL() << "expected broken_promise from a post-shutdown Submit";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  pool.Submit([]() {}).get();
+  pool.Shutdown();
+  pool.Shutdown();  // Second call must be a no-op, not a double join.
+  auto f = pool.Submit([]() { return 1; });
+  EXPECT_THROW((void)f.get(), std::future_error);
 }
 
 TEST(ThreadPoolTest, WaitIsIdempotentAndReusable) {

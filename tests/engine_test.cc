@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -260,6 +261,42 @@ TEST(EngineTest, RejectsMalformedQueriesUpFront) {
   EXPECT_TRUE(empty->outcomes.empty());
 }
 
+TEST(EngineTest, RejectsNonFiniteQueriesUpFront) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  auto index = MakeSpatialIndex(BackendKind::kKdTree, 2);
+  ASSERT_TRUE(index->Insert({0.0, 0.0}, 1).ok());
+  QueryEngine engine(index.get());
+  EXPECT_TRUE(engine.Run({SpatialQuery::Knn({nan, 0.0}, 1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine.Run({SpatialQuery::Range({0.0, inf}, 1.0)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine.Run({SpatialQuery::Range({0.0, 0.0}, nan)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EngineCacheTest, MetricIsPartOfTheCacheKey) {
+  // Same query, same epoch, different metric: distinct cache slots —
+  // a result computed under one geometry must never satisfy a query
+  // under another.
+  SpatialQuery q = SpatialQuery::Knn({1.0, 2.0}, 3);
+  CacheKey l2 = CacheKey::Make(q, /*epoch=*/5, Metric::kL2);
+  CacheKey l1 = CacheKey::Make(q, /*epoch=*/5, Metric::kL1);
+  EXPECT_FALSE(l2 == l1);
+  EXPECT_TRUE(l2 == CacheKey::Make(q, 5, Metric::kL2));
+
+  ShardedResultCache cache(2, 16);
+  cache.Put(l2, {Neighbor{1, 0.5}});
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(cache.Lookup(l1, &out));
+  EXPECT_TRUE(cache.Lookup(l2, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
 // ---------------------------------------------------------------------
 // Distributed target: the coalesced batch protocol.
 
@@ -300,6 +337,27 @@ TEST(DistributedBatchTest, MatchesSequentialAcrossPartitions) {
     ExpectSameNeighbors((*results)[i], *want,
                         "distributed query " + std::to_string(i));
   }
+}
+
+TEST(DistributedBatchTest, RejectsNonFiniteQueries) {
+  // The raw SemTree surface must reject what the backends reject: a
+  // NaN query would poison the partition walks' heap ordering.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto rows = RandomVectors(64, 3, 77);
+  auto tree = MakeLoadedTree(rows, 2);
+  EXPECT_TRUE(
+      tree->KnnSearch({nan, 0.0, 0.0}, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(tree->RangeSearch({0.0, 0.0, 0.0}, nan)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree->BatchSearch({SpatialQuery::Knn({nan, 0.0, 0.0}, 2)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      tree->BatchSearch({SpatialQuery::Range({0.0, 0.0, 0.0}, nan)})
+          .status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(tree->KnnSearch({0.1, 0.1, 0.1}, 3).ok());
 }
 
 TEST(DistributedBatchTest, KZeroReturnsEmptyEverywhere) {
