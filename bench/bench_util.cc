@@ -110,5 +110,87 @@ void PrintRow(const char* figure, const std::string& series, double x,
   std::fflush(stdout);
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name, std::string path)
+    : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+void BenchJson::BeginRecord() { records_.emplace_back(); }
+
+void BenchJson::AddStr(const std::string& key, const std::string& value) {
+  records_.back().push_back(Field{key, "\"" + JsonEscape(value) + "\""});
+}
+
+void BenchJson::AddInt(const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)value);
+  records_.back().push_back(Field{key, buf});
+}
+
+void BenchJson::AddNum(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  records_.back().push_back(Field{key, buf});
+}
+
+bool BenchJson::Write() const {
+  std::string out = "{\n  \"bench\": \"" + JsonEscape(bench_name_) +
+                    "\",\n  \"records\": [\n";
+  for (size_t r = 0; r < records_.size(); ++r) {
+    out += "    {";
+    for (size_t f = 0; f < records_[r].size(); ++f) {
+      if (f > 0) out += ", ";
+      out += "\"" + JsonEscape(records_[r][f].key) +
+             "\": " + records_[r][f].literal;
+    }
+    out += r + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "# BenchJson: cannot open '%s'\n", path_.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "# BenchJson: short write to '%s'\n",
+                 path_.c_str());
+  }
+  return ok;
+}
+
 }  // namespace bench
 }  // namespace semtree

@@ -61,6 +61,36 @@ void PrintHeader(const char* figure, const char* title,
 void PrintRow(const char* figure, const std::string& series, double x,
               double y, const std::string& extra = "");
 
+/// Accumulates flat records and writes them as one JSON artifact —
+/// `{"bench": ..., "records": [{...}, ...]}` — next to the CSV on
+/// stdout, so harnesses can diff runs without parsing the CSV. Keys
+/// appear in insertion order; values are numbers or strings.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, std::string path);
+
+  /// Starts a new record; subsequent Add* calls fill it.
+  void BeginRecord();
+  void AddStr(const std::string& key, const std::string& value);
+  void AddInt(const std::string& key, uint64_t value);
+  void AddNum(const std::string& key, double value);
+
+  /// Writes the artifact; returns false (with a stderr note) on IO
+  /// failure.
+  bool Write() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string literal;  // Pre-rendered JSON value.
+  };
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::vector<Field>> records_;
+};
+
 }  // namespace bench
 }  // namespace semtree
 

@@ -2,6 +2,8 @@
 
 #include "common/thread_pool.h"
 
+#include <memory>
+
 namespace semtree {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,6 +27,34 @@ void ThreadPool::Shutdown() {
   // submitted before Shutdown still runs to completion.
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -52,6 +82,61 @@ void ThreadPool::WorkerLoop() {
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  // Shared ownership so the task survives whichever path runs it: the
+  // enqueued wrapper, or the inline fallback when the pool refused it.
+  auto task = std::make_shared<std::function<void()>>(std::move(fn));
+  // The wrapper decrements under the group mutex, so a Wait that saw
+  // pending_ > 0 is guaranteed a wake-up for this completion.
+  bool queued = pool_->TrySubmit([this, task]() {
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      ++completions_;
+    }
+    cv_.notify_all();
+  });
+  if (!queued) {
+    // Pool shut down: run inline rather than leaving the group waiting
+    // on a task that will never execute.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    (*task)();
+  }
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    // Drain whatever is queued on the calling thread first. This is
+    // what makes recursive fan-out safe on a saturated pool: the
+    // waiter is itself a worker.
+    if (pool_ != nullptr) {
+      while (pool_->TryRunOne()) {
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pending_ == 0) return;
+    // Sleep until either the group drains or *any* task completes —
+    // a completing task may have enqueued subtasks worth stealing.
+    uint64_t seen = completions_;
+    cv_.wait(lock, [this, seen]() {
+      return pending_ == 0 || completions_ != seen;
+    });
+    if (pending_ == 0) return;
   }
 }
 

@@ -7,6 +7,7 @@
 #define SEMTREE_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -55,6 +56,20 @@ class ThreadPool {
     return future;
   }
 
+  /// Fire-and-forget enqueue. Returns false (without enqueuing) after
+  /// Shutdown, so callers that track their own completion state can
+  /// fall back to running the task inline instead of waiting on work
+  /// that will never happen.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Dequeues one pending task and runs it on the *calling* thread;
+  /// returns false if the queue was empty. This is the work-stealing
+  /// escape hatch that makes nested submission deadlock-free: a thread
+  /// blocked on subtasks (TaskGroup::Wait) drains the queue itself
+  /// instead of sleeping while the only workers sit beneath it on the
+  /// stack.
+  bool TryRunOne();
+
   /// Blocks until every task submitted so far has completed.
   void Wait();
 
@@ -75,6 +90,45 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t active_ = 0;
   bool shutdown_ = false;
+};
+
+/// Tracks a batch of related tasks on a ThreadPool so recursive
+/// fan-out (the parallel bulk builders) cannot deadlock: tasks spawn
+/// subtasks through the same group without ever blocking on them, and
+/// only the top-level caller calls Wait(), which *helps drain the
+/// queue* (ThreadPool::TryRunOne) instead of merely sleeping. A
+/// saturated pool — even a single worker stuck beneath the waiting
+/// frame — therefore always makes progress; common_test pins this with
+/// a one-worker recursive-submission regression.
+///
+/// With a null pool every Run executes inline, which is also the
+/// fallback when the pool is shutting down. Thread-safe; Run may be
+/// called from inside group tasks.
+class TaskGroup {
+ public:
+  /// `pool` may be null (everything runs inline); not owned.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Not copyable: pending tasks hold `this`.
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { Wait(); }
+
+  /// Runs `fn` on the pool, or inline when there is no pool (or it is
+  /// shut down). Never blocks.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task Run so far (including tasks spawned by
+  /// tasks) has finished, stealing queued work while it waits.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  uint64_t completions_ = 0;
 };
 
 }  // namespace semtree

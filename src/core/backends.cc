@@ -62,6 +62,7 @@ QueryDistanceFn QueryOracle(Metric metric, const PointStore& store,
 VpTreeIndex::VpTreeIndex(size_t dimensions, BackendOptions options)
     : options_(options), store_(dimensions) {
   (void)SpatialIndex::set_metric(options.metric);
+  (void)SpatialIndex::set_split_policy(options.split_policy);
 }
 
 Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
@@ -74,6 +75,20 @@ Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
 
 Status VpTreeIndex::Remove(const std::vector<double>&, PointId) {
   return Status::NotSupported("VP-tree does not support removal");
+}
+
+Status VpTreeIndex::BulkLoad(const std::vector<KdPoint>& points) {
+  if (points.empty()) return Status::OK();
+  // Validate everything first so a bad point cannot leave a partial
+  // batch appended.
+  for (const KdPoint& p : points) {
+    SEMTREE_RETURN_NOT_OK(CheckInsertable(p.coords, store_.dimensions()));
+  }
+  store_.Reserve(points.size());
+  for (const KdPoint& p : points) store_.Append(p.coords, p.id);
+  tree_.reset();  // One lazy whole-tree rebuild on the next query.
+  BumpEpoch();
+  return Status::OK();
 }
 
 Status VpTreeIndex::set_metric(Metric metric) {
@@ -91,6 +106,9 @@ void VpTreeIndex::EnsureBuilt() const {
   VpTreeOptions vopts;
   vopts.bucket_size = options_.bucket_size;
   vopts.seed = options_.seed;
+  // The oracle below is pure reads over the arena, so parallel builds
+  // are safe; the built tree is identical either way.
+  vopts.build_threads = options_.build_threads;
   const PointStore& store = store_;
   size_t dim = store.dimensions();
   Metric m = metric();
@@ -283,15 +301,23 @@ std::unique_ptr<SpatialIndex> MakeSpatialIndex(BackendKind kind,
       KdTreeOptions kopts;
       kopts.bucket_size = options.bucket_size;
       kopts.metric = options.metric;
+      kopts.split_policy = options.split_policy;
+      kopts.build_threads = options.build_threads;
       return std::make_unique<KdTree>(dimensions, kopts);
     }
-    case BackendKind::kLinearScan:
-      return std::make_unique<LinearScanIndex>(dimensions,
-                                               options.metric);
+    case BackendKind::kLinearScan: {
+      auto index = std::make_unique<LinearScanIndex>(dimensions,
+                                                     options.metric);
+      (void)index->set_split_policy(options.split_policy);
+      return index;
+    }
     case BackendKind::kVpTree:
       return std::make_unique<VpTreeIndex>(dimensions, options);
-    case BackendKind::kMTree:
-      return std::make_unique<MTreeIndex>(dimensions, options);
+    case BackendKind::kMTree: {
+      auto index = std::make_unique<MTreeIndex>(dimensions, options);
+      (void)index->set_split_policy(options.split_policy);
+      return index;
+    }
   }
   return nullptr;
 }

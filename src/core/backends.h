@@ -44,6 +44,18 @@ struct BackendOptions {
   /// KD-tree stays exact under cosine but loses its splitting-plane
   /// pruning (see KdPlaneLowerBound).
   Metric metric = Metric::kL2;
+
+  /// How bulk builds cut nodes (core/split.h): median (default) or
+  /// clustering-guided centroid splits (core/bulk_build.h). Consumed
+  /// by the KD-tree's bulk load; recorded as index metadata on every
+  /// backend and persisted with the snapshot tuning section.
+  SplitPolicy split_policy = SplitPolicy::kMedian;
+
+  /// Worker threads for bulk builds (KD-tree plan builds, VP-tree
+  /// lazy rebuilds): 1 = serial (default), 0 = one per hardware
+  /// thread, n = exactly n. Built structures are byte-identical across
+  /// all values (DESIGN.md §8).
+  size_t build_threads = 1;
 };
 
 /// Vantage-point tree over Euclidean vectors. The VP-tree core is a
@@ -56,6 +68,12 @@ class VpTreeIndex : public SpatialIndex {
 
   Status Insert(const std::vector<double>& coords, PointId id) override;
   Status Remove(const std::vector<double>& coords, PointId id) override;
+
+  /// Appends the whole batch to the arena and invalidates the built
+  /// tree once — one deferred (possibly parallel, see
+  /// BackendOptions::build_threads) whole-tree build on the next query
+  /// instead of n rebuild invalidations.
+  Status BulkLoad(const std::vector<KdPoint>& points) override;
 
   using SpatialIndex::KnnSearch;
   using SpatialIndex::RangeSearch;

@@ -22,6 +22,7 @@
 #include "core/kernels.h"
 #include "core/point.h"
 #include "core/query.h"
+#include "core/split.h"
 
 namespace semtree {
 
@@ -38,6 +39,19 @@ class SpatialIndex {
   /// Removes the point with the given coordinates and id. Backends
   /// without deletion support return NotSupported.
   virtual Status Remove(const std::vector<double>& coords, PointId id) = 0;
+
+  /// Loads `points` in one batch. The default is an Insert loop (all
+  /// validation and epoch semantics of Insert apply, and a failure may
+  /// leave a prefix inserted); backends with a real bulk path override
+  /// this — the KD-tree rebuilds through the parallel plan builder
+  /// (core/bulk_build.h) under split_policy(), the VP-tree appends and
+  /// defers one whole-tree build. Empty input is a no-op.
+  virtual Status BulkLoad(const std::vector<KdPoint>& points) {
+    for (const KdPoint& p : points) {
+      SEMTREE_RETURN_NOT_OK(Insert(p.coords, p.id));
+    }
+    return Status::OK();
+  }
 
   /// The k nearest points to `query` under `budget`, sorted by
   /// ascending distance, ties by id. Returns fewer than k when the
@@ -99,6 +113,20 @@ class SpatialIndex {
     return Status::OK();
   }
 
+  /// How bulk builds of this index cut nodes in two (core/split.h).
+  /// Median unless configured at construction
+  /// (BackendOptions::split_policy) or through set_split_policy.
+  SplitPolicy split_policy() const { return split_policy_; }
+
+  /// Sets the split policy. Configuration-time only, like set_metric:
+  /// it steers *future* bulk builds and rebuilds — an already-built
+  /// structure is not reorganized. Persisted with the snapshot tuning
+  /// section so a warm-restarted index rebuilds the way it was built.
+  virtual Status set_split_policy(SplitPolicy policy) {
+    split_policy_ = policy;
+    return Status::OK();
+  }
+
   /// Index-wide search budget — an operator knob for serving whole
   /// workloads approximately without touching call sites. Exact by
   /// default. Applied by the budget-less search overloads AND by
@@ -128,10 +156,12 @@ class SpatialIndex {
   SpatialIndex() = default;
   SpatialIndex(const SpatialIndex& other)
       : metric_(other.metric_),
+        split_policy_(other.split_policy_),
         default_budget_(other.default_budget_),
         epoch_(other.epoch()) {}
   SpatialIndex& operator=(const SpatialIndex& other) {
     metric_ = other.metric_;
+    split_policy_ = other.split_policy_;
     default_budget_ = other.default_budget_;
     epoch_.store(other.epoch(), std::memory_order_release);
     return *this;
@@ -149,6 +179,7 @@ class SpatialIndex {
 
  private:
   Metric metric_ = Metric::kL2;
+  SplitPolicy split_policy_ = SplitPolicy::kMedian;
   SearchBudget default_budget_;
   std::atomic<uint64_t> epoch_{0};
 };

@@ -14,9 +14,41 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 namespace semtree {
+
+/// How a bulk builder cuts a node's points in two (DESIGN.md §8).
+/// Persisted as one byte in the spatial-index snapshot tuning section
+/// so a restored tree reports how it was built.
+enum class SplitPolicy : uint8_t {
+  /// Widest-spread dimension, boundary between the two central
+  /// distinct values (the paper's coordinate-median split).
+  kMedian = 0,
+  /// 2-means on the node's rows (Lloyd iterations, deterministic
+  /// farthest-pair seeding), projected onto the axis where the two
+  /// centroids separate most (core/bulk_build.h).
+  kCentroid = 1,
+};
+
+/// Human-readable policy name (bench series, README knobs).
+inline std::string_view SplitPolicyName(SplitPolicy policy) {
+  switch (policy) {
+    case SplitPolicy::kMedian:
+      return "median";
+    case SplitPolicy::kCentroid:
+      return "centroid";
+  }
+  return "unknown";
+}
+
+/// Validated narrowing from a persisted byte; false on unknown values.
+inline bool SplitPolicyFromU8(uint8_t raw, SplitPolicy* out) {
+  if (raw > static_cast<uint8_t>(SplitPolicy::kCentroid)) return false;
+  *out = static_cast<SplitPolicy>(raw);
+  return true;
+}
 
 struct MedianSplit {
   uint32_t dim = 0;    // Sr
@@ -24,15 +56,13 @@ struct MedianSplit {
   size_t boundary = 0; // First index of the right half within [lo, hi).
 };
 
-/// Picks the widest-spread dimension of rows idx[lo..hi) (coordinates
-/// through `row`: index -> const double*), sorts that span of `idx` by
-/// it, and selects the median-most boundary between distinct values.
-/// Returns false — leaving `idx` unsorted only if no dimension spreads —
-/// when the span cannot be separated (all points identical).
+/// Widest-spread dimension of rows idx[lo..hi) (coordinates through
+/// `row`: index -> const double*); returns the spread, or a negative
+/// value when no dimension spreads (all points identical).
 template <typename Index, typename RowFn>
-bool ChooseMedianSplit(std::vector<Index>& idx, size_t lo, size_t hi,
-                       size_t dimensions, RowFn row, MedianSplit* out) {
-  uint32_t best_dim = 0;
+double WidestSpreadDim(const std::vector<Index>& idx, size_t lo, size_t hi,
+                       size_t dimensions, RowFn row, uint32_t* best_dim) {
+  *best_dim = 0;
   double best_spread = -1.0;
   for (size_t d = 0; d < dimensions; ++d) {
     double mn = std::numeric_limits<double>::infinity();
@@ -44,11 +74,113 @@ bool ChooseMedianSplit(std::vector<Index>& idx, size_t lo, size_t hi,
     }
     if (mx - mn > best_spread) {
       best_spread = mx - mn;
-      best_dim = static_cast<uint32_t>(d);
+      *best_dim = static_cast<uint32_t>(d);
     }
   }
-  if (best_spread <= 0.0) return false;
+  return best_spread;
+}
 
+/// Picks the widest-spread dimension of rows idx[lo..hi), selects the
+/// median-most boundary between distinct values on it, and partitions
+/// `idx[lo..hi)` so [lo, boundary) holds the left half and
+/// [boundary, hi) the right. Returns false — without touching `idx` —
+/// when the span cannot be separated (all points identical).
+///
+/// Selection runs on nth_element + one three-way partition instead of
+/// a full sort. It provably picks the same (dim, value, boundary) as
+/// the historical sort-based scan (ChooseMedianSplitBySort below, kept
+/// as the golden-test reference): with v the value at sorted position
+/// mid = lo + (hi-lo)/2, the sorted span is [<v | ==v | >v] and mid
+/// falls inside the ==v block, so the two distinct-value boundaries
+/// nearest mid are exactly that block's ends lo+a and lo+a+b (a =
+/// #(<v), b = #(==v)); any boundary inside the <v or >v blocks is
+/// strictly farther. The reference scans ascending and keeps the first
+/// strictly-closest boundary, i.e. the LEFT end on a tie — reproduced
+/// here by `<=`. The split value is the midpoint of the two central
+/// distinct values: max(<v) and v, or v and min(>v). All three outputs
+/// depend only on the multiset of coordinates, never on the order the
+/// algorithms leave the span in.
+///
+/// Unlike the sort path, the span afterwards is merely partitioned,
+/// not sorted — callers (the bulk builders) canonicalize leaf order
+/// themselves, which is what keeps parallel and serial builds
+/// byte-identical (DESIGN.md §8).
+template <typename Index, typename RowFn>
+bool ChooseMedianSplit(std::vector<Index>& idx, size_t lo, size_t hi,
+                       size_t dimensions, RowFn row, MedianSplit* out) {
+  uint32_t best_dim = 0;
+  if (WidestSpreadDim(idx, lo, hi, dimensions, row, &best_dim) <= 0.0) {
+    return false;
+  }
+  auto first = idx.begin() + static_cast<ptrdiff_t>(lo);
+  auto last = idx.begin() + static_cast<ptrdiff_t>(hi);
+  size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(first, idx.begin() + static_cast<ptrdiff_t>(mid), last,
+                   [&row, best_dim](Index a, Index b) {
+                     return row(a)[best_dim] < row(b)[best_dim];
+                   });
+  const double v = row(idx[mid])[best_dim];
+
+  // Three-way partition by v: [<v | ==v | >v]. Also track the largest
+  // value below v and the smallest above it (the neighbours of the
+  // equal block in sorted order) for the split-value midpoints.
+  double below_max = -std::numeric_limits<double>::infinity();
+  double above_min = std::numeric_limits<double>::infinity();
+  auto eq_first = std::partition(first, last, [&](Index x) {
+    double c = row(x)[best_dim];
+    if (c < v) {
+      below_max = std::max(below_max, c);
+      return true;
+    }
+    return false;
+  });
+  auto gt_first = std::partition(eq_first, last, [&](Index x) {
+    double c = row(x)[best_dim];
+    if (c > v) above_min = std::min(above_min, c);
+    return c == v;
+  });
+  size_t a = static_cast<size_t>(eq_first - first);   // #(<v)
+  size_t eq = static_cast<size_t>(gt_first - eq_first);  // #(==v)
+
+  // Candidate boundaries: the equal block's ends. The reference keeps
+  // the first (leftmost) on a distance tie.
+  size_t left_b = lo + a;         // Valid when a > 0.
+  size_t right_b = lo + a + eq;   // Valid when < hi.
+  bool has_left = a > 0;
+  bool has_right = right_b < hi;
+  if (!has_left && !has_right) return false;  // Single distinct value.
+  auto dist = [mid](size_t b) {
+    return b >= mid ? b - mid : mid - b;
+  };
+  size_t boundary;
+  double value;
+  if (has_left && (!has_right || dist(left_b) <= dist(right_b))) {
+    boundary = left_b;
+    value = (below_max + v) / 2.0;
+  } else {
+    boundary = right_b;
+    value = (v + above_min) / 2.0;
+  }
+  out->dim = best_dim;
+  out->value = value;
+  out->boundary = boundary;
+  return true;
+}
+
+/// The historical full-sort selection, kept verbatim as the reference
+/// implementation ChooseMedianSplit is golden-tested against
+/// (tests/bulk_build_test.cc): it must produce the same
+/// (dim, value, boundary) and the same left/right membership for any
+/// input. The only intended difference is the order the span is left
+/// in (fully sorted here), which the bulk builders canonicalize away.
+template <typename Index, typename RowFn>
+bool ChooseMedianSplitBySort(std::vector<Index>& idx, size_t lo, size_t hi,
+                             size_t dimensions, RowFn row,
+                             MedianSplit* out) {
+  uint32_t best_dim = 0;
+  if (WidestSpreadDim(idx, lo, hi, dimensions, row, &best_dim) <= 0.0) {
+    return false;
+  }
   std::sort(idx.begin() + static_cast<ptrdiff_t>(lo),
             idx.begin() + static_cast<ptrdiff_t>(hi),
             [&row, best_dim](Index a, Index b) {

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "core/best_first.h"
+#include "core/bulk_build.h"
 #include "core/split.h"
 #include "persist/snapshot.h"
 
@@ -18,7 +19,9 @@ KdTree::KdTree(size_t dimensions, KdTreeOptions options)
       options_(options),
       store_(dimensions_) {
   if (options_.bucket_size == 0) options_.bucket_size = 1;
-  (void)set_metric(options_.metric);  // Base setter; cannot fail here.
+  // Base setters; cannot fail here.
+  (void)set_metric(options_.metric);
+  (void)set_split_policy(options_.split_policy);
   NewLeaf();  // Root.
 }
 
@@ -125,36 +128,71 @@ Result<KdTree> KdTree::BulkLoadBalanced(size_t dimensions,
   SEMTREE_ASSIGN_OR_RETURN(std::vector<Slot> slots,
                            tree.StoreAll(points));
   if (slots.empty()) return tree;
-  tree.nodes_.clear();
-  BuildBalancedRec(&tree, slots, 0, slots.size());
+  tree.BuildFromPlan(slots);
   return tree;
 }
 
-int32_t KdTree::BuildBalancedRec(KdTree* tree, std::vector<Slot>& slots,
-                                 size_t lo, size_t hi) {
-  int32_t node = tree->NewLeaf();
-  size_t count = hi - lo;
-  const PointStore& store = tree->store_;
-  MedianSplit split;
-  if (count <= tree->options_.bucket_size ||
-      !ChooseMedianSplit(slots, lo, hi, tree->dimensions_,
-                         [&store](Slot s) { return store.CoordsAt(s); },
-                         &split)) {
-    // Bucket-sized span, or all points identical: one (possibly
-    // overflowing) leaf.
-    tree->nodes_[node].bucket.assign(slots.begin() + lo,
-                                     slots.begin() + hi);
-    return node;
+Status KdTree::BulkLoad(const std::vector<KdPoint>& points) {
+  if (points.empty()) return Status::OK();
+  if (size() != 0) return SpatialIndex::BulkLoad(points);  // Insert loop.
+  SEMTREE_ASSIGN_OR_RETURN(std::vector<Slot> slots, StoreAll(points));
+  BuildFromPlan(slots);
+  BumpEpoch();
+  return Status::OK();
+}
+
+// Phase 2 of the bulk build (core/bulk_build.h): emit nodes from the
+// plan in exactly the order the historical serial builder allocated
+// them — this node, the whole left subtree, the whole right subtree —
+// so plan-built trees (serial or parallel, either policy) snapshot
+// byte-identically to a serial recursive build.
+void KdTree::BuildFromPlan(std::vector<Slot>& slots) {
+  const PointStore& store = store_;
+  BulkBuildOptions opts;
+  opts.policy = options_.split_policy;
+  opts.build_threads = options_.build_threads;
+  opts.bucket_size = options_.bucket_size;
+  std::unique_ptr<KdPlanNode> plan = BuildKdPlan(
+      slots, dimensions_,
+      [&store](Slot s) { return store.CoordsAt(s); }, opts);
+  nodes_.clear();
+  if (plan == nullptr) {
+    NewLeaf();  // Empty tree: a single empty root leaf.
+    return;
   }
-  int32_t left = BuildBalancedRec(tree, slots, lo, split.boundary);
-  int32_t right = BuildBalancedRec(tree, slots, split.boundary, hi);
-  Node& n = tree->nodes_[node];
-  n.is_leaf = false;
-  n.split_dim = split.dim;
-  n.split_value = split.value;
-  n.left = left;
-  n.right = right;
-  return node;
+  // Iterative pre-order emission replicating the serial recursion's
+  // allocation order (node, left subtree, right subtree). `fixup`
+  // frames record where the parent's child indices go once known —
+  // pre-order means left == parent + 1, and right is patched when its
+  // subtree is reached.
+  struct Frame {
+    const KdPlanNode* plan;
+    int32_t parent;   // Node awaiting a child index, -1 for the root.
+    bool is_right;    // Which child of `parent` this subtree is.
+  };
+  std::vector<Frame> stack = {{plan.get(), -1, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    int32_t node = NewLeaf();
+    if (f.parent >= 0) {
+      (f.is_right ? nodes_[f.parent].right : nodes_[f.parent].left) = node;
+    }
+    const KdPlanNode* p = f.plan;
+    if (p->is_leaf) {
+      nodes_[node].bucket.assign(
+          slots.begin() + static_cast<ptrdiff_t>(p->lo),
+          slots.begin() + static_cast<ptrdiff_t>(p->hi));
+      continue;
+    }
+    Node& n = nodes_[node];
+    n.is_leaf = false;
+    n.split_dim = p->split_dim;
+    n.split_value = p->split_value;
+    // Left subtree is emitted before the right one: push right first.
+    stack.push_back({p->right.get(), node, true});
+    stack.push_back({p->left.get(), node, false});
+  }
 }
 
 Result<KdTree> KdTree::BuildChain(size_t dimensions,

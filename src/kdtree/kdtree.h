@@ -40,6 +40,17 @@ struct KdTreeOptions {
   /// kCosine the splitting-plane bound degenerates to 0 (searches stay
   /// exact but approach an exhaustive scan; see KdPlaneLowerBound).
   Metric metric = Metric::kL2;
+
+  /// How bulk builds cut nodes (core/split.h): the paper's median
+  /// split, or clustering-guided centroid splits (core/bulk_build.h).
+  /// Incremental insertion always splits overflowing buckets by
+  /// median — the policy steers bulk loads only.
+  SplitPolicy split_policy = SplitPolicy::kMedian;
+
+  /// Worker threads for bulk builds: 1 = serial (default), 0 = one per
+  /// hardware thread, n = exactly n. The built tree — and its snapshot
+  /// bytes — are identical across all values (DESIGN.md §8).
+  size_t build_threads = 1;
 };
 
 /// Bucket KD-tree over a fixed-dimensional space.
@@ -87,6 +98,19 @@ class KdTree : public SpatialIndex {
     options_.metric = metric;
     return SpatialIndex::set_metric(metric);
   }
+
+  /// Keeps options().split_policy in sync, mirroring set_metric.
+  Status set_split_policy(SplitPolicy policy) override {
+    options_.split_policy = policy;
+    return SpatialIndex::set_split_policy(policy);
+  }
+
+  /// Batch load through the parallel plan builder (core/bulk_build.h)
+  /// under options().split_policy: on an empty tree the whole batch is
+  /// built balanced in one pass (parallel when build_threads allows,
+  /// byte-identical to serial either way); on a non-empty tree it
+  /// falls back to the Insert loop.
+  Status BulkLoad(const std::vector<KdPoint>& points) override;
 
   /// The k nearest points to `query` (paper §III-B.3, sequential
   /// case), as a budgeted best-first walk over region lower bounds
@@ -149,8 +173,10 @@ class KdTree : public SpatialIndex {
   /// Splits leaf `node` if a separating dimension exists; on totally
   /// duplicated points the bucket is left to overflow.
   void MaybeSplitLeaf(int32_t node);
-  static int32_t BuildBalancedRec(KdTree* tree, std::vector<Slot>& slots,
-                                  size_t lo, size_t hi);
+  /// Replaces the current (empty) node array with the balanced tree
+  /// described by the phase-1 plan over `slots`, allocating nodes in
+  /// the canonical serial order: node, left subtree, right subtree.
+  void BuildFromPlan(std::vector<Slot>& slots);
   /// Appends `points` into the arena, returning their slots; fails on a
   /// dimensionality mismatch.
   Result<std::vector<Slot>> StoreAll(const std::vector<KdPoint>& points);

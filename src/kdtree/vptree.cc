@@ -6,43 +6,55 @@
 #include <cmath>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/best_first.h"
+#include "core/bulk_build.h"
 
 namespace semtree {
 
+/// Phase-1 plan node for the VP-tree build (two-phase scheme of
+/// core/bulk_build.h): split decisions over disjoint spans of the
+/// object permutation, emitted serially afterwards.
+struct VpPlanNode {
+  bool is_leaf = true;
+  size_t vantage = 0;
+  double threshold = 0.0;
+  size_t lo = 0;
+  size_t hi = 0;
+  std::unique_ptr<VpPlanNode> inside;
+  std::unique_ptr<VpPlanNode> outside;
+};
+
 namespace {
 
-}  // namespace
+struct VpPlanParams {
+  const MetricDistanceFn* distance;
+  std::vector<size_t>* objects;
+  size_t bucket_size;
+  uint64_t seed;
+  /// Spans at or above this fan their inside child out to the pool.
+  size_t parallel_cutoff = 4096;
+};
 
-Result<VpTree> VpTree::Build(size_t n, const MetricDistanceFn& distance,
-                             const VpTreeOptions& options) {
-  if (n == 0) return Status::InvalidArgument("cannot index zero objects");
-  if (!distance) {
-    return Status::InvalidArgument("distance oracle must be callable");
-  }
-  VpTree tree(options);
-  if (tree.options_.bucket_size == 0) tree.options_.bucket_size = 1;
-  tree.size_ = n;
-  std::vector<size_t> objects(n);
-  for (size_t i = 0; i < n; ++i) objects[i] = i;
-  Rng rng(options.seed);
-  tree.BuildRec(distance, objects, 0, n, &rng);
-  return tree;
-}
-
-int32_t VpTree::BuildRec(const MetricDistanceFn& distance,
-                         std::vector<size_t>& objects, size_t lo,
-                         size_t hi, Rng* rng) {
-  nodes_.emplace_back();
-  int32_t node = static_cast<int32_t>(nodes_.size() - 1);
+// One span's split decision. The vantage pick is seeded from
+// (seed, lo, hi) rather than drawn from one sequential stream — every
+// node's randomness then depends only on its span, never on the order
+// tasks ran in, which is what makes the parallel build reproduce the
+// serial one node for node.
+void FillVpPlanNode(VpPlanNode* node, const VpPlanParams* p, size_t lo,
+                    size_t hi, TaskGroup* group) {
+  std::vector<size_t>& objects = *p->objects;
+  const MetricDistanceFn& distance = *p->distance;
   size_t count = hi - lo;
-  if (count <= options_.bucket_size) {
-    nodes_[size_t(node)].bucket.assign(objects.begin() + lo,
-                                       objects.begin() + hi);
-    return node;
+  if (count <= p->bucket_size) {
+    node->is_leaf = true;
+    node->lo = lo;
+    node->hi = hi;
+    return;
   }
-  // Random vantage point; swap it to the front of the span.
-  size_t pick = lo + rng->Uniform(count);
+  // Per-span-seeded vantage point; swap it to the front of the span.
+  Rng rng(MixSeed(p->seed, lo, hi));
+  size_t pick = lo + rng.Uniform(count);
   std::swap(objects[lo], objects[pick]);
   size_t vantage = objects[lo];
 
@@ -64,24 +76,104 @@ int32_t VpTree::BuildRec(const MetricDistanceFn& distance,
   }
   if (outside.empty()) {
     // All equidistant: no separation possible; keep one flat leaf.
-    nodes_[size_t(node)].bucket.assign(objects.begin() + lo,
-                                       objects.begin() + hi);
-    return node;
+    node->is_leaf = true;
+    node->lo = lo;
+    node->hi = hi;
+    return;
   }
   size_t cursor = lo;
   for (size_t obj : inside) objects[cursor++] = obj;
   size_t split = cursor;
   for (size_t obj : outside) objects[cursor++] = obj;
 
-  int32_t in_child = BuildRec(distance, objects, lo, split, rng);
-  int32_t out_child = BuildRec(distance, objects, split, hi, rng);
-  Node& n = nodes_[size_t(node)];
-  n.is_leaf = false;
-  n.vantage = vantage;
-  n.threshold = threshold;
-  n.inside = in_child;
-  n.outside = out_child;
-  return node;
+  node->is_leaf = false;
+  node->vantage = vantage;
+  node->threshold = threshold;
+  node->inside = std::make_unique<VpPlanNode>();
+  node->outside = std::make_unique<VpPlanNode>();
+  VpPlanNode* in_child = node->inside.get();
+  VpPlanNode* out_child = node->outside.get();
+  if (group != nullptr && count >= p->parallel_cutoff) {
+    group->Run([in_child, p, lo, split, group]() {
+      FillVpPlanNode(in_child, p, lo, split, group);
+    });
+    FillVpPlanNode(out_child, p, split, hi, group);
+    return;
+  }
+  FillVpPlanNode(in_child, p, lo, split, group);
+  FillVpPlanNode(out_child, p, split, hi, group);
+}
+
+}  // namespace
+
+Result<VpTree> VpTree::Build(size_t n, const MetricDistanceFn& distance,
+                             const VpTreeOptions& options) {
+  if (n == 0) return Status::InvalidArgument("cannot index zero objects");
+  if (!distance) {
+    return Status::InvalidArgument("distance oracle must be callable");
+  }
+  VpTree tree(options);
+  if (tree.options_.bucket_size == 0) tree.options_.bucket_size = 1;
+  tree.size_ = n;
+  std::vector<size_t> objects(n);
+  for (size_t i = 0; i < n; ++i) objects[i] = i;
+
+  VpPlanNode root;
+  VpPlanParams params;
+  params.distance = &distance;
+  params.objects = &objects;
+  params.bucket_size = tree.options_.bucket_size;
+  params.seed = options.seed;
+  size_t threads = ResolveBuildThreads(options.build_threads);
+  if (threads > 1 && n >= params.parallel_cutoff) {
+    ThreadPool pool(threads);
+    TaskGroup group(&pool);
+    FillVpPlanNode(&root, &params, 0, n, &group);
+    group.Wait();
+  } else {
+    FillVpPlanNode(&root, &params, 0, n, nullptr);
+  }
+  tree.BuildFromPlan(root, objects);
+  return tree;
+}
+
+void VpTree::BuildFromPlan(const VpPlanNode& root,
+                           const std::vector<size_t>& objects) {
+  // Iterative pre-order emission replicating the historical serial
+  // recursion's allocation order: node, inside subtree, outside
+  // subtree. Parent child-indices are patched as subtrees are reached.
+  struct Frame {
+    const VpPlanNode* plan;
+    int32_t parent;   // Node awaiting a child index, -1 for the root.
+    bool is_outside;  // Which child of `parent` this subtree is.
+  };
+  nodes_.clear();
+  std::vector<Frame> stack = {{&root, -1, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    nodes_.emplace_back();
+    int32_t node = static_cast<int32_t>(nodes_.size() - 1);
+    if (f.parent >= 0) {
+      (f.is_outside ? nodes_[size_t(f.parent)].outside
+                    : nodes_[size_t(f.parent)].inside) = node;
+    }
+    const VpPlanNode* p = f.plan;
+    if (p->is_leaf) {
+      nodes_[size_t(node)].bucket.assign(
+          objects.begin() + static_cast<ptrdiff_t>(p->lo),
+          objects.begin() + static_cast<ptrdiff_t>(p->hi));
+      continue;
+    }
+    Node& n = nodes_[size_t(node)];
+    n.is_leaf = false;
+    n.vantage = p->vantage;
+    n.threshold = p->threshold;
+    // Inside subtree is emitted before the outside one: push outside
+    // first.
+    stack.push_back({p->outside.get(), node, true});
+    stack.push_back({p->inside.get(), node, false});
+  }
 }
 
 // Both searches run the shared best-first walker over metric ball

@@ -43,6 +43,14 @@ struct VpTreeOptions {
   /// observed triangle-inequality excess to regain exactness on
   /// near-metric distances (0 = textbook pruning).
   double prune_slack = 0.0;
+
+  /// Worker threads for Build: 1 = serial (default), 0 = one per
+  /// hardware thread, n = exactly n. Vantage picks are seeded per node
+  /// span (core/bulk_build.h MixSeed), so the built tree is identical
+  /// across all values. Values > 1 require the distance oracle to be
+  /// safe to call from concurrent threads. Not persisted: a snapshot
+  /// stores the built structure, and this knob never changes it.
+  size_t build_threads = 1;
 };
 
 /// Static vantage-point tree (built once over n objects).
@@ -102,9 +110,11 @@ class VpTree {
 
   explicit VpTree(VpTreeOptions options) : options_(options) {}
 
-  int32_t BuildRec(const MetricDistanceFn& distance,
-                   std::vector<size_t>& objects, size_t lo, size_t hi,
-                   class Rng* rng);
+  /// Phase-2 emission (core/bulk_build.h): turns the phase-1 plan into
+  /// the node array in canonical pre-order (node, inside subtree,
+  /// outside subtree — the historical recursion's allocation order).
+  void BuildFromPlan(const struct VpPlanNode& root,
+                     const std::vector<size_t>& objects);
 
   VpTreeOptions options_;
   std::vector<Node> nodes_;

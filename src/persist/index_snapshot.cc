@@ -25,9 +25,12 @@ constexpr uint32_t kSecBackendKind = 0x10;
 constexpr uint32_t kSecBackendBlob = 0x11;
 // Per-index tuning state: the default SearchBudget (DESIGN.md §6)
 // followed — since the kernel layer (DESIGN.md §7) — by one Metric
-// byte. Both tails are optional on read: pre-approximation snapshots
-// have no section and load exact/L2; pre-metric snapshots have the
-// 24-byte budget-only section and load under L2.
+// byte, followed — since the bulk-build pipeline (DESIGN.md §8) — by
+// one SplitPolicy byte. All tails are optional on read:
+// pre-approximation snapshots have no section and load exact/L2/median;
+// pre-metric snapshots have the 24-byte budget-only section and load
+// under L2/median; pre-split-policy snapshots stop after the metric
+// and load under median.
 constexpr uint32_t kSecBackendBudget = 0x12;
 constexpr uint32_t kSecSemOptions = 0x20;
 constexpr uint32_t kSecSemVocabulary = 0x21;
@@ -87,6 +90,7 @@ Result<std::string> SerializeSpatialIndex(const SpatialIndex& index) {
   tuning->PutU64(budget.max_nodes_visited);
   tuning->PutDouble(budget.epsilon);
   tuning->PutU8(static_cast<uint8_t>(index.metric()));
+  tuning->PutU8(static_cast<uint8_t>(index.split_policy()));
   return snap.Serialize();
 }
 
@@ -105,6 +109,7 @@ struct BackendTuning {
   bool has_budget = false;
   SearchBudget budget;
   Metric metric = Metric::kL2;
+  SplitPolicy split_policy = SplitPolicy::kMedian;
 };
 
 // Reads the optional tuning section. The metric must be known *before*
@@ -130,6 +135,14 @@ Result<BackendTuning> ReadTuning(const SnapshotReader& snap) {
     if (!MetricFromU8(raw, &tuning.metric)) {
       return Status::Corruption(
           StringPrintf("unknown metric %u in snapshot", raw));
+    }
+  }
+  // Optional tail: pre-split-policy snapshots end after the metric.
+  if (in.remaining() > 0) {
+    SEMTREE_ASSIGN_OR_RETURN(uint8_t raw, in.U8());
+    if (!SplitPolicyFromU8(raw, &tuning.split_policy)) {
+      return Status::Corruption(
+          StringPrintf("unknown split policy %u in snapshot", raw));
     }
   }
   return tuning;
@@ -184,6 +197,9 @@ Result<std::unique_ptr<SpatialIndex>> ParseSpatialIndex(
         StringPrintf("unknown backend kind %u in snapshot", kind));
   }
   if (tuning.has_budget) out->set_default_budget(tuning.budget);
+  // The split policy only shapes *future* bulk builds; applying it to
+  // the loaded structure is pure metadata restoration.
+  SEMTREE_RETURN_NOT_OK(out->set_split_policy(tuning.split_policy));
   return out;
 }
 

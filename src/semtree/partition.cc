@@ -82,7 +82,8 @@ PointBlock Partition::ExtractLeafBlock(int32_t leaf) {
   return block;
 }
 
-void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block) {
+void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block,
+                                   const BulkBuildOptions& opts) {
   size_t count = block.size();
   // Copy the block into this partition's arena first; the build then
   // works purely over slot indices.
@@ -92,41 +93,43 @@ void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block) {
   for (size_t i = 0; i < count; ++i) {
     slots.push_back(store_.Append(block.Row(i), block.ids[i]));
   }
-  // Recursive median build writing into this partition's arena. The
-  // recursion allocates children before filling the parent, so `root`
-  // is finalized last.
-  struct Builder {
-    Partition* part;
-    std::vector<Slot>& slots;
-
-    void Build(int32_t node, size_t lo, size_t hi) {
-      const PointStore& store = part->store();
-      MedianSplit split;
-      if (hi - lo <= part->bucket_size() ||
-          !ChooseMedianSplit(slots, lo, hi, part->dimensions(),
-                             [&store](Slot s) { return store.CoordsAt(s); },
-                             &split)) {
-        // Bucket-sized span, or identical points: one (possibly
-        // overflowing) leaf.
-        part->node(node).bucket.assign(
-            slots.begin() + static_cast<ptrdiff_t>(lo),
-            slots.begin() + static_cast<ptrdiff_t>(hi));
-        return;
-      }
-      int32_t left = part->NewLeaf();
-      int32_t right = part->NewLeaf();
-      Build(left, lo, split.boundary);
-      Build(right, split.boundary, hi);
-      PNode& pn = part->node(node);
-      pn.is_leaf = false;
-      pn.split_dim = split.dim;
-      pn.split_value = split.value;
-      pn.left = ChildRef{part->id(), left};
-      pn.right = ChildRef{part->id(), right};
-    }
-  };
   if (count > 0) {
-    Builder{this, slots}.Build(root, 0, count);
+    // Phase 1: plan the subtree (possibly across opts.build_threads
+    // workers; the plan is scheduling-independent, core/bulk_build.h).
+    BulkBuildOptions build = opts;
+    build.bucket_size = bucket_size_;
+    const PointStore& store = store_;
+    std::unique_ptr<KdPlanNode> plan =
+        BuildKdPlan(slots, dimensions_,
+                    [&store](Slot s) { return store.CoordsAt(s); }, build);
+    // Phase 2: emit serially, replicating the historical arena layout:
+    // both children of a routing node are allocated before either
+    // subtree is descended, the parent PNode is filled after both, and
+    // `root` is finalized last.
+    struct Emitter {
+      Partition* part;
+      const std::vector<Slot>& slots;
+
+      void Emit(int32_t node, const KdPlanNode& p) {
+        if (p.is_leaf) {
+          part->node(node).bucket.assign(
+              slots.begin() + static_cast<ptrdiff_t>(p.lo),
+              slots.begin() + static_cast<ptrdiff_t>(p.hi));
+          return;
+        }
+        int32_t left = part->NewLeaf();
+        int32_t right = part->NewLeaf();
+        Emit(left, *p.left);
+        Emit(right, *p.right);
+        PNode& pn = part->node(node);
+        pn.is_leaf = false;
+        pn.split_dim = p.split_dim;
+        pn.split_value = p.split_value;
+        pn.left = ChildRef{part->id(), left};
+        pn.right = ChildRef{part->id(), right};
+      }
+    };
+    Emitter{this, slots}.Emit(root, *plan);
   }
   AddPoints(count);
 }

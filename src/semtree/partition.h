@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/bulk_build.h"
 #include "core/point.h"
 #include "core/point_block.h"
 #include "core/point_store.h"
@@ -114,10 +115,15 @@ class Partition {
   /// fully duplicated points are left to overflow.
   void SplitLeafIfNeeded(int32_t leaf);
 
-  /// Replaces the (empty leaf) node `root` with a balanced median-built
-  /// subtree over the block's points — the local half of the
-  /// distributed bulk load. Point accounting is updated.
-  void BuildBalancedLocal(int32_t root, const PointBlock& block);
+  /// Replaces the (empty leaf) node `root` with a balanced subtree
+  /// over the block's points — the local half of the distributed bulk
+  /// load, built through the two-phase plan builder
+  /// (core/bulk_build.h) under `opts`' split policy and thread count
+  /// (opts.bucket_size is overridden by this partition's). The node
+  /// arena is byte-identical whatever opts.build_threads says. Point
+  /// accounting is updated.
+  void BuildBalancedLocal(int32_t root, const PointBlock& block,
+                          const BulkBuildOptions& opts = {});
 
   /// Copies the block's rows into this partition's arena and appends
   /// their slots to `leaf`'s bucket. Point accounting is updated.

@@ -90,6 +90,8 @@ Status SemanticIndex::BuildTree() {
   topts.max_partitions = options_.max_partitions;
   topts.partition_capacity = options_.partition_capacity;
   topts.network_latency = options_.network_latency;
+  topts.split_policy = options_.split_policy;
+  topts.build_threads = options_.build_threads;
   SEMTREE_ASSIGN_OR_RETURN(std::unique_ptr<SemTree> tree,
                            SemTree::Create(std::move(topts)));
   tree_ = std::move(tree);

@@ -54,6 +54,16 @@ struct SemanticIndexOptions {
   /// their bulk-loading efficiency).
   bool bulk_load = false;
 
+  /// Split policy of the balanced bulk load (core/split.h): median or
+  /// clustering-guided centroid cuts. Only consulted when `bulk_load`
+  /// is set.
+  SplitPolicy split_policy = SplitPolicy::kMedian;
+
+  /// Worker threads for each partition's local balanced build
+  /// (SemTreeOptions::build_threads): 1 = serial, 0 = one per hardware
+  /// thread. Byte-identical trees across all values.
+  size_t build_threads = 1;
+
   /// Memoize element distances during FastMap training (recommended;
   /// vocabularies are small so the hit rate is high).
   bool cache_element_distances = true;

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/bulk_build.h"
 #include "core/distance.h"
 #include "core/kernels.h"
 #include "core/split.h"
@@ -684,7 +685,10 @@ void SemTree::HandleBulkBuild(Partition* p, const Message& msg) {
   auto& req = PayloadAs<BulkBuildRequest>(msg.payload);
   int32_t root = p->AdoptRoot();
   total_points_.fetch_add(req.block.size(), std::memory_order_relaxed);
-  p->BuildBalancedLocal(root, req.block);
+  BulkBuildOptions build;
+  build.policy = options_.split_policy;
+  build.build_threads = options_.build_threads;
+  p->BuildBalancedLocal(root, req.block, build);
   BulkBuildResponse resp;
   resp.root_node = root;
   cluster_->Respond(msg, MakePayload<BulkBuildResponse>(resp), 32);
@@ -737,12 +741,15 @@ namespace {
 struct RegionSplitter {
   const PointBlock& block;
   size_t bucket_size;
+  BulkBuildOptions build;  // Split policy for region cuts (serial).
   std::vector<uint32_t> order;  // Row permutation; spans are regions.
   std::vector<SkeletonNode> skeleton;
   std::vector<std::pair<size_t, size_t>> regions;  // [lo, hi) spans.
 
-  explicit RegionSplitter(const PointBlock& b, size_t bucket)
-      : block(b), bucket_size(bucket), order(b.size()) {
+  RegionSplitter(const PointBlock& b, size_t bucket,
+                 const BulkBuildOptions& opts)
+      : block(b), bucket_size(bucket), build(opts), order(b.size()) {
+    build.bucket_size = bucket;
     for (size_t i = 0; i < order.size(); ++i) {
       order[i] = static_cast<uint32_t>(i);
     }
@@ -774,9 +781,9 @@ struct RegionSplitter {
 
     const PointBlock& b = block;
     MedianSplit median;
-    if (!ChooseMedianSplit(order, lo, hi, b.dimensions,
-                           [&b](uint32_t x) { return b.Row(x); },
-                           &median)) {
+    if (!ChooseSplitForPolicy(order, lo, hi, b.dimensions,
+                              [&b](uint32_t x) { return b.Row(x); }, build,
+                              &median)) {
       return emit_region();  // All points identical.
     }
     uint32_t best_dim = median.dim;
@@ -827,7 +834,9 @@ Status SemTree::BulkLoadBalanced(PointBlock points) {
 
   size_t data_partitions =
       options_.max_partitions > 1 ? options_.max_partitions - 1 : 1;
-  RegionSplitter splitter(points, options_.bucket_size);
+  BulkBuildOptions region_build;
+  region_build.policy = options_.split_policy;
+  RegionSplitter splitter(points, options_.bucket_size, region_build);
   auto root_out = splitter.Split(0, points.size(), data_partitions);
 
   if (splitter.regions.size() == 1 || options_.max_partitions == 1 ||

@@ -41,6 +41,7 @@
 #include "core/point.h"
 #include "core/point_block.h"
 #include "core/query.h"
+#include "core/split.h"
 #include "persist/wire.h"
 #include "semtree/partition.h"
 
@@ -73,6 +74,18 @@ struct SemTreeOptions {
 
   /// Interconnect bandwidth (bytes/us); 0 = infinite.
   double bandwidth_bytes_per_us = 0.0;
+
+  /// How bulk loads cut nodes (core/split.h): the paper's median split
+  /// or clustering-guided centroid splits (core/bulk_build.h). Applies
+  /// to the client-side region splitter AND every partition's local
+  /// balanced build; incremental insertion always splits overflowing
+  /// buckets by median.
+  SplitPolicy split_policy = SplitPolicy::kMedian;
+
+  /// Worker threads for each partition's local balanced build:
+  /// 1 = serial (default), 0 = one per hardware thread, n = exactly n.
+  /// The built tree is byte-identical across all values (DESIGN.md §8).
+  size_t build_threads = 1;
 };
 
 /// Outcome counters for a distributed search (network cost included).

@@ -372,6 +372,105 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, TryRunOneStealsQueuedWork) {
+  // A pool whose single worker is parked on a long task still makes
+  // progress when the caller steals from the queue directly.
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([&started, gate]() {
+    started.set_value();
+    gate.wait();
+  });
+  // Only enqueue stealable work once the worker is provably parked on
+  // the gate — otherwise this thread could steal the gate task itself
+  // and wait on a release that never comes.
+  started.get_future().wait();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  while (pool.TryRunOne()) {
+  }
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_FALSE(pool.TryRunOne());  // Queue is empty now.
+  release.set_value();
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, TrySubmitRefusedAfterShutdown) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.TrySubmit([&counter]() { counter.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_FALSE(pool.TrySubmit([&counter]() { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// TaskGroup
+
+TEST(TaskGroupTest, RunsInlineWithoutPool) {
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Run([&ran]() { ++ran; });
+  EXPECT_EQ(ran, 1);  // Inline: done before Wait.
+  group.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(TaskGroupTest, NestedSubmissionOnSaturatedPoolCannotDeadlock) {
+  // Regression for the parallel bulk builders: tasks recursively
+  // submit subtasks from pool threads. With ONE worker, the root task
+  // occupies it while its children sit in the queue — without the
+  // stealing Wait this deadlocks. The group's Wait must drain the
+  // queue itself.
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  std::atomic<int> leaves{0};
+  // Recursive fan-out: each level spawns two children through the
+  // same group; ~2^6 leaves in total.
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    group.Run([&spawn, depth]() { spawn(depth - 1); });
+    group.Run([&spawn, depth]() { spawn(depth - 1); });
+  };
+  group.Run([&spawn]() { spawn(6); });
+  group.Wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TaskGroupTest, WaitFromInsidePoolTaskDrainsByStealing) {
+  // Even the root Run may come from a pool thread (nested build
+  // inside a cluster handler). The waiter then IS the only worker.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  auto outer = pool.Submit([&pool, &done]() {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Run([&done]() { done.fetch_add(1); });
+    }
+    group.Wait();  // Must steal: the sole worker is this frame.
+    return done.load();
+  });
+  EXPECT_EQ(outer.get(), 16);
+}
+
+TEST(TaskGroupTest, FallsBackInlineWhenPoolShutDown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  TaskGroup group(&pool);
+  int ran = 0;
+  group.Run([&ran]() { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
 // ---------------------------------------------------------------------
 // Logging
 

@@ -162,6 +162,29 @@ TEST(SpatialSnapshotTest, RoundTripAllBackends) {
   }
 }
 
+TEST(SpatialSnapshotTest, SplitPolicyRoundTrips) {
+  // The split policy rides in the tuning section (one byte after the
+  // metric); a warm-restarted index keeps bulk-building the way it was
+  // configured to. Old snapshots without the byte load as median —
+  // covered by the defaulting path the metric tail already exercises.
+  for (BackendKind kind : kAllBackends) {
+    SCOPED_TRACE(BackendName(kind));
+    BackendOptions opts;
+    opts.bucket_size = 8;
+    opts.split_policy = SplitPolicy::kCentroid;
+    auto original = MakeSpatialIndex(kind, kDims, opts);
+    for (const KdPoint& p : MakePoints(60, kDims, /*seed=*/3)) {
+      ASSERT_TRUE(original->Insert(p.coords, p.id).ok());
+    }
+    ASSERT_EQ(original->split_policy(), SplitPolicy::kCentroid);
+    auto bytes = persist::SerializeSpatialIndex(*original);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    auto loaded = persist::ParseSpatialIndex(*bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->split_policy(), SplitPolicy::kCentroid);
+  }
+}
+
 TEST(SpatialSnapshotTest, MutationAfterLoadMatchesOriginal) {
   // The free list and bucket layout survived, so post-restart inserts
   // land exactly where they would have without the restart.
