@@ -1,0 +1,264 @@
+// Copyright 2026 The SemTree Authors
+//
+// Adversarial workload bench (DESIGN.md §9): generates a seeded
+// Zipfian mixed-op trace with phase-rotating hot sets, replays it
+// open-loop against a QueryEngine at a target qps, and reports SLO
+// percentiles (p50/p99/p999), throughput, error/shed/truncation rates
+// per phase. Emits BENCH_workload.json for the perf trajectory.
+//
+// `--smoke` shrinks the run for CI and turns the bench into a gate:
+// exit 1 unless the run completes with zero errors and non-empty
+// percentiles, AND a second identically-seeded run reproduces the
+// identical trace hash and aggregate counters (the determinism
+// contract of workload/workload_gen.h, asserted end to end).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/backends.h"
+#include "engine/query_engine.h"
+#include "workload/driver.h"
+#include "workload/workload_gen.h"
+
+namespace semtree {
+namespace bench {
+namespace {
+
+constexpr char kFigure[] = "workload";
+
+struct Config {
+  workload::WorkloadConfig gen;
+  workload::DriverConfig driver;
+  BackendKind backend = BackendKind::kKdTree;
+  std::string json_path = "BENCH_workload.json";
+  bool smoke = false;
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config cfg;
+  cfg.gen.num_keys = 20000;
+  cfg.gen.total_ops = 50000;
+  cfg.gen.ops_per_phase = 10000;
+  cfg.gen.hotset_rotation = 977;
+  cfg.driver.target_qps = 20000.0;
+  auto next = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.gen.num_keys = 4000;
+      cfg.gen.total_ops = 8000;
+      cfg.gen.ops_per_phase = 2000;
+      cfg.gen.hotset_rotation = 97;
+      cfg.driver.target_qps = 40000.0;
+    } else if (std::strcmp(a, "--qps") == 0) {
+      cfg.driver.target_qps = std::atof(next(&i));
+    } else if (std::strcmp(a, "--ops") == 0) {
+      cfg.gen.total_ops = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--keys") == 0) {
+      cfg.gen.num_keys = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--dims") == 0) {
+      cfg.gen.dims = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--zipf-s") == 0) {
+      cfg.gen.zipf_s = std::atof(next(&i));
+    } else if (std::strcmp(a, "--ops-per-phase") == 0) {
+      cfg.gen.ops_per_phase = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--rotation") == 0) {
+      cfg.gen.hotset_rotation = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      cfg.gen.seed = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--workers") == 0) {
+      cfg.driver.workers = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--max-pending") == 0) {
+      cfg.driver.max_pending = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--json") == 0) {
+      cfg.json_path = next(&i);
+    } else if (std::strcmp(a, "--backend") == 0) {
+      const char* name = next(&i);
+      if (std::strcmp(name, "kdtree") == 0) {
+        cfg.backend = BackendKind::kKdTree;
+      } else if (std::strcmp(name, "linear") == 0) {
+        cfg.backend = BackendKind::kLinearScan;
+      } else {
+        std::fprintf(stderr, "unknown --backend %s\n", name);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a);
+      std::exit(2);
+    }
+  }
+  // Mixed traffic classes: mostly exact, a capped "degraded" tier so
+  // the truncation-rate column is live (PR 4's budgets as load).
+  cfg.gen.mix = workload::OpMix{0.05, 0.05, 0.60, 0.30};
+  cfg.gen.budget_tiers = {
+      workload::BudgetTier{SearchBudget::Exact(), 0.8},
+      workload::BudgetTier{SearchBudget::MaxDistances(128), 0.2},
+  };
+  return cfg;
+}
+
+struct RunResult {
+  uint64_t trace_hash = 0;
+  workload::DriverReport report;
+};
+
+RunResult RunOnce(const Config& cfg,
+                  const std::vector<KdPoint>& corpus) {
+  auto index = MakeSpatialIndex(cfg.backend, cfg.gen.dims);
+  Status st = index->BulkLoad(corpus);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  QueryEngine engine(index.get());
+  auto trace = workload::GenerateTrace(cfg.gen, corpus);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace generation failed: %s\n",
+                 trace.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto report = workload::RunOpenLoop(&engine, *trace, cfg.driver);
+  if (!report.ok()) {
+    std::fprintf(stderr, "driver failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  RunResult out;
+  out.trace_hash = workload::TraceHash(*trace);
+  out.report = std::move(*report);
+  return out;
+}
+
+void AddPhaseRecord(BenchJson* json, const char* kind,
+                    const workload::PhaseStats& ps) {
+  json->BeginRecord();
+  json->AddStr("record", kind);
+  json->AddInt("phase", ps.phase);
+  json->AddInt("issued", ps.issued);
+  json->AddInt("completed", ps.completed);
+  json->AddInt("shed", ps.shed);
+  json->AddInt("errors", ps.errors);
+  json->AddInt("truncated", ps.truncated);
+  json->AddInt("cache_hits", ps.cache_hits);
+  json->AddInt("knn", ps.knn);
+  json->AddInt("range", ps.range);
+  json->AddInt("inserts", ps.inserts);
+  json->AddInt("removes", ps.removes);
+  json->AddInt("p50_us", ps.latency.ValueAtQuantile(0.50));
+  json->AddInt("p99_us", ps.latency.ValueAtQuantile(0.99));
+  json->AddInt("p999_us", ps.latency.ValueAtQuantile(0.999));
+  json->AddNum("throughput_qps", ps.throughput_qps);
+  json->AddNum("error_rate", ps.error_rate);
+  json->AddNum("shed_rate", ps.shed_rate);
+  json->AddNum("truncation_rate", ps.truncation_rate);
+  json->AddNum("duration_s", ps.duration_s);
+}
+
+bool CountersEqual(const workload::PhaseStats& a,
+                   const workload::PhaseStats& b) {
+  return a.issued == b.issued && a.completed == b.completed &&
+         a.shed == b.shed && a.errors == b.errors &&
+         a.truncated == b.truncated && a.cache_hits == b.cache_hits &&
+         a.knn == b.knn && a.range == b.range &&
+         a.inserts == b.inserts && a.removes == b.removes;
+}
+
+int Main(int argc, char** argv) {
+  Config cfg = ParseArgs(argc, argv);
+  const std::string series(BackendName(cfg.backend));
+  PrintHeader(kFigure, "Zipfian open-loop workload: SLO percentiles",
+              "phase,p99_us,p50;p999;qps;err;shed;trunc");
+
+  auto corpus = workload::MakeClusteredCorpus(
+      cfg.gen.num_keys, cfg.gen.dims, 16, cfg.gen.seed);
+  RunResult run = RunOnce(cfg, corpus);
+
+  BenchJson json("workload_driver", cfg.json_path);
+  json.BeginRecord();
+  json.AddStr("record", "config");
+  json.AddStr("backend", series);
+  json.AddInt("seed", cfg.gen.seed);
+  json.AddInt("keys", cfg.gen.num_keys);
+  json.AddInt("ops", cfg.gen.total_ops);
+  json.AddInt("ops_per_phase", cfg.gen.ops_per_phase);
+  json.AddInt("rotation", cfg.gen.hotset_rotation);
+  json.AddNum("zipf_s", cfg.gen.zipf_s);
+  json.AddNum("target_qps", cfg.driver.target_qps);
+  json.AddInt("workers", cfg.driver.workers);
+  json.AddInt("max_pending", cfg.driver.max_pending);
+  json.AddStr("trace_hash",
+              std::to_string(run.trace_hash));  // String: full 64 bits.
+  for (const workload::PhaseStats& ps : run.report.phases) {
+    AddPhaseRecord(&json, "phase", ps);
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  "p50=%" PRIu64 ";p999=%" PRIu64
+                  ";qps=%.0f;err=%.4f;shed=%.4f;trunc=%.4f",
+                  ps.latency.ValueAtQuantile(0.50),
+                  ps.latency.ValueAtQuantile(0.999), ps.throughput_qps,
+                  ps.error_rate, ps.shed_rate, ps.truncation_rate);
+    PrintRow(kFigure, series, double(ps.phase),
+             double(ps.latency.ValueAtQuantile(0.99)), extra);
+  }
+  AddPhaseRecord(&json, "total", run.report.total);
+  if (!json.Write()) return 1;
+  std::printf("# wrote %s (trace_hash=%" PRIu64 ")\n",
+              json.path().c_str(), run.trace_hash);
+
+  if (!cfg.smoke) return 0;
+
+  // --smoke gate 1: the run must be clean and the percentiles real.
+  const workload::PhaseStats& total = run.report.total;
+  if (total.errors != 0) {
+    std::fprintf(stderr, "SMOKE FAIL: %" PRIu64 " op errors\n",
+                 total.errors);
+    return 1;
+  }
+  if (total.completed == 0 || total.latency.count() == 0 ||
+      total.latency.ValueAtQuantile(0.999) == 0) {
+    std::fprintf(stderr, "SMOKE FAIL: empty percentiles\n");
+    return 1;
+  }
+  // --smoke gate 2: an identically-seeded second run (fresh index,
+  // fresh engine, fresh trace) must reproduce the trace hash and every
+  // aggregate counter — the determinism contract, end to end.
+  RunResult twin = RunOnce(cfg, corpus);
+  if (twin.trace_hash != run.trace_hash) {
+    std::fprintf(stderr, "SMOKE FAIL: trace hash diverged\n");
+    return 1;
+  }
+  if (twin.report.phases.size() != run.report.phases.size() ||
+      !CountersEqual(twin.report.total, run.report.total)) {
+    std::fprintf(stderr, "SMOKE FAIL: counters diverged across runs\n");
+    return 1;
+  }
+  for (size_t p = 0; p < run.report.phases.size(); ++p) {
+    if (!CountersEqual(twin.report.phases[p], run.report.phases[p])) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: phase %zu counters diverged\n", p);
+      return 1;
+    }
+  }
+  std::printf("# SMOKE OK: zero errors, live percentiles, "
+              "deterministic twin run\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace semtree
+
+int main(int argc, char** argv) {
+  return semtree::bench::Main(argc, argv);
+}

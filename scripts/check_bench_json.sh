@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench-artifact schema check: every BENCH_*.json in the repo root must
+# parse as JSON and carry the envelope the dashboards and diff scripts
+# consume — a non-empty string "bench" and a non-empty "records" list
+# of flat objects whose values are numbers or strings. Catches a bench
+# silently emitting broken or empty artifacts before anyone diffs them.
+#
+#   scripts/check_bench_json.sh [file ...]   # default: ./BENCH_*.json
+
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  shopt -s nullglob
+  files=(BENCH_*.json)
+  shopt -u nullglob
+fi
+if [ ${#files[@]} -eq 0 ]; then
+  echo "no BENCH_*.json artifacts found" >&2
+  exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if python3 - "$f" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as fh:
+        doc = json.load(fh)
+except (OSError, ValueError) as e:
+    sys.exit(f"{path}: not valid JSON: {e}")
+
+if not isinstance(doc, dict):
+    sys.exit(f"{path}: top level must be an object")
+bench = doc.get("bench")
+if not isinstance(bench, str) or not bench:
+    sys.exit(f"{path}: 'bench' must be a non-empty string")
+records = doc.get("records")
+if not isinstance(records, list) or not records:
+    sys.exit(f"{path}: 'records' must be a non-empty list")
+for i, rec in enumerate(records):
+    if not isinstance(rec, dict) or not rec:
+        sys.exit(f"{path}: records[{i}] must be a non-empty object")
+    for key, value in rec.items():
+        if not isinstance(value, (int, float, str)) or isinstance(value, bool):
+            sys.exit(
+                f"{path}: records[{i}][{key!r}] must be a number or "
+                f"string, got {type(value).__name__}")
+print(f"{path}: ok ({bench}, {len(records)} records)")
+EOF
+  then :; else status=1; fi
+done
+exit $status

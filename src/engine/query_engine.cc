@@ -75,37 +75,40 @@ ShardedResultCache::Stats QueryEngine::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : ShardedResultCache::Stats{};
 }
 
-Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
-  size_t dims = dimensions();
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].coords.size() != dims) {
-      return Status::InvalidArgument(StringPrintf(
-          "query %zu has %zu dimensions, target has %zu", i,
-          batch[i].coords.size(), dims));
-    }
-    if (!AllFinite(batch[i].coords)) {
-      return Status::InvalidArgument(StringPrintf(
-          "query %zu has non-finite (NaN/Inf) coordinates", i));
-    }
-    // !(radius >= 0) also rejects NaN, which would defeat every
-    // pruning comparison.
-    if (batch[i].type == QueryType::kRange &&
-        !(batch[i].radius >= 0.0)) {
-      return Status::InvalidArgument(
-          StringPrintf("query %zu has a negative or NaN radius", i));
-    }
-    // NaN fails both comparisons, so it is rejected here too.
-    double eps = batch[i].budget.epsilon;
-    if (!(eps >= 0.0)) {
-      return Status::InvalidArgument(StringPrintf(
-          "query %zu has a negative or NaN budget epsilon", i));
-    }
+Status QueryEngine::ValidateOne(const SpatialQuery& query,
+                                size_t index) const {
+  if (query.coords.size() != dimensions()) {
+    return Status::InvalidArgument(StringPrintf(
+        "query %zu has %zu dimensions, target has %zu", index,
+        query.coords.size(), dimensions()));
+  }
+  if (!AllFinite(query.coords)) {
+    return Status::InvalidArgument(StringPrintf(
+        "query %zu has non-finite (NaN/Inf) coordinates", index));
+  }
+  // !(radius >= 0) also rejects NaN, which would defeat every
+  // pruning comparison.
+  if (query.type == QueryType::kRange && !(query.radius >= 0.0)) {
+    return Status::InvalidArgument(
+        StringPrintf("query %zu has a negative or NaN radius", index));
+  }
+  // NaN fails both comparisons, so it is rejected here too.
+  if (!(query.budget.epsilon >= 0.0)) {
+    return Status::InvalidArgument(StringPrintf(
+        "query %zu has a negative or NaN budget epsilon", index));
   }
   return Status::OK();
 }
 
-void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
-                               size_t lo, size_t hi,
+Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SEMTREE_RETURN_NOT_OK(ValidateOne(batch[i], i));
+  }
+  return Status::OK();
+}
+
+void QueryEngine::RunLocalSpan(const SpatialQuery* batch, size_t lo,
+                               size_t hi,
                                std::vector<QueryOutcome>* outcomes,
                                TaskOutput* out) {
   for (size_t i = lo; i < hi; ++i) {
@@ -155,7 +158,7 @@ void QueryEngine::RunLocalSpan(const std::vector<SpatialQuery>& batch,
 }
 
 Status QueryEngine::RunDistributedSpan(
-    const std::vector<SpatialQuery>& batch, size_t lo, size_t hi,
+    const SpatialQuery* batch, size_t lo, size_t hi,
     std::vector<QueryOutcome>* outcomes, TaskOutput* out) {
   Stopwatch sw;
   uint64_t ep = tree_epoch_.load(std::memory_order_acquire);
@@ -255,10 +258,10 @@ Result<BatchResult> QueryEngine::Run(
     futures.push_back(pool_.Submit([this, &batch, lo, hi, &result,
                                     part = &parts[t]]() {
       if (index_ != nullptr) {
-        RunLocalSpan(batch, lo, hi, &result.outcomes, part);
+        RunLocalSpan(batch.data(), lo, hi, &result.outcomes, part);
       } else {
-        part->status =
-            RunDistributedSpan(batch, lo, hi, &result.outcomes, part);
+        part->status = RunDistributedSpan(batch.data(), lo, hi,
+                                          &result.outcomes, part);
       }
     }));
   }
@@ -270,6 +273,19 @@ Result<BatchResult> QueryEngine::Run(
   }
   FinalizeStats(parts, &result);
   return result;
+}
+
+Result<QueryOutcome> QueryEngine::RunOne(const SpatialQuery& query) {
+  SEMTREE_RETURN_NOT_OK(ValidateOne(query, 0));
+  std::vector<QueryOutcome> outcomes(1);
+  TaskOutput out;
+  if (index_ != nullptr) {
+    RunLocalSpan(&query, 0, 1, &outcomes, &out);
+  } else {
+    SEMTREE_RETURN_NOT_OK(
+        RunDistributedSpan(&query, 0, 1, &outcomes, &out));
+  }
+  return std::move(outcomes[0]);
 }
 
 Status QueryEngine::SaveSnapshot(const std::string& path) {

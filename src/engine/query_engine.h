@@ -117,6 +117,15 @@ class QueryEngine {
   /// executing nothing.
   Result<BatchResult> Run(const std::vector<SpatialQuery>& batch);
 
+  /// Executes one query on the calling thread — the per-op hook the
+  /// open-loop workload driver (workload/driver.h, DESIGN.md §9)
+  /// issues through. Semantically a one-element Run() (same
+  /// validation, default-budget inheritance, caching and truncation
+  /// replay), but with no worker fan-out, no batch aggregation and no
+  /// per-call allocation beyond the outcome itself, so driving the
+  /// engine op-by-op does not perturb the batch hot path.
+  Result<QueryOutcome> RunOne(const SpatialQuery& query);
+
   /// Inserts through to the target and advances the cache epoch.
   Status Insert(const std::vector<double>& coords, PointId id);
 
@@ -155,12 +164,14 @@ class QueryEngine {
  private:
   struct TaskOutput;  // Per-worker partial aggregates.
 
+  Status ValidateOne(const SpatialQuery& query, size_t index) const;
   Status Validate(const std::vector<SpatialQuery>& batch) const;
-  void RunLocalSpan(const std::vector<SpatialQuery>& batch, size_t lo,
-                    size_t hi, std::vector<QueryOutcome>* outcomes,
-                    TaskOutput* out);
-  Status RunDistributedSpan(const std::vector<SpatialQuery>& batch,
-                            size_t lo, size_t hi,
+  // Spans address `batch[lo..hi)` through a raw pointer so RunOne can
+  // execute a single caller-owned query without materializing a batch.
+  void RunLocalSpan(const SpatialQuery* batch, size_t lo, size_t hi,
+                    std::vector<QueryOutcome>* outcomes, TaskOutput* out);
+  Status RunDistributedSpan(const SpatialQuery* batch, size_t lo,
+                            size_t hi,
                             std::vector<QueryOutcome>* outcomes,
                             TaskOutput* out);
   void FinalizeStats(std::vector<TaskOutput>& parts, BatchResult* result);

@@ -1,0 +1,252 @@
+// Copyright 2026 The SemTree Authors
+
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace semtree {
+namespace workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PendingOp {
+  const WorkloadOp* op = nullptr;
+  uint64_t scheduled_ns = 0;  // Relative to the run's start instant.
+};
+
+// Per-worker, per-phase partial aggregates; workers touch only their
+// own row, so the execution path records without any lock.
+struct PhaseAcc {
+  explicit PhaseAcc(uint32_t bits) : latency(bits) {}
+
+  uint64_t completed = 0, errors = 0, truncated = 0, cache_hits = 0;
+  uint64_t knn = 0, range = 0, inserts = 0, removes = 0;
+  uint64_t first_ns = std::numeric_limits<uint64_t>::max();
+  uint64_t last_ns = 0;
+  LatencyHistogram latency;
+};
+
+uint64_t SinceNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+Result<DriverReport> RunOpenLoop(QueryEngine* engine,
+                                 const WorkloadTrace& trace,
+                                 const DriverConfig& config) {
+  if (!std::isfinite(config.target_qps) || config.target_qps <= 0.0) {
+    return Status::InvalidArgument("target_qps must be finite and > 0");
+  }
+  const size_t workers = std::max<size_t>(1, config.workers);
+  const uint32_t bits = config.histogram_precision_bits;
+  const size_t num_phases = std::max<size_t>(1, trace.num_phases);
+
+  DriverReport report;
+  report.phases.resize(num_phases);
+  for (size_t p = 0; p < num_phases; ++p) {
+    report.phases[p].phase = static_cast<uint32_t>(p);
+    report.phases[p].latency = LatencyHistogram(bits);
+  }
+  report.total.latency = LatencyHistogram(bits);
+  if (trace.ops.empty()) return report;
+  for (const WorkloadOp& op : trace.ops) {
+    if (op.phase >= num_phases) {
+      return Status::InvalidArgument("op phase out of range");
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingOp> queue;
+  bool closed = false;
+  std::atomic<size_t> pending{0};
+
+  std::vector<std::vector<PhaseAcc>> accs;
+  accs.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    accs.emplace_back(num_phases, PhaseAcc(bits));
+  }
+
+  const Clock::time_point start = Clock::now();
+
+  auto worker_fn = [&](size_t w) {
+    std::vector<PhaseAcc>& mine = accs[w];
+    for (;;) {
+      PendingOp item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return closed || !queue.empty(); });
+        if (queue.empty()) break;  // Closed and drained.
+        item = queue.front();
+        queue.pop_front();
+      }
+      const WorkloadOp& op = *item.op;
+      PhaseAcc& acc = mine[op.phase];
+      bool error = false, trunc = false, hit = false;
+      switch (op.kind) {
+        case OpKind::kInsert: {
+          error = !engine->Insert(op.coords, op.id).ok();
+          ++acc.inserts;
+          break;
+        }
+        case OpKind::kRemove: {
+          error = !engine->Remove(op.coords, op.id).ok();
+          ++acc.removes;
+          break;
+        }
+        case OpKind::kKnn:
+        case OpKind::kRange: {
+          auto outcome = engine->RunOne(
+              op.kind == OpKind::kKnn
+                  ? SpatialQuery::Knn(op.coords, op.k, op.budget)
+                  : SpatialQuery::Range(op.coords, op.radius, op.budget));
+          if (outcome.ok()) {
+            trunc = outcome->truncated;
+            hit = outcome->from_cache;
+          } else {
+            error = true;
+          }
+          ++(op.kind == OpKind::kKnn ? acc.knn : acc.range);
+          break;
+        }
+      }
+      const uint64_t completion_ns = SinceNs(start);
+      ++acc.completed;
+      if (error) ++acc.errors;
+      if (trunc) ++acc.truncated;
+      if (hit) ++acc.cache_hits;
+      // Latency from the SCHEDULED arrival, so queue wait counts
+      // (open-loop accounting; see driver.h).
+      const uint64_t lat_ns = completion_ns > item.scheduled_ns
+                                  ? completion_ns - item.scheduled_ns
+                                  : 0;
+      acc.latency.Record(lat_ns / 1000);  // Microseconds.
+      acc.first_ns = std::min(acc.first_ns, item.scheduled_ns);
+      acc.last_ns = std::max(acc.last_ns, completion_ns);
+      pending.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+
+  // Issue loop: the caller thread paces arrivals.
+  std::vector<uint64_t> issued(num_phases, 0), shed(num_phases, 0);
+  const double ns_per_op = 1e9 / config.target_qps;
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    const uint64_t scheduled_ns =
+        static_cast<uint64_t>(static_cast<double>(i) * ns_per_op);
+    std::this_thread::sleep_until(
+        start + std::chrono::nanoseconds(scheduled_ns));
+    const WorkloadOp& op = trace.ops[i];
+    ++issued[op.phase];
+    if (config.max_pending > 0 &&
+        pending.load(std::memory_order_relaxed) >= config.max_pending) {
+      ++shed[op.phase];
+      continue;
+    }
+    pending.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(PendingOp{&trace.ops[i], scheduled_ns});
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+  report.wall_s = static_cast<double>(SinceNs(start)) / 1e9;
+
+  // Merge the per-worker partials into per-phase and whole-run stats.
+  uint64_t run_first = std::numeric_limits<uint64_t>::max();
+  uint64_t run_last = 0;
+  for (size_t p = 0; p < num_phases; ++p) {
+    PhaseStats& ps = report.phases[p];
+    ps.issued = issued[p];
+    ps.shed = shed[p];
+    uint64_t first = std::numeric_limits<uint64_t>::max(), last = 0;
+    for (std::vector<PhaseAcc>& rows : accs) {
+      const PhaseAcc& acc = rows[p];
+      ps.completed += acc.completed;
+      ps.errors += acc.errors;
+      ps.truncated += acc.truncated;
+      ps.cache_hits += acc.cache_hits;
+      ps.knn += acc.knn;
+      ps.range += acc.range;
+      ps.inserts += acc.inserts;
+      ps.removes += acc.removes;
+      first = std::min(first, acc.first_ns);
+      last = std::max(last, acc.last_ns);
+      // Infallible: all histograms share config's precision.
+      ps.latency.Merge(acc.latency);
+    }
+    if (ps.completed > 0) {
+      ps.duration_s = static_cast<double>(last - first) / 1e9;
+      if (ps.duration_s > 0.0) {
+        ps.throughput_qps =
+            static_cast<double>(ps.completed) / ps.duration_s;
+      }
+      ps.error_rate = static_cast<double>(ps.errors) /
+                      static_cast<double>(ps.completed);
+      ps.truncation_rate = static_cast<double>(ps.truncated) /
+                           static_cast<double>(ps.completed);
+      run_first = std::min(run_first, first);
+      run_last = std::max(run_last, last);
+    }
+    if (ps.issued > 0) {
+      ps.shed_rate =
+          static_cast<double>(ps.shed) / static_cast<double>(ps.issued);
+    }
+
+    PhaseStats& total = report.total;
+    total.issued += ps.issued;
+    total.shed += ps.shed;
+    total.completed += ps.completed;
+    total.errors += ps.errors;
+    total.truncated += ps.truncated;
+    total.cache_hits += ps.cache_hits;
+    total.knn += ps.knn;
+    total.range += ps.range;
+    total.inserts += ps.inserts;
+    total.removes += ps.removes;
+    total.latency.Merge(ps.latency);
+  }
+  PhaseStats& total = report.total;
+  if (total.completed > 0) {
+    total.duration_s = static_cast<double>(run_last - run_first) / 1e9;
+    if (total.duration_s > 0.0) {
+      total.throughput_qps =
+          static_cast<double>(total.completed) / total.duration_s;
+    }
+    total.error_rate = static_cast<double>(total.errors) /
+                       static_cast<double>(total.completed);
+    total.truncation_rate = static_cast<double>(total.truncated) /
+                            static_cast<double>(total.completed);
+  }
+  if (total.issued > 0) {
+    total.shed_rate =
+        static_cast<double>(total.shed) / static_cast<double>(total.issued);
+  }
+  return report;
+}
+
+}  // namespace workload
+}  // namespace semtree

@@ -1,0 +1,99 @@
+// Copyright 2026 The SemTree Authors
+//
+// Open-loop workload driver (DESIGN.md §9): replays a pre-generated
+// WorkloadTrace against a QueryEngine at a target qps. Open-loop means
+// op i is *issued* at its scheduled time start + i/qps whether or not
+// earlier ops have completed — the arrival process is independent of
+// service times, unlike the repo's closed-loop benches where a slow op
+// silently throttles the load. Latency is therefore measured from the
+// op's SCHEDULED issue time to its completion, so queueing delay is
+// charged to the system, not hidden (no coordinated omission).
+//
+// A bounded pending queue models a server's admission control: when
+// `max_pending` ops are issued-but-incomplete, further arrivals are
+// shed (counted per phase, never executed, never in the latency
+// histogram). With max_pending = 0 the queue is unbounded and every op
+// executes.
+//
+// Determinism: the driver never alters the trace — pacing changes
+// *when* ops run, not *what* runs. With `workers == 1` execution order
+// equals trace order, so every per-op result (error, truncation,
+// cache hit) and hence every aggregate counter is identical across
+// runs and across target qps (asserted in tests/workload_test.cc and
+// by the bench's trace_hash + twin-run JSON diff). With workers > 1,
+// ops interleave nondeterministically; for a pure-query trace the
+// result multiset is still deterministic, but traces with mutations
+// may count truncations/cache hits differently run to run.
+
+#ifndef SEMTREE_WORKLOAD_DRIVER_H_
+#define SEMTREE_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query_engine.h"
+#include "workload/histogram.h"
+#include "workload/workload_gen.h"
+
+namespace semtree {
+namespace workload {
+
+struct DriverConfig {
+  /// Target arrival rate; must be finite and > 0.
+  double target_qps = 2000.0;
+
+  /// Executor threads draining the pending queue. 1 (default) keeps
+  /// execution order == trace order, making every counter
+  /// deterministic; raise it to push throughput past one core.
+  size_t workers = 1;
+
+  /// Max issued-but-incomplete ops before arrivals are shed;
+  /// 0 = unbounded (nothing is ever shed).
+  size_t max_pending = 0;
+
+  /// Precision of the latency histograms (workload/histogram.h);
+  /// percentile relative error <= 2^-bits.
+  uint32_t histogram_precision_bits = 7;
+};
+
+/// Per-phase (and whole-run) SLO aggregates.
+struct PhaseStats {
+  uint32_t phase = 0;
+  uint64_t issued = 0;     ///< Arrivals, including shed ones.
+  uint64_t completed = 0;  ///< Ops that executed (ok or error).
+  uint64_t shed = 0;       ///< Rejected at admission (queue full).
+  uint64_t errors = 0;     ///< Executed ops whose Status was not OK.
+  uint64_t truncated = 0;  ///< Search ops flagged truncated (PR 4).
+  uint64_t cache_hits = 0;
+  uint64_t knn = 0, range = 0, inserts = 0, removes = 0;
+
+  /// Completed-op latency, microseconds from scheduled issue to
+  /// completion (queue wait included — see file comment).
+  LatencyHistogram latency;
+
+  double duration_s = 0.0;       ///< First arrival to last completion.
+  double throughput_qps = 0.0;   ///< completed / duration_s.
+  double error_rate = 0.0;       ///< errors / completed (0 if none).
+  double shed_rate = 0.0;        ///< shed / issued (0 if none).
+  double truncation_rate = 0.0;  ///< truncated / completed (0 if none).
+};
+
+struct DriverReport {
+  std::vector<PhaseStats> phases;  ///< Indexed by phase number.
+  PhaseStats total;                ///< Whole-run aggregate (phase 0).
+  double wall_s = 0.0;             ///< Issue start to last join.
+};
+
+/// Replays `trace` against `engine` open-loop. Blocks until every
+/// non-shed op has completed. The engine must outlive the call; its
+/// mutations go through QueryEngine::Insert/Remove so the result
+/// cache's epoch stays honest.
+Result<DriverReport> RunOpenLoop(QueryEngine* engine,
+                                 const WorkloadTrace& trace,
+                                 const DriverConfig& config);
+
+}  // namespace workload
+}  // namespace semtree
+
+#endif  // SEMTREE_WORKLOAD_DRIVER_H_

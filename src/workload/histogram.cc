@@ -1,0 +1,114 @@
+// Copyright 2026 The SemTree Authors
+
+#include "workload/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace semtree {
+namespace workload {
+
+namespace {
+
+uint32_t ClampPrecision(uint32_t bits) {
+  return std::clamp<uint32_t>(bits, 1, 14);
+}
+
+// Unit region [0, 2^(m+1)) plus (63 - m) log buckets of 2^m
+// sub-buckets each — enough to cover the full uint64 range.
+size_t NumBuckets(uint32_t m) {
+  return (size_t{2} << m) + (63 - m) * (size_t{1} << m);
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(uint32_t precision_bits)
+    : precision_bits_(ClampPrecision(precision_bits)),
+      counts_(NumBuckets(precision_bits_), 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) const {
+  const uint32_t m = precision_bits_;
+  if (value < (uint64_t{2} << m)) return static_cast<size_t>(value);
+  // floor(log2(value)) >= m + 1 here.
+  const uint32_t log2v = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t e = log2v - m;
+  const uint64_t mantissa = value >> e;  // In [2^m, 2^(m+1)).
+  return (size_t{2} << m) + (size_t{e} - 1) * (size_t{1} << m) +
+         static_cast<size_t>(mantissa - (uint64_t{1} << m));
+}
+
+uint64_t LatencyHistogram::BucketUpperEdge(size_t index) const {
+  const uint32_t m = precision_bits_;
+  if (index < (size_t{2} << m)) return index;  // Unit region: exact.
+  const size_t j = index - (size_t{2} << m);
+  const uint32_t e = static_cast<uint32_t>(j >> m) + 1;
+  const uint64_t mantissa =
+      (uint64_t{1} << m) + (j & ((uint64_t{1} << m) - 1));
+  // The topmost bucket's edge is 2^64 - 1; the unsigned wraparound of
+  // (2^(m+1) << (63-m)) - 1 lands there exactly.
+  return ((mantissa + 1) << e) - 1;
+}
+
+void LatencyHistogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  counts_[BucketIndex(value)] += count;
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+Status LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.precision_bits_ != precision_bits_) {
+    return Status::InvalidArgument(StringPrintf(
+        "cannot merge histograms of precision %u and %u",
+        other.precision_bits_, precision_bits_));
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return Status::OK();
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return BucketUpperEdge(i);
+  }
+  return max_;  // Unreachable: cumulative reaches count_ >= rank.
+}
+
+double LatencyHistogram::ApproximateMean() const {
+  if (count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      sum += static_cast<double>(counts_[i]) *
+             static_cast<double>(BucketUpperEdge(i));
+    }
+  }
+  return sum / static_cast<double>(count_);
+}
+
+double LatencyHistogram::MaxRelativeError() const {
+  return 1.0 / static_cast<double>(uint64_t{1} << precision_bits_);
+}
+
+bool LatencyHistogram::IdenticalTo(const LatencyHistogram& other) const {
+  return precision_bits_ == other.precision_bits_ &&
+         counts_ == other.counts_;
+}
+
+}  // namespace workload
+}  // namespace semtree

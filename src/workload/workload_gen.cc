@@ -1,0 +1,260 @@
+// Copyright 2026 The SemTree Authors
+
+#include "workload/workload_gen.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "workload/zipf.h"
+
+namespace semtree {
+namespace workload {
+
+namespace {
+
+// Seed-stream separators: the corpus, the popularity sampler and the
+// op stream must draw from independent streams so changing, say, the
+// op mix never perturbs which points the corpus contains.
+constexpr uint64_t kZipfStream = 0x5a1ff00d2121ULL;
+constexpr uint64_t kOpStream = 0x09057263a5a5ULL;
+constexpr uint64_t kCorpusStream = 0xc0590f5e77ULL;
+
+Status ValidateConfig(const WorkloadConfig& c) {
+  if (c.num_keys == 0) return Status::InvalidArgument("num_keys == 0");
+  if (c.dims == 0) return Status::InvalidArgument("dims == 0");
+  if (!std::isfinite(c.zipf_s) || c.zipf_s < 0.0) {
+    return Status::InvalidArgument("zipf_s must be finite and >= 0");
+  }
+  const double weights[] = {c.mix.insert, c.mix.remove, c.mix.knn,
+                            c.mix.range};
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "op-mix weights must be finite and >= 0");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("op mix has no positive weight");
+  }
+  if (c.mix.knn > 0.0 && c.knn_k == 0) {
+    return Status::InvalidArgument("knn_k == 0 with knn ops in the mix");
+  }
+  if (!std::isfinite(c.range_radius) || c.range_radius < 0.0) {
+    return Status::InvalidArgument("range_radius must be finite and >= 0");
+  }
+  if (!std::isfinite(c.query_noise) || c.query_noise < 0.0) {
+    return Status::InvalidArgument("query_noise must be finite and >= 0");
+  }
+  double tier_sum = 0.0;
+  for (const BudgetTier& t : c.budget_tiers) {
+    if (!std::isfinite(t.weight) || t.weight < 0.0) {
+      return Status::InvalidArgument(
+          "budget-tier weights must be finite and >= 0");
+    }
+    if (!(t.budget.epsilon >= 0.0)) {
+      return Status::InvalidArgument(
+          "budget-tier epsilon must be >= 0 (and not NaN)");
+    }
+    tier_sum += t.weight;
+  }
+  if (!c.budget_tiers.empty() && tier_sum <= 0.0) {
+    return Status::InvalidArgument("budget tiers have no positive weight");
+  }
+  return Status::OK();
+}
+
+// Weighted pick over cumulative weights; `u` uniform in [0, sum).
+size_t PickWeighted(const double* cumulative, size_t n, double u) {
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (u < cumulative[i]) return i;
+  }
+  return n - 1;
+}
+
+void HashBytes(const void* data, size_t n, uint64_t* h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 0x100000001b3ULL;  // FNV-1a prime.
+  }
+}
+
+void HashU64(uint64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
+
+void HashDouble(double v, uint64_t* h) {
+  // Bit pattern, so -0.0 vs 0.0 and NaN payloads all distinguish.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(bits, h);
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInsert:
+      return "insert";
+    case OpKind::kRemove:
+      return "remove";
+    case OpKind::kKnn:
+      return "knn";
+    case OpKind::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+bool WorkloadOp::operator==(const WorkloadOp& o) const {
+  return kind == o.kind && phase == o.phase && key == o.key &&
+         coords == o.coords && id == o.id && k == o.k &&
+         radius == o.radius && budget == o.budget;
+}
+
+std::vector<KdPoint> MakeClusteredCorpus(uint64_t num_keys, size_t dims,
+                                         size_t clusters, uint64_t seed) {
+  if (clusters == 0) clusters = 1;
+  Rng rng(seed ^ kCorpusStream);
+  std::vector<std::vector<double>> centers(clusters);
+  for (auto& center : centers) {
+    center.resize(dims);
+    for (double& c : center) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  std::vector<KdPoint> corpus(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    const std::vector<double>& center = centers[i % clusters];
+    corpus[i].id = i;
+    corpus[i].coords.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      corpus[i].coords[d] = center[d] + 0.1 * rng.Gaussian();
+    }
+  }
+  return corpus;
+}
+
+Result<WorkloadTrace> GenerateTrace(const WorkloadConfig& config,
+                                    const std::vector<KdPoint>& corpus) {
+  SEMTREE_RETURN_NOT_OK(ValidateConfig(config));
+  if (corpus.size() != config.num_keys) {
+    return Status::InvalidArgument(StringPrintf(
+        "corpus has %zu points, config.num_keys is %llu", corpus.size(),
+        static_cast<unsigned long long>(config.num_keys)));
+  }
+  for (const KdPoint& p : corpus) {
+    if (p.coords.size() != config.dims) {
+      return Status::InvalidArgument("corpus point dimensionality "
+                                     "differs from config.dims");
+    }
+  }
+
+  WorkloadTrace trace;
+  trace.ops.reserve(config.total_ops);
+  trace.num_phases =
+      config.ops_per_phase == 0 || config.total_ops == 0
+          ? 1
+          : (config.total_ops + config.ops_per_phase - 1) /
+                config.ops_per_phase;
+
+  ZipfianGenerator zipf(config.num_keys, config.zipf_s,
+                        config.seed ^ kZipfStream);
+  Rng rng(config.seed ^ kOpStream);
+
+  const double mix_cum[4] = {
+      config.mix.insert, config.mix.insert + config.mix.remove,
+      config.mix.insert + config.mix.remove + config.mix.knn,
+      config.mix.insert + config.mix.remove + config.mix.knn +
+          config.mix.range};
+  std::vector<double> tier_cum;
+  tier_cum.reserve(config.budget_tiers.size());
+  double tier_sum = 0.0;
+  for (const BudgetTier& t : config.budget_tiers) {
+    tier_sum += t.weight;
+    tier_cum.push_back(tier_sum);
+  }
+
+  // Live workload-inserted points, so removes always target something
+  // that exists at execution time (trace order == program order).
+  std::vector<std::pair<PointId, std::vector<double>>> live;
+  PointId next_id = config.num_keys;
+
+  for (size_t i = 0; i < config.total_ops; ++i) {
+    WorkloadOp op;
+    op.phase = config.ops_per_phase == 0
+                   ? 0
+                   : static_cast<uint32_t>(i / config.ops_per_phase);
+    uint64_t rank = zipf.Next();
+    op.key = (rank + static_cast<uint64_t>(op.phase) *
+                         config.hotset_rotation) %
+             config.num_keys;
+
+    size_t kind_idx =
+        PickWeighted(mix_cum, 4, rng.UniformDouble() * mix_cum[3]);
+    op.kind = static_cast<OpKind>(kind_idx);
+    // A remove with nothing live degrades to an insert so the trace
+    // never depends on execution-time failures.
+    if (op.kind == OpKind::kRemove && live.empty()) {
+      op.kind = OpKind::kInsert;
+    }
+
+    switch (op.kind) {
+      case OpKind::kInsert: {
+        op.id = next_id++;
+        op.coords = corpus[op.key].coords;
+        for (double& c : op.coords) c += config.query_noise * rng.Gaussian();
+        live.emplace_back(op.id, op.coords);
+        break;
+      }
+      case OpKind::kRemove: {
+        size_t pick = static_cast<size_t>(rng.Uniform(live.size()));
+        op.id = live[pick].first;
+        op.coords = live[pick].second;
+        live[pick] = std::move(live.back());
+        live.pop_back();
+        break;
+      }
+      case OpKind::kKnn:
+      case OpKind::kRange: {
+        op.coords = corpus[op.key].coords;
+        for (double& c : op.coords) c += config.query_noise * rng.Gaussian();
+        if (op.kind == OpKind::kKnn) {
+          op.k = config.knn_k;
+        } else {
+          op.radius = config.range_radius;
+        }
+        if (!config.budget_tiers.empty()) {
+          size_t tier = PickWeighted(tier_cum.data(), tier_cum.size(),
+                                     rng.UniformDouble() * tier_sum);
+          op.budget = config.budget_tiers[tier].budget;
+        }
+        break;
+      }
+    }
+    trace.ops.push_back(std::move(op));
+  }
+  return trace;
+}
+
+uint64_t TraceHash(const WorkloadTrace& trace) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  HashU64(trace.num_phases, &h);
+  HashU64(trace.ops.size(), &h);
+  for (const WorkloadOp& op : trace.ops) {
+    HashU64(static_cast<uint64_t>(op.kind), &h);
+    HashU64(op.phase, &h);
+    HashU64(op.key, &h);
+    HashU64(op.id, &h);
+    HashU64(op.k, &h);
+    HashDouble(op.radius, &h);
+    HashU64(op.budget.max_distance_computations, &h);
+    HashU64(op.budget.max_nodes_visited, &h);
+    HashDouble(op.budget.epsilon, &h);
+    for (double c : op.coords) HashDouble(c, &h);
+  }
+  return h;
+}
+
+}  // namespace workload
+}  // namespace semtree

@@ -1,0 +1,140 @@
+// Copyright 2026 The SemTree Authors
+//
+// Deterministic adversarial workload generation (DESIGN.md §9): a
+// seedable trace of mixed insert/remove/k-NN/range operations whose
+// key popularity follows a Zipf law and whose hot set rotates on a
+// piecewise-constant phase schedule, so benches can measure how the
+// system behaves when the keys everyone is hitting *change* — the
+// traffic shape the ROADMAP north-star targets, which uniform static
+// corpora never exercise.
+//
+// Determinism contract: GenerateTrace is a pure function of
+// (config, corpus). The full op trace — kinds, keys, coordinates,
+// ids, budgets, phases — is materialized up front from the seed, and
+// the open-loop driver (workload/driver.h) only *paces* it. Two runs
+// with the same config therefore execute the identical op sequence at
+// any target qps; TraceHash gives a cheap fingerprint to assert it.
+//
+// Phases are defined in op index space (`ops_per_phase`), not wall
+// time, precisely so the trace cannot depend on qps. "The hot set
+// rotates every T seconds at Q qps" is expressed as
+// ops_per_phase = T * Q; the bench CLI does that arithmetic.
+
+#ifndef SEMTREE_WORKLOAD_WORKLOAD_GEN_H_
+#define SEMTREE_WORKLOAD_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/point.h"
+#include "core/query.h"
+
+namespace semtree {
+namespace workload {
+
+enum class OpKind : uint8_t {
+  kInsert = 0,
+  kRemove = 1,
+  kKnn = 2,
+  kRange = 3,
+};
+
+const char* OpKindName(OpKind kind);
+
+/// Relative frequencies of the op kinds (any non-negative weights with
+/// a positive sum; they need not sum to 1).
+struct OpMix {
+  double insert = 0.05;
+  double remove = 0.05;
+  double knn = 0.60;
+  double range = 0.30;
+};
+
+/// One entry of the budget-tier distribution: search ops draw a
+/// SearchBudget from these by weight (PR 4's approximation knobs as
+/// traffic classes — e.g. 80% exact, 20% capped "degraded" tier).
+struct BudgetTier {
+  SearchBudget budget;
+  double weight = 1.0;
+};
+
+struct WorkloadConfig {
+  /// Popularity domain; must equal the base corpus size handed to
+  /// GenerateTrace. Key k targets corpus point with id == k.
+  uint64_t num_keys = 10000;
+  size_t dims = 8;
+
+  /// Zipf skew exponent: 0 = uniform, 0.99 = YCSB default.
+  double zipf_s = 0.99;
+
+  size_t total_ops = 10000;
+
+  /// Ops per popularity phase; 0 = a single phase. At the phase
+  /// boundary the rank->key mapping rotates by `hotset_rotation`.
+  size_t ops_per_phase = 0;
+
+  /// Keys the hot set advances by each phase:
+  /// key = (rank + phase * hotset_rotation) mod num_keys.
+  uint64_t hotset_rotation = 0;
+
+  OpMix mix;
+
+  /// Budget classes for k-NN/range ops; empty = always exact.
+  std::vector<BudgetTier> budget_tiers;
+
+  size_t knn_k = 10;
+  double range_radius = 0.25;
+
+  /// Stddev of the Gaussian perturbation applied to the targeted
+  /// corpus point for query coordinates (and inserted points), so
+  /// queries do not trivially coincide with stored points.
+  double query_noise = 0.02;
+
+  uint64_t seed = 42;
+};
+
+/// One materialized operation of the trace.
+struct WorkloadOp {
+  OpKind kind = OpKind::kKnn;
+  uint32_t phase = 0;
+  uint64_t key = 0;  ///< Popularity-mapped corpus key this op targets.
+  std::vector<double> coords;
+  PointId id = 0;      ///< Insert/remove target id.
+  size_t k = 0;        ///< k-NN only.
+  double radius = 0.0; ///< Range only.
+  SearchBudget budget;
+
+  bool operator==(const WorkloadOp& o) const;
+};
+
+struct WorkloadTrace {
+  std::vector<WorkloadOp> ops;
+  size_t num_phases = 1;
+};
+
+/// Deterministic clustered base corpus: `num_keys` points with
+/// id == index, drawn around `clusters` Gaussian centers in
+/// [-1, 1]^dims. Pure function of its arguments.
+std::vector<KdPoint> MakeClusteredCorpus(uint64_t num_keys, size_t dims,
+                                         size_t clusters, uint64_t seed);
+
+/// Materializes the full op trace. Pure function of (config, corpus):
+/// byte-identical output for identical inputs, on any machine or
+/// thread count. Removes target only workload-inserted ids (drawn
+/// deterministically from the live set; a remove with nothing live
+/// degrades to an insert), so a generated trace never fails against a
+/// corpus-loaded engine. Validates the config up front.
+Result<WorkloadTrace> GenerateTrace(const WorkloadConfig& config,
+                                    const std::vector<KdPoint>& corpus);
+
+/// FNV-1a fingerprint over the canonical encoding of every op — two
+/// traces hash equal iff they are member-wise identical (modulo hash
+/// collisions). Used by the determinism tests and stamped into
+/// BENCH_workload.json as `trace_hash`.
+uint64_t TraceHash(const WorkloadTrace& trace);
+
+}  // namespace workload
+}  // namespace semtree
+
+#endif  // SEMTREE_WORKLOAD_WORKLOAD_GEN_H_

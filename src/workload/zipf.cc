@@ -1,0 +1,45 @@
+// Copyright 2026 The SemTree Authors
+
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace semtree {
+namespace workload {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_keys, double s,
+                                   uint64_t seed)
+    : num_keys_(num_keys), s_(s), rng_(seed) {
+  assert(num_keys > 0);
+  assert(std::isfinite(s) && s >= 0.0);
+  cdf_.resize(num_keys);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  harmonic_ = acc;
+  for (double& c : cdf_) c /= acc;
+  // Guard against the normalization rounding the tail below 1.0, which
+  // would make a u drawn just under 1 fall off the table.
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.UniformDouble();  // [0, 1)
+  // First rank whose cumulative mass exceeds u.
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfianGenerator::Pmf(uint64_t rank) const {
+  if (rank >= num_keys_) return 0.0;
+  // Analytic form, not adjacent-CDF differences: the cumulative table
+  // cancels catastrophically for deep ranks whose mass is tiny.
+  return 1.0 / std::pow(static_cast<double>(rank + 1), s_) / harmonic_;
+}
+
+}  // namespace workload
+}  // namespace semtree

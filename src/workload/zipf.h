@@ -1,0 +1,61 @@
+// Copyright 2026 The SemTree Authors
+//
+// ZipfianGenerator: deterministic, seedable sampler of popularity ranks
+// under a (truncated) Zipf law, the standard model of skewed key
+// popularity in storage/serving workloads. Rank r in [0, n) is drawn
+// with probability
+//
+//   p(r) = (1 / (r+1)^s) / H_{n,s},   H_{n,s} = sum_{k=1..n} 1/k^s
+//
+// where `s` is the skew exponent: s = 0 degenerates to the uniform
+// distribution, s ~ 0.99 matches YCSB's default, larger s concentrates
+// almost all mass on the first few ranks.
+//
+// Sampling is inverse-CDF over a precomputed cumulative table
+// (O(n) doubles of memory, O(log n) per sample via binary search), so
+// draws follow the *analytic* pmf exactly — no Gray-style rejection
+// approximation — which is what the statistical-fit tests in
+// tests/zipf_test.cc assert against. The generator owns its Rng: two
+// instances built from the same (n, s, seed) produce byte-identical
+// rank sequences regardless of what any other thread does (asserted
+// across thread counts in tests).
+
+#ifndef SEMTREE_WORKLOAD_ZIPF_H_
+#define SEMTREE_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace semtree {
+namespace workload {
+
+class ZipfianGenerator {
+ public:
+  /// `num_keys` must be > 0; `s` must be finite and >= 0 (checked with
+  /// assert; callers validate user input before constructing).
+  ZipfianGenerator(uint64_t num_keys, double s, uint64_t seed);
+
+  /// Next rank in [0, num_keys), 0 being the most popular.
+  uint64_t Next();
+
+  /// Analytic probability of `rank` (the distribution Next() samples
+  /// from, exactly). Ranks >= num_keys have probability 0.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t num_keys() const { return num_keys_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t num_keys_;
+  double s_;
+  double harmonic_ = 1.0;  // H_{n,s}, the pmf normalizer.
+  Rng rng_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); back() == 1.0.
+};
+
+}  // namespace workload
+}  // namespace semtree
+
+#endif  // SEMTREE_WORKLOAD_ZIPF_H_

@@ -1,0 +1,264 @@
+// Copyright 2026 The SemTree Authors
+//
+// Exactness tests for the HDR-style percentile histogram
+// (workload/histogram.h): p50/p99/p999 against a sorted-vector
+// reference within the documented relative-error bound on uniform,
+// lognormal and adversarial two-spike distributions, and
+// merge(h1, h2) == histogram(concat(samples1, samples2)).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/histogram.h"
+
+namespace semtree {
+namespace workload {
+namespace {
+
+// The histogram's documented rank rule: rank = ceil(q * n), at least 1.
+uint64_t ReferenceQuantile(std::vector<uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::max<uint64_t>(rank, 1);
+  rank = std::min<uint64_t>(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+// Asserts the documented contract at quantile q:
+//   true <= reported <= true * (1 + 2^-m).
+void ExpectWithinBound(const LatencyHistogram& h,
+                       const std::vector<uint64_t>& samples, double q) {
+  const uint64_t truth = ReferenceQuantile(samples, q);
+  const uint64_t reported = h.ValueAtQuantile(q);
+  EXPECT_GE(reported, truth) << "q=" << q;
+  EXPECT_LE(static_cast<double>(reported),
+            static_cast<double>(truth) * (1.0 + h.MaxRelativeError()))
+      << "q=" << q << " truth=" << truth;
+}
+
+void ExpectAllPercentilesWithinBound(const LatencyHistogram& h,
+                                     const std::vector<uint64_t>& s) {
+  for (double q : {0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    ExpectWithinBound(h, s, q);
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.ApproximateMean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, UnitRegionIsExact) {
+  // Every value below 2^(m+1) has its own bucket, so percentiles in
+  // that region equal the sorted-vector reference exactly.
+  LatencyHistogram h(7);
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 0; v < 256; ++v) {
+    h.Record(v);
+    samples.push_back(v);
+  }
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), ReferenceQuantile(samples, q))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(123456789);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 123456789u);
+  EXPECT_EQ(h.max(), 123456789u);
+  ExpectWithinBound(h, {123456789}, 0.5);
+  ExpectWithinBound(h, {123456789}, 0.999);
+}
+
+TEST(LatencyHistogramTest, PercentileBoundsOnUniform) {
+  Rng rng(1);
+  LatencyHistogram h(7);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = rng.Uniform(10000000);
+    h.Record(v);
+    samples.push_back(v);
+  }
+  ExpectAllPercentilesWithinBound(h, samples);
+}
+
+TEST(LatencyHistogramTest, PercentileBoundsOnLognormal) {
+  // The shape real latency distributions take: median ~ e^10 ns with a
+  // heavy right tail several orders of magnitude out.
+  Rng rng(2);
+  LatencyHistogram h(7);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v =
+        static_cast<uint64_t>(std::exp(10.0 + 2.0 * rng.Gaussian()));
+    h.Record(v);
+    samples.push_back(v);
+  }
+  ExpectAllPercentilesWithinBound(h, samples);
+}
+
+TEST(LatencyHistogramTest, PercentileBoundsOnAdversarialTwoSpike) {
+  // 99.5% of samples at a tiny value, 0.5% seven orders of magnitude
+  // away — the distribution that breaks averaged or coarsely-bucketed
+  // reporters: p99 must stay at the low spike while p999 jumps to the
+  // high one.
+  LatencyHistogram h(7);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 99500; ++i) {
+    h.Record(100);
+    samples.push_back(100);
+  }
+  for (int i = 0; i < 500; ++i) {
+    h.Record(1000000000);
+    samples.push_back(1000000000);
+  }
+  ExpectAllPercentilesWithinBound(h, samples);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 100u);
+  EXPECT_GE(h.ValueAtQuantile(0.999), 1000000000u);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsHistogramOfConcatenatedSamples) {
+  Rng rng(3);
+  LatencyHistogram h1(7), h2(7), reference(7);
+  std::vector<uint64_t> all;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Uniform(1u << 20);
+    h1.Record(v);
+    reference.Record(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t v =
+        static_cast<uint64_t>(std::exp(8.0 + 3.0 * rng.Gaussian()));
+    h2.Record(v);
+    reference.Record(v);
+    all.push_back(v);
+  }
+  ASSERT_TRUE(h1.Merge(h2).ok());
+  EXPECT_TRUE(h1.IdenticalTo(reference));
+  EXPECT_EQ(h1.count(), reference.count());
+  EXPECT_EQ(h1.min(), reference.min());
+  EXPECT_EQ(h1.max(), reference.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(h1.ValueAtQuantile(q), reference.ValueAtQuantile(q));
+  }
+  ExpectAllPercentilesWithinBound(h1, all);
+}
+
+TEST(LatencyHistogramTest, MergeOfEmptyIsIdentity) {
+  LatencyHistogram h(7), empty(7);
+  h.Record(42);
+  h.Record(77777);
+  LatencyHistogram before = h;
+  ASSERT_TRUE(h.Merge(empty).ok());
+  EXPECT_TRUE(h.IdenticalTo(before));
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 77777u);
+}
+
+TEST(LatencyHistogramTest, MergeRejectsMismatchedPrecision) {
+  LatencyHistogram a(7), b(8);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+}
+
+TEST(LatencyHistogramTest, PrecisionIsClamped) {
+  EXPECT_EQ(LatencyHistogram(0).precision_bits(), 1u);
+  EXPECT_EQ(LatencyHistogram(25).precision_bits(), 14u);
+  EXPECT_DOUBLE_EQ(LatencyHistogram(7).MaxRelativeError(), 1.0 / 128.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram(10).MaxRelativeError(),
+                   1.0 / 1024.0);
+}
+
+TEST(LatencyHistogramTest, HigherPrecisionTightensTheBound) {
+  Rng rng(4);
+  LatencyHistogram coarse(2), fine(12);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = 1000000 + rng.Uniform(9000000);
+    coarse.Record(v);
+    fine.Record(v);
+    samples.push_back(v);
+  }
+  ExpectAllPercentilesWithinBound(coarse, samples);
+  ExpectAllPercentilesWithinBound(fine, samples);
+  const uint64_t truth = ReferenceQuantile(samples, 0.5);
+  const double coarse_err =
+      std::abs(double(coarse.ValueAtQuantile(0.5)) - double(truth));
+  const double fine_err =
+      std::abs(double(fine.ValueAtQuantile(0.5)) - double(truth));
+  EXPECT_LE(fine_err, coarse_err);
+}
+
+TEST(LatencyHistogramTest, QuantileArgumentsAreClamped) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), 10u);  // Rank clamps to 1.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 10u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 30u);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 30u);
+}
+
+TEST(LatencyHistogramTest, RecordManyMatchesRepeatedRecord) {
+  LatencyHistogram a(7), b(7);
+  a.RecordMany(5000, 1000);
+  a.RecordMany(0, 3);
+  for (int i = 0; i < 1000; ++i) b.Record(5000);
+  for (int i = 0; i < 3; ++i) b.Record(0);
+  EXPECT_TRUE(a.IdenticalTo(b));
+  EXPECT_EQ(a.count(), 1003u);
+  a.RecordMany(77, 0);  // Zero-count record is a no-op.
+  EXPECT_EQ(a.count(), 1003u);
+  EXPECT_TRUE(a.IdenticalTo(b));
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesDoNotOverflow) {
+  LatencyHistogram h(7);
+  h.Record(0);
+  h.Record(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  // The topmost bucket's upper edge is exactly 2^64 - 1.
+  EXPECT_EQ(h.ValueAtQuantile(1.0),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(LatencyHistogramTest, ApproximateMeanWithinBound) {
+  Rng rng(5);
+  LatencyHistogram h(7);
+  double true_sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = 1000 + rng.Uniform(1u << 24);
+    h.Record(v);
+    true_sum += static_cast<double>(v);
+  }
+  const double true_mean = true_sum / n;
+  // Each bucket representative is >= the sample and <= sample*(1+eps),
+  // so the mean obeys the same band.
+  EXPECT_GE(h.ApproximateMean(), true_mean);
+  EXPECT_LE(h.ApproximateMean(),
+            true_mean * (1.0 + h.MaxRelativeError()));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace semtree

@@ -1,0 +1,522 @@
+// Copyright 2026 The SemTree Authors
+//
+// Tests for the adversarial workload generator and the open-loop
+// driver (workload/workload_gen.h, workload/driver.h): trace
+// determinism, phase/hot-set mechanics, op-mix and budget-tier
+// distribution, and the deterministic-replay property — the same seed
+// and config produce the identical op trace and identical aggregate
+// counters at different target qps, proving pacing changes only *when*
+// ops run, never *what* runs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/backends.h"
+#include "engine/query_engine.h"
+#include "workload/driver.h"
+#include "workload/workload_gen.h"
+
+namespace semtree {
+namespace workload {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig c;
+  c.num_keys = 500;
+  c.dims = 4;
+  c.zipf_s = 0.99;
+  c.total_ops = 2000;
+  c.ops_per_phase = 500;
+  c.hotset_rotation = 100;
+  c.knn_k = 5;
+  c.range_radius = 0.3;
+  c.seed = 42;
+  return c;
+}
+
+std::vector<KdPoint> CorpusFor(const WorkloadConfig& c) {
+  return MakeClusteredCorpus(c.num_keys, c.dims, 8, c.seed);
+}
+
+WorkloadTrace MustGenerate(const WorkloadConfig& c,
+                           const std::vector<KdPoint>& corpus) {
+  auto trace = GenerateTrace(c, corpus);
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return std::move(*trace);
+}
+
+// ---------------------------------------------------------------- gen
+
+TEST(WorkloadGenTest, CorpusIsDeterministicAndWellFormed) {
+  auto a = MakeClusteredCorpus(300, 6, 5, 9);
+  auto b = MakeClusteredCorpus(300, 6, 5, 9);
+  ASSERT_EQ(a.size(), 300u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].coords.size(), 6u);
+    EXPECT_EQ(a[i].coords, b[i].coords);
+  }
+  auto c = MakeClusteredCorpus(300, 6, 5, 10);
+  EXPECT_NE(a[0].coords, c[0].coords);
+}
+
+TEST(WorkloadGenTest, TraceIsDeterministic) {
+  WorkloadConfig config = SmallConfig();
+  auto corpus = CorpusFor(config);
+  WorkloadTrace a = MustGenerate(config, corpus);
+  WorkloadTrace b = MustGenerate(config, corpus);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(TraceHash(a), TraceHash(b));
+}
+
+TEST(WorkloadGenTest, TraceHashDetectsSeedChange) {
+  WorkloadConfig config = SmallConfig();
+  auto corpus = CorpusFor(config);
+  WorkloadTrace a = MustGenerate(config, corpus);
+  config.seed = 43;
+  WorkloadTrace b = MustGenerate(config, corpus);
+  EXPECT_NE(TraceHash(a), TraceHash(b));
+}
+
+TEST(WorkloadGenTest, PhaseAssignmentFollowsOpIndex) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 350;
+  config.ops_per_phase = 100;
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  EXPECT_EQ(trace.num_phases, 4u);
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    EXPECT_EQ(trace.ops[i].phase, i / 100);
+  }
+}
+
+TEST(WorkloadGenTest, SinglePhaseWhenUnconfigured) {
+  WorkloadConfig config = SmallConfig();
+  config.ops_per_phase = 0;
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  EXPECT_EQ(trace.num_phases, 1u);
+  for (const WorkloadOp& op : trace.ops) EXPECT_EQ(op.phase, 0u);
+}
+
+TEST(WorkloadGenTest, HotsetRotatesAcrossPhases) {
+  // With heavy skew, each phase's most-hit key is rank 0 rotated by
+  // phase * hotset_rotation — the hotspot demonstrably *moves*.
+  WorkloadConfig config = SmallConfig();
+  config.zipf_s = 2.0;
+  config.total_ops = 4000;
+  config.ops_per_phase = 1000;
+  config.hotset_rotation = 123;
+  config.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  for (uint32_t phase = 0; phase < 4; ++phase) {
+    std::map<uint64_t, size_t> hits;
+    for (const WorkloadOp& op : trace.ops) {
+      if (op.phase == phase) ++hits[op.key];
+    }
+    uint64_t top_key = 0;
+    size_t top_hits = 0;
+    for (const auto& [key, count] : hits) {
+      if (count > top_hits) {
+        top_hits = count;
+        top_key = key;
+      }
+    }
+    EXPECT_EQ(top_key, (uint64_t{phase} * 123) % config.num_keys)
+        << "phase " << phase;
+  }
+}
+
+TEST(WorkloadGenTest, OpMixRatiosRespected) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 20000;
+  config.ops_per_phase = 0;
+  config.mix = OpMix{0.10, 0.10, 0.50, 0.30};
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  std::map<OpKind, size_t> counts;
+  for (const WorkloadOp& op : trace.ops) ++counts[op.kind];
+  // Removes degrade to inserts only while nothing is live, which at
+  // these ratios is a handful of ops at the very front.
+  EXPECT_NEAR(double(counts[OpKind::kInsert]), 2000.0, 300.0);
+  EXPECT_NEAR(double(counts[OpKind::kRemove]), 2000.0, 300.0);
+  EXPECT_NEAR(double(counts[OpKind::kKnn]), 10000.0, 500.0);
+  EXPECT_NEAR(double(counts[OpKind::kRange]), 6000.0, 500.0);
+}
+
+TEST(WorkloadGenTest, RemovesAlwaysTargetLiveInserts) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 5000;
+  config.mix = OpMix{0.3, 0.3, 0.2, 0.2};
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  std::set<PointId> live;
+  size_t removes = 0;
+  for (const WorkloadOp& op : trace.ops) {
+    if (op.kind == OpKind::kInsert) {
+      // Fresh ids, disjoint from the corpus key space.
+      EXPECT_GE(op.id, config.num_keys);
+      EXPECT_TRUE(live.insert(op.id).second);
+    } else if (op.kind == OpKind::kRemove) {
+      ++removes;
+      EXPECT_EQ(live.erase(op.id), 1u)
+          << "remove of id " << op.id << " not live";
+    }
+  }
+  EXPECT_GT(removes, 0u);
+}
+
+TEST(WorkloadGenTest, RemoveWithNothingLiveDegradesToInsert) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 50;
+  config.mix = OpMix{0.0, 1.0, 0.0, 0.0};  // Remove-only mix.
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  // The first op must degrade; thereafter inserts and removes
+  // alternate (each remove empties the live set again).
+  ASSERT_FALSE(trace.ops.empty());
+  EXPECT_EQ(trace.ops[0].kind, OpKind::kInsert);
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    EXPECT_EQ(trace.ops[i].kind,
+              i % 2 == 0 ? OpKind::kInsert : OpKind::kRemove);
+  }
+}
+
+TEST(WorkloadGenTest, BudgetTiersAssignedToSearchOpsByWeight) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 10000;
+  config.mix = OpMix{0.1, 0.1, 0.4, 0.4};
+  config.budget_tiers = {
+      BudgetTier{SearchBudget::Exact(), 0.75},
+      BudgetTier{SearchBudget::MaxDistances(50), 0.25},
+  };
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  size_t searches = 0, budgeted = 0;
+  for (const WorkloadOp& op : trace.ops) {
+    if (op.kind == OpKind::kKnn || op.kind == OpKind::kRange) {
+      ++searches;
+      if (!op.budget.exact()) {
+        ++budgeted;
+        EXPECT_EQ(op.budget.max_distance_computations, 50u);
+      }
+    } else {
+      EXPECT_TRUE(op.budget.exact());  // Mutations carry no budget.
+    }
+  }
+  ASSERT_GT(searches, 0u);
+  EXPECT_NEAR(double(budgeted) / double(searches), 0.25, 0.03);
+}
+
+TEST(WorkloadGenTest, ValidationRejectsBadConfigs) {
+  auto corpus = MakeClusteredCorpus(10, 4, 2, 1);
+  WorkloadConfig c;
+  c.num_keys = 10;
+  c.dims = 4;
+
+  WorkloadConfig bad = c;
+  bad.num_keys = 0;
+  EXPECT_TRUE(GenerateTrace(bad, {}).status().IsInvalidArgument());
+
+  bad = c;
+  bad.mix = OpMix{0.0, 0.0, 0.0, 0.0};
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  bad = c;
+  bad.mix.knn = -1.0;
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  bad = c;
+  bad.zipf_s = -0.5;
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  bad = c;
+  bad.query_noise = -0.1;
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  bad = c;
+  bad.knn_k = 0;
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  bad = c;
+  bad.budget_tiers = {BudgetTier{SearchBudget::Exact(), -1.0}};
+  EXPECT_TRUE(GenerateTrace(bad, corpus).status().IsInvalidArgument());
+
+  // Corpus not matching num_keys, and wrong dimensionality.
+  EXPECT_TRUE(GenerateTrace(c, MakeClusteredCorpus(9, 4, 2, 1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateTrace(c, MakeClusteredCorpus(10, 3, 2, 1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WorkloadGenTest, SZeroSpreadsKeysUniformly) {
+  WorkloadConfig config = SmallConfig();
+  config.zipf_s = 0.0;
+  config.num_keys = 50;
+  config.total_ops = 50000;
+  config.ops_per_phase = 0;
+  config.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  auto corpus = CorpusFor(config);
+  WorkloadTrace trace = MustGenerate(config, corpus);
+  std::map<uint64_t, size_t> hits;
+  for (const WorkloadOp& op : trace.ops) ++hits[op.key];
+  for (const auto& [key, count] : hits) {
+    EXPECT_NEAR(double(count), 1000.0, 150.0) << "key " << key;
+  }
+}
+
+// ------------------------------------------------------------- driver
+
+struct EngineFixture {
+  explicit EngineFixture(const WorkloadConfig& config)
+      : corpus(CorpusFor(config)) {
+    index = MakeSpatialIndex(BackendKind::kKdTree, config.dims);
+    Status st = index->BulkLoad(corpus);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    QueryEngineOptions eopts;
+    eopts.threads = 2;
+    engine = std::make_unique<QueryEngine>(index.get(), eopts);
+  }
+
+  std::vector<KdPoint> corpus;
+  std::unique_ptr<SpatialIndex> index;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+DriverConfig FastDriver() {
+  DriverConfig d;
+  d.target_qps = 50000.0;  // Keeps tests quick; pacing still real.
+  d.workers = 1;
+  d.max_pending = 0;
+  return d;
+}
+
+TEST(WorkloadDriverTest, ExecutesEveryOpOfTheTrace) {
+  WorkloadConfig config = SmallConfig();
+  EngineFixture fx(config);
+  WorkloadTrace trace = MustGenerate(config, fx.corpus);
+  auto report = RunOpenLoop(fx.engine.get(), trace, FastDriver());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  size_t knn = 0, range = 0, inserts = 0, removes = 0;
+  for (const WorkloadOp& op : trace.ops) {
+    knn += op.kind == OpKind::kKnn;
+    range += op.kind == OpKind::kRange;
+    inserts += op.kind == OpKind::kInsert;
+    removes += op.kind == OpKind::kRemove;
+  }
+  const PhaseStats& total = report->total;
+  EXPECT_EQ(total.issued, trace.ops.size());
+  EXPECT_EQ(total.completed, trace.ops.size());
+  EXPECT_EQ(total.shed, 0u);
+  EXPECT_EQ(total.errors, 0u);
+  EXPECT_EQ(total.knn, knn);
+  EXPECT_EQ(total.range, range);
+  EXPECT_EQ(total.inserts, inserts);
+  EXPECT_EQ(total.removes, removes);
+  EXPECT_EQ(total.latency.count(), trace.ops.size());
+  EXPECT_GT(total.throughput_qps, 0.0);
+  ASSERT_EQ(report->phases.size(), trace.num_phases);
+  uint64_t phase_completed = 0, phase_latency = 0;
+  for (const PhaseStats& ps : report->phases) {
+    phase_completed += ps.completed;
+    phase_latency += ps.latency.count();
+    EXPECT_GT(ps.latency.ValueAtQuantile(0.5), 0u);
+  }
+  EXPECT_EQ(phase_completed, total.completed);
+  EXPECT_EQ(phase_latency, total.latency.count());
+}
+
+TEST(WorkloadDriverTest, DeterministicReplayAcrossTargetQps) {
+  // The satellite property: pacing never changes *what* runs. One
+  // worker keeps execution order == trace order, so every per-op
+  // outcome — and hence every aggregate counter — must be identical
+  // at 25k and at 100k target qps. Budget tiers make the truncation
+  // counters non-trivially non-zero.
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 1500;
+  config.budget_tiers = {
+      BudgetTier{SearchBudget::Exact(), 0.6},
+      BudgetTier{SearchBudget::MaxDistances(8), 0.4},
+  };
+  EngineFixture fast_fx(config), slow_fx(config);
+  WorkloadTrace fast_trace = MustGenerate(config, fast_fx.corpus);
+  WorkloadTrace slow_trace = MustGenerate(config, slow_fx.corpus);
+  ASSERT_EQ(TraceHash(fast_trace), TraceHash(slow_trace));
+
+  DriverConfig fast = FastDriver();
+  fast.target_qps = 100000.0;
+  DriverConfig slow = FastDriver();
+  slow.target_qps = 25000.0;
+
+  auto a = RunOpenLoop(fast_fx.engine.get(), fast_trace, fast);
+  auto b = RunOpenLoop(slow_fx.engine.get(), slow_trace, slow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->phases.size(), b->phases.size());
+  EXPECT_GT(a->total.truncated, 0u);  // The claim is non-trivial.
+  for (size_t p = 0; p < a->phases.size(); ++p) {
+    const PhaseStats &pa = a->phases[p], &pb = b->phases[p];
+    EXPECT_EQ(pa.issued, pb.issued) << "phase " << p;
+    EXPECT_EQ(pa.completed, pb.completed) << "phase " << p;
+    EXPECT_EQ(pa.shed, pb.shed) << "phase " << p;
+    EXPECT_EQ(pa.errors, pb.errors) << "phase " << p;
+    EXPECT_EQ(pa.truncated, pb.truncated) << "phase " << p;
+    EXPECT_EQ(pa.cache_hits, pb.cache_hits) << "phase " << p;
+    EXPECT_EQ(pa.knn, pb.knn) << "phase " << p;
+    EXPECT_EQ(pa.range, pb.range) << "phase " << p;
+    EXPECT_EQ(pa.inserts, pb.inserts) << "phase " << p;
+    EXPECT_EQ(pa.removes, pb.removes) << "phase " << p;
+  }
+  EXPECT_EQ(a->total.truncated, b->total.truncated);
+  EXPECT_EQ(a->total.cache_hits, b->total.cache_hits);
+  EXPECT_EQ(a->total.errors, b->total.errors);
+}
+
+TEST(WorkloadDriverTest, TruncationTiersAreCountedPerPhase) {
+  WorkloadConfig config = SmallConfig();
+  config.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  config.budget_tiers = {BudgetTier{SearchBudget::MaxDistances(2), 1.0}};
+  EngineFixture fx(config);
+  WorkloadTrace trace = MustGenerate(config, fx.corpus);
+  auto report = RunOpenLoop(fx.engine.get(), trace, FastDriver());
+  ASSERT_TRUE(report.ok());
+  // A 2-distance cap over a 500-point corpus truncates every k=5
+  // search that misses the cache; hits replay the original verdict.
+  EXPECT_EQ(report->total.truncated, report->total.completed);
+  EXPECT_DOUBLE_EQ(report->total.truncation_rate, 1.0);
+  for (const PhaseStats& ps : report->phases) {
+    EXPECT_EQ(ps.truncated, ps.completed);
+  }
+}
+
+TEST(WorkloadDriverTest, ErrorsAreCountedNotFatal) {
+  // A hand-built trace whose removes target ids that were never
+  // inserted: each op executes, fails with NotFound, and lands in the
+  // error counters without aborting the run.
+  WorkloadConfig config = SmallConfig();
+  EngineFixture fx(config);
+  WorkloadTrace trace;
+  trace.num_phases = 1;
+  for (int i = 0; i < 10; ++i) {
+    WorkloadOp op;
+    op.kind = OpKind::kRemove;
+    op.id = 1000000 + i;
+    op.coords = fx.corpus[i].coords;
+    trace.ops.push_back(op);
+  }
+  auto report = RunOpenLoop(fx.engine.get(), trace, FastDriver());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.completed, 10u);
+  EXPECT_EQ(report->total.errors, 10u);
+  EXPECT_DOUBLE_EQ(report->total.error_rate, 1.0);
+}
+
+TEST(WorkloadDriverTest, BoundedQueueShedsUnderOverload) {
+  // Arrivals every 1us against a single worker whose exact k=50
+  // searches over 4000 points take far longer than that: the 4-deep
+  // pending queue must shed, and shed ops never enter the latency
+  // histogram.
+  WorkloadConfig config = SmallConfig();
+  config.num_keys = 4000;
+  config.knn_k = 50;
+  config.total_ops = 3000;
+  config.mix = OpMix{0.0, 0.0, 1.0, 0.0};
+  EngineFixture fx(config);
+  WorkloadTrace trace = MustGenerate(config, fx.corpus);
+  DriverConfig d;
+  d.target_qps = 1000000.0;
+  d.workers = 1;
+  d.max_pending = 4;
+  auto report = RunOpenLoop(fx.engine.get(), trace, d);
+  ASSERT_TRUE(report.ok());
+  const PhaseStats& total = report->total;
+  EXPECT_EQ(total.issued, trace.ops.size());
+  EXPECT_EQ(total.completed + total.shed, total.issued);
+  EXPECT_GT(total.shed, 0u);
+  EXPECT_GT(total.shed_rate, 0.0);
+  EXPECT_EQ(total.latency.count(), total.completed);
+}
+
+TEST(WorkloadDriverTest, MultiWorkerCountersMatchSingleWorker) {
+  // Pure-query trace against a static index: per-op outcomes are
+  // order-independent, so a 4-worker run must aggregate to the same
+  // op and truncation counts as the single-worker run.
+  WorkloadConfig config = SmallConfig();
+  config.mix = OpMix{0.0, 0.0, 0.7, 0.3};
+  config.budget_tiers = {
+      BudgetTier{SearchBudget::Exact(), 0.5},
+      BudgetTier{SearchBudget::MaxDistances(8), 0.5},
+  };
+  EngineFixture fx_one(config), fx_four(config);
+  WorkloadTrace trace = MustGenerate(config, fx_one.corpus);
+  DriverConfig one = FastDriver();
+  DriverConfig four = FastDriver();
+  four.workers = 4;
+  auto a = RunOpenLoop(fx_one.engine.get(), trace, one);
+  auto b = RunOpenLoop(fx_four.engine.get(), trace, four);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total.completed, b->total.completed);
+  EXPECT_EQ(a->total.errors, b->total.errors);
+  EXPECT_EQ(a->total.truncated, b->total.truncated);
+  EXPECT_EQ(a->total.knn, b->total.knn);
+  EXPECT_EQ(a->total.range, b->total.range);
+}
+
+TEST(WorkloadDriverTest, RejectsInvalidQps) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 10;
+  EngineFixture fx(config);
+  WorkloadTrace trace = MustGenerate(config, fx.corpus);
+  for (double qps : {0.0, -5.0,
+                     std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    DriverConfig d;
+    d.target_qps = qps;
+    EXPECT_TRUE(RunOpenLoop(fx.engine.get(), trace, d)
+                    .status()
+                    .IsInvalidArgument())
+        << "qps=" << qps;
+  }
+}
+
+TEST(WorkloadDriverTest, EmptyTraceYieldsEmptyReport) {
+  WorkloadConfig config = SmallConfig();
+  EngineFixture fx(config);
+  WorkloadTrace trace;
+  auto report = RunOpenLoop(fx.engine.get(), trace, FastDriver());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.issued, 0u);
+  EXPECT_EQ(report->total.completed, 0u);
+  EXPECT_EQ(report->total.latency.count(), 0u);
+  ASSERT_EQ(report->phases.size(), 1u);
+}
+
+TEST(WorkloadDriverTest, HistogramPrecisionFlowsFromConfig) {
+  WorkloadConfig config = SmallConfig();
+  config.total_ops = 100;
+  EngineFixture fx(config);
+  WorkloadTrace trace = MustGenerate(config, fx.corpus);
+  DriverConfig d = FastDriver();
+  d.histogram_precision_bits = 10;
+  auto report = RunOpenLoop(fx.engine.get(), trace, d);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total.latency.precision_bits(), 10u);
+  for (const PhaseStats& ps : report->phases) {
+    EXPECT_EQ(ps.latency.precision_bits(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace semtree

@@ -1,0 +1,177 @@
+// Copyright 2026 The SemTree Authors
+//
+// Statistical and determinism tests for the Zipfian popularity
+// generator (workload/zipf.h): frequency-rank fit against the analytic
+// Zipf pmf, degenerate cases (s = 0 uniform, n = 1), and byte-identical
+// sequences for identical seeds regardless of thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "workload/zipf.h"
+
+namespace semtree {
+namespace workload {
+namespace {
+
+std::vector<uint64_t> Draw(ZipfianGenerator* gen, size_t n) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(gen->Next());
+  return out;
+}
+
+std::vector<size_t> Frequencies(const std::vector<uint64_t>& samples,
+                                uint64_t num_keys) {
+  std::vector<size_t> freq(num_keys, 0);
+  for (uint64_t s : samples) {
+    EXPECT_LT(s, num_keys);
+    ++freq[s];
+  }
+  return freq;
+}
+
+TEST(ZipfianGeneratorTest, SamplesStayInRange) {
+  ZipfianGenerator gen(37, 1.2, 7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 37u);
+}
+
+TEST(ZipfianGeneratorTest, SingleKeyAlwaysRankZero) {
+  ZipfianGenerator gen(1, 1.0, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(gen.Next(), 0u);
+  EXPECT_DOUBLE_EQ(gen.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(gen.Pmf(1), 0.0);
+}
+
+TEST(ZipfianGeneratorTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 0.99, 2.0}) {
+    ZipfianGenerator gen(500, s, 1);
+    double sum = 0.0;
+    for (uint64_t r = 0; r < 500; ++r) sum += gen.Pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfianGeneratorTest, PmfMonotoneNonIncreasing) {
+  ZipfianGenerator gen(1000, 0.99, 1);
+  for (uint64_t r = 1; r < 1000; ++r) {
+    EXPECT_LE(gen.Pmf(r), gen.Pmf(r - 1)) << "rank " << r;
+  }
+}
+
+TEST(ZipfianGeneratorTest, SZeroDegeneratesToUniform) {
+  const uint64_t n = 100;
+  ZipfianGenerator gen(n, 0.0, 11);
+  for (uint64_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(gen.Pmf(r), 1.0 / double(n), 1e-12);
+  }
+  const size_t samples = 200000;
+  auto freq = Frequencies(Draw(&gen, samples), n);
+  const double expected = double(samples) / double(n);
+  for (uint64_t r = 0; r < n; ++r) {
+    // ~2000 expected per key; 5 sigma ~ 11%.
+    EXPECT_NEAR(double(freq[r]), expected, 0.11 * expected)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfianGeneratorTest, FrequencyMatchesAnalyticPmfOnTopRanks) {
+  const uint64_t n = 1000;
+  const size_t samples = 300000;
+  ZipfianGenerator gen(n, 1.0, 42);
+  auto freq = Frequencies(Draw(&gen, samples), n);
+  // The 20 most popular ranks all have expected counts >= ~2000, so
+  // the empirical frequency must sit within 10% of the analytic pmf
+  // (5+ sigma with this seed's fixed stream).
+  for (uint64_t r = 0; r < 20; ++r) {
+    const double expected = gen.Pmf(r) * double(samples);
+    const double rel =
+        std::abs(double(freq[r]) - expected) / expected;
+    EXPECT_LE(rel, 0.10) << "rank " << r << " freq " << freq[r]
+                         << " expected " << expected;
+  }
+}
+
+TEST(ZipfianGeneratorTest, ChiSquaredFitAcrossAllBuckets) {
+  const uint64_t n = 200;
+  const size_t samples = 400000;
+  ZipfianGenerator gen(n, 0.99, 9);
+  auto freq = Frequencies(Draw(&gen, samples), n);
+  // Every expected count here is >= ~200 (rank 199 carries ~0.05% of
+  // the mass), so the chi-squared approximation is valid for all 200
+  // cells. df = 199; mean 199, sd ~ 20 — 1117 would be the p=1e-6
+  // tail. The stream is seed-fixed, so this never flakes.
+  double chi2 = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    const double expected = gen.Pmf(r) * double(samples);
+    ASSERT_GE(expected, 100.0);
+    const double d = double(freq[r]) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 300.0);
+}
+
+TEST(ZipfianGeneratorTest, HigherSkewConcentratesMoreMass) {
+  ZipfianGenerator mild(1000, 0.5, 1), heavy(1000, 1.5, 1);
+  EXPECT_GT(heavy.Pmf(0), mild.Pmf(0));
+  // Empirically too: the heavy generator hits rank 0 more often.
+  size_t mild_hits = 0, heavy_hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_hits += mild.Next() == 0;
+    heavy_hits += heavy.Next() == 0;
+  }
+  EXPECT_GT(heavy_hits, 2 * mild_hits);
+}
+
+TEST(ZipfianGeneratorTest, IdenticalSeedsProduceIdenticalSequences) {
+  ZipfianGenerator a(5000, 0.99, 1234), b(5000, 0.99, 1234);
+  EXPECT_EQ(Draw(&a, 20000), Draw(&b, 20000));
+}
+
+TEST(ZipfianGeneratorTest, DifferentSeedsProduceDifferentSequences) {
+  ZipfianGenerator a(5000, 0.99, 1), b(5000, 0.99, 2);
+  EXPECT_NE(Draw(&a, 1000), Draw(&b, 1000));
+}
+
+TEST(ZipfianGeneratorTest, ByteIdenticalSequencesAcrossThreadCounts) {
+  const uint64_t n = 2000;
+  const double s = 0.99;
+  const uint64_t seed = 77;
+  const size_t len = 5000;
+  ZipfianGenerator ref_gen(n, s, seed);
+  const std::vector<uint64_t> reference = Draw(&ref_gen, len);
+  for (size_t threads : {2u, 4u, 8u}) {
+    std::vector<std::vector<uint64_t>> per_thread(threads);
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        // Each thread owns its generator; the stream depends only on
+        // the seed, never on scheduling or concurrency.
+        ZipfianGenerator gen(n, s, seed);
+        per_thread[t] = Draw(&gen, len);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    for (size_t t = 0; t < threads; ++t) {
+      EXPECT_EQ(per_thread[t], reference)
+          << "thread " << t << " of " << threads;
+    }
+  }
+}
+
+TEST(ZipfianGeneratorTest, YcsbSkewConcentratesTopRanks) {
+  // Sanity anchor for the default bench config: at s = 0.99 over 10k
+  // keys, the 100 most popular keys draw more than a third of all
+  // traffic — the skew the uniform benches never exercise.
+  ZipfianGenerator gen(10000, 0.99, 1);
+  double top100 = 0.0;
+  for (uint64_t r = 0; r < 100; ++r) top100 += gen.Pmf(r);
+  EXPECT_GT(top100, 0.33);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace semtree
