@@ -33,6 +33,7 @@
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "core/backends.h"
 #include "kdtree/linear_scan.h"
 
@@ -151,8 +152,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--clusters=", 11) == 0) {
       q_clusters = size_t(std::atoi(argv[i] + 11));
     }
-    if (std::strncmp(argv[i], "--noise=", 8) == 0) {
-      q_noise = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--noise=", 8) == 0 &&
+        !ParseDoubleText(argv[i] + 8, &q_noise)) {
+      std::fprintf(stderr, "bad --noise value: %s\n", argv[i] + 8);
+      return 2;
     }
   }
   bench::BenchJson json("bulk_build", "BENCH_bulk_build.json");

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "core/backends.h"
 #include "engine/query_engine.h"
 #include "workload/driver.h"
@@ -62,7 +63,11 @@ Config ParseArgs(int argc, char** argv) {
       cfg.gen.hotset_rotation = 97;
       cfg.driver.target_qps = 40000.0;
     } else if (std::strcmp(a, "--qps") == 0) {
-      cfg.driver.target_qps = std::atof(next(&i));
+      const char* v = next(&i);
+      if (!ParseDoubleText(v, &cfg.driver.target_qps)) {
+        std::fprintf(stderr, "bad --qps value: %s\n", v);
+        std::exit(2);
+      }
     } else if (std::strcmp(a, "--ops") == 0) {
       cfg.gen.total_ops = std::strtoull(next(&i), nullptr, 10);
     } else if (std::strcmp(a, "--keys") == 0) {
@@ -70,7 +75,11 @@ Config ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(a, "--dims") == 0) {
       cfg.gen.dims = std::strtoull(next(&i), nullptr, 10);
     } else if (std::strcmp(a, "--zipf-s") == 0) {
-      cfg.gen.zipf_s = std::atof(next(&i));
+      const char* v = next(&i);
+      if (!ParseDoubleText(v, &cfg.gen.zipf_s)) {
+        std::fprintf(stderr, "bad --zipf-s value: %s\n", v);
+        std::exit(2);
+      }
     } else if (std::strcmp(a, "--ops-per-phase") == 0) {
       cfg.gen.ops_per_phase = std::strtoull(next(&i), nullptr, 10);
     } else if (std::strcmp(a, "--rotation") == 0) {

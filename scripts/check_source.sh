@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Project-rule linter: greppable invariants that neither the compiler
+# nor clang-tidy enforce. Exits 0 on a clean tree, 1 with a report
+# otherwise.
+#
+# Rules:
+#   R1  No locale-sensitive number parsing (atof/strtod/strtof/stod/
+#       stof/stoi) outside src/common/string_util.* — a comma-decimal
+#       locale silently corrupts every parsed coordinate. Use
+#       ParseDoubleText / ParseInt from common/string_util.h.
+#   R2  No raw memcpy outside src/persist/ and src/core/ — type-punning
+#       belongs in the wire layer and the kernel layer; everywhere else
+#       use std::bit_cast.
+#   R3  No raw std synchronization primitives in src/ outside
+#       src/common/mutex.h — locks must go through the annotated
+#       wrappers so the clang thread-safety analysis sees them.
+#   R4  No direct file writers in bench/ outside bench_util.cc — every
+#       BENCH_*.json goes through bench::BenchJson so the schema stays
+#       uniform for the driver's trend tooling.
+#
+# Usage: scripts/check_source.sh [--selftest]
+#   --selftest runs the rules against tests/lint/ (a corpus of known-bad
+#   fixtures) and fails unless every fixture is flagged by its rule.
+
+set -u
+cd "$(dirname "$0")/.."
+
+FAILURES=0
+
+report() {  # report <rule> <matches>
+  if [ -n "$2" ]; then
+    echo "== $1 violations:"
+    echo "$2"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# Each rule_* echoes matching "file:line:text" lines for the files given
+# as arguments (so the selftest can point them at fixtures).
+
+rule_locale_parse() {
+  grep -nE '(std::)?(atof|strtod|strtof|stod|stof|stoi) *\(' "$@" \
+    /dev/null 2>/dev/null |
+    grep -v 'common/string_util'
+}
+
+rule_raw_memcpy() {
+  grep -nE '(std::)?memcpy *\(' "$@" /dev/null 2>/dev/null |
+    grep -v -e 'src/persist/' -e 'src/core/'
+}
+
+rule_raw_sync() {
+  grep -nE \
+    'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)' \
+    "$@" /dev/null 2>/dev/null |
+    grep -v 'src/common/mutex\.h'
+}
+
+rule_bench_writer() {
+  grep -nE '(std::)?fopen *\(|std::(o|f)stream[^_a-zA-Z]|std::ofstream' \
+    "$@" /dev/null 2>/dev/null |
+    grep -v 'bench/bench_util'
+}
+
+run_tree_checks() {
+  # shellcheck disable=SC2046
+  local src_files bench_files
+  src_files=$(find src -name '*.cc' -o -name '*.h')
+  bench_files=$(find bench -name '*.cc' -o -name '*.h')
+
+  # shellcheck disable=SC2086
+  report "R1 (locale-sensitive parse; use common/string_util)" \
+    "$(rule_locale_parse $src_files $bench_files)"
+  # shellcheck disable=SC2086
+  report "R2 (raw memcpy outside persist/ and core/; use std::bit_cast)" \
+    "$(rule_raw_memcpy $src_files)"
+  # shellcheck disable=SC2086
+  report "R3 (raw std sync primitive; use common/mutex.h wrappers)" \
+    "$(rule_raw_sync $src_files)"
+  # shellcheck disable=SC2086
+  report "R4 (direct file writer in bench/; use bench::BenchJson)" \
+    "$(rule_bench_writer $bench_files)"
+}
+
+run_selftest() {
+  # Every fixture must be caught by the rule its name declares;
+  # a fixture slipping through means the rule regressed.
+  local ok=0 bad=0
+  check_fixture() {  # check_fixture <rule_fn> <file>
+    if [ ! -f "$2" ]; then
+      echo "selftest: missing fixture $2"
+      bad=$((bad + 1))
+      return
+    fi
+    if [ -n "$("$1" "$2")" ]; then
+      ok=$((ok + 1))
+    else
+      echo "selftest: $1 failed to flag $2"
+      bad=$((bad + 1))
+    fi
+  }
+  check_fixture rule_locale_parse tests/lint/bad_locale_parse.cc
+  check_fixture rule_raw_memcpy tests/lint/src/bad_memcpy.cc
+  check_fixture rule_raw_sync tests/lint/src/bad_raw_mutex.cc
+  check_fixture rule_bench_writer tests/lint/bench/bad_bench_writer.cc
+  echo "selftest: $ok fixtures flagged, $bad problems"
+  [ "$bad" -eq 0 ] || exit 1
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+  run_selftest
+  exit 0
+fi
+
+run_tree_checks
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check_source: $FAILURES rule(s) violated"
+  exit 1
+fi
+echo "check_source: clean"

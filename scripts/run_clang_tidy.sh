@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every src/ translation
+# unit using the compile database. Exits nonzero on any finding —
+# WarningsAsErrors promotes everything, so CI treats findings as build
+# breaks.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#   build-dir defaults to ./build and must contain compile_commands.json
+#   (the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS ON).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found (set CLANG_TIDY=... to override)" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing;" >&2
+  echo "  configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: ${#FILES[@]} files, config $(pwd)/.clang-tidy"
+
+# xargs -P fans the single-TU invocations out across cores; clang-tidy
+# is embarrassingly parallel per file.
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if printf '%s\n' "${FILES[@]}" |
+  xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above (treated as errors)" >&2
+  exit 1
+fi

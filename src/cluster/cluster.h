@@ -11,17 +11,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "cluster/compute_node.h"
 #include "cluster/message.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace semtree {
@@ -124,11 +123,17 @@ class Cluster {
 
   ClusterOptions options_;
 
-  mutable std::mutex nodes_mu_;
-  std::vector<std::unique_ptr<ComputeNode>> nodes_;
+  // Guards the node registry only; nodes are append-only and the
+  // pointers handed out stay valid for the cluster's lifetime.
+  mutable Mutex nodes_mu_;
+  std::vector<std::unique_ptr<ComputeNode>> nodes_ GUARDED_BY(nodes_mu_);
 
-  std::mutex pending_mu_;
-  std::map<uint64_t, std::promise<Payload>> pending_;
+  // In-flight RPCs by correlation id. Promises are *moved out* under
+  // the lock and resolved outside it, so a continuation running on the
+  // resolving thread cannot re-enter the registry while it is held.
+  Mutex pending_mu_;
+  std::map<uint64_t, std::promise<Payload>> pending_
+      GUARDED_BY(pending_mu_);
   std::atomic<uint64_t> next_correlation_{1};
 
   // Delayed-delivery machinery (only engaged when latency/bandwidth
@@ -142,19 +147,21 @@ class Cluster {
       return seq > other.seq;
     }
   };
-  std::mutex net_mu_;
-  std::condition_variable net_cv_;
+  Mutex net_mu_;
+  CondVar net_cv_;  // Wakes the network thread: new message or shutdown.
   std::priority_queue<Scheduled, std::vector<Scheduled>,
                       std::greater<Scheduled>>
-      net_queue_;
+      net_queue_ GUARDED_BY(net_mu_);
+  // Only touched by the constructor and Shutdown (serialized through
+  // is_shutdown_), never by the network thread itself.
   std::thread net_thread_;
-  uint64_t net_seq_ = 0;
-  bool net_running_ = false;
-  bool shutdown_ = false;
+  uint64_t net_seq_ GUARDED_BY(net_mu_) = 0;
+  bool net_running_ GUARDED_BY(net_mu_) = false;
+  bool shutdown_ GUARDED_BY(net_mu_) = false;
   std::atomic<bool> is_shutdown_{false};
 
-  mutable std::mutex stats_mu_;
-  ClusterStats stats_;
+  mutable Mutex stats_mu_;
+  ClusterStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace semtree

@@ -65,7 +65,15 @@ class ComputeNode {
 
   NodeId id_;
   Cluster* cluster_;
-  Mailbox mailbox_;
+  Mailbox mailbox_;  // Internally synchronized; the only cross-thread door.
+  // Deliberately lock-free by *confinement*, not by accident:
+  //  - handlers_ and started_ are written only before Start() spawns the
+  //    worker (RegisterHandler documents the contract) and read-only
+  //    afterwards; the thread constructor's synchronizes-with edge
+  //    publishes them to the worker.
+  //  - Partition state captured by the handlers is touched only from
+  //    WorkerLoop, which drains the mailbox serially.
+  // Anything that breaks either rule must grow a Mutex here.
   std::unordered_map<uint32_t, Handler> handlers_;
   std::thread worker_;
   std::atomic<uint64_t> processed_{0};

@@ -2,21 +2,23 @@
 
 #include "cluster/mailbox.h"
 
+#include <algorithm>
+
 namespace semtree {
 
 void Mailbox::Push(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return;
     queue_.push_back(std::move(msg));
     high_watermark_ = std::max(high_watermark_, queue_.size());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool Mailbox::Pop(Message* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this]() { return closed_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) cv_.Wait(mu_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -25,19 +27,19 @@ bool Mailbox::Pop(Message* out) {
 
 void Mailbox::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 size_t Mailbox::high_watermark() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return high_watermark_;
 }
 

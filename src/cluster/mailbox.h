@@ -7,11 +7,10 @@
 #ifndef SEMTREE_CLUSTER_MAILBOX_H_
 #define SEMTREE_CLUSTER_MAILBOX_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "cluster/message.h"
+#include "common/mutex.h"
 
 namespace semtree {
 
@@ -38,11 +37,11 @@ class Mailbox {
   size_t high_watermark() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  size_t high_watermark_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;  // Signals "message queued" or "closed" to Pop.
+  std::deque<Message> queue_ GUARDED_BY(mu_);
+  size_t high_watermark_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace semtree

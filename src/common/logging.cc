@@ -4,13 +4,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace semtree {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_emit_mu;
+// Serializes the final fprintf only, so interleaved messages from
+// concurrent threads stay line-atomic; the stream formatting happens
+// unlocked in each LogMessage.
+Mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -47,7 +51,7 @@ LogMessage::~LogMessage() {
       g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_emit_mu);
+  MutexLock lock(g_emit_mu);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -1,0 +1,173 @@
+// Copyright 2026 The SemTree Authors
+//
+// Thin annotated wrappers over the std synchronization primitives.
+// These exist so Clang's thread-safety analysis can see every lock in
+// the tree: std::mutex and friends carry no capability attributes, so
+// code using them raw is invisible to -Wthread-safety. The wrappers
+// add the attributes and nothing else — each method is a single
+// forwarded call, so the generated code is identical to using the std
+// types directly.
+//
+// Usage pattern (see DESIGN.md §10 for the full lock inventory):
+//
+//   class Queue {
+//     ...
+//    private:
+//     Mutex mu_;
+//     std::deque<Item> items_ GUARDED_BY(mu_);
+//   };
+//
+//   void Queue::Push(Item item) {
+//     MutexLock lock(mu_);
+//     items_.push_back(std::move(item));   // OK: mu_ held.
+//   }
+//
+// Accessing `items_` without the lock is a compile error under
+// -Wthread-safety. Condition waits go through CondVar::Wait(mu), which
+// REQUIRES(mu) — write them as explicit while loops, not predicate
+// lambdas, so the analysis can track the lock through the wait:
+//
+//   MutexLock lock(mu_);
+//   while (items_.empty() && !closed_) cv_.Wait(mu_);
+//
+// scripts/check_source.sh enforces that src/ uses these wrappers
+// instead of the raw std types (this file is the single allowed
+// exception).
+
+#ifndef SEMTREE_COMMON_MUTEX_H_
+#define SEMTREE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace semtree {
+
+/// Annotated std::mutex. Prefer the RAII MutexLock; Lock/Unlock are
+/// for the rare hand-over-hand or drop-while-working patterns (e.g.
+/// Cluster::NetworkLoop) where a scope cannot express the region.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spelling, so std facilities (condition_variable_any)
+  /// can drive the same annotated mutex.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::shared_mutex: one writer or many readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexLock() RELEASE() { mu_.Unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Generic release: the scoped object held a shared capability, and
+  // the analysis tracks which flavor was acquired at construction.
+  ~SharedReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Implemented over
+/// std::condition_variable_any, which accepts any BasicLockable — the
+/// unlock/relock inside Wait happens through Mutex's own annotated
+/// lock()/unlock(), so TSan observes the same acquire/release pairs as
+/// with std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires before returning.
+  /// The caller must hold `mu` (compile-checked) and, as with any
+  /// condition variable, must re-test its predicate in a loop.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Wait with a deadline; returns std::cv_status::timeout if the
+  /// deadline passed without a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_COMMON_MUTEX_H_

@@ -1,0 +1,106 @@
+// Copyright 2026 The SemTree Authors
+//
+// Clang thread-safety annotation macros (the Abseil/GUARDED_BY
+// capability model). Annotations turn the repo's lock discipline —
+// "partitions_ is protected by partitions_mu_", "CondVar::Wait requires
+// the mutex held" — into compile-time contracts: building with
+//
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+//
+// rejects any access to a guarded field without its mutex, any double
+// acquire, and any scope that exits with a lock it should have
+// released. The CI static-analysis job does exactly that over the
+// whole src/ tree (see DESIGN.md §10).
+//
+// On compilers without the attributes (GCC, MSVC) every macro expands
+// to nothing, so annotated code builds everywhere; the analysis is
+// purely additive. Use these through the annotated wrappers in
+// common/mutex.h — scripts/check_source.sh forbids raw standard-library
+// lock types in src/ precisely so that every lock in the tree is
+// visible to the analysis.
+
+#ifndef SEMTREE_COMMON_THREAD_ANNOTATIONS_H_
+#define SEMTREE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SEMTREE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SEMTREE_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable). `name` appears in
+/// diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(name) SEMTREE_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY SEMTREE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field/variable is protected by the given mutex:
+/// reads require the mutex held (shared or exclusive), writes require
+/// it held exclusively.
+#define GUARDED_BY(x) SEMTREE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like GUARDED_BY, but for pointers: the pointer itself is
+/// unrestricted, the pointed-to data requires the mutex.
+#define PT_GUARDED_BY(x) SEMTREE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that the annotated mutex must be acquired before/after the
+/// listed ones (lock-ordering, checked by the analysis).
+#define ACQUIRED_BEFORE(...) \
+  SEMTREE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SEMTREE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the listed capabilities
+/// (exclusively / at least shared) on entry; they stay held on exit.
+#define REQUIRES(...) \
+  SEMTREE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SEMTREE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the function acquires the capability and holds
+/// it on return (exclusive / shared).
+#define ACQUIRE(...) \
+  SEMTREE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SEMTREE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the function releases the capability, which must
+/// be held on entry.
+#define RELEASE(...) \
+  SEMTREE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SEMTREE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SEMTREE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability only when returning the
+/// given value (try-lock idiom).
+#define TRY_ACQUIRE(...) \
+  SEMTREE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SEMTREE_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the listed capabilities must NOT be held on
+/// entry (deadlock prevention for self-locking APIs).
+#define EXCLUDES(...) SEMTREE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: the function asserts (at runtime) that the
+/// capability is held; the analysis assumes it afterwards.
+#define ASSERT_CAPABILITY(x) \
+  SEMTREE_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SEMTREE_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function attribute: returns a reference to the given capability
+/// (for mutex accessors).
+#define RETURN_CAPABILITY(x) SEMTREE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use in
+/// src/ must carry an inline comment justifying why the discipline
+/// cannot be expressed (the CI gate reviews these like NOLINTs).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SEMTREE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SEMTREE_COMMON_THREAD_ANNOTATIONS_H_

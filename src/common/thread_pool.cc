@@ -8,6 +8,10 @@ namespace semtree {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  // Constructor: no other thread can hold mu_ yet, but the workers
+  // spawned below immediately lock it, so reserve/emplace stay inside
+  // the critical section for the analysis' sake.
+  MutexLock lock(mu_);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
@@ -17,32 +21,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
+  // Swap the workers out under the lock, join outside it (a worker
+  // needs mu_ to observe shutdown_ and exit). Concurrent Shutdown
+  // calls each reap a disjoint (possibly empty) set — the second
+  // caller finds an empty vector instead of joining threads the first
+  // is still joining.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
+    workers.swap(workers_);
   }
-  cv_.notify_all();
-  // Idempotent: a second call finds no workers left to join. Workers
-  // drain the queue before exiting (see WorkerLoop), so every task
-  // submitted before Shutdown still runs to completion.
-  for (auto& worker : workers_) worker.join();
-  workers_.clear();
+  cv_.NotifyAll();
+  // Workers drain the queue before exiting (see WorkerLoop), so every
+  // task submitted before Shutdown still runs to completion.
+  for (auto& worker : workers) worker.join();
+}
+
+size_t ThreadPool::num_threads() const {
+  MutexLock lock(mu_);
+  return workers_.size();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 bool ThreadPool::TryRunOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -50,37 +64,34 @@ bool ThreadPool::TryRunOne() {
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
   }
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
+      if (queue_.empty()) return;  // Shutdown and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -91,7 +102,7 @@ void TaskGroup::Run(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   // Shared ownership so the task survives whichever path runs it: the
@@ -102,17 +113,17 @@ void TaskGroup::Run(std::function<void()> fn) {
   bool queued = pool_->TrySubmit([this, task]() {
     (*task)();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
       ++completions_;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   });
   if (!queued) {
     // Pool shut down: run inline rather than leaving the group waiting
     // on a task that will never execute.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --pending_;
     }
     (*task)();
@@ -128,14 +139,12 @@ void TaskGroup::Wait() {
       while (pool_->TryRunOne()) {
       }
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pending_ == 0) return;
     // Sleep until either the group drains or *any* task completes —
     // a completing task may have enqueued subtasks worth stealing.
-    uint64_t seen = completions_;
-    cv_.wait(lock, [this, seen]() {
-      return pending_ == 0 || completions_ != seen;
-    });
+    const uint64_t seen = completions_;
+    while (pending_ != 0 && completions_ == seen) cv_.Wait(mu_);
     if (pending_ == 0) return;
   }
 }

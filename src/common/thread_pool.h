@@ -6,14 +6,14 @@
 #ifndef SEMTREE_COMMON_THREAD_POOL_H_
 #define SEMTREE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace semtree {
 
@@ -44,7 +44,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_) {
         // Dropping `task` here abandons its shared state; the future
         // throws broken_promise when queried.
@@ -52,7 +52,7 @@ class ThreadPool {
       }
       queue_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
@@ -78,18 +78,23 @@ class ThreadPool {
   /// futures (see Submit).
   void Shutdown();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Worker count; 0 once Shutdown has reaped the threads.
+  size_t num_threads() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;       // Signals queued work (or shutdown) to workers.
+  CondVar idle_cv_;  // Signals "queue drained, nothing running" to Wait.
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Guarded: Shutdown swaps the vector out under the lock (joining
+  // happens outside it — a worker exiting needs mu_), so concurrent
+  // Shutdown calls cannot double-join and num_threads() cannot read a
+  // vector being cleared.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Tracks a batch of related tasks on a ThreadPool so recursive
@@ -125,10 +130,10 @@ class TaskGroup {
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  uint64_t completions_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  uint64_t completions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace semtree

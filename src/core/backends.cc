@@ -68,7 +68,13 @@ VpTreeIndex::VpTreeIndex(size_t dimensions, BackendOptions options)
 Status VpTreeIndex::Insert(const std::vector<double>& coords, PointId id) {
   SEMTREE_RETURN_NOT_OK(CheckInsertable(coords, store_.dimensions()));
   store_.Append(coords, id);
-  tree_.reset();  // Static index: rebuild lazily on the next query.
+  {
+    // Mutations are externally synchronized against searches, but two
+    // concurrent Inserts still need the reset ordered against a
+    // EnsureBuilt the other may have started.
+    MutexLock lock(build_mu_);
+    tree_.reset();  // Static index: rebuild lazily on the next query.
+  }
   BumpEpoch();
   return Status::OK();
 }
@@ -86,13 +92,16 @@ Status VpTreeIndex::BulkLoad(const std::vector<KdPoint>& points) {
   }
   store_.Reserve(points.size());
   for (const KdPoint& p : points) store_.Append(p.coords, p.id);
-  tree_.reset();  // One lazy whole-tree rebuild on the next query.
+  {
+    MutexLock lock(build_mu_);
+    tree_.reset();  // One lazy whole-tree rebuild on the next query.
+  }
   BumpEpoch();
   return Status::OK();
 }
 
 Status VpTreeIndex::set_metric(Metric metric) {
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(build_mu_);
   // The ball decomposition is metric-dependent; drop any built tree
   // and rebuild lazily under the new distances on the next query.
   if (metric != this->metric()) tree_.reset();
@@ -100,8 +109,19 @@ Status VpTreeIndex::set_metric(Metric metric) {
   return SpatialIndex::set_metric(metric);
 }
 
+// Returns the built tree, or null when the index is empty. The caller
+// dereferences the pointer *outside* the lock; that is sound because
+// searches only race other searches (the SpatialIndex contract makes
+// mutations externally synchronized), and every search path builds
+// first — once EnsureBuilt returns, the tree is read-only until a
+// mutation the caller is already ordered against.
+const VpTree* VpTreeIndex::built_tree() const {
+  MutexLock lock(build_mu_);
+  return tree_.has_value() ? &*tree_ : nullptr;
+}
+
 void VpTreeIndex::EnsureBuilt() const {
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(build_mu_);
   if (tree_.has_value() || store_.size() == 0) return;
   VpTreeOptions vopts;
   vopts.bucket_size = options_.bucket_size;
@@ -128,10 +148,11 @@ std::vector<Neighbor> VpTreeIndex::KnnSearch(
     SearchStats* stats) const {
   if (query.size() != store_.dimensions() || !AllFinite(query)) return {};
   EnsureBuilt();
-  if (!tree_.has_value()) return {};
+  const VpTree* tree = built_tree();
+  if (tree == nullptr) return {};
   return SlotsToIds(store_,
-                    tree_->KnnSearch(QueryOracle(metric(), store_, query),
-                                     k, budget, stats));
+                    tree->KnnSearch(QueryOracle(metric(), store_, query),
+                                    k, budget, stats));
 }
 
 std::vector<Neighbor> VpTreeIndex::RangeSearch(
@@ -143,15 +164,16 @@ std::vector<Neighbor> VpTreeIndex::RangeSearch(
     return {};
   }
   EnsureBuilt();
-  if (!tree_.has_value()) return {};
+  const VpTree* tree = built_tree();
+  if (tree == nullptr) return {};
   return SlotsToIds(
-      store_, tree_->RangeSearch(QueryOracle(metric(), store_, query),
-                                 radius, budget, stats));
+      store_, tree->RangeSearch(QueryOracle(metric(), store_, query),
+                                radius, budget, stats));
 }
 
 void VpTreeIndex::SaveTo(persist::ByteWriter* out) const {
   EnsureBuilt();  // Snapshot the structure, not a pending rebuild.
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(build_mu_);
   out->PutU64(options_.bucket_size);
   out->PutU64(options_.seed);
   out->PutU64(epoch());
@@ -177,6 +199,10 @@ Result<std::unique_ptr<VpTreeIndex>> VpTreeIndex::LoadFrom(
     if (tree.size() != index->store_.size()) {
       return Status::Corruption("vp-tree size disagrees with arena");
     }
+    // The index is still private to this function; the lock just keeps
+    // the guarded write visible to the analysis (and to whichever
+    // thread the caller publishes the index to).
+    MutexLock lock(index->build_mu_);
     index->tree_.emplace(std::move(tree));
   } else if (index->store_.size() != 0) {
     return Status::Corruption("vp-tree snapshot missing its tree");

@@ -12,9 +12,9 @@
 #define SEMTREE_CORE_BACKENDS_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "core/point_store.h"
 #include "core/spatial_index.h"
 #include "kdtree/mtree.h"
@@ -108,15 +108,19 @@ class VpTreeIndex : public SpatialIndex {
 
  private:
   void EnsureBuilt() const;
+  const VpTree* built_tree() const;
 
   BackendOptions options_;
   PointStore store_;
   // The lazy rebuild makes queries mutate state, so concurrent
   // searches (safe on every other backend) must serialize the
   // check-and-build; afterwards the tree is read-only until the next
-  // Insert.
-  mutable std::mutex build_mu_;
-  mutable std::optional<VpTree> tree_;  // Rebuilt when stale.
+  // Insert. Mutations (Insert/BulkLoad/set_metric) also take the lock
+  // to reset the tree — they are externally synchronized against
+  // searches (SpatialIndex contract), but not against each other.
+  mutable Mutex build_mu_;
+  mutable std::optional<VpTree> tree_
+      GUARDED_BY(build_mu_);  // Rebuilt when stale.
 };
 
 /// Dynamic M-tree over Euclidean vectors. Supports incremental

@@ -44,6 +44,7 @@ double Percentile(const std::vector<double>& sorted, double q) {
 QueryEngine::QueryEngine(SpatialIndex* index, QueryEngineOptions options)
     : index_(index),
       options_(options),
+      dims_(index->dimensions()),
       pool_(ClampThreads(options.threads)) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ShardedResultCache>(options_.cache_shards,
@@ -54,6 +55,7 @@ QueryEngine::QueryEngine(SpatialIndex* index, QueryEngineOptions options)
 QueryEngine::QueryEngine(SemTree* tree, QueryEngineOptions options)
     : tree_(tree),
       options_(options),
+      dims_(tree->options().dimensions),
       pool_(ClampThreads(options.threads)) {
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ShardedResultCache>(options_.cache_shards,
@@ -61,14 +63,14 @@ QueryEngine::QueryEngine(SemTree* tree, QueryEngineOptions options)
   }
 }
 
-size_t QueryEngine::dimensions() const {
-  return index_ != nullptr ? index_->dimensions()
-                           : tree_->options().dimensions;
-}
+size_t QueryEngine::dimensions() const { return dims_; }
 
 uint64_t QueryEngine::epoch() const {
-  return index_ != nullptr ? index_->epoch()
-                           : tree_epoch_.load(std::memory_order_acquire);
+  if (index_ != nullptr) {
+    SharedReaderLock lock(index_mu_);
+    return index_->epoch();
+  }
+  return tree_epoch_.load(std::memory_order_acquire);
 }
 
 ShardedResultCache::Stats QueryEngine::cache_stats() const {
@@ -119,7 +121,7 @@ void QueryEngine::RunLocalSpan(const SpatialQuery* batch, size_t lo,
       // Shared lock: the epoch read, cache probe and search see one
       // consistent index state even while another thread mutates
       // through Insert/Remove (which take the lock exclusively).
-      std::shared_lock<std::shared_mutex> lock(index_mu_);
+      SharedReaderLock lock(index_mu_);
       // Queries with an unspecified (exact) budget inherit the
       // index's default — that is how a warm-restarted server keeps
       // serving at its persisted approximation level. An explicit
@@ -295,7 +297,7 @@ Status QueryEngine::SaveSnapshot(const std::string& path) {
   }
   // Reader side of the lock: concurrent batches may keep querying, but
   // no Insert/Remove can interleave with the serialization.
-  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  SharedReaderLock lock(index_mu_);
   return persist::SaveSpatialIndex(*index_, path);
 }
 
@@ -312,7 +314,7 @@ Result<QueryEngine::WarmStarted> QueryEngine::WarmStart(
 
 Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {
   if (index_ != nullptr) {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    SharedMutexLock lock(index_mu_);
     return index_->Insert(coords, id);  // Bumps the index epoch.
   }
   Status st = tree_->Insert(coords, id);
@@ -322,7 +324,7 @@ Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {
 
 Status QueryEngine::Remove(const std::vector<double>& coords, PointId id) {
   if (index_ != nullptr) {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    SharedMutexLock lock(index_mu_);
     return index_->Remove(coords, id);
   }
   Status st = tree_->Remove(coords, id);

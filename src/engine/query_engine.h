@@ -17,9 +17,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/query.h"
@@ -176,15 +176,23 @@ class QueryEngine {
                             TaskOutput* out);
   void FinalizeStats(std::vector<TaskOutput>& parts, BatchResult* result);
 
-  SpatialIndex* index_ = nullptr;  // Exactly one target is non-null.
+  // Exactly one target is non-null. The pointer itself is set once in
+  // the constructor; what index_mu_ guards is the *pointee* — searches
+  // dereference under the shared side, mutations under the exclusive
+  // side.
+  SpatialIndex* index_ PT_GUARDED_BY(index_mu_) = nullptr;
   SemTree* tree_ = nullptr;
   QueryEngineOptions options_;
+  // Cached at construction so per-query validation (the hottest
+  // read-only path) never touches index_mu_.
+  size_t dims_ = 0;
   ThreadPool pool_;
   std::unique_ptr<ShardedResultCache> cache_;  // Null when disabled.
 
   // Sequential target: queries take the lock shared, mutations
   // exclusive, so a search never observes a half-applied insert.
-  std::shared_mutex index_mu_;
+  // Mutable: const observers (epoch) still need the reader side.
+  mutable SharedMutex index_mu_;
 
   // Distributed target: SemTree has no epoch of its own; the engine
   // versions its mutations here.

@@ -2,18 +2,13 @@
 
 #include "engine/result_cache.h"
 
-#include <cstring>
+#include <bit>
 
 namespace semtree {
 
 namespace {
 
-uint64_t DoubleBits(double d) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  return bits;
-}
+uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
 
 // 64-bit FNV-1a style mixing; collisions only cost a shard-placement
 // imbalance or a map probe — equality is always verified on the full
@@ -93,7 +88,7 @@ bool ShardedResultCache::Lookup(const CacheKey& key,
                                 std::vector<Neighbor>* out,
                                 bool* truncated) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -109,7 +104,7 @@ bool ShardedResultCache::Lookup(const CacheKey& key,
 void ShardedResultCache::Put(const CacheKey& key,
                              std::vector<Neighbor> value, bool truncated) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->value = std::move(value);
@@ -129,7 +124,7 @@ void ShardedResultCache::Put(const CacheKey& key,
 
 void ShardedResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->map.clear();
     shard->lru.clear();
   }
@@ -154,7 +149,7 @@ ShardedResultCache::Stats ShardedResultCache::stats() const {
 size_t ShardedResultCache::size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     n += shard->lru.size();
   }
   return n;

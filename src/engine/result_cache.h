@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/kernels.h"
 #include "core/point.h"
 #include "core/query.h"
@@ -117,9 +117,10 @@ class ShardedResultCache {
     bool truncated = false;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // Front = most recently used.
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
+    Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // Front = most recently used.
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map
+        GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const CacheKey& key);

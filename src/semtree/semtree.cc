@@ -366,7 +366,7 @@ int32_t SemTree::CreatePartition() {
   std::unique_ptr<Partition> part;
   int32_t id;
   {
-    std::lock_guard<std::mutex> lock(partitions_mu_);
+    MutexLock lock(partitions_mu_);
     if (partitions_.size() >= options_.max_partitions) return -1;
     id = static_cast<int32_t>(partitions_.size());
     part = std::make_unique<Partition>(id, options_.dimensions,
@@ -380,7 +380,7 @@ int32_t SemTree::CreatePartition() {
 }
 
 Partition* SemTree::partition(int32_t id) const {
-  std::lock_guard<std::mutex> lock(partitions_mu_);
+  MutexLock lock(partitions_mu_);
   if (id < 0 || static_cast<size_t>(id) >= partitions_.size()) {
     return nullptr;
   }
@@ -388,7 +388,7 @@ Partition* SemTree::partition(int32_t id) const {
 }
 
 size_t SemTree::PartitionCount() const {
-  std::lock_guard<std::mutex> lock(partitions_mu_);
+  MutexLock lock(partitions_mu_);
   return partitions_.size();
 }
 
@@ -524,14 +524,14 @@ Status SemTree::BulkInsert(const PointBlock& points,
   }
   ThreadPool pool(client_threads);
   std::atomic<bool> failed{false};
-  std::mutex status_mu;
+  Mutex status_mu;
   Status first_error;
   for (size_t i = 0; i < points.size(); ++i) {
     pool.Submit([this, &points, i, &failed, &status_mu, &first_error]() {
       if (failed.load(std::memory_order_relaxed)) return;
       Status st = Insert(points.Row(i), points.dimensions, points.ids[i]);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu);
+        MutexLock lock(status_mu);
         if (first_error.ok()) first_error = st;
         failed.store(true, std::memory_order_relaxed);
       }

@@ -33,10 +33,10 @@
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/point.h"
 #include "core/point_block.h"
@@ -253,8 +253,14 @@ class SemTree {
   SemTreeOptions options_;
   std::unique_ptr<Cluster> cluster_;
 
-  mutable std::mutex partitions_mu_;
-  std::vector<std::unique_ptr<Partition>> partitions_;
+  // Guards the partition *registry* (the vector), not the partitions:
+  // each Partition's state is thread-confined to its compute node's
+  // worker thread (compute_node.h), and the pointers handed out by
+  // partition() stay valid for the tree's lifetime — entries are only
+  // appended, never removed.
+  mutable Mutex partitions_mu_;
+  std::vector<std::unique_ptr<Partition>> partitions_
+      GUARDED_BY(partitions_mu_);
 
   std::atomic<size_t> total_points_{0};
 };

@@ -6,11 +6,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace semtree {
 namespace workload {
@@ -69,8 +69,11 @@ Result<DriverReport> RunOpenLoop(QueryEngine* engine,
     }
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
+  // `queue` and `closed` are guarded by `mu`; `issued`/`shed` below are
+  // touched only by the issue loop (this thread) and read after the
+  // join, and each worker's PhaseAcc row is its own.
+  Mutex mu;
+  CondVar cv;
   std::deque<PendingOp> queue;
   bool closed = false;
   std::atomic<size_t> pending{0};
@@ -88,8 +91,8 @@ Result<DriverReport> RunOpenLoop(QueryEngine* engine,
     for (;;) {
       PendingOp item;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return closed || !queue.empty(); });
+        MutexLock lock(mu);
+        while (!closed && queue.empty()) cv.Wait(mu);
         if (queue.empty()) break;  // Closed and drained.
         item = queue.front();
         queue.pop_front();
@@ -162,16 +165,16 @@ Result<DriverReport> RunOpenLoop(QueryEngine* engine,
     }
     pending.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       queue.push_back(PendingOp{&trace.ops[i], scheduled_ns});
     }
-    cv.notify_one();
+    cv.NotifyOne();
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     closed = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   for (std::thread& t : threads) t.join();
   report.wall_s = static_cast<double>(SinceNs(start)) / 1e9;
 

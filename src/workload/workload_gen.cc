@@ -2,8 +2,8 @@
 
 #include "workload/workload_gen.h"
 
+#include <bit>
 #include <cmath>
-#include <cstring>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -87,9 +87,7 @@ void HashU64(uint64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
 
 void HashDouble(double v, uint64_t* h) {
   // Bit pattern, so -0.0 vs 0.0 and NaN payloads all distinguish.
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  HashU64(bits, h);
+  HashU64(std::bit_cast<uint64_t>(v), h);
 }
 
 }  // namespace

@@ -1,17 +1,19 @@
 // Copyright 2026 The SemTree Authors
 //
 // Unit tests for src/common: Status/Result, Rng, string utilities,
-// ThreadPool, Stopwatch.
+// Mutex wrappers, ThreadPool, Stopwatch.
 
 #include <atomic>
 #include <future>
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -495,6 +497,192 @@ TEST(LoggingTest, LevelGateIsHonoured) {
 
 // ---------------------------------------------------------------------
 // Stopwatch
+
+// ---------------------------------------------------------------------
+// Mutex wrappers (common/mutex.h)
+//
+// These pin the RAII semantics the thread-safety annotations encode:
+// MutexLock holds exclusively for its scope, SharedReaderLock admits
+// other readers but no writer, and both release on destruction. The
+// try-lock probes run on a *separate* thread because try-locking a
+// mutex the calling thread already holds is undefined behavior.
+
+namespace {
+// Runs `fn` on a fresh thread and returns its result; the join makes
+// the probe's answer visible before the expectation runs.
+template <typename Fn>
+auto OnOtherThread(Fn fn) -> decltype(fn()) {
+  decltype(fn()) result{};
+  std::thread t([&result, &fn]() { result = fn(); });
+  t.join();
+  return result;
+}
+}  // namespace
+
+TEST(MutexTest, MutexLockHoldsExclusivelyForScope) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    EXPECT_FALSE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+      if (!mu.TryLock()) return false;
+      mu.Unlock();
+      return true;
+    }));
+  }
+  // Destroyed lock released the mutex.
+  EXPECT_TRUE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu.TryLock()) return false;
+    mu.Unlock();
+    return true;
+  }));
+}
+
+TEST(MutexTest, SharedReaderLockAdmitsReadersExcludesWriters) {
+  SharedMutex mu;
+  {
+    SharedReaderLock reader(mu);
+    // A second reader gets in...
+    EXPECT_TRUE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+      if (!mu.TryLockShared()) return false;
+      mu.UnlockShared();
+      return true;
+    }));
+    // ...but a writer does not.
+    EXPECT_FALSE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+      if (!mu.TryLock()) return false;
+      mu.Unlock();
+      return true;
+    }));
+  }
+  EXPECT_TRUE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu.TryLock()) return false;
+    mu.Unlock();
+    return true;
+  }));
+}
+
+TEST(MutexTest, SharedMutexLockExcludesReadersAndWriters) {
+  SharedMutex mu;
+  {
+    SharedMutexLock writer(mu);
+    EXPECT_FALSE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+      if (!mu.TryLockShared()) return false;
+      mu.UnlockShared();
+      return true;
+    }));
+    EXPECT_FALSE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+      if (!mu.TryLock()) return false;
+      mu.Unlock();
+      return true;
+    }));
+  }
+  EXPECT_TRUE(OnOtherThread([&mu]() NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu.TryLockShared()) return false;
+    mu.UnlockShared();
+    return true;
+  }));
+}
+
+TEST(MutexTest, MutexLockSerializesCriticalSections) {
+  // Under TSan this is the canonical mutual-exclusion check: an
+  // unguarded counter incremented by many threads through MutexLock
+  // must come out exact (and race-free).
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8, kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter]() NO_THREAD_SAFETY_ANALYSIS {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, CondVarWaitReleasesAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&]() NO_THREAD_SAFETY_ANALYSIS {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  });
+  {
+    // If Wait failed to release mu, this lock would deadlock.
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+// Negative-compile documentation: each of these bodies is a contract
+// violation the clang CI leg (-Wthread-safety -Werror) rejects. They
+// stay commented because the point of the annotations is that such
+// code CANNOT build:
+//
+//   Mutex mu;
+//   int value GUARDED_BY(mu);
+//
+//   void Bad1() { value = 1; }           // writing without the lock:
+//       // error: writing variable 'value' requires holding mutex 'mu'
+//       // exclusively [-Werror,-Wthread-safety-analysis]
+//
+//   void Bad2() { mu.Lock(); }           // return while still holding:
+//       // error: mutex 'mu' is still held at the end of function
+//
+//   void Bad3() {
+//     SharedReaderLock lock(shared_mu);
+//     guarded_by_shared_mu = 1;          // writing under a READER lock:
+//       // error: writing variable requires holding mutex exclusively
+//   }
+
+// ---------------------------------------------------------------------
+// ThreadPool shutdown discipline (lock-discipline regression tests)
+
+TEST(ThreadPoolTest, ConcurrentShutdownJoinsEachWorkerOnce) {
+  // Regression: Shutdown used to join workers_ in place, so two
+  // concurrent Shutdown calls could both join the same std::thread
+  // (terminate) or race the vector. Now the vector is swapped out
+  // under the lock and each caller reaps a disjoint set.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.TrySubmit([&done]() { done.fetch_add(1); });
+    }
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 3; ++t) {
+      closers.emplace_back([&pool]() { pool.Shutdown(); });
+    }
+    for (std::thread& t : closers) t.join();
+    EXPECT_EQ(done.load(), 16);  // Shutdown drains the queue.
+    EXPECT_EQ(pool.num_threads(), 0u);
+  }
+}
+
+TEST(ThreadPoolTest, NumThreadsIsSafeDuringShutdown) {
+  // Regression: num_threads() used to read workers_.size() unlocked
+  // while Shutdown cleared the vector on another thread.
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_threads(), 4u);
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load()) {
+      size_t n = pool.num_threads();
+      EXPECT_TRUE(n == 0 || n == 4) << n;
+    }
+  });
+  pool.Shutdown();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(pool.num_threads(), 0u);
+}
 
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch sw;

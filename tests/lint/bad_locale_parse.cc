@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): R1 must flag locale-sensitive parses.
+#include <cstdlib>
+#include <string>
+
+double Bad(const char* s, const std::string& t) {
+  double a = std::atof(s);              // R1
+  double b = std::strtod(s, nullptr);   // R1
+  int c = std::stoi(t);                 // R1
+  return a + b + static_cast<double>(c);
+}

@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): R4 must flag bench binaries writing
+// files directly instead of through bench::BenchJson.
+#include <cstdio>
+
+void Bad() {
+  FILE* f = std::fopen("BENCH_rogue.json", "w");  // R4
+  if (f != nullptr) std::fclose(f);
+}

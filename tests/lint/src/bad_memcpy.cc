@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): R2 must flag raw memcpy outside the
+// persist/ wire layer and core/.
+#include <cstdint>
+#include <cstring>
+
+uint64_t Bad(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));  // R2: use std::bit_cast.
+  return bits;
+}

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): R3 must flag raw std sync primitives
+// — the annotated wrappers in common/mutex.h are the only door.
+#include <mutex>
+
+std::mutex g_mu;  // R3
+
+void Bad() {
+  std::lock_guard<std::mutex> lock(g_mu);  // R3
+}
