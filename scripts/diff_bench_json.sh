@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate (ROADMAP item 2 leftover): diff a freshly
+# written bench artifact against the committed baseline and fail on a
+# p99 latency regression.
+#
+#   scripts/diff_bench_json.sh <baseline.json> <current.json> [max_regress]
+#
+# Records are matched by identity key — ("record", "phase") for the
+# open-loop phase records, ("record", "rw_phase") for the mixed
+# read/write phases — and every matched pair's p99_us is compared. The
+# gate fails when current p99 exceeds baseline by more than
+# `max_regress` (default 0.15 = 15%) AND by more than an absolute
+# 25 us floor: smoke-sized runs put only a few thousand samples in a
+# histogram bucketed at 2^-7 relative precision, so single-bucket
+# jitter on a sub-100 us p99 must not flap the gate. Records present
+# only in one file are reported: missing from current is an error
+# (a silently dropped phase is a regression too), new in current is
+# informational. Improvements never fail.
+#
+# The baseline lives in bench/baselines/ and is refreshed by re-running
+# the bench and copying the artifact over it (reviewed like any code
+# change, so a perf regression cannot ratify itself).
+
+set -u
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <baseline.json> <current.json> [max_regress]" >&2
+  exit 2
+fi
+
+python3 - "$1" "$2" "${3:-0.15}" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, max_regress = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]))
+ABS_FLOOR_US = 25.0
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        sys.exit(f"{path}: 'records' must be a list")
+    return records
+
+def key(rec):
+    kind = rec.get("record")
+    if kind == "rw_phase":
+        return ("rw_phase", rec.get("rw_phase"))
+    if "phase" in rec:
+        return (kind, rec.get("phase"))
+    return None  # config/summary/total records carry no p99 identity.
+
+def index(records, path):
+    out = {}
+    for rec in records:
+        k = key(rec)
+        if k is None or "p99_us" not in rec:
+            continue
+        if k in out:
+            sys.exit(f"{path}: duplicate record identity {k}")
+        out[k] = rec
+    return out
+
+base = index(load(baseline_path), baseline_path)
+cur = index(load(current_path), current_path)
+if not base:
+    sys.exit(f"{baseline_path}: no p99-carrying records to diff")
+
+failed = False
+for k in sorted(base, key=str):
+    if k not in cur:
+        print(f"FAIL {k}: present in baseline, missing from current")
+        failed = True
+        continue
+    b, c = float(base[k]["p99_us"]), float(cur[k]["p99_us"])
+    delta = c - b
+    rel = delta / b if b > 0 else 0.0
+    verdict = "ok"
+    if delta > ABS_FLOOR_US and b > 0 and rel > max_regress:
+        verdict = "FAIL"
+        failed = True
+    print(f"{verdict} {k}: p99 {b:.0f}us -> {c:.0f}us "
+          f"({rel:+.1%}, gate {max_regress:.0%} + {ABS_FLOOR_US:.0f}us)")
+for k in sorted(set(cur) - set(base), key=str):
+    print(f"new  {k}: p99 {float(cur[k]['p99_us']):.0f}us (no baseline)")
+
+sys.exit(1 if failed else 0)
+EOF

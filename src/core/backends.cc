@@ -101,10 +101,14 @@ Status VpTreeIndex::BulkLoad(const std::vector<KdPoint>& points) {
 }
 
 Status VpTreeIndex::set_metric(Metric metric) {
+  // Re-setting the current metric must not queue a rebuild: the ball
+  // decomposition is already correct, and the snapshot loader (and
+  // any config replay) re-applies the persisted metric on every load.
+  if (metric == this->metric()) return Status::OK();
   MutexLock lock(build_mu_);
   // The ball decomposition is metric-dependent; drop any built tree
   // and rebuild lazily under the new distances on the next query.
-  if (metric != this->metric()) tree_.reset();
+  tree_.reset();
   options_.metric = metric;  // Keep the stored options in sync.
   return SpatialIndex::set_metric(metric);
 }
@@ -141,6 +145,7 @@ void VpTreeIndex::EnsureBuilt() const {
       vopts);
   // Build only fails on n == 0 or a null oracle; neither happens here.
   tree_.emplace(std::move(*built));
+  rebuild_count_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::vector<Neighbor> VpTreeIndex::KnnSearch(

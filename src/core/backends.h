@@ -94,8 +94,25 @@ class VpTreeIndex : public SpatialIndex {
 
   /// Changing the metric invalidates the built tree (its ball
   /// decomposition was computed under the old distances); the next
-  /// query rebuilds lazily under the new one.
+  /// query rebuilds lazily under the new one. Re-setting the current
+  /// metric is a strict no-op: the built tree survives and no lazy
+  /// rebuild is queued (regression-tested; rebuild_count observes it).
   Status set_metric(Metric metric) override;
+
+  /// Forces the lazy rebuild now, so subsequent searches run pure
+  /// read-only tree code (the RCU wrapper calls this when publishing
+  /// a base built on this backend).
+  Status Freeze() override {
+    EnsureBuilt();
+    return Status::OK();
+  }
+
+  /// Whole-tree builds performed so far — the price of every deferred
+  /// rebuild, observable so tests can pin down when one happened (and
+  /// when one must not have: see the set_metric no-op contract).
+  uint64_t rebuild_count() const {
+    return rebuild_count_.load(std::memory_order_acquire);
+  }
 
   /// Serializes the adapter (arena + built tree + epoch). Forces the
   /// lazy rebuild first so the snapshot preserves the tree structure.
@@ -121,6 +138,7 @@ class VpTreeIndex : public SpatialIndex {
   mutable Mutex build_mu_;
   mutable std::optional<VpTree> tree_
       GUARDED_BY(build_mu_);  // Rebuilt when stale.
+  mutable std::atomic<uint64_t> rebuild_count_{0};
 };
 
 /// Dynamic M-tree over Euclidean vectors. Supports incremental

@@ -67,6 +67,13 @@ struct SearchStats {
   size_t leaves_visited = 0;
   size_t points_examined = 0;
   bool truncated = false;
+  /// epoch() value of the index version this search actually ran
+  /// against. 0 on the sequential backends (caller sees the live
+  /// epoch); the RCU wrapper (core/versioned_index.h) reports the
+  /// pinned version's epoch, which can trail the live one — the
+  /// engine keys cache fills on it so a reader pinned to version V
+  /// never publishes results under V+1's key.
+  uint64_t version_epoch = 0;
 };
 
 }  // namespace semtree

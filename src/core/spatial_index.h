@@ -149,6 +149,29 @@ class SpatialIndex {
   /// concurrently with searches.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Flushes any deferred build work so subsequent searches touch only
+  /// immutable state: the VP-tree adapter forces its lazy rebuild, the
+  /// RCU wrapper (core/versioned_index.h) merges its delta into a
+  /// fresh base tree. A no-op for backends that are always fully
+  /// built. Mutation-side: externally synchronized like Insert.
+  virtual Status Freeze() { return Status::OK(); }
+
+  /// True when KnnSearch/RangeSearch on this index are safe to run
+  /// concurrently with Insert/Remove without external locking (the
+  /// RCU contract of core/versioned_index.h). False — the default —
+  /// means the SpatialIndex baseline contract applies: callers must
+  /// serialize mutations against searches (QueryEngine does, with its
+  /// reader-writer lock).
+  virtual bool lock_free_reads() const { return false; }
+
+  /// Oldest epoch() value any still-pinned reader of this index could
+  /// be observing results from. Equal to epoch() on the sequential
+  /// backends (no reader outlives a mutation there); the RCU wrapper
+  /// reports the oldest unreclaimed version's epoch, which is the
+  /// watermark per-version cache invalidation may evict below
+  /// (ShardedResultCache::EvictEpochsBelow).
+  virtual uint64_t oldest_live_epoch() const { return epoch(); }
+
  protected:
   // The atomic counter would otherwise delete implicit copy/move, which
   // by-value builders (KdTree::BulkLoadBalanced) rely on; copying an

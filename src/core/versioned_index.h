@@ -1,0 +1,258 @@
+// Copyright 2026 The SemTree Authors
+//
+// VersionedIndex: the RCU wrapper that makes any sequential backend
+// safe for lock-free concurrent reads under one writer (DESIGN.md
+// §11, ROADMAP item 3). Searches never take a lock: a reader pins the
+// current epoch (core/epoch.h), loads the published Version pointer,
+// and searches an immutable snapshot — an already-built base tree plus
+// a bounded append-only delta log. Mutations serialize on one writer
+// mutex, append to the delta (never touching published prefixes),
+// publish a new Version atomically, and retire the old one; retired
+// state is freed only after the last reader that could hold it
+// drains. When a delta log fills, the writer merges: it rebuilds a
+// fresh base tree from the live set, publishes it with an empty
+// delta, and retires the old base/delta the same way.
+//
+// Snapshot anatomy — a published Version is a triple of borrowed
+// pointers plus prefix lengths:
+//
+//     Version ──► base   (SpatialIndex, fully built, never mutated)
+//             ──► delta  (three append-only logs, capacity-reserved)
+//                 add_count / tomb_base_count / killed_count
+//
+// The logs are reserved to capacity at creation and merged before
+// they fill, so push_back never reallocates: readers index the data()
+// prefix their Version names while the writer constructs the next
+// element in place — disjoint memory, no lock, TSan-clean.
+//
+// Remove resolves its target at write time, under the writer mutex,
+// where the full picture is available: a base point gets a tombstone
+// (id appended to tomb_base_ids; readers suppress base hits carrying
+// a tombstoned id), a delta add gets its slot appended to
+// killed_add_slots (readers skip those slots). Read-side filtering is
+// therefore a prefix scan of small logs, never a search. Between
+// merges a base tombstone suppresses every base hit with that id —
+// ids are assumed to identify points, as everywhere else in the tree;
+// the merge itself resolves by exact slot.
+//
+// Search semantics match the wrapped backend's SpatialIndex contract:
+// results are true distances to stored points sorted (distance, id),
+// budgets cap total distance computations across base + delta and
+// only ever drop members, and `stats->version_epoch` reports the
+// epoch() of the snapshot actually searched so the engine can key its
+// result cache honestly (engine/query_engine.cc).
+
+#ifndef SEMTREE_CORE_VERSIONED_INDEX_H_
+#define SEMTREE_CORE_VERSIONED_INDEX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "core/backends.h"
+#include "core/epoch.h"
+#include "core/spatial_index.h"
+
+namespace semtree {
+
+/// RCU snapshot-on-mutate wrapper over a sequential backend.
+///
+/// Concurrency contract (the one exception to the SpatialIndex
+/// baseline): KnnSearch/RangeSearch may run concurrently with
+/// Insert/Remove/BulkLoad and with each other, from any threads,
+/// without external locking — lock_free_reads() returns true.
+/// Mutations are internally serialized on a writer mutex, so multiple
+/// writer threads are safe too (they just queue). Configuration
+/// setters (set_metric, set_split_policy, set_default_budget) remain
+/// configuration-time, as on every backend.
+class VersionedIndex : public SpatialIndex {
+ public:
+  struct Options {
+    /// Backend the base trees are built on.
+    BackendKind backend = BackendKind::kKdTree;
+
+    /// Options forwarded to every base build (metric is overridden by
+    /// the wrapper's current metric).
+    BackendOptions backend_options;
+
+    /// Delta-log capacity: a merge (base rebuild) triggers when a log
+    /// would overflow it. Smaller = cheaper reads between merges but
+    /// more frequent rebuilds.
+    size_t merge_threshold = 256;
+  };
+
+  // Two constructors instead of one defaulted argument: a `= {}` or
+  // `= Options()` default would need Options' member initializers
+  // before the end of the enclosing class, which GCC rejects.
+  explicit VersionedIndex(size_t dimensions)
+      : VersionedIndex(dimensions, Options()) {}
+  VersionedIndex(size_t dimensions, Options options);
+  ~VersionedIndex() override;
+
+  VersionedIndex(const VersionedIndex&) = delete;
+  VersionedIndex& operator=(const VersionedIndex&) = delete;
+
+  Status Insert(const std::vector<double>& coords, PointId id) override;
+  Status Remove(const std::vector<double>& coords, PointId id) override;
+
+  /// Rebuilds the base from the current live set plus `points` in one
+  /// build and publishes it as a fresh version with an empty delta.
+  Status BulkLoad(const std::vector<KdPoint>& points) override;
+
+  using SpatialIndex::KnnSearch;
+  using SpatialIndex::RangeSearch;
+
+  std::vector<Neighbor> KnnSearch(const std::vector<double>& query,
+                                  size_t k, const SearchBudget& budget,
+                                  SearchStats* stats = nullptr) const override;
+  std::vector<Neighbor> RangeSearch(
+      const std::vector<double>& query, double radius,
+      const SearchBudget& budget,
+      SearchStats* stats = nullptr) const override;
+
+  size_t size() const override {
+    return live_count_.load(std::memory_order_acquire);
+  }
+  size_t dimensions() const override { return dims_; }
+  std::string_view name() const override { return "versioned"; }
+
+  /// Merges any pending delta into a fresh base so searches run pure
+  /// tree code (also the fast path for a quiesced-equivalence check).
+  Status Freeze() override;
+
+  /// Rebuilds the base under the new metric (distances embedded in
+  /// the old tree's structure are stale). No-op when unchanged.
+  /// Configuration-time, like every backend's set_metric.
+  Status set_metric(Metric metric) override;
+
+  bool lock_free_reads() const override { return true; }
+
+  /// epoch() of the oldest version a still-pinned reader could be
+  /// searching: the oldest unreclaimed retiree's, or the live epoch
+  /// when limbo is empty. Cache entries keyed below this are
+  /// unreachable by any reader and safe to evict
+  /// (ShardedResultCache::EvictEpochsBelow).
+  uint64_t oldest_live_epoch() const override {
+    return oldest_live_epoch_.load(std::memory_order_acquire);
+  }
+
+  // ---- Introspection (tests, benches) --------------------------------
+
+  /// Explicit merge, identical to Freeze (test hook).
+  Status Merge() { return Freeze(); }
+
+  /// Retired versions/bases/deltas still awaiting reader drain.
+  size_t pending_reclaims() const;
+
+  /// Entries in the current delta log (adds, not net of kills).
+  size_t delta_size() const;
+
+  /// Base rebuilds performed so far (merges + metric changes + bulk
+  /// loads).
+  uint64_t merges() const {
+    return merges_.load(std::memory_order_acquire);
+  }
+
+  /// Pinned-reader count right now (racy; tests only).
+  size_t active_readers() const { return epochs_.ActiveReaders(); }
+
+ private:
+  /// Append-only mutation logs. Reserved to capacity at creation;
+  /// merged before any push_back could reallocate, so published
+  /// prefixes are immutable. Added coordinates live in one flat
+  /// row-major arena (`add_coords`, add slot i at i * dims) rather
+  /// than per-point vectors: the delta is rescanned by every search,
+  /// and a contiguous arena turns that scan into a dense batched
+  /// sweep instead of a cache miss per point.
+  struct Delta {
+    std::vector<PointId> add_ids;
+    std::vector<double> add_coords;  ///< add_ids.size() * dims doubles.
+    std::vector<PointId> tomb_base_ids;
+    std::vector<uint32_t> killed_add_slots;
+  };
+
+  /// One immutable published snapshot. Borrows base/delta from the
+  /// wrapper; the counts name the log prefixes this version may read.
+  struct Version {
+    const SpatialIndex* base = nullptr;
+    const Delta* delta = nullptr;
+    size_t add_count = 0;
+    size_t tomb_base_count = 0;
+    size_t killed_count = 0;
+    /// SpatialIndex::epoch() as of this version's publication — the
+    /// engine's cache key for results computed against it.
+    uint64_t version_epoch = 0;
+  };
+
+  std::unique_ptr<Delta> MakeDelta() const;
+  Status CheckPoint(const std::vector<double>& coords) const;
+
+  /// Batched distance scan of `v`'s un-killed adds prefix, metering
+  /// whatever distance budget the base search left over; calls
+  /// emit(id, dist) per surviving add. When the version has no kills
+  /// (the overwhelmingly common case) the scan runs in place over the
+  /// adds log with no per-query allocation — this is the read hot
+  /// path while a writer runs.
+  template <typename Emit>
+  void ScanDelta(const Version& v, const std::vector<double>& query,
+                 const SearchBudget& budget, SearchStats* s,
+                 Emit emit) const;
+
+  /// Publishes a Version snapshotting current writer state, retires
+  /// the previously published one (plus, on a rebuild, the base and
+  /// delta it borrowed), and reclaims drained retirees.
+  void PublishLocked(uint64_t version_epoch,
+                     SpatialIndex* dead_base = nullptr,
+                     Delta* dead_delta = nullptr) REQUIRES(write_mu_);
+
+  /// Rebuilds the base from `points` (one BulkLoad + Freeze on a
+  /// fresh backend), swaps it in with an empty delta, and publishes
+  /// at `version_epoch`. Retires the old base and delta.
+  Status RebuildLocked(std::vector<KdPoint> points,
+                       uint64_t version_epoch) REQUIRES(write_mu_);
+
+  /// Live points (base minus tombstones, plus un-killed adds).
+  std::vector<KdPoint> LivePointsLocked() const REQUIRES(write_mu_);
+
+  /// Merge iff a delta log is at capacity.
+  Status MaybeMergeLocked() REQUIRES(write_mu_);
+
+  const size_t dims_;
+  Options options_;
+
+  /// Serializes mutations; never taken by searches.
+  mutable Mutex write_mu_;
+
+  /// Reader registry + RCU epoch stream (distinct from the cache
+  /// epoch SpatialIndex::epoch_); mutable because searches pin it.
+  mutable EpochManager epochs_;
+
+  /// The published snapshot readers load. seq_cst with the epoch
+  /// protocol (core/epoch.h header comment).
+  std::atomic<const Version*> current_;
+
+  // Writer-side state. `base_points_` mirrors the base tree's
+  // contents (the backends cannot enumerate themselves), and
+  // `base_index_` maps id -> base_points_ slots so Remove resolves
+  // without a search.
+  std::unique_ptr<SpatialIndex> base_ GUARDED_BY(write_mu_);
+  std::unique_ptr<Delta> delta_ GUARDED_BY(write_mu_);
+  std::vector<KdPoint> base_points_ GUARDED_BY(write_mu_);
+  std::unordered_multimap<PointId, size_t> base_index_
+      GUARDED_BY(write_mu_);
+  std::vector<uint8_t> base_removed_ GUARDED_BY(write_mu_);
+  RetireList retired_ GUARDED_BY(write_mu_);
+
+  std::atomic<size_t> live_count_{0};
+  std::atomic<uint64_t> oldest_live_epoch_{0};
+  std::atomic<uint64_t> merges_{0};
+};
+
+}  // namespace semtree
+
+#endif  // SEMTREE_CORE_VERSIONED_INDEX_H_

@@ -46,6 +46,12 @@ QueryEngine::QueryEngine(SpatialIndex* index, QueryEngineOptions options)
       options_(options),
       dims_(index->dimensions()),
       pool_(ClampThreads(options.threads)) {
+  // An RCU target synchronizes its own readers against its writer
+  // (core/versioned_index.h); taking index_mu_ on top would reintroduce
+  // exactly the writer-stalls-every-reader coupling it exists to
+  // remove. Decided once here: lock_free_reads() is a static property
+  // of the backend, not of any one call.
+  if (index->lock_free_reads()) unsynced_index_ = index;
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ShardedResultCache>(options_.cache_shards,
                                                   options_.cache_capacity);
@@ -66,6 +72,7 @@ QueryEngine::QueryEngine(SemTree* tree, QueryEngineOptions options)
 size_t QueryEngine::dimensions() const { return dims_; }
 
 uint64_t QueryEngine::epoch() const {
+  if (unsynced_index_ != nullptr) return unsynced_index_->epoch();
   if (index_ != nullptr) {
     SharedReaderLock lock(index_mu_);
     return index_->epoch();
@@ -109,6 +116,43 @@ Status QueryEngine::Validate(const std::vector<SpatialQuery>& batch) const {
   return Status::OK();
 }
 
+void QueryEngine::RunOneUnsynced(const SpatialQuery& q, QueryOutcome* o,
+                                 TaskOutput* out) {
+  const SearchBudget& budget =
+      q.budget.exact() ? unsynced_index_->default_budget() : q.budget;
+  CacheKey key;
+  bool hit = false;
+  if (cache_ != nullptr) {
+    key = CacheKey::Make(q, unsynced_index_->epoch(), budget,
+                         unsynced_index_->metric());
+    hit = cache_->Lookup(key, &o->neighbors, &o->truncated);
+  }
+  if (hit) {
+    o->from_cache = true;
+    ++out->cache_hits;
+  } else {
+    SearchStats sstats;
+    o->neighbors =
+        q.type == QueryType::kKnn
+            ? unsynced_index_->KnnSearch(q.coords, q.k, budget, &sstats)
+            : unsynced_index_->RangeSearch(q.coords, q.radius, budget,
+                                           &sstats);
+    o->truncated = sstats.truncated;
+    Accumulate(sstats, &out->search);
+    if (cache_ != nullptr) {
+      // The probe key carried the live epoch, but a concurrent writer
+      // may have published between probe and pin — or the pin may
+      // trail a publish the probe already saw. Either way the honest
+      // key is the version the search actually ran against, which the
+      // RCU wrapper reports back; filling under any other epoch would
+      // let a reader pinned to version V surface V+1's results.
+      key.epoch = sstats.version_epoch;
+      cache_->Put(key, o->neighbors, o->truncated);
+    }
+  }
+  if (o->truncated) ++out->truncated;
+}
+
 void QueryEngine::RunLocalSpan(const SpatialQuery* batch, size_t lo,
                                size_t hi,
                                std::vector<QueryOutcome>* outcomes,
@@ -117,7 +161,9 @@ void QueryEngine::RunLocalSpan(const SpatialQuery* batch, size_t lo,
     const SpatialQuery& q = batch[i];
     QueryOutcome& o = (*outcomes)[i];
     Stopwatch sw;
-    {
+    if (unsynced_index_ != nullptr) {
+      RunOneUnsynced(q, &o, out);
+    } else {
       // Shared lock: the epoch read, cache probe and search see one
       // consistent index state even while another thread mutates
       // through Insert/Remove (which take the lock exclusively).
@@ -312,7 +358,30 @@ Result<QueryEngine::WarmStarted> QueryEngine::WarmStart(
   return out;
 }
 
+void QueryEngine::MaybeEvictDrainedVersions() {
+  if (cache_ == nullptr) return;
+  const uint64_t floor = unsynced_index_->oldest_live_epoch();
+  uint64_t prev = evict_floor_.load(std::memory_order_acquire);
+  // First writer to raise the floor sweeps; rivals at the same floor
+  // skip, so the cache is walked once per advance, not once per
+  // mutation.
+  while (floor > prev) {
+    if (evict_floor_.compare_exchange_weak(prev, floor,
+                                           std::memory_order_acq_rel)) {
+      cache_->EvictEpochsBelow(floor);
+      return;
+    }
+  }
+}
+
 Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {
+  if (unsynced_index_ != nullptr) {
+    // No engine lock: the RCU target publishes the mutation itself;
+    // in-flight readers keep searching their pinned versions.
+    Status st = unsynced_index_->Insert(coords, id);
+    if (st.ok()) MaybeEvictDrainedVersions();
+    return st;
+  }
   if (index_ != nullptr) {
     SharedMutexLock lock(index_mu_);
     return index_->Insert(coords, id);  // Bumps the index epoch.
@@ -323,6 +392,11 @@ Status QueryEngine::Insert(const std::vector<double>& coords, PointId id) {
 }
 
 Status QueryEngine::Remove(const std::vector<double>& coords, PointId id) {
+  if (unsynced_index_ != nullptr) {
+    Status st = unsynced_index_->Remove(coords, id);
+    if (st.ok()) MaybeEvictDrainedVersions();
+    return st;
+  }
   if (index_ != nullptr) {
     SharedMutexLock lock(index_mu_);
     return index_->Remove(coords, id);

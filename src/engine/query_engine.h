@@ -93,7 +93,13 @@ class QueryEngine {
   /// Engine over a sequential backend. The engine serializes its own
   /// mutations against its own queries with a reader/writer lock; the
   /// index must not be mutated behind the engine's back while batches
-  /// run.
+  /// run. Exception: an index reporting lock_free_reads() (the RCU
+  /// wrapper, core/versioned_index.h) is driven without any engine
+  /// lock — queries and mutations proceed concurrently, the cache is
+  /// keyed at the version each search actually pinned
+  /// (SearchStats::version_epoch), and mutations evict only the cache
+  /// entries of versions every reader has drained
+  /// (oldest_live_epoch + ShardedResultCache::EvictEpochsBelow).
   explicit QueryEngine(SpatialIndex* index, QueryEngineOptions options = {});
 
   /// Engine over the distributed tree (internally thread-safe, so no
@@ -166,6 +172,13 @@ class QueryEngine {
 
   Status ValidateOne(const SpatialQuery& query, size_t index) const;
   Status Validate(const std::vector<SpatialQuery>& batch) const;
+  // One query against the lock-free (RCU) target: no index_mu_, cache
+  // fills re-keyed at the version the search pinned.
+  void RunOneUnsynced(const SpatialQuery& q, QueryOutcome* o,
+                      TaskOutput* out);
+  // After a lock-free mutation: evict drained versions' cache entries
+  // once per oldest_live_epoch advance.
+  void MaybeEvictDrainedVersions();
   // Spans address `batch[lo..hi)` through a raw pointer so RunOne can
   // execute a single caller-owned query without materializing a batch.
   void RunLocalSpan(const SpatialQuery* batch, size_t lo, size_t hi,
@@ -181,6 +194,10 @@ class QueryEngine {
   // dereference under the shared side, mutations under the exclusive
   // side.
   SpatialIndex* index_ PT_GUARDED_BY(index_mu_) = nullptr;
+  // Set (to the same index) when the target reports lock_free_reads():
+  // its own RCU machinery replaces index_mu_, so accesses through this
+  // alias are deliberately unannotated — that is the point.
+  SpatialIndex* unsynced_index_ = nullptr;
   SemTree* tree_ = nullptr;
   QueryEngineOptions options_;
   // Cached at construction so per-query validation (the hottest
@@ -197,6 +214,11 @@ class QueryEngine {
   // Distributed target: SemTree has no epoch of its own; the engine
   // versions its mutations here.
   std::atomic<uint64_t> tree_epoch_{0};
+
+  // Lock-free target: highest oldest_live_epoch the cache has been
+  // swept below already, so concurrent writers do one sweep per
+  // advance instead of one per mutation.
+  std::atomic<uint64_t> evict_floor_{0};
 };
 
 }  // namespace semtree

@@ -137,6 +137,24 @@ void ShardedResultCache::Clear() {
   evictions_.store(0, std::memory_order_relaxed);
 }
 
+size_t ShardedResultCache::EvictEpochsBelow(uint64_t min_epoch) {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.epoch < min_epoch) {
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 ShardedResultCache::Stats ShardedResultCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);

@@ -100,6 +100,16 @@ class ShardedResultCache {
   /// like a freshly constructed one.
   void Clear();
 
+  /// Per-version invalidation for RCU targets (DESIGN.md §11): drops
+  /// exactly the entries keyed at an epoch below `min_epoch` — the
+  /// versions no pinned reader can still observe
+  /// (SpatialIndex::oldest_live_epoch) — and leaves every other
+  /// version's entries warm. Counted as evictions. Returns the number
+  /// dropped. With a non-RCU target the epoch-in-key scheme already
+  /// ages stale entries out; this is for callers that want the memory
+  /// back eagerly.
+  size_t EvictEpochsBelow(uint64_t min_epoch);
+
   Stats stats() const;
 
   /// Live entries across all shards.

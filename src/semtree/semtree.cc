@@ -358,20 +358,36 @@ SemTree::SemTree(SemTreeOptions options) : options_(std::move(options)) {
   copts.latency = options_.network_latency;
   copts.bandwidth_bytes_per_us = options_.bandwidth_bytes_per_us;
   cluster_ = std::make_unique<Cluster>(copts);
+  partition_table_.store(new PartitionTable{},
+                         std::memory_order_seq_cst);
 }
 
-SemTree::~SemTree() { cluster_->Shutdown(); }
+SemTree::~SemTree() {
+  cluster_->Shutdown();
+  // Workers are gone, so no reader can be pinned: the current table
+  // dies here and the retired ones drain in RetireList's destructor.
+  delete partition_table_.load(std::memory_order_seq_cst);
+}
 
 int32_t SemTree::CreatePartition() {
-  std::unique_ptr<Partition> part;
   int32_t id;
   {
     MutexLock lock(partitions_mu_);
     if (partitions_.size() >= options_.max_partitions) return -1;
     id = static_cast<int32_t>(partitions_.size());
-    part = std::make_unique<Partition>(id, options_.dimensions,
-                                       options_.bucket_size);
-    partitions_.push_back(std::move(part));
+    partitions_.push_back(std::make_unique<Partition>(
+        id, options_.dimensions, options_.bucket_size));
+    // RCU publish (core/epoch.h): a rebuilt immutable table replaces
+    // the published one; routing hops pinned to the old table keep
+    // reading it until they drain, then it is reclaimed.
+    auto* next = new PartitionTable;
+    next->entries.reserve(partitions_.size());
+    for (const auto& p : partitions_) next->entries.push_back(p.get());
+    const PartitionTable* old =
+        partition_table_.exchange(next, std::memory_order_seq_cst);
+    const uint64_t retire = partition_epochs_.Advance();
+    retired_tables_.Retire(retire, /*tag=*/retire, [old] { delete old; });
+    retired_tables_.ReclaimBefore(partition_epochs_.MinActiveEpoch());
   }
   ComputeNode* node = cluster_->AddNode();
   RegisterHandlers(partition(id), node);
@@ -380,16 +396,22 @@ int32_t SemTree::CreatePartition() {
 }
 
 Partition* SemTree::partition(int32_t id) const {
-  MutexLock lock(partitions_mu_);
-  if (id < 0 || static_cast<size_t>(id) >= partitions_.size()) {
+  // Lock-free: pin, read the published table, unpin. The returned
+  // Partition pointer outlives the pin — partitions live as long as
+  // the tree — so only the table access needs the guard.
+  EpochGuard guard(partition_epochs_);
+  const PartitionTable* table =
+      partition_table_.load(std::memory_order_seq_cst);
+  if (id < 0 || static_cast<size_t>(id) >= table->entries.size()) {
     return nullptr;
   }
-  return partitions_[static_cast<size_t>(id)].get();
+  return table->entries[static_cast<size_t>(id)];
 }
 
 size_t SemTree::PartitionCount() const {
-  MutexLock lock(partitions_mu_);
-  return partitions_.size();
+  EpochGuard guard(partition_epochs_);
+  return partition_table_.load(std::memory_order_seq_cst)
+      ->entries.size();
 }
 
 bool SemTree::IsSaturated(const Partition& part) const {

@@ -38,6 +38,7 @@
 #include "cluster/cluster.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "core/epoch.h"
 #include "core/point.h"
 #include "core/point_block.h"
 #include "core/query.h"
@@ -253,14 +254,26 @@ class SemTree {
   SemTreeOptions options_;
   std::unique_ptr<Cluster> cluster_;
 
-  // Guards the partition *registry* (the vector), not the partitions:
-  // each Partition's state is thread-confined to its compute node's
-  // worker thread (compute_node.h), and the pointers handed out by
-  // partition() stay valid for the tree's lifetime — entries are only
-  // appended, never removed.
+  // The partition registry is read on every routing hop (partition()
+  // in the message handlers) but written only by CreatePartition, so
+  // reads go through an RCU-published immutable snapshot (DESIGN.md
+  // §11): readers pin an epoch and load `partition_table_` — no lock
+  // on the hot path — while the writer swaps in a rebuilt table under
+  // partitions_mu_ and retires the old one until the last pinned
+  // reader drains. The Partition objects themselves are not part of
+  // the protocol: each one's state is thread-confined to its compute
+  // node's worker thread (compute_node.h), and the pointers stay
+  // valid for the tree's lifetime — only the *table* is versioned.
+  struct PartitionTable {
+    std::vector<Partition*> entries;  // Borrowed from partitions_.
+  };
+
   mutable Mutex partitions_mu_;
   std::vector<std::unique_ptr<Partition>> partitions_
       GUARDED_BY(partitions_mu_);
+  mutable EpochManager partition_epochs_;
+  std::atomic<const PartitionTable*> partition_table_;
+  RetireList retired_tables_ GUARDED_BY(partitions_mu_);
 
   std::atomic<size_t> total_points_{0};
 };

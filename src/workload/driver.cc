@@ -9,8 +9,10 @@
 #include <deque>
 #include <limits>
 #include <thread>
+#include <utility>
 
 #include "common/mutex.h"
+#include "common/random.h"
 
 namespace semtree {
 namespace workload {
@@ -41,6 +43,127 @@ uint64_t SinceNs(Clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
+}
+
+// Per-reader partials for the mixed read/write mode; each reader
+// thread owns its row, merged after the join.
+struct ReaderAcc {
+  explicit ReaderAcc(uint32_t bits) : latency(bits) {}
+  uint64_t reads = 0, errors = 0;
+  LatencyHistogram latency;
+};
+
+// Runs one measured phase of the mixed read/write mode: closed-loop
+// readers, plus one sustained writer when `with_writer` is set. Both
+// phases seed readers identically on purpose — the query streams are
+// the same, so the only variable between the phases is the writer.
+void RunMixedPhase(QueryEngine* engine, const std::vector<KdPoint>& corpus,
+                   const MixedRwConfig& cfg, bool with_writer,
+                   MixedRwPhase* out) {
+  const uint32_t bits = cfg.histogram_precision_bits;
+  const size_t readers = std::max<size_t>(1, cfg.reader_threads);
+  const size_t k = std::max<size_t>(1, cfg.k);
+  std::atomic<bool> stop{false};
+
+  std::vector<ReaderAcc> accs;
+  accs.reserve(readers);
+  for (size_t w = 0; w < readers; ++w) accs.emplace_back(bits);
+
+  auto reader_fn = [&](size_t w) {
+    Rng rng(cfg.seed ^ (0xA11CEull + w));
+    ReaderAcc& acc = accs[w];
+    std::vector<double> coords;
+    while (!stop.load(std::memory_order_relaxed)) {
+      coords = corpus[rng.Uniform(corpus.size())].coords;
+      for (double& c : coords) c += cfg.query_noise * rng.Gaussian();
+      const Clock::time_point t0 = Clock::now();
+      auto outcome = engine->RunOne(SpatialQuery::Knn(coords, k));
+      acc.latency.Record(SinceNs(t0) / 1000);  // Microseconds.
+      ++acc.reads;
+      if (!outcome.ok()) ++acc.errors;
+    }
+  };
+
+  // The writer paces mutations at writer_qps (see driver.h for why it
+  // is not closed-loop). It inserts jittered corpus points under ids
+  // disjoint from any corpus id (workload_gen ids are corpus indices),
+  // and beyond `writer_window` pairs each insert with a remove of its
+  // oldest, so the index size — and hence per-query work — stays
+  // comparable across phases and trials.
+  const Clock::time_point start = Clock::now();
+  uint64_t writes = 0, write_errors = 0;
+  auto writer_fn = [&] {
+    constexpr PointId kWriterIdBase = PointId{1} << 40;
+    Rng rng(cfg.seed ^ 0x5EEDull);
+    std::deque<std::pair<PointId, std::vector<double>>> window;
+    PointId next_id = kWriterIdBase;
+    const double ns_per_op = 1e9 / cfg.writer_qps;
+    // Pace in small bursts: one wakeup per kBurst ops instead of one
+    // per op. The rate is the same, but on a box with few cores each
+    // timed wakeup is a context switch stolen from the readers, and
+    // that scheduler tax is not the interference this mode measures.
+    constexpr uint64_t kBurst = 8;
+    for (uint64_t i = 0; !stop.load(std::memory_order_relaxed);) {
+      std::this_thread::sleep_until(
+          start + std::chrono::nanoseconds(static_cast<uint64_t>(
+                      static_cast<double>(i) * ns_per_op)));
+      for (uint64_t b = 0;
+           b < kBurst && !stop.load(std::memory_order_relaxed);
+           ++b, ++i) {
+        if (window.size() >= cfg.writer_window && (i & 1) != 0) {
+          if (!engine->Remove(window.front().second, window.front().first)
+                   .ok()) {
+            ++write_errors;
+          }
+          window.pop_front();
+        } else {
+          std::vector<double> coords =
+              corpus[rng.Uniform(corpus.size())].coords;
+          for (double& c : coords) c += cfg.query_noise * rng.Gaussian();
+          if (!engine->Insert(coords, next_id).ok()) ++write_errors;
+          window.emplace_back(next_id++, std::move(coords));
+        }
+        ++writes;
+      }
+    }
+    // Drain the window (uncounted: the phase is over) so repeated
+    // trials start from the same index size.
+    for (const auto& [id, coords] : window) {
+      (void)engine->Remove(coords, id);
+    }
+  };
+
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (size_t w = 0; w < readers; ++w) {
+    reader_threads.emplace_back(reader_fn, w);
+  }
+  std::thread writer_thread;
+  if (with_writer) writer_thread = std::thread(writer_fn);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(cfg.phase_duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  // Join the readers first and take the duration there: every counted
+  // read finished inside it. The writer joins after — its post-phase
+  // window drain (uncounted removes) must not stretch the window the
+  // read rate is computed over.
+  for (std::thread& t : reader_threads) t.join();
+  const double duration_s = static_cast<double>(SinceNs(start)) / 1e9;
+  if (writer_thread.joinable()) writer_thread.join();
+
+  out->read_latency = LatencyHistogram(bits);
+  for (const ReaderAcc& acc : accs) {
+    out->reads += acc.reads;
+    out->read_errors += acc.errors;
+    out->read_latency.Merge(acc.latency);  // Infallible: same precision.
+  }
+  out->writes = writes;
+  out->write_errors = write_errors;
+  out->duration_s = duration_s;
+  if (duration_s > 0.0) {
+    out->read_qps = static_cast<double>(out->reads) / duration_s;
+    out->write_qps = static_cast<double>(out->writes) / duration_s;
+  }
 }
 
 }  // namespace
@@ -247,6 +370,35 @@ Result<DriverReport> RunOpenLoop(QueryEngine* engine,
   if (total.issued > 0) {
     total.shed_rate =
         static_cast<double>(total.shed) / static_cast<double>(total.issued);
+  }
+  return report;
+}
+
+Result<MixedRwReport> RunMixedReadWrite(QueryEngine* engine,
+                                        const std::vector<KdPoint>& corpus,
+                                        const MixedRwConfig& config) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("mixed read/write mode needs a corpus");
+  }
+  if (!std::isfinite(config.phase_duration_s) ||
+      config.phase_duration_s <= 0.0) {
+    return Status::InvalidArgument(
+        "phase_duration_s must be finite and > 0");
+  }
+  if (!std::isfinite(config.query_noise) || config.query_noise < 0.0) {
+    return Status::InvalidArgument("query_noise must be finite and >= 0");
+  }
+  if (!std::isfinite(config.writer_qps) || config.writer_qps <= 0.0) {
+    return Status::InvalidArgument("writer_qps must be finite and > 0");
+  }
+  MixedRwReport report;
+  RunMixedPhase(engine, corpus, config, /*with_writer=*/false,
+                &report.read_only);
+  RunMixedPhase(engine, corpus, config, /*with_writer=*/true,
+                &report.mixed);
+  if (report.read_only.read_qps > 0.0) {
+    report.read_throughput_ratio =
+        report.mixed.read_qps / report.read_only.read_qps;
   }
   return report;
 }

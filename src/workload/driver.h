@@ -93,6 +93,82 @@ Result<DriverReport> RunOpenLoop(QueryEngine* engine,
                                  const WorkloadTrace& trace,
                                  const DriverConfig& config);
 
+// ---------------------------------------------------------------------
+// Mixed read/write mode (DESIGN.md §11): measures whether a sustained
+// writer stalls k-NN readers. Unlike RunOpenLoop the readers are
+// CLOSED-loop by design — each issues its next query the moment the
+// last one returns, so read throughput directly reflects how long
+// reads take under write pressure. (An open-loop run at a fixed qps
+// would complete the same op count regardless and mask the effect.)
+// The writer, by contrast, is PACED at a fixed rate: an unthrottled
+// writer would measure CPU contention (one more runnable thread),
+// not the algorithmic interference — readers blocking on writer
+// locks, or scanning writer state — that the RCU read path is
+// supposed to eliminate and this mode exists to gate.
+
+struct MixedRwConfig {
+  /// Measured seconds per phase (baseline and mixed each run this
+  /// long, back to back on the same engine).
+  double phase_duration_s = 1.0;
+
+  /// Closed-loop reader threads issuing k-NN queries.
+  size_t reader_threads = 2;
+
+  /// k of every reader query.
+  size_t k = 10;
+
+  /// Gaussian jitter applied around corpus points for reader queries
+  /// and writer inserts (same role as WorkloadConfig::query_noise).
+  double query_noise = 0.02;
+
+  /// Writer keeps at most this many of its own points live: beyond
+  /// it, each insert is paired with a remove of its oldest, so the
+  /// index size stays bounded and the phases compare like for like.
+  size_t writer_window = 512;
+
+  /// The writer's paced arrival rate, mutation ops (insert or remove)
+  /// per second; see the file comment for why the writer is not
+  /// closed-loop. Must be finite and > 0.
+  double writer_qps = 2000.0;
+
+  /// Seed for the reader/writer coordinate streams.
+  uint64_t seed = 42;
+
+  uint32_t histogram_precision_bits = 7;
+};
+
+/// One measured phase of the mixed run.
+struct MixedRwPhase {
+  uint64_t reads = 0;         ///< Completed k-NN queries.
+  uint64_t read_errors = 0;
+  uint64_t writes = 0;        ///< Inserts + removes (0 in baseline).
+  uint64_t write_errors = 0;
+  double duration_s = 0.0;
+  double read_qps = 0.0;      ///< reads / duration_s.
+  double write_qps = 0.0;
+  LatencyHistogram read_latency;  ///< Per-query microseconds.
+};
+
+struct MixedRwReport {
+  MixedRwPhase read_only;  ///< Readers alone (the baseline).
+  MixedRwPhase mixed;      ///< Same readers + one sustained writer.
+  /// mixed.read_qps / read_only.read_qps — the headline: 1.0 means
+  /// the writer cost readers nothing; the bench gate fails below 0.9
+  /// (ROADMAP item 3's "flat within ±10%" target).
+  double read_throughput_ratio = 0.0;
+};
+
+/// Runs the two phases against `engine` (whose target should report
+/// lock_free_reads() for the ratio to mean anything — a lock-coupled
+/// backend serializes the writer against every reader, which is the
+/// regression this measures). Queries draw jittered coordinates from
+/// `corpus`; the writer inserts/removes ids disjoint from corpus ids.
+/// Disable the engine's cache for honest numbers: a cache hit
+/// measures the cache, not the index.
+Result<MixedRwReport> RunMixedReadWrite(QueryEngine* engine,
+                                        const std::vector<KdPoint>& corpus,
+                                        const MixedRwConfig& config);
+
 }  // namespace workload
 }  // namespace semtree
 

@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "core/backends.h"
 #include "core/query.h"
+#include "core/versioned_index.h"
 #include "engine/query_engine.h"
 #include "engine/result_cache.h"
 #include "semtree/semtree.h"
@@ -513,6 +514,154 @@ TEST(EngineConcurrencyTest, ParallelClientsWithInterleavedMutations) {
     ExpectSameNeighbors(result->outcomes[i].neighbors, want,
                         "post-churn query " + std::to_string(i));
   }
+}
+
+// ---------------------------------------------------------------------
+// Engine over the RCU target (DESIGN.md §11): the cache is keyed at
+// the version each search actually pinned, so results can never leak
+// across versions, and per-version invalidation evicts exactly the
+// drained versions' entries.
+
+TEST(EngineRcuTest, CachedResultsNeverLeakAcrossVersions) {
+  VersionedIndex index(2);
+  ASSERT_TRUE(index.Insert({5.0, 0.0}, 1).ok());
+  ASSERT_TRUE(index.Insert({6.0, 0.0}, 2).ok());
+
+  QueryEngineOptions options;
+  options.threads = 2;
+  QueryEngine engine(&index, options);
+  ASSERT_TRUE(engine.cache_enabled());
+
+  // Version V: nearest to the origin is id 1, and the repeat is a
+  // cache hit keyed at V.
+  const auto q = SpatialQuery::Knn({0.0, 0.0}, 1);
+  auto first = engine.RunOne(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+  ASSERT_EQ(first->neighbors.size(), 1u);
+  EXPECT_EQ(first->neighbors[0].id, 1u);
+  auto repeat = engine.RunOne(q);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->from_cache);
+  EXPECT_EQ(repeat->neighbors[0].id, 1u);
+
+  // Version V+1 puts a closer point in. The V-keyed entry must not be
+  // served: the same query misses and sees the new point.
+  ASSERT_TRUE(engine.Insert({1.0, 0.0}, 3).ok());
+  auto after = engine.RunOne(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);
+  ASSERT_EQ(after->neighbors.size(), 1u);
+  EXPECT_EQ(after->neighbors[0].id, 3u);
+
+  // And V+1's own entry is warm on repeat.
+  auto warm = engine.RunOne(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->neighbors[0].id, 3u);
+}
+
+TEST(EngineRcuTest, MutationsEvictDrainedVersionEntries) {
+  VersionedIndex index(2);
+  ASSERT_TRUE(index.Insert({1.0, 1.0}, 10).ok());
+
+  QueryEngineOptions options;
+  options.threads = 2;
+  QueryEngine engine(&index, options);
+
+  // Cache one result at the current version.
+  const auto q = SpatialQuery::Knn({0.0, 0.0}, 1);
+  ASSERT_TRUE(engine.RunOne(q).ok());
+  EXPECT_EQ(engine.cache_stats().insertions, 1u);
+
+  // With no reader pinned, a mutation drains the old version
+  // immediately; the engine sweeps its entries out of the cache.
+  ASSERT_TRUE(engine.Insert({2.0, 2.0}, 11).ok());
+  EXPECT_EQ(index.oldest_live_epoch(), index.epoch());
+  const auto stats = engine.cache_stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+}
+
+// EvictEpochsBelow must drop exactly the entries below the watermark:
+// a reader still pinned to version V keeps V's entries, and versions
+// newer than the watermark stay warm untouched.
+TEST(ResultCacheTest, EvictEpochsBelowSparesNewerVersions) {
+  ShardedResultCache cache(4, 64);
+  const auto knn = SpatialQuery::Knn({1.0, 2.0}, 3);
+  const auto other = SpatialQuery::Knn({9.0, 9.0}, 3);
+  const std::vector<Neighbor> value = {{7, 0.5}};
+
+  // The same query cached at three consecutive versions, plus an
+  // unrelated query at the oldest.
+  cache.Put(CacheKey::Make(knn, 1), value);
+  cache.Put(CacheKey::Make(knn, 2), value);
+  cache.Put(CacheKey::Make(knn, 3), value);
+  cache.Put(CacheKey::Make(other, 1), value);
+  EXPECT_EQ(cache.size(), 4u);
+
+  // Watermark 2: exactly the two epoch-1 entries go.
+  EXPECT_EQ(cache.EvictEpochsBelow(2), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(cache.Lookup(CacheKey::Make(knn, 1), &out));
+  EXPECT_FALSE(cache.Lookup(CacheKey::Make(other, 1), &out));
+  EXPECT_TRUE(cache.Lookup(CacheKey::Make(knn, 2), &out));
+  EXPECT_TRUE(cache.Lookup(CacheKey::Make(knn, 3), &out));
+
+  // Re-running the sweep at the same watermark is a no-op.
+  EXPECT_EQ(cache.EvictEpochsBelow(2), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Lock-free end-to-end: batches run against the RCU index while a
+// writer mutates through the engine, with the cache on. Quiesced
+// results must match the index searched directly.
+TEST(EngineRcuTest, ConcurrentBatchesOverRcuIndexStayCoherent) {
+  const size_t kDims = 3;
+  VersionedIndex::Options vopts;
+  vopts.merge_threshold = 32;
+  VersionedIndex index(kDims, vopts);
+  auto coords = RandomVectors(128, kDims, 17);
+  {
+    std::vector<KdPoint> corpus(coords.size());
+    for (size_t i = 0; i < coords.size(); ++i) {
+      corpus[i] = {coords[i], PointId(i)};
+    }
+    ASSERT_TRUE(index.BulkLoad(corpus).ok());
+  }
+
+  QueryEngineOptions options;
+  options.threads = 3;
+  QueryEngine engine(&index, options);
+
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (size_t i = 0; i < 200; ++i) {
+      if (!engine.Insert(coords[i % coords.size()],
+                         PointId(200000 + i)).ok()) {
+        failed.store(true);
+      }
+    }
+  });
+  for (size_t round = 0; round < 20; ++round) {
+    std::vector<SpatialQuery> batch;
+    for (size_t i = 0; i < 16; ++i) {
+      batch.push_back(
+          SpatialQuery::Knn(coords[(round * 16 + i) % coords.size()], 5));
+    }
+    auto result = engine.Run(batch);
+    if (!result.ok()) failed.store(true);
+  }
+  writer.join();
+  ASSERT_FALSE(failed.load());
+
+  ASSERT_TRUE(index.Freeze().ok());
+  auto probe = SpatialQuery::Knn(coords[0], 8);
+  auto got = engine.RunOne(probe);
+  ASSERT_TRUE(got.ok());
+  auto want = index.KnnSearch(probe.coords, probe.k);
+  ExpectSameNeighbors(got->neighbors, want, "post-churn RCU probe");
 }
 
 }  // namespace

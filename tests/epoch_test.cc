@@ -1,0 +1,521 @@
+// Copyright 2026 The SemTree Authors
+//
+// Concurrency battery for the RCU layer (DESIGN.md §11): EpochManager
+// pin/unpin and epoch arithmetic, RetireList reclamation ordering, the
+// end-to-end guarantee that retired state is freed only after the last
+// pinned reader drains (the ASan leg turns any violation into a
+// use-after-free report), delta-merge result equivalence against a
+// quiesced rebuild, and an N-readers/1-writer run asserting per-read
+// consistency while the version list churns underneath.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/backends.h"
+#include "core/epoch.h"
+#include "core/point.h"
+#include "core/versioned_index.h"
+
+namespace semtree {
+namespace {
+
+std::vector<KdPoint> MakeCorpus(size_t n, size_t dims, uint64_t seed,
+                                PointId id_base = 0) {
+  Rng rng(seed);
+  std::vector<KdPoint> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].id = id_base + i;
+    out[i].coords.resize(dims);
+    for (double& c : out[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// EpochManager: pin/unpin semantics.
+
+TEST(EpochManagerTest, PinAnnouncesCurrentEpochAndUnpinReleases) {
+  EpochManager em;
+  EXPECT_EQ(em.ActiveReaders(), 0u);
+  EXPECT_EQ(em.MinActiveEpoch(), EpochManager::kIdle);
+
+  const uint64_t e = em.current_epoch();
+  const size_t slot = em.Pin();
+  EXPECT_EQ(em.ActiveReaders(), 1u);
+  EXPECT_EQ(em.MinActiveEpoch(), e);
+
+  em.Unpin(slot);
+  EXPECT_EQ(em.ActiveReaders(), 0u);
+  EXPECT_EQ(em.MinActiveEpoch(), EpochManager::kIdle);
+}
+
+TEST(EpochManagerTest, AdvanceReturnsPreIncrementValue) {
+  EpochManager em;
+  const uint64_t before = em.current_epoch();
+  EXPECT_EQ(em.Advance(), before);
+  EXPECT_EQ(em.current_epoch(), before + 1);
+}
+
+TEST(EpochManagerTest, MinActiveTracksOldestPinnedReader) {
+  EpochManager em;
+  const uint64_t e0 = em.current_epoch();
+  const size_t old_reader = em.Pin();  // Announces e0.
+  em.Advance();
+  em.Advance();
+  const uint64_t e2 = em.current_epoch();
+  const size_t new_reader = em.Pin();  // Announces e2 > e0.
+  EXPECT_EQ(em.ActiveReaders(), 2u);
+  EXPECT_EQ(em.MinActiveEpoch(), e0);  // Oldest pin wins.
+
+  em.Unpin(old_reader);
+  EXPECT_EQ(em.MinActiveEpoch(), e2);
+  em.Unpin(new_reader);
+  EXPECT_EQ(em.MinActiveEpoch(), EpochManager::kIdle);
+}
+
+TEST(EpochManagerTest, SlotsTurnOverAcrossManyPinCycles) {
+  EpochManager em;
+  // Far more cycles than slots: every Unpin must make its slot
+  // claimable again.
+  for (size_t i = 0; i < 4 * EpochManager::kMaxReaders; ++i) {
+    const size_t slot = em.Pin();
+    ASSERT_LT(slot, EpochManager::kMaxReaders);
+    em.Unpin(slot);
+  }
+  EXPECT_EQ(em.ActiveReaders(), 0u);
+}
+
+TEST(EpochManagerTest, GuardPinsForItsScope) {
+  EpochManager em;
+  {
+    EpochGuard guard(em);
+    EXPECT_EQ(em.ActiveReaders(), 1u);
+    {
+      EpochGuard nested(em);
+      EXPECT_EQ(em.ActiveReaders(), 2u);
+    }
+    EXPECT_EQ(em.ActiveReaders(), 1u);
+  }
+  EXPECT_EQ(em.ActiveReaders(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// RetireList: reclamation ordering.
+
+TEST(RetireListTest, ReclaimsOnlyEntriesBelowMinActive) {
+  RetireList limbo;
+  int freed[3] = {0, 0, 0};
+  limbo.Retire(1, 101, [&] { ++freed[0]; });
+  limbo.Retire(2, 102, [&] { ++freed[1]; });
+  limbo.Retire(3, 103, [&] { ++freed[2]; });
+  EXPECT_EQ(limbo.size(), 3u);
+  EXPECT_EQ(limbo.oldest_tag(0), 101u);
+
+  EXPECT_EQ(limbo.ReclaimBefore(1), 0u);  // Nothing strictly below 1.
+  EXPECT_EQ(limbo.ReclaimBefore(3), 2u);
+  EXPECT_EQ(freed[0], 1);
+  EXPECT_EQ(freed[1], 1);
+  EXPECT_EQ(freed[2], 0);
+  EXPECT_EQ(limbo.oldest_tag(0), 103u);
+
+  EXPECT_EQ(limbo.ReclaimAll(), 1u);
+  EXPECT_EQ(freed[2], 1);
+  EXPECT_TRUE(limbo.empty());
+  EXPECT_EQ(limbo.oldest_tag(42), 42u);  // Fallback when empty.
+}
+
+TEST(RetireListTest, DestructorDrainsUnconditionally) {
+  int freed = 0;
+  {
+    RetireList limbo;
+    limbo.Retire(7, 7, [&] { ++freed; });
+  }
+  EXPECT_EQ(freed, 1);
+}
+
+// ---------------------------------------------------------------------
+// The end-to-end reclamation guarantee. Deterministic single-thread
+// schedule; the ASan CI leg upgrades the "reader still dereferences
+// the retired object" steps into hard UAF failures if reclamation
+// ever runs early.
+
+TEST(EpochProtocolTest, RetireeSurvivesUntilLastPrePublishReaderDrains) {
+  EpochManager em;
+  RetireList limbo;
+
+  auto* old_object = new std::vector<int>{1, 2, 3};
+  std::atomic<std::vector<int>*> published{old_object};
+
+  // Two readers pin BEFORE the writer replaces the object; both could
+  // hold the old pointer.
+  const size_t reader_a = em.Pin();
+  const size_t reader_b = em.Pin();
+  std::vector<int>* seen = published.load();
+
+  // Writer: publish replacement, retire the old object, try to
+  // reclaim.
+  auto* new_object = new std::vector<int>{4, 5, 6};
+  published.store(new_object);
+  const uint64_t r = em.Advance();
+  bool old_freed = false;
+  limbo.Retire(r, r, [&, old_object] {
+    old_freed = true;
+    delete old_object;
+  });
+  EXPECT_EQ(limbo.ReclaimBefore(em.MinActiveEpoch()), 0u);
+  EXPECT_FALSE(old_freed);
+  EXPECT_EQ(seen->at(0), 1);  // Still dereferenceable (ASan-checked).
+
+  // A reader pinning AFTER the publish announces an epoch > r; it can
+  // only observe the new object, so it must not block reclamation.
+  const size_t late_reader = em.Pin();
+  EXPECT_EQ(published.load(), new_object);
+
+  // First pre-publish reader drains: the retiree must still survive
+  // for the second.
+  em.Unpin(reader_a);
+  EXPECT_EQ(limbo.ReclaimBefore(em.MinActiveEpoch()), 0u);
+  EXPECT_FALSE(old_freed);
+  EXPECT_EQ(seen->at(2), 3);
+
+  // Last pre-publish reader drains: now — and only now — the retiree
+  // is reclaimable, even with the late reader still pinned.
+  em.Unpin(reader_b);
+  EXPECT_EQ(limbo.ReclaimBefore(em.MinActiveEpoch()), 1u);
+  EXPECT_TRUE(old_freed);
+
+  em.Unpin(late_reader);
+  delete new_object;
+}
+
+// ---------------------------------------------------------------------
+// VersionedIndex: sequential semantics and merge equivalence.
+
+TEST(VersionedIndexTest, BasicInsertSearchRemove) {
+  VersionedIndex index(2);
+  EXPECT_TRUE(index.lock_free_reads());
+  EXPECT_EQ(index.name(), "versioned");
+  ASSERT_TRUE(index.Insert({0.0, 0.0}, 1).ok());
+  ASSERT_TRUE(index.Insert({1.0, 0.0}, 2).ok());
+  ASSERT_TRUE(index.Insert({2.0, 0.0}, 3).ok());
+  EXPECT_EQ(index.size(), 3u);
+
+  auto hits = index.KnnSearch({0.1, 0.0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 2u);
+
+  ASSERT_TRUE(index.Remove({0.0, 0.0}, 1).ok());
+  EXPECT_EQ(index.size(), 2u);
+  hits = index.KnnSearch({0.1, 0.0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 2u);
+  EXPECT_EQ(hits[1].id, 3u);
+
+  EXPECT_FALSE(index.Remove({9.0, 9.0}, 99).ok());  // NotFound.
+  EXPECT_FALSE(index.Insert({1.0}, 4).ok());        // Dim mismatch.
+}
+
+TEST(VersionedIndexTest, RemoveResolvesBufferedAddsAndBasePoints) {
+  VersionedIndex::Options options;
+  options.merge_threshold = 64;  // Keep everything buffered.
+  VersionedIndex index(2, options);
+  ASSERT_TRUE(index.BulkLoad(MakeCorpus(8, 2, 1)).ok());  // Base points.
+  ASSERT_TRUE(index.Insert({5.0, 5.0}, 100).ok());        // Delta add.
+  EXPECT_EQ(index.delta_size(), 1u);
+
+  // Removing the buffered add kills its slot (no tombstone needed).
+  ASSERT_TRUE(index.Remove({5.0, 5.0}, 100).ok());
+  EXPECT_EQ(index.size(), 8u);
+  auto hits = index.KnnSearch({5.0, 5.0}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].id, 100u);
+
+  // Removing a base point tombstones it for readers.
+  auto corpus = MakeCorpus(8, 2, 1);
+  ASSERT_TRUE(index.Remove(corpus[3].coords, corpus[3].id).ok());
+  EXPECT_EQ(index.size(), 7u);
+  auto all = index.KnnSearch(corpus[3].coords, 8);
+  EXPECT_EQ(all.size(), 7u);
+  for (const Neighbor& n : all) EXPECT_NE(n.id, corpus[3].id);
+
+  // Double-remove of the same point is NotFound.
+  EXPECT_FALSE(index.Remove(corpus[3].coords, corpus[3].id).ok());
+}
+
+// Results computed through the delta path (pending adds + tombstones)
+// must be identical to the quiesced rebuild of the same live set —
+// merging is invisible to queries.
+TEST(VersionedIndexTest, DeltaResultsMatchQuiescedRebuild) {
+  const size_t kDims = 4;
+  VersionedIndex::Options options;
+  options.merge_threshold = 1024;  // No automatic merge: keep deltas.
+  VersionedIndex index(kDims, options);
+
+  auto corpus = MakeCorpus(200, kDims, 7);
+  std::vector<KdPoint> base(corpus.begin(), corpus.begin() + 150);
+  ASSERT_TRUE(index.BulkLoad(base).ok());
+
+  Rng rng(99);
+  std::vector<KdPoint> live = base;
+  for (size_t i = 150; i < corpus.size(); ++i) {  // Buffered adds.
+    ASSERT_TRUE(index.Insert(corpus[i].coords, corpus[i].id).ok());
+    live.push_back(corpus[i]);
+  }
+  for (int i = 0; i < 40; ++i) {  // Tombstones + killed adds.
+    const size_t victim = rng.Uniform(live.size());
+    ASSERT_TRUE(index.Remove(live[victim].coords, live[victim].id).ok());
+    live.erase(live.begin() + victim);
+  }
+  ASSERT_GT(index.delta_size(), 0u);
+  EXPECT_EQ(index.size(), live.size());
+
+  const uint64_t epoch_before = index.epoch();
+  auto queries = MakeCorpus(25, kDims, 31);
+  std::vector<std::vector<Neighbor>> knn_before, range_before;
+  for (const KdPoint& q : queries) {
+    knn_before.push_back(index.KnnSearch(q.coords, 10));
+    range_before.push_back(index.RangeSearch(q.coords, 0.8));
+  }
+
+  // Quiesce: merge everything into a fresh base.
+  ASSERT_TRUE(index.Merge().ok());
+  EXPECT_EQ(index.delta_size(), 0u);
+  // Contents are unchanged, so the cache epoch must not move (warm
+  // engine caches stay valid across a pure merge).
+  EXPECT_EQ(index.epoch(), epoch_before);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto knn_after = index.KnnSearch(queries[i].coords, 10);
+    auto range_after = index.RangeSearch(queries[i].coords, 0.8);
+    ASSERT_EQ(knn_after.size(), knn_before[i].size());
+    for (size_t j = 0; j < knn_after.size(); ++j) {
+      EXPECT_EQ(knn_after[j].id, knn_before[i][j].id);
+      EXPECT_DOUBLE_EQ(knn_after[j].distance, knn_before[i][j].distance);
+    }
+    ASSERT_EQ(range_after.size(), range_before[i].size());
+    for (size_t j = 0; j < range_after.size(); ++j) {
+      EXPECT_EQ(range_after[j].id, range_before[i][j].id);
+    }
+  }
+
+  // And both match a reference backend bulk-loaded with the live set.
+  auto reference = MakeSpatialIndex(BackendKind::kKdTree, kDims);
+  ASSERT_TRUE(reference->BulkLoad(live).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto expect = reference->KnnSearch(queries[i].coords, 10);
+    ASSERT_EQ(knn_before[i].size(), expect.size());
+    for (size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(knn_before[i][j].id, expect[j].id);
+      EXPECT_DOUBLE_EQ(knn_before[i][j].distance, expect[j].distance);
+    }
+  }
+}
+
+TEST(VersionedIndexTest, AutomaticMergeTriggersAtThreshold) {
+  VersionedIndex::Options options;
+  options.merge_threshold = 8;
+  VersionedIndex index(2, options);
+  const uint64_t builds_before = index.merges();
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        index.Insert({static_cast<double>(i), 0.0}, 1000 + i).ok());
+    ASSERT_LE(index.delta_size(), 8u);
+  }
+  EXPECT_GT(index.merges(), builds_before);
+  EXPECT_EQ(index.size(), 40u);
+  auto hits = index.KnnSearch({0.0, 0.0}, 40);
+  EXPECT_EQ(hits.size(), 40u);
+}
+
+TEST(VersionedIndexTest, NoReadersMeansImmediateReclamation) {
+  VersionedIndex index(2);
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        index.Insert({static_cast<double>(i), 1.0}, 2000 + i).ok());
+    // With nobody pinned, every publish drains the previous version
+    // right away — limbo never accumulates.
+    EXPECT_EQ(index.pending_reclaims(), 0u);
+  }
+  EXPECT_EQ(index.active_readers(), 0u);
+  EXPECT_EQ(index.oldest_live_epoch(), index.epoch());
+}
+
+TEST(VersionedIndexTest, BudgetCapsDeltaScanAndReportsTruncation) {
+  VersionedIndex::Options options;
+  options.merge_threshold = 1024;
+  VersionedIndex index(2, options);
+  for (size_t i = 0; i < 50; ++i) {  // All buffered in the delta.
+    ASSERT_TRUE(
+        index.Insert({static_cast<double>(i), 0.0}, 3000 + i).ok());
+  }
+  SearchStats stats;
+  auto hits = index.KnnSearch({0.0, 0.0}, 5,
+                              SearchBudget::MaxDistances(10), &stats);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LE(stats.points_examined, 10u);
+  EXPECT_LE(hits.size(), 5u);
+}
+
+TEST(VersionedIndexTest, SetMetricRebuildsAndUnchangedMetricIsNoOp) {
+  VersionedIndex index(2);
+  ASSERT_TRUE(index.Insert({1.0, 0.0}, 1).ok());
+  const uint64_t builds = index.merges();
+  ASSERT_TRUE(index.set_metric(index.metric()).ok());
+  EXPECT_EQ(index.merges(), builds);  // Unchanged metric: no rebuild.
+  ASSERT_TRUE(index.set_metric(Metric::kL1).ok());
+  EXPECT_EQ(index.merges(), builds + 1);
+  EXPECT_EQ(index.metric(), Metric::kL1);
+  EXPECT_EQ(index.KnnSearch({0.0, 0.0}, 1).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// N readers / 1 writer. Readers run lock-free against whatever version
+// is current while the writer inserts, removes and merges; each read
+// must be internally consistent, version epochs must never move
+// backwards for any single reader, and after the writer quiesces the
+// index must equal the ground-truth live set. The small merge
+// threshold forces frequent version retirement, so the ASan leg also
+// proves reclamation never frees a version under an active search.
+
+TEST(EpochConcurrencyTest, NReadersOneWriterStayConsistent) {
+  const size_t kDims = 4;
+  const size_t kReaders = 4;
+  const size_t kWriterOps = 1500;
+  constexpr PointId kWriterIdBase = 1u << 20;
+
+  VersionedIndex::Options options;
+  options.merge_threshold = 16;  // Churn versions hard.
+  VersionedIndex index(kDims, options);
+  auto corpus = MakeCorpus(300, kDims, 11);
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reader_failures{0};
+  auto reader_fn = [&](uint64_t seed) {
+    Rng rng(seed);
+    uint64_t last_epoch = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const KdPoint& origin = corpus[rng.Uniform(corpus.size())];
+      std::vector<double> q = origin.coords;
+      for (double& c : q) c += 0.05 * rng.Gaussian();
+      SearchStats stats;
+      auto hits = index.KnnSearch(q, 5, SearchBudget{}, &stats);
+      // Sorted (distance, id), no duplicate ids, ids from the only
+      // two populations that ever existed.
+      bool ok = hits.size() <= 5;
+      for (size_t i = 0; i < hits.size(); ++i) {
+        const PointId id = hits[i].id;
+        ok = ok && (id < corpus.size() ||
+                    (id >= kWriterIdBase &&
+                     id < kWriterIdBase + kWriterOps));
+        if (i > 0) {
+          ok = ok && (hits[i - 1].distance < hits[i].distance ||
+                      (hits[i - 1].distance == hits[i].distance &&
+                       hits[i - 1].id < hits[i].id));
+        }
+      }
+      // Version epochs are published in nondecreasing order, so no
+      // single reader may ever observe them regress.
+      ok = ok && stats.version_epoch >= last_epoch;
+      last_epoch = stats.version_epoch;
+      if (!ok) reader_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back(reader_fn, 1000 + r);
+  }
+
+  // Writer: jittered inserts with a sliding window of removes.
+  Rng wrng(77);
+  std::vector<KdPoint> window;
+  uint64_t write_errors = 0;
+  for (size_t i = 0; i < kWriterOps; ++i) {
+    KdPoint p;
+    p.id = kWriterIdBase + i;
+    p.coords = corpus[wrng.Uniform(corpus.size())].coords;
+    for (double& c : p.coords) c += 0.05 * wrng.Gaussian();
+    if (!index.Insert(p.coords, p.id).ok()) ++write_errors;
+    window.push_back(std::move(p));
+    if (window.size() > 32) {
+      if (!index.Remove(window.front().coords, window.front().id).ok()) {
+        ++write_errors;
+      }
+      window.erase(window.begin());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(write_errors, 0u);
+  EXPECT_EQ(reader_failures.load(), 0u);
+  EXPECT_GT(index.merges(), 0u);
+
+  // Quiesced: the index must equal ground truth exactly.
+  ASSERT_TRUE(index.Freeze().ok());
+  EXPECT_EQ(index.active_readers(), 0u);
+  EXPECT_EQ(index.pending_reclaims(), 0u);
+  std::vector<KdPoint> live = corpus;
+  live.insert(live.end(), window.begin(), window.end());
+  EXPECT_EQ(index.size(), live.size());
+  auto reference = MakeSpatialIndex(BackendKind::kKdTree, kDims);
+  ASSERT_TRUE(reference->BulkLoad(live).ok());
+  for (const KdPoint& q : MakeCorpus(20, kDims, 5)) {
+    auto got = index.KnnSearch(q.coords, 10);
+    auto expect = reference->KnnSearch(q.coords, 10);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].id, expect[j].id);
+      EXPECT_DOUBLE_EQ(got[j].distance, expect[j].distance);
+    }
+  }
+}
+
+// Concurrent readers against a constantly merging writer: every
+// version (base + delta) is retired and reclaimed many times while
+// searches hold them. Passes iff no search ever touches freed memory
+// — the ASan/TSan legs are the real assertion here.
+TEST(EpochConcurrencyTest, ReclamationNeverFreesUnderActiveSearch) {
+  const size_t kDims = 3;
+  VersionedIndex::Options options;
+  options.merge_threshold = 4;  // Merge (and retire) almost every op.
+  VersionedIndex index(kDims, options);
+  auto corpus = MakeCorpus(64, kDims, 13);
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(500 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        const KdPoint& q = corpus[rng.Uniform(corpus.size())];
+        auto hits = index.KnnSearch(q.coords, 3);
+        ASSERT_LE(hits.size(), 3u);
+        auto in_range = index.RangeSearch(q.coords, 0.5);
+        (void)in_range;
+      }
+    });
+  }
+  for (size_t i = 0; i < 600; ++i) {
+    std::vector<double> coords = corpus[i % corpus.size()].coords;
+    coords[0] += 0.01 * static_cast<double>(i);
+    ASSERT_TRUE(index.Insert(coords, 100000 + i).ok());
+    ASSERT_TRUE(index.Remove(coords, 100000 + i).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(index.merges(), 100u);
+}
+
+}  // namespace
+}  // namespace semtree

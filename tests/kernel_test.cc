@@ -407,6 +407,32 @@ TEST(SetMetricTest, VpTreeRebuildsUnderNewMetric) {
   }
 }
 
+TEST(SetMetricTest, VpTreeUnchangedMetricQueuesNoRebuild) {
+  // Regression: re-applying the current metric (the snapshot loader
+  // and config replay both do) used to drop the built tree and queue
+  // a full lazy rebuild for nothing.
+  VpTreeIndex index(3);
+  auto rows = RandomVectors(60, 3, 57);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(index.Insert(rows[i], PointId(i)).ok());
+  }
+  std::vector<double> q = {0.1, 0.2, 0.3};
+  (void)index.KnnSearch(q, 3);  // Forces the initial build.
+  const uint64_t builds = index.rebuild_count();
+  const uint64_t epoch = index.epoch();
+
+  ASSERT_TRUE(index.set_metric(index.metric()).ok());
+  (void)index.KnnSearch(q, 3);
+  EXPECT_EQ(index.rebuild_count(), builds);  // No rebuild queued.
+  EXPECT_EQ(index.epoch(), epoch);           // No phantom mutation.
+
+  // A real change still rebuilds exactly once, lazily.
+  ASSERT_TRUE(index.set_metric(Metric::kL1).ok());
+  EXPECT_EQ(index.rebuild_count(), builds);  // Lazy: not yet.
+  (void)index.KnnSearch(q, 3);
+  EXPECT_EQ(index.rebuild_count(), builds + 1);
+}
+
 TEST(SetMetricTest, MTreeRejectsMetricChangeAfterInsert) {
   MTreeIndex index(2);
   ASSERT_TRUE(index.set_metric(Metric::kL1).ok());  // Empty: allowed.

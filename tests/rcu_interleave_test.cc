@@ -1,0 +1,329 @@
+// Copyright 2026 The SemTree Authors
+//
+// Deterministic interleaving stress for the RCU version list. The
+// thread-safety-annotation PR hardened three racy shapes found in this
+// codebase — Cluster::Shutdown's unlocked running flag racing a late
+// Route, VpTreeIndex's unlocked tree reset racing readers, and
+// ThreadPool's unlocked thread counter — and this suite replays each
+// shape as a barrier-scheduled script against the epoch/version-list
+// machinery, with fixed seeds and fixed handoff points so every run
+// exercises the same interleaving. Assertions at exclusive handoffs
+// are exact; the concurrent windows in between are what the TSan and
+// ASan CI legs chew on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/backends.h"
+#include "core/epoch.h"
+#include "core/point.h"
+#include "core/versioned_index.h"
+
+namespace semtree {
+namespace {
+
+/// Totally-ordered two-thread scheduler: each action runs at its own
+/// step number, so the interleaving is the same script every run.
+class StepScript {
+ public:
+  void Await(int step) {
+    while (step_.load(std::memory_order_acquire) < step) {
+      std::this_thread::yield();
+    }
+  }
+  void Advance() { step_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<int> step_{0};
+};
+
+std::vector<KdPoint> FixedCorpus(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KdPoint> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].id = i;
+    out[i].coords.resize(dims);
+    for (double& c : out[i].coords) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  return out;
+}
+
+void ExpectSortedValidHits(const std::vector<Neighbor>& hits, size_t k) {
+  EXPECT_LE(hits.size(), k);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    const bool ordered =
+        hits[i - 1].distance < hits[i].distance ||
+        (hits[i - 1].distance == hits[i].distance &&
+         hits[i - 1].id < hits[i].id);
+    EXPECT_TRUE(ordered) << "result not sorted (distance, id) at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Shape 1 — "shutdown vs late route": teardown retires state while a
+// request is still in flight. Here the writer publishes a replacement
+// and retires the old version while a reader pinned *before* the
+// publish still holds the old pointer; a second reader that pins
+// *after* the retire (the truly late arrival) must not extend the old
+// version's life. Exact limbo counts at every handoff; the in-flight
+// reader's final dereference is the ASan tripwire.
+
+TEST(RcuInterleaveTest, ShutdownVsLateRouteShape) {
+  EpochManager em;
+  RetireList limbo;
+
+  auto* version_a = new std::vector<int>{1, 2, 3};
+  auto* version_b = new std::vector<int>{4, 5, 6};
+  std::atomic<std::vector<int>*> published{version_a};
+  std::atomic<bool> a_freed{false};
+
+  StepScript script;
+  std::vector<int>* in_flight = nullptr;
+  size_t in_flight_slot = 0;
+
+  std::thread reader([&] {
+    // Step 1: the "route" starts — pin, load the current version.
+    script.Await(1);
+    in_flight_slot = em.Pin();
+    in_flight = published.load(std::memory_order_seq_cst);
+    EXPECT_EQ(in_flight, version_a);
+    script.Advance();  // -> 2
+
+    // Step 3: teardown has already retired A; the in-flight request
+    // finishes against it anyway. ASan flags this dereference if
+    // reclamation jumped the gun.
+    script.Await(3);
+    EXPECT_FALSE(a_freed.load(std::memory_order_seq_cst));
+    int sum = 0;
+    for (int x : *in_flight) sum += x;
+    EXPECT_EQ(sum, 6);
+    em.Unpin(in_flight_slot);
+    script.Advance();  // -> 4
+  });
+
+  std::thread late_reader([&] {
+    // Step 5: pins only after A was retired — announces a newer epoch,
+    // so it must NOT keep A alive.
+    script.Await(5);
+    const size_t slot = em.Pin();
+    EXPECT_EQ(published.load(std::memory_order_seq_cst), version_b);
+    script.Advance();  // -> 6
+
+    script.Await(7);
+    em.Unpin(slot);
+    script.Advance();  // -> 8
+  });
+
+  // Step 0: initial state published.
+  script.Advance();  // -> 1, releases reader.
+
+  // Step 2: "shutdown" — publish B, retire A, attempt reclaim. The
+  // pre-publish reader pins the retire epoch, so limbo must hold A.
+  script.Await(2);
+  published.store(version_b, std::memory_order_seq_cst);
+  const uint64_t retire_epoch = em.Advance();
+  limbo.Retire(retire_epoch, retire_epoch, [&, version_a] {
+    a_freed.store(true, std::memory_order_seq_cst);
+    delete version_a;
+  });
+  EXPECT_EQ(limbo.ReclaimBefore(em.MinActiveEpoch()), 0u);
+  EXPECT_EQ(limbo.size(), 1u);
+  EXPECT_FALSE(a_freed.load(std::memory_order_seq_cst));
+  script.Advance();  // -> 3, releases the in-flight dereference.
+
+  // Step 4: in-flight reader drained; A is now reclaimable...
+  script.Await(4);
+  script.Advance();  // -> 5, ...but first let the late reader pin.
+
+  // Step 6: late reader is pinned, yet its epoch is newer than the
+  // retire epoch — reclamation must proceed.
+  script.Await(6);
+  EXPECT_EQ(em.ActiveReaders(), 1u);
+  EXPECT_EQ(limbo.ReclaimBefore(em.MinActiveEpoch()), 1u);
+  EXPECT_TRUE(a_freed.load(std::memory_order_seq_cst));
+  EXPECT_TRUE(limbo.empty());
+  script.Advance();  // -> 7
+
+  script.Await(8);
+  reader.join();
+  late_reader.join();
+  EXPECT_EQ(em.ActiveReaders(), 0u);
+  delete version_b;
+}
+
+// ---------------------------------------------------------------------
+// Shape 2 — "reset vs read": the VP-tree adapter used to drop and
+// rebuild its tree while readers walked it. The versioned index's
+// merge is exactly that reset, made safe: each round below overlaps a
+// fixed batch of reads with inserts sized to trigger a base rebuild,
+// then checks exact counters at the exclusive handoff. Fixed seeds,
+// fixed per-round op counts, merge_threshold 4 so nearly every round
+// retires a base tree under the readers' feet.
+
+TEST(RcuInterleaveTest, ResetVsReadShape) {
+  const size_t kDims = 3;
+  const size_t kRounds = 8;
+  const size_t kInsertsPerRound = 2;
+  const size_t kReadsPerRound = 8;
+  const size_t kK = 4;
+
+  VersionedIndex::Options options;
+  options.merge_threshold = 4;
+  VersionedIndex index(kDims, options);
+  auto corpus = FixedCorpus(16, kDims, 21);
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+  const uint64_t epoch0 = index.epoch();
+  const uint64_t merges0 = index.merges();
+
+  std::barrier<> sync(2);
+  std::atomic<uint64_t> reader_failures{0};
+
+  std::thread reader([&] {
+    Rng rng(31);
+    uint64_t last_epoch = 0;
+    for (size_t round = 0; round < kRounds; ++round) {
+      sync.arrive_and_wait();  // Round opens: reads overlap inserts.
+      for (size_t i = 0; i < kReadsPerRound; ++i) {
+        const KdPoint& origin = corpus[rng.Uniform(corpus.size())];
+        SearchStats stats;
+        auto hits = index.KnnSearch(origin.coords, kK, SearchBudget{},
+                                    &stats);
+        ExpectSortedValidHits(hits, kK);
+        if (hits.size() != kK ||  // Index never shrinks below 16.
+            stats.version_epoch < last_epoch) {
+          reader_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_epoch = stats.version_epoch;
+      }
+      sync.arrive_and_wait();  // Round closes: writer checks alone.
+    }
+  });
+
+  Rng wrng(41);
+  for (size_t round = 0; round < kRounds; ++round) {
+    sync.arrive_and_wait();
+    for (size_t i = 0; i < kInsertsPerRound; ++i) {
+      std::vector<double> coords(kDims);
+      for (double& c : coords) c = wrng.UniformDouble(-1.0, 1.0);
+      ASSERT_TRUE(
+          index.Insert(coords, 1000 + round * kInsertsPerRound + i).ok());
+    }
+    sync.arrive_and_wait();
+    // Exclusive handoff: exact counter state after this round.
+    const uint64_t inserted = (round + 1) * kInsertsPerRound;
+    EXPECT_EQ(index.epoch(), epoch0 + inserted);
+    EXPECT_EQ(index.size(), corpus.size() + inserted);
+    // Merges run lazily at the start of the mutation that would
+    // overflow the delta, so insert T+1 performs the first rebuild.
+    EXPECT_EQ(index.merges(),
+              merges0 + (inserted - 1) / options.merge_threshold);
+    EXPECT_LE(index.delta_size(), options.merge_threshold);
+  }
+  reader.join();
+  EXPECT_EQ(reader_failures.load(), 0u);
+
+  // The other half of the original bug was set_metric's reset racing
+  // reads. set_metric stays configuration-time even here, so it runs
+  // in the quiesced tail — and must rebuild exactly once without
+  // bumping the mutation epoch.
+  const uint64_t epoch_before = index.epoch();
+  const uint64_t merges_before = index.merges();
+  ASSERT_TRUE(index.set_metric(Metric::kL1).ok());
+  EXPECT_EQ(index.epoch(), epoch_before);
+  EXPECT_EQ(index.merges(), merges_before + 1);
+  auto hits = index.KnnSearch(corpus[0].coords, kK);
+  ExpectSortedValidHits(hits, kK);
+  ASSERT_EQ(hits.size(), kK);
+  EXPECT_EQ(hits[0].id, corpus[0].id);  // Self-match under any metric.
+}
+
+// ---------------------------------------------------------------------
+// Shape 3 — "unlocked counter": ThreadPool::num_threads() was read
+// unlocked while another thread wrote it. The versioned index exposes
+// the same temptation as lock-free counters (size, epoch,
+// oldest_live_epoch, active_readers); a monitor thread hammers them
+// mid-mutation — TSan proves the loads are synchronized — asserting
+// only monotonicity and bounds, and the exclusive handoffs assert
+// exact values.
+
+TEST(RcuInterleaveTest, UnlockedCounterShape) {
+  const size_t kDims = 2;
+  const size_t kRounds = 6;
+  const size_t kInsertsPerRound = 16;
+  const size_t kRemovesPerRound = 8;
+
+  VersionedIndex::Options options;
+  options.merge_threshold = 4096;  // No merges: counter math is exact.
+  VersionedIndex index(kDims, options);
+  auto corpus = FixedCorpus(8, kDims, 51);
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+  const uint64_t epoch0 = index.epoch();
+
+  std::barrier<> sync(2);
+  std::atomic<uint64_t> monitor_failures{0};
+
+  std::thread monitor([&] {
+    uint64_t last_epoch = 0;
+    for (size_t round = 0; round < kRounds; ++round) {
+      const size_t size_floor = corpus.size() +
+          round * (kInsertsPerRound - kRemovesPerRound);
+      const size_t size_ceil = size_floor + kInsertsPerRound;
+      sync.arrive_and_wait();
+      for (int probe = 0; probe < 400; ++probe) {
+        // Oldest first: it can only trail epoch(), so loading it
+        // before the (monotone) epoch keeps `oldest <= e` race-free.
+        const uint64_t oldest = index.oldest_live_epoch();
+        const uint64_t e = index.epoch();
+        const size_t n = index.size();
+        const bool ok = e >= last_epoch && n >= size_floor &&
+                        n <= size_ceil && oldest <= e &&
+                        index.active_readers() == 0;
+        if (!ok) monitor_failures.fetch_add(1, std::memory_order_relaxed);
+        last_epoch = e;
+        std::this_thread::yield();
+      }
+      sync.arrive_and_wait();
+    }
+  });
+
+  std::vector<KdPoint> window;
+  PointId next_id = 5000;
+  Rng wrng(61);
+  for (size_t round = 0; round < kRounds; ++round) {
+    sync.arrive_and_wait();
+    for (size_t i = 0; i < kInsertsPerRound; ++i) {
+      KdPoint p;
+      p.id = next_id++;
+      p.coords = {wrng.UniformDouble(), wrng.UniformDouble()};
+      ASSERT_TRUE(index.Insert(p.coords, p.id).ok());
+      window.push_back(std::move(p));
+    }
+    for (size_t i = 0; i < kRemovesPerRound; ++i) {
+      ASSERT_TRUE(
+          index.Remove(window.front().coords, window.front().id).ok());
+      window.erase(window.begin());
+    }
+    sync.arrive_and_wait();
+    // Exclusive handoff: every successful mutation bumped the epoch
+    // exactly once, and with no reader pinned nothing lingers.
+    const uint64_t ops = (round + 1) *
+        (kInsertsPerRound + kRemovesPerRound);
+    EXPECT_EQ(index.epoch(), epoch0 + ops);
+    EXPECT_EQ(index.size(),
+              corpus.size() + (round + 1) *
+                  (kInsertsPerRound - kRemovesPerRound));
+    EXPECT_EQ(index.oldest_live_epoch(), index.epoch());
+    EXPECT_EQ(index.pending_reclaims(), 0u);
+  }
+  monitor.join();
+  EXPECT_EQ(monitor_failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace semtree

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/backends.h"
+#include "core/versioned_index.h"
 #include "engine/query_engine.h"
 #include "workload/driver.h"
 #include "workload/workload_gen.h"
@@ -515,6 +516,68 @@ TEST(WorkloadDriverTest, HistogramPrecisionFlowsFromConfig) {
   for (const PhaseStats& ps : report->phases) {
     EXPECT_EQ(ps.latency.precision_bits(), 10u);
   }
+}
+
+// ------------------------------------------------------------ mixed-rw
+
+TEST(MixedRwTest, RejectsInvalidConfigs) {
+  VersionedIndex index(4);
+  auto corpus = CorpusFor(SmallConfig());
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+  QueryEngineOptions eopts;
+  eopts.threads = 2;
+  eopts.cache_capacity = 0;
+  QueryEngine engine(&index, eopts);
+
+  MixedRwConfig cfg;
+  cfg.phase_duration_s = 0.0;
+  EXPECT_FALSE(RunMixedReadWrite(&engine, corpus, cfg).ok());
+  cfg = MixedRwConfig();
+  cfg.writer_qps = 0.0;
+  EXPECT_FALSE(RunMixedReadWrite(&engine, corpus, cfg).ok());
+  cfg = MixedRwConfig();
+  cfg.query_noise = -1.0;
+  EXPECT_FALSE(RunMixedReadWrite(&engine, corpus, cfg).ok());
+  cfg = MixedRwConfig();
+  EXPECT_FALSE(RunMixedReadWrite(&engine, {}, cfg).ok());  // No corpus.
+}
+
+TEST(MixedRwTest, RunsBothPhasesAndReportsRatio) {
+  VersionedIndex index(4);
+  auto corpus = CorpusFor(SmallConfig());
+  ASSERT_TRUE(index.BulkLoad(corpus).ok());
+  QueryEngineOptions eopts;
+  eopts.threads = 2;
+  eopts.cache_capacity = 0;
+  QueryEngine engine(&index, eopts);
+
+  MixedRwConfig cfg;
+  cfg.phase_duration_s = 0.05;  // Semantics only; the ratio gate runs
+  cfg.reader_threads = 1;       // in the bench, not here.
+  cfg.writer_qps = 500.0;
+  auto report = RunMixedReadWrite(&engine, corpus, cfg);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Read-only phase: reads happened, nothing was written.
+  EXPECT_GT(report->read_only.reads, 0u);
+  EXPECT_EQ(report->read_only.writes, 0u);
+  EXPECT_EQ(report->read_only.read_errors, 0u);
+  EXPECT_GT(report->read_only.duration_s, 0.0);
+  EXPECT_GT(report->read_only.read_qps, 0.0);
+  EXPECT_EQ(report->read_only.read_latency.count(),
+            report->read_only.reads);
+
+  // Mixed phase: the writer made progress alongside the readers.
+  EXPECT_GT(report->mixed.reads, 0u);
+  EXPECT_GT(report->mixed.writes, 0u);
+  EXPECT_EQ(report->mixed.read_errors, 0u);
+  EXPECT_EQ(report->mixed.write_errors, 0u);
+  EXPECT_GT(report->read_throughput_ratio, 0.0);
+
+  // The writer's post-phase drain removed its sliding window: every
+  // surviving point is from the original corpus.
+  ASSERT_TRUE(index.Freeze().ok());
+  EXPECT_EQ(index.size(), corpus.size());
 }
 
 }  // namespace
