@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -33,6 +34,7 @@
 #include "core/backends.h"
 #include "core/versioned_index.h"
 #include "engine/query_engine.h"
+#include "semtree/semtree.h"
 #include "workload/driver.h"
 #include "workload/workload_gen.h"
 
@@ -46,6 +48,10 @@ struct Config {
   workload::WorkloadConfig gen;
   workload::DriverConfig driver;
   BackendKind backend = BackendKind::kKdTree;
+  /// --backend semtree: drive the distributed tree through QueryEngine
+  /// instead of a sequential SpatialIndex (ROADMAP item 2 leftover).
+  bool semtree = false;
+  size_t partitions = 8;  ///< SemTree seats (--partitions).
   std::string json_path = "BENCH_workload.json";
   bool smoke = false;
   bool mixed_rw = false;
@@ -142,10 +148,14 @@ Config ParseArgs(int argc, char** argv) {
         cfg.backend = BackendKind::kKdTree;
       } else if (std::strcmp(name, "linear") == 0) {
         cfg.backend = BackendKind::kLinearScan;
+      } else if (std::strcmp(name, "semtree") == 0) {
+        cfg.semtree = true;
       } else {
         std::fprintf(stderr, "unknown --backend %s\n", name);
         std::exit(2);
       }
+    } else if (std::strcmp(a, "--partitions") == 0) {
+      cfg.partitions = std::strtoull(next(&i), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a);
       std::exit(2);
@@ -168,20 +178,45 @@ struct RunResult {
 
 RunResult RunOnce(const Config& cfg,
                   const std::vector<KdPoint>& corpus) {
-  auto index = MakeSpatialIndex(cfg.backend, cfg.gen.dims);
-  Status st = index->BulkLoad(corpus);
-  if (!st.ok()) {
-    std::fprintf(stderr, "bulk load failed: %s\n", st.ToString().c_str());
-    std::exit(1);
+  // Exactly one of (index, tree) backs the engine; both must outlive it.
+  std::unique_ptr<SpatialIndex> index;
+  std::unique_ptr<SemTree> tree;
+  std::unique_ptr<QueryEngine> engine;
+  if (cfg.semtree) {
+    SemTreeOptions topts;
+    topts.dimensions = cfg.gen.dims;
+    topts.max_partitions = std::max<size_t>(1, cfg.partitions);
+    auto made = SemTree::Create(topts);
+    if (!made.ok()) {
+      std::fprintf(stderr, "semtree create failed: %s\n",
+                   made.status().ToString().c_str());
+      std::exit(1);
+    }
+    tree = std::move(*made);
+    Status st = tree->BulkLoadBalanced(corpus);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    engine = std::make_unique<QueryEngine>(tree.get());
+  } else {
+    index = MakeSpatialIndex(cfg.backend, cfg.gen.dims);
+    Status st = index->BulkLoad(corpus);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    engine = std::make_unique<QueryEngine>(index.get());
   }
-  QueryEngine engine(index.get());
   auto trace = workload::GenerateTrace(cfg.gen, corpus);
   if (!trace.ok()) {
     std::fprintf(stderr, "trace generation failed: %s\n",
                  trace.status().ToString().c_str());
     std::exit(1);
   }
-  auto report = workload::RunOpenLoop(&engine, *trace, cfg.driver);
+  auto report = workload::RunOpenLoop(engine.get(), *trace, cfg.driver);
   if (!report.ok()) {
     std::fprintf(stderr, "driver failed: %s\n",
                  report.status().ToString().c_str());
@@ -357,13 +392,23 @@ int RunMixedRw(const Config& cfg, const std::vector<KdPoint>& corpus,
 
 int Main(int argc, char** argv) {
   Config cfg = ParseArgs(argc, argv);
-  const std::string series(BackendName(cfg.backend));
+  const std::string series =
+      cfg.semtree ? "semtree" : std::string(BackendName(cfg.backend));
   PrintHeader(kFigure, "Zipfian open-loop workload: SLO percentiles",
               "phase,p99_us,p50;p999;qps;err;shed;trunc");
 
   auto corpus = workload::MakeClusteredCorpus(
       cfg.gen.num_keys, cfg.gen.dims, 16, cfg.gen.seed);
-  if (cfg.mixed_rw) return RunMixedRw(cfg, corpus, series);
+  if (cfg.mixed_rw) {
+    if (cfg.semtree) {
+      // VersionedIndex wraps sequential backends only; the distributed
+      // tree's RCU story is bench_rebalance's job.
+      std::fprintf(stderr,
+                   "--mixed-rw does not support --backend semtree\n");
+      return 2;
+    }
+    return RunMixedRw(cfg, corpus, series);
+  }
   RunResult run = RunOnce(cfg, corpus);
 
   BenchJson json("workload_driver", cfg.json_path);
@@ -379,6 +424,7 @@ int Main(int argc, char** argv) {
   json.AddNum("target_qps", cfg.driver.target_qps);
   json.AddInt("workers", cfg.driver.workers);
   json.AddInt("max_pending", cfg.driver.max_pending);
+  if (cfg.semtree) json.AddInt("partitions", cfg.partitions);
   json.AddStr("trace_hash",
               std::to_string(run.trace_hash));  // String: full 64 bits.
   for (const workload::PhaseStats& ps : run.report.phases) {

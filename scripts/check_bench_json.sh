@@ -88,6 +88,45 @@ if rw:
     summary = only("rw_summary")
     require(summary, "rw_summary", ("read_throughput_ratio", "merges"))
 
+# Rebalance artifacts (bench_rebalance, the DESIGN.md §12 gate) carry
+# a fixed record set: one config, one run per mode (off before on),
+# one rebalance counter record, one summary with the gated fields.
+if bench == "rebalance":
+    def one(kind, **match):
+        found = [r for r in records if r.get("record") == kind and
+                 all(r.get(k) == v for k, v in match.items())]
+        if len(found) != 1:
+            sys.exit(f"{path}: expected exactly one {kind!r} record"
+                     + (f" with {match}" if match else "")
+                     + f", got {len(found)}")
+        return found[0]
+
+    def numeric(rec, kind, fields):
+        for f in fields:
+            v = rec.get(f)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                sys.exit(f"{path}: {kind} record needs numeric {f!r}")
+
+    numeric(one("config"), "config",
+            ("seed", "keys", "dims", "ops", "zipf_s", "workers",
+             "max_partitions", "bulk_load_partitions", "bucket_size",
+             "min_ratio", "hardware_threads"))
+    run_fields = ("completed", "errors", "truncated", "p50_us",
+                  "p99_us", "p999_us", "throughput_qps", "duration_s")
+    numeric(one("run", mode="off"), "run[off]", run_fields)
+    numeric(one("run", mode="on"), "run[on]", run_fields)
+    numeric(one("rebalance"), "rebalance",
+            ("ticks", "splits", "merges", "migrations", "points_moved",
+             "strands_reinserted", "partitions", "free_partitions"))
+    summary = one("summary")
+    numeric(summary, "summary",
+            ("throughput_ratio", "identical", "invariants_ok",
+             "points_equal", "ratio_gated"))
+    for flag in ("identical", "invariants_ok", "points_equal"):
+        if summary[flag] != 1:
+            sys.exit(f"{path}: summary {flag!r} is {summary[flag]}, "
+                     f"expected 1")
+
 print(f"{path}: ok ({bench}, {len(records)} records"
       + (f", {len(rw)} rw" if rw else "") + ")")
 EOF

@@ -59,6 +59,9 @@ class ComputeNode {
   size_t mailbox_high_watermark() const {
     return mailbox_.high_watermark();
   }
+  /// Messages currently queued (instantaneous backlog; the
+  /// rebalancer's per-node load signal for migration targeting).
+  size_t mailbox_depth() const { return mailbox_.size(); }
 
  private:
   void WorkerLoop();

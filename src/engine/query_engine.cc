@@ -77,7 +77,13 @@ uint64_t QueryEngine::epoch() const {
     SharedReaderLock lock(index_mu_);
     return index_->epoch();
   }
-  return tree_epoch_.load(std::memory_order_acquire);
+  // Fold in the tree's rebalance epoch: it is bumped at the start AND
+  // end of every structural rebalance step (odd mid-step), so entries
+  // cached against routing that a split/merge/migration is rewriting
+  // can never be served once the step lands — the combined epoch has
+  // already moved on. Both counters are monotone, so the sum is too.
+  return tree_epoch_.load(std::memory_order_acquire) +
+         tree_->rebalance_epoch();
 }
 
 ShardedResultCache::Stats QueryEngine::cache_stats() const {
@@ -209,7 +215,11 @@ Status QueryEngine::RunDistributedSpan(
     const SpatialQuery* batch, size_t lo, size_t hi,
     std::vector<QueryOutcome>* outcomes, TaskOutput* out) {
   Stopwatch sw;
-  uint64_t ep = tree_epoch_.load(std::memory_order_acquire);
+  // Mutation epoch + rebalance epoch (see epoch()): read once per
+  // span, so a rebalance step landing mid-span invalidates both this
+  // span's lookups and its stores.
+  uint64_t ep = tree_epoch_.load(std::memory_order_acquire) +
+                tree_->rebalance_epoch();
 
   // Probe the cache first; only the misses ship as this worker's
   // coalesced protocol run.

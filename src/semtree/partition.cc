@@ -15,8 +15,9 @@ namespace semtree {
 std::string PartitionStats::ToString() const {
   return StringPrintf(
       "Partition{id=%d points=%zu nodes=%zu leaves=%zu routing=%zu "
-      "edge=%zu depth=%zu}",
-      id, points, nodes, leaves, routing, edge_nodes, local_depth);
+      "edge=%zu depth=%zu load_ops=%.1f load_dist=%.1f reb=%llu}",
+      id, points, nodes, leaves, routing, edge_nodes, local_depth,
+      load_ops, load_distances, (unsigned long long)rebalances);
 }
 
 void Partition::SplitLeafIfNeeded(int32_t leaf) {
@@ -49,9 +50,11 @@ void Partition::SplitLeafIfNeeded(int32_t leaf) {
 
 int32_t Partition::AdoptRoot() {
   // Reuse the pristine initial root so adopted partitions do not keep
-  // an orphan empty leaf around.
+  // an orphan empty leaf around. A freed seat's killed root (see
+  // Evacuate, DESIGN.md §12) is NOT pristine: it must stay dead so
+  // straggler traffic keeps getting stale responses.
   if (points_ == 0 && roots_.size() == 1 && nodes_.size() == 1 &&
-      nodes_[0].is_leaf && nodes_[0].bucket.empty()) {
+      nodes_[0].is_leaf && !nodes_[0].is_dead && nodes_[0].bucket.empty()) {
     return roots_[0];
   }
   int32_t root = NewLeaf();
@@ -134,6 +137,104 @@ void Partition::BuildBalancedLocal(int32_t root, const PointBlock& block,
   AddPoints(count);
 }
 
+std::vector<SubtreeInfo> Partition::Subtrees() const {
+  std::vector<SubtreeInfo> out;
+  for (int32_t root : roots_) {
+    const PNode& rn = nodes_[static_cast<size_t>(root)];
+    if (rn.is_dead) continue;
+    SubtreeInfo info;
+    info.root = root;
+    std::vector<int32_t> stack{root};
+    while (!stack.empty()) {
+      int32_t idx = stack.back();
+      stack.pop_back();
+      const PNode& n = nodes_[static_cast<size_t>(idx)];
+      if (n.is_dead) continue;
+      ++info.nodes;
+      if (n.is_leaf) {
+        info.points += n.bucket.size();
+        continue;
+      }
+      if (n.left.partition == id_) {
+        stack.push_back(n.left.node);
+      } else {
+        info.fully_local = false;
+      }
+      if (n.right.partition == id_) {
+        stack.push_back(n.right.node);
+      } else {
+        info.fully_local = false;
+      }
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+bool Partition::SubtreeLocalSlots(int32_t root,
+                                  std::vector<Slot>* out) const {
+  std::vector<int32_t> stack{root};
+  while (!stack.empty()) {
+    int32_t idx = stack.back();
+    stack.pop_back();
+    const PNode& n = nodes_[static_cast<size_t>(idx)];
+    if (n.is_dead) continue;
+    if (n.is_leaf) {
+      out->insert(out->end(), n.bucket.begin(), n.bucket.end());
+      continue;
+    }
+    if (n.left.partition != id_ || n.right.partition != id_) {
+      return false;
+    }
+    stack.push_back(n.left.node);
+    stack.push_back(n.right.node);
+  }
+  return true;
+}
+
+void Partition::DetachSubtree(int32_t root) {
+  std::vector<int32_t> stack{root};
+  while (!stack.empty()) {
+    int32_t idx = stack.back();
+    stack.pop_back();
+    PNode& n = nodes_[static_cast<size_t>(idx)];
+    if (n.is_dead) continue;
+    for (Slot s : n.bucket) store_.Release(s);
+    n.bucket.clear();
+    n.bucket.shrink_to_fit();
+    if (!n.is_leaf) {
+      if (n.left.partition == id_) stack.push_back(n.left.node);
+      if (n.right.partition == id_) stack.push_back(n.right.node);
+    }
+    if (idx == root) {
+      n.is_leaf = true;
+      n.left = ChildRef{};
+      n.right = ChildRef{};
+    } else {
+      n.is_dead = true;
+    }
+  }
+}
+
+void Partition::UnregisterRoot(int32_t node) {
+  for (size_t i = 1; i < roots_.size(); ++i) {
+    if (roots_[i] == node) {
+      roots_.erase(roots_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void Partition::Reset() {
+  store_ = PointStore(dimensions_);
+  nodes_.clear();
+  roots_.clear();
+  points_ = 0;
+  load_ops_ = 0.0;
+  load_distances_ = 0.0;
+  roots_.push_back(NewLeaf());
+}
+
 void Partition::SaveTo(persist::ByteWriter* out) const {
   out->PutU64(dimensions_);
   out->PutU64(bucket_size_);
@@ -153,10 +254,17 @@ void Partition::SaveTo(persist::ByteWriter* out) const {
     out->PutI32(n.right.node);
     out->PutU32Array(n.bucket);
   }
+  // Load-counter tail (DESIGN.md §12), appended after the node arena
+  // so pre-rebalancer blobs (which simply end here) still restore: the
+  // reader probes AtEnd() on the length-framed blob.
+  out->PutDouble(load_ops_);
+  out->PutDouble(load_distances_);
+  out->PutU64(rebalances_);
 }
 
 Status Partition::RestoreFrom(persist::ByteReader* in,
-                              size_t expected_partitions) {
+                              size_t expected_partitions,
+                              int32_t remap_from) {
   SEMTREE_ASSIGN_OR_RETURN(uint64_t dimensions, in->U64());
   SEMTREE_ASSIGN_OR_RETURN(uint64_t bucket_size, in->U64());
   SEMTREE_ASSIGN_OR_RETURN(uint64_t points, in->U64());
@@ -210,6 +318,13 @@ Status Partition::RestoreFrom(persist::ByteReader* in,
     SEMTREE_ASSIGN_OR_RETURN(n.right.partition, in->I32());
     SEMTREE_ASSIGN_OR_RETURN(n.right.node, in->I32());
     SEMTREE_ASSIGN_OR_RETURN(n.bucket, in->U32Array());
+    // Migration remap: the blob was written by partition `remap_from`;
+    // its local edges become local edges of this seat (node indexes
+    // are arena positions, preserved verbatim by this loop).
+    if (remap_from >= 0) {
+      if (n.left.partition == remap_from) n.left.partition = id_;
+      if (n.right.partition == remap_from) n.right.partition = id_;
+    }
     if (n.is_leaf) {
       for (Slot s : n.bucket) {
         if (s >= store.slot_count()) {
@@ -223,10 +338,25 @@ Status Partition::RestoreFrom(persist::ByteReader* in,
     }
     nodes.push_back(std::move(n));
   }
+  // Optional load-counter tail: absent in pre-rebalancer blobs, in
+  // which case the partition keeps its current counters (so a
+  // partition-local rebuild from an old blob does not zero the load
+  // the rebalancer is tracking).
+  double load_ops = load_ops_;
+  double load_distances = load_distances_;
+  uint64_t rebalances = rebalances_;
+  if (!in->AtEnd()) {
+    SEMTREE_ASSIGN_OR_RETURN(load_ops, in->Double());
+    SEMTREE_ASSIGN_OR_RETURN(load_distances, in->Double());
+    SEMTREE_ASSIGN_OR_RETURN(rebalances, in->U64());
+  }
   store_ = std::move(store);
   nodes_ = std::move(nodes);
   roots_ = std::move(roots);
   points_ = points;
+  load_ops_ = load_ops;
+  load_distances_ = load_distances;
+  rebalances_ = rebalances;
   return Status::OK();
 }
 
@@ -262,6 +392,9 @@ PartitionStats Partition::Stats() const {
   PartitionStats stats;
   stats.id = id_;
   stats.points = points_;
+  stats.load_ops = load_ops_;
+  stats.load_distances = load_distances_;
+  stats.rebalances = rebalances_;
   struct Frame {
     int32_t node;
     size_t depth;

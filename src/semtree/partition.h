@@ -46,7 +46,27 @@ struct PartitionStats {
   size_t edge_nodes = 0;   ///< Routing nodes with a remote child.
   size_t local_depth = 0;  ///< Longest local root-to-edge path.
 
+  /// Decayed load accounting (DESIGN.md §12): handler activations and
+  /// leaf-scan distance computations charged to this partition. Only
+  /// op traffic records load — bulk builds and snapshot/restore do
+  /// not — and the counters ride the snapshot blob, so they survive
+  /// partition-local rebuilds and warm restarts.
+  double load_ops = 0.0;
+  double load_distances = 0.0;
+  uint64_t rebalances = 0;  ///< Rebalance actions applied here.
+
   std::string ToString() const;
+};
+
+/// One disjoint subtree of a partition (a roots_ entry), as inventoried
+/// for the rebalancer: a subtree is only movable when `fully_local` —
+/// every descendant lives in this partition, so draining it cannot
+/// orphan a cross-partition edge.
+struct SubtreeInfo {
+  int32_t root = -1;
+  uint64_t points = 0;
+  uint64_t nodes = 0;
+  bool fully_local = true;
 };
 
 /// The node arena of one partition. All mutation happens on the owning
@@ -104,6 +124,23 @@ class Partition {
   void AddPoints(size_t n) { points_ += n; }
   void RemovePoints(size_t n) { points_ -= std::min(points_, n); }
 
+  /// Load accounting (DESIGN.md §12). Like every other partition
+  /// field, the counters are mutated only on the owning worker thread
+  /// (op handlers charge them; the stats handler reads and decays
+  /// them), so plain doubles suffice.
+  void RecordLoad(double ops, double distances) {
+    load_ops_ += ops;
+    load_distances_ += distances;
+  }
+  void DecayLoad(double factor) {
+    load_ops_ *= factor;
+    load_distances_ *= factor;
+  }
+  double load_ops() const { return load_ops_; }
+  double load_distances() const { return load_distances_; }
+  uint64_t rebalances() const { return rebalances_; }
+  void BumpRebalances() { ++rebalances_; }
+
   /// Allocates a fresh local leaf and returns its index.
   int32_t NewLeaf() {
     nodes_.emplace_back();
@@ -144,6 +181,35 @@ class Partition {
   };
   std::vector<LeafLocation> LocalLeaves() const;
 
+  /// Inventories this partition's live subtrees (one entry per live
+  /// roots_ entry) for the rebalancer's candidate selection.
+  std::vector<SubtreeInfo> Subtrees() const;
+
+  /// Collects the slots of every live point under `root` into `out`,
+  /// in DFS order. Returns false — without touching `out`'s validity
+  /// for the caller — when the subtree is not fully local (a remote
+  /// child edge makes it unmovable).
+  bool SubtreeLocalSlots(int32_t root, std::vector<Slot>* out) const;
+
+  /// Detaches the (fully local) subtree under `root`: every live
+  /// descendant is marked dead with its bucket released, and `root`
+  /// itself becomes an empty live leaf. The caller must have copied
+  /// the points out first (SubtreeLocalSlots) and owns the point
+  /// accounting, mirroring ExtractLeafBlock.
+  void DetachSubtree(int32_t root);
+
+  /// Drops `node` from the roots list after a merge turned it into an
+  /// internal node of this same partition (a local parent edge now
+  /// reaches it, so keeping it a root would double-count the subtree
+  /// in every roots_ walk). The primary root (node 0) is never
+  /// dropped.
+  void UnregisterRoot(int32_t node);
+
+  /// Returns this partition to its pristine just-constructed state
+  /// (empty arena, one empty leaf root) and zeroes the load counters.
+  /// `rebalances()` is kept: it counts what happened to the seat.
+  void Reset();
+
   /// Local statistics (traverses the live local subtree).
   PartitionStats Stats() const;
 
@@ -154,8 +220,13 @@ class Partition {
   void SaveTo(persist::ByteWriter* out) const;
 
   /// Replaces all state with a saved blob's. `expected_partitions`
-  /// bounds the ChildRef partition ids the blob may reference.
-  Status RestoreFrom(persist::ByteReader* in, size_t expected_partitions);
+  /// bounds the ChildRef partition ids the blob may reference. When
+  /// `remap_from` >= 0, ChildRefs naming that partition id are
+  /// rewritten to this partition's own id — the migration restore
+  /// (DESIGN.md §12): node indexes are preserved, so inbound edges can
+  /// be retargeted 1:1 to the new seat.
+  Status RestoreFrom(persist::ByteReader* in, size_t expected_partitions,
+                     int32_t remap_from = -1);
 
  private:
   int32_t id_;
@@ -165,6 +236,11 @@ class Partition {
   std::vector<PNode> nodes_;
   std::vector<int32_t> roots_;
   size_t points_ = 0;
+  // Decayed load counters + rebalance event count (DESIGN.md §12).
+  // Worker-thread confined, like everything above.
+  double load_ops_ = 0.0;
+  double load_distances_ = 0.0;
+  uint64_t rebalances_ = 0;
 };
 
 }  // namespace semtree

@@ -1,0 +1,384 @@
+// Copyright 2026 The SemTree Authors
+//
+// Internal wire structs of the SemTree message protocol. Payloads are
+// type-erased shared_ptr<void>s (cluster/message.h), so the sender and
+// every handler must agree on the concrete struct behind each message
+// type; hoisting them out of semtree.cc's anonymous namespace lets the
+// protocol be implemented across translation units (semtree.cc for the
+// §III-B core, rebalance.cc for the online rebalancer of DESIGN.md §12)
+// without ODR hazards. Not part of the public API: only semtree/*.cc
+// include this.
+
+#ifndef SEMTREE_SEMTREE_PROTOCOL_H_
+#define SEMTREE_SEMTREE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+#include "core/point_block.h"
+#include "core/query.h"
+#include "core/split.h"
+#include "semtree/partition.h"
+
+namespace semtree {
+namespace protocol {
+
+// Message types of the SemTree protocol.
+constexpr uint32_t kInsertMsg = 1;
+constexpr uint32_t kKnnMsg = 2;
+constexpr uint32_t kRangeMsg = 3;
+constexpr uint32_t kBuildPartitionMsg = 4;
+constexpr uint32_t kAdoptLeafMsg = 5;
+constexpr uint32_t kStatsMsg = 6;
+constexpr uint32_t kRemoveMsg = 7;
+constexpr uint32_t kBulkBuildMsg = 8;
+constexpr uint32_t kInstallTopologyMsg = 9;
+constexpr uint32_t kBatchMsg = 10;
+constexpr uint32_t kSnapshotMsg = 11;
+constexpr uint32_t kRestoreMsg = 12;
+// Online rebalancing (DESIGN.md §12).
+constexpr uint32_t kSplitMsg = 13;
+constexpr uint32_t kMergeMsg = 14;
+constexpr uint32_t kMigrateMsg = 15;
+constexpr uint32_t kRetargetMsg = 16;
+constexpr uint32_t kEvacuateMsg = 17;
+constexpr uint32_t kEdgesMsg = 18;
+constexpr uint32_t kInstallSplitMsg = 19;
+
+struct InsertRequest {
+  int32_t start_node = 0;
+  KdPoint point;
+};
+struct InsertResponse {
+  bool ok = false;
+  bool saturated = false;
+  // The addressed node vanished mid-rebalance (dead or out of range):
+  // nothing was stored; the client retries from the root against the
+  // settled routing.
+  bool stale = false;
+  int32_t partition = -1;
+  std::string error;
+};
+struct RemoveRequest {
+  int32_t start_node = 0;
+  KdPoint point;
+};
+struct RemoveResponse {
+  bool found = false;
+  bool stale = false;  // Same retry contract as InsertResponse::stale.
+};
+
+// Budget accounting that travels inside a search work item: the caps
+// (SearchBudget, core/query.h) plus the work already spent across
+// every partition the item visited, so the cap is global to the
+// query, not reset per hop. Mirrors core/best_first.h's BudgetGauge
+// for the message-passing traversal.
+struct TravelBudget {
+  SearchBudget budget;
+  uint64_t nodes = 0;
+  uint64_t points = 0;
+  bool truncated = false;
+
+  bool ChargeNode() {
+    if (budget.max_nodes_visited != 0 &&
+        nodes >= budget.max_nodes_visited) {
+      truncated = true;
+      return false;
+    }
+    ++nodes;
+    return true;
+  }
+  bool ChargeDistance() {
+    if (budget.max_distance_computations != 0 &&
+        points >= budget.max_distance_computations) {
+      truncated = true;
+      return false;
+    }
+    ++points;
+    return true;
+  }
+  // Bulk grant for batched leaf scans — same accounting as `want`
+  // ChargeDistance calls (mirrors BudgetGauge::ChargeDistances).
+  size_t ChargeDistances(size_t want) {
+    size_t granted = want;
+    if (budget.max_distance_computations != 0) {
+      uint64_t remaining = budget.max_distance_computations > points
+                               ? budget.max_distance_computations - points
+                               : 0;
+      if (remaining < want) {
+        granted = size_t(remaining);
+        truncated = true;
+      }
+    }
+    points += granted;
+    return granted;
+  }
+  double eps() const {
+    return budget.epsilon > 0.0 ? budget.epsilon : 0.0;
+  }
+};
+
+// Node status of the k-nearest traversal — Table I of the paper:
+// Not Visited (Nv), Left/Right (near side) Visited, All Visited (Av).
+enum class VisitStatus : uint8_t {
+  kNotVisited = 0,
+  kNearVisited = 1,
+  kAllVisited = 2,
+};
+
+// One pending node of the forward/backward visit. The frame stack
+// travels inside the message, so any partition can continue the
+// traversal and no compute node ever blocks on another (the protocol
+// is "basically the same as the one described in the insertion
+// algorithm": forwarding).
+struct KnnFrame {
+  int32_t partition = -1;
+  int32_t node = -1;
+  VisitStatus status = VisitStatus::kNotVisited;
+};
+
+struct KnnRequest {
+  std::vector<double> query;
+  size_t k = 0;                 // K of Table I.
+  TravelBudget tb;              // Budget + spent counters, hop to hop.
+  std::vector<Neighbor> rs;     // Result set Rs (max-heap on distance D).
+  std::vector<KnnFrame> stack;  // Pending nodes with their status S.
+  size_t partitions_visited = 0;
+};
+struct KnnResponse {
+  std::vector<Neighbor> rs;
+  size_t partitions_visited = 0;
+  bool truncated = false;
+};
+struct RangeRequest {
+  int32_t start_node = 0;
+  std::vector<double> query;
+  double radius = 0.0;
+  SearchBudget budget;  // Enforced per partition subtree (semtree.h).
+};
+struct RangeResponse {
+  std::vector<Neighbor> results;
+  size_t partitions_visited = 0;
+  bool truncated = false;
+};
+struct BuildPartitionRequest {};
+struct BuildPartitionResponse {
+  size_t leaves_moved = 0;
+  std::vector<int32_t> new_partitions;
+};
+// Leaf migration payload: one contiguous coordinate block per Fig. 2
+// build-partition, not N small vectors.
+struct AdoptLeafRequest {
+  PointBlock block;
+};
+struct AdoptLeafResponse {
+  int32_t root_node = 0;
+};
+struct StatsRequest {
+  // Multiplied into the partition's load counters *after* they are
+  // reported, so the rebalancer's trigger tracks a recent window
+  // (1.0 = pure read, used by AllPartitionStats/DebugStats).
+  double decay = 1.0;
+  bool include_subtrees = false;
+};
+struct StatsResponse {
+  PartitionStats stats;
+  std::vector<SubtreeInfo> subtrees;  // Only when include_subtrees.
+};
+struct BulkBuildRequest {
+  PointBlock block;
+};
+struct BulkBuildResponse {
+  int32_t root_node = -1;
+};
+// One routing node of the client-computed top-level skeleton. A child
+// is either another skeleton node (index >= 0) or an already-built
+// remote region (ChildRef).
+struct SkeletonNode {
+  uint32_t split_dim = 0;
+  double split_value = 0.0;
+  int32_t left_skeleton = -1;
+  int32_t right_skeleton = -1;
+  ChildRef left_ref;
+  ChildRef right_ref;
+};
+struct InstallTopologyRequest {
+  std::vector<SkeletonNode> skeleton;  // skeleton[0] becomes the root.
+};
+struct InstallTopologyResponse {
+  bool ok = false;
+  std::string error;
+};
+// Snapshot protocol: each partition serializes (or restores) itself on
+// its own compute node; the client only assembles the per-partition
+// blobs (one per partition, DESIGN.md §5).
+struct SnapshotRequest {};
+struct SnapshotResponse {
+  std::string blob;
+};
+struct RestoreRequest {
+  std::string blob;
+  size_t partition_count = 0;  // ChildRef partition-id bound.
+  // Migration (DESIGN.md §12): ChildRefs naming this partition id in
+  // the blob are rewritten to the restoring partition's own id, so a
+  // whole partition relocates onto a new seat with its node indexes
+  // (and therefore every inbound edge's target node) preserved.
+  int32_t remap_from = -1;
+};
+struct RestoreResponse {
+  bool ok = false;
+  std::string error;
+};
+
+// One query of a coalesced batch (BatchSearch), carrying its in-flight
+// traversal state so any partition can continue it. k-NN items reuse
+// the Table-I frame machinery of KnnRequest; range items use the same
+// stack with the status field unused (a routing node is expanded once,
+// pushing every child the radius condition admits).
+struct BatchItem {
+  uint32_t slot = 0;  // Position in the client's batch.
+  QueryType type = QueryType::kKnn;
+  std::vector<double> query;
+  size_t k = 0;
+  double radius = 0.0;
+  TravelBudget tb;              // Budget + spent counters, hop to hop.
+  std::vector<Neighbor> rs;     // k-NN: max-heap; range: accumulator.
+  std::vector<KnnFrame> stack;  // Pending nodes, root-side at the bottom.
+};
+struct BatchRequest {
+  std::vector<BatchItem> items;
+};
+struct BatchResponse {
+  std::vector<BatchItem> items;
+  size_t partitions_visited = 0;  // Handler activations, all partitions.
+};
+
+// ---- Rebalance protocol (DESIGN.md §12) ----
+//
+// All rebalance requests are issued by the client-side coordinator
+// (SemTree::RebalanceTick), never from inside a handler, so they add
+// no nested-call edges to the partition DAG and cannot deadlock.
+
+// Source-side split: drain the fully-local subtree under `root`, cut
+// its points with ChooseSplitForPolicy, and return the two halves as
+// contiguous blocks. On success the subtree is detached (descendants
+// dead, `root` an empty leaf) and the partition's point accounting is
+// already adjusted; on failure nothing is mutated.
+struct SplitRequest {
+  int32_t root = -1;
+  SplitPolicy policy = SplitPolicy::kMedian;
+};
+struct SplitResponse {
+  bool ok = false;
+  std::string error;
+  uint32_t split_dim = 0;
+  double split_value = 0.0;
+  PointBlock left;
+  PointBlock right;
+};
+
+// Source-side drain of a fully-local subtree into one block (merge
+// phase, and strand collection after a retarget). `kill` additionally
+// marks the emptied root dead — used once the root is unreachable, so
+// late in-flight traffic gets a stale response instead of storing
+// points into an abandoned node.
+struct MergeRequest {
+  int32_t root = -1;
+  bool kill = false;
+};
+struct MergeResponse {
+  bool ok = false;
+  std::string error;
+  PointBlock block;
+};
+
+// Target-side adopt of a shipped block: a fresh root is allocated and
+// a balanced subtree built over the block (PR 6 pipeline). The reply
+// names the new root so the coordinator can link it.
+struct MigrateRequest {
+  PointBlock block;
+  SplitPolicy policy = SplitPolicy::kMedian;
+  size_t build_threads = 1;
+};
+struct MigrateResponse {
+  int32_t root_node = -1;
+};
+
+// Edits one child slot of a routing node — the atomic routing-table
+// publication step of every rebalance move (the write happens on the
+// owning worker thread, so readers see either the old or the new edge,
+// never a torn one).
+struct RetargetRequest {
+  int32_t parent_node = -1;
+  bool is_left = false;
+  ChildRef child;
+};
+struct RetargetResponse {
+  bool ok = false;
+  std::string error;
+};
+
+// Atomic whole-partition evacuation (migration transfer format = the
+// PR 3 per-partition snapshot blob): serialize, reset to pristine, and
+// kill the root in ONE handler activation, so the blob and the
+// emptied seat can never diverge and late arrivals always get stale
+// responses rather than landing in an abandoned partition.
+struct EvacuateRequest {
+  bool want_blob = true;  // false: reset-only (freeing a merged seat).
+};
+struct EvacuateResponse {
+  std::string blob;
+  uint64_t points = 0;  // Points carried by the blob.
+};
+
+// Inventory of this partition's live outbound cross-partition edges.
+struct EdgeInfo {
+  int32_t parent_node = -1;
+  bool is_left = false;
+  ChildRef child;
+};
+struct EdgesRequest {};
+struct EdgesResponse {
+  std::vector<EdgeInfo> edges;
+};
+
+// Final step of a split: convert the drained (empty-leaf) root into a
+// routing node over the two adopted halves. Points inserted into the
+// leaf between the split drain and this install are returned as
+// `strands` for client-side re-insertion.
+struct InstallSplitRequest {
+  int32_t node = -1;
+  uint32_t split_dim = 0;
+  double split_value = 0.0;
+  ChildRef left;
+  ChildRef right;
+};
+struct InstallSplitResponse {
+  bool ok = false;
+  std::string error;
+  PointBlock strands;
+};
+
+inline size_t PointBytes(size_t dims) { return dims * sizeof(double) + 16; }
+inline size_t NeighborBytes(size_t n) {
+  return n * sizeof(Neighbor) + 16;
+}
+
+inline size_t BatchItemBytes(const BatchItem& item) {
+  return item.query.size() * sizeof(double) +
+         item.rs.size() * sizeof(Neighbor) +
+         item.stack.size() * sizeof(KnnFrame) + 32;
+}
+
+inline size_t BatchBytes(const std::vector<BatchItem>& items) {
+  size_t bytes = 32;
+  for (const BatchItem& item : items) bytes += BatchItemBytes(item);
+  return bytes;
+}
+
+}  // namespace protocol
+}  // namespace semtree
+
+#endif  // SEMTREE_SEMTREE_PROTOCOL_H_

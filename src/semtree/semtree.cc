@@ -14,229 +14,16 @@
 #include "core/distance.h"
 #include "core/kernels.h"
 #include "core/split.h"
+#include "semtree/protocol.h"
 
 namespace semtree {
 
+// The wire structs and message ids live in semtree/protocol.h so the
+// rebalancer handlers (semtree/rebalance.cc) can speak the same
+// protocol without ODR hazards.
+using namespace protocol;  // NOLINT(build/namespaces)
+
 namespace {
-
-// Message types of the SemTree protocol.
-constexpr uint32_t kInsertMsg = 1;
-constexpr uint32_t kKnnMsg = 2;
-constexpr uint32_t kRangeMsg = 3;
-constexpr uint32_t kBuildPartitionMsg = 4;
-constexpr uint32_t kAdoptLeafMsg = 5;
-constexpr uint32_t kStatsMsg = 6;
-constexpr uint32_t kRemoveMsg = 7;
-constexpr uint32_t kBulkBuildMsg = 8;
-constexpr uint32_t kInstallTopologyMsg = 9;
-constexpr uint32_t kBatchMsg = 10;
-constexpr uint32_t kSnapshotMsg = 11;
-constexpr uint32_t kRestoreMsg = 12;
-
-struct InsertRequest {
-  int32_t start_node = 0;
-  KdPoint point;
-};
-struct InsertResponse {
-  bool ok = false;
-  bool saturated = false;
-  int32_t partition = -1;
-  std::string error;
-};
-struct RemoveRequest {
-  int32_t start_node = 0;
-  KdPoint point;
-};
-struct RemoveResponse {
-  bool found = false;
-};
-
-// Budget accounting that travels inside a search work item: the caps
-// (SearchBudget, core/query.h) plus the work already spent across
-// every partition the item visited, so the cap is global to the
-// query, not reset per hop. Mirrors core/best_first.h's BudgetGauge
-// for the message-passing traversal.
-struct TravelBudget {
-  SearchBudget budget;
-  uint64_t nodes = 0;
-  uint64_t points = 0;
-  bool truncated = false;
-
-  bool ChargeNode() {
-    if (budget.max_nodes_visited != 0 &&
-        nodes >= budget.max_nodes_visited) {
-      truncated = true;
-      return false;
-    }
-    ++nodes;
-    return true;
-  }
-  bool ChargeDistance() {
-    if (budget.max_distance_computations != 0 &&
-        points >= budget.max_distance_computations) {
-      truncated = true;
-      return false;
-    }
-    ++points;
-    return true;
-  }
-  // Bulk grant for batched leaf scans — same accounting as `want`
-  // ChargeDistance calls (mirrors BudgetGauge::ChargeDistances).
-  size_t ChargeDistances(size_t want) {
-    size_t granted = want;
-    if (budget.max_distance_computations != 0) {
-      uint64_t remaining = budget.max_distance_computations > points
-                               ? budget.max_distance_computations - points
-                               : 0;
-      if (remaining < want) {
-        granted = size_t(remaining);
-        truncated = true;
-      }
-    }
-    points += granted;
-    return granted;
-  }
-  double eps() const {
-    return budget.epsilon > 0.0 ? budget.epsilon : 0.0;
-  }
-};
-// Node status of the k-nearest traversal — Table I of the paper:
-// Not Visited (Nv), Left/Right (near side) Visited, All Visited (Av).
-enum class VisitStatus : uint8_t {
-  kNotVisited = 0,
-  kNearVisited = 1,
-  kAllVisited = 2,
-};
-
-// One pending node of the forward/backward visit. The frame stack
-// travels inside the message, so any partition can continue the
-// traversal and no compute node ever blocks on another (the protocol
-// is "basically the same as the one described in the insertion
-// algorithm": forwarding).
-struct KnnFrame {
-  int32_t partition = -1;
-  int32_t node = -1;
-  VisitStatus status = VisitStatus::kNotVisited;
-};
-
-struct KnnRequest {
-  std::vector<double> query;
-  size_t k = 0;                 // K of Table I.
-  TravelBudget tb;              // Budget + spent counters, hop to hop.
-  std::vector<Neighbor> rs;     // Result set Rs (max-heap on distance D).
-  std::vector<KnnFrame> stack;  // Pending nodes with their status S.
-  size_t partitions_visited = 0;
-};
-struct KnnResponse {
-  std::vector<Neighbor> rs;
-  size_t partitions_visited = 0;
-  bool truncated = false;
-};
-struct RangeRequest {
-  int32_t start_node = 0;
-  std::vector<double> query;
-  double radius = 0.0;
-  SearchBudget budget;  // Enforced per partition subtree (semtree.h).
-};
-struct RangeResponse {
-  std::vector<Neighbor> results;
-  size_t partitions_visited = 0;
-  bool truncated = false;
-};
-struct BuildPartitionRequest {};
-struct BuildPartitionResponse {
-  size_t leaves_moved = 0;
-  std::vector<int32_t> new_partitions;
-};
-// Leaf migration payload: one contiguous coordinate block per Fig. 2
-// build-partition, not N small vectors.
-struct AdoptLeafRequest {
-  PointBlock block;
-};
-struct AdoptLeafResponse {
-  int32_t root_node = 0;
-};
-struct StatsRequest {};
-struct StatsResponse {
-  PartitionStats stats;
-};
-struct BulkBuildRequest {
-  PointBlock block;
-};
-struct BulkBuildResponse {
-  int32_t root_node = -1;
-};
-// One routing node of the client-computed top-level skeleton. A child
-// is either another skeleton node (index >= 0) or an already-built
-// remote region (ChildRef).
-struct SkeletonNode {
-  uint32_t split_dim = 0;
-  double split_value = 0.0;
-  int32_t left_skeleton = -1;
-  int32_t right_skeleton = -1;
-  ChildRef left_ref;
-  ChildRef right_ref;
-};
-struct InstallTopologyRequest {
-  std::vector<SkeletonNode> skeleton;  // skeleton[0] becomes the root.
-};
-struct InstallTopologyResponse {
-  bool ok = false;
-  std::string error;
-};
-// Snapshot protocol: each partition serializes (or restores) itself on
-// its own compute node; the client only assembles the per-partition
-// blobs (one per partition, DESIGN.md §5).
-struct SnapshotRequest {};
-struct SnapshotResponse {
-  std::string blob;
-};
-struct RestoreRequest {
-  std::string blob;
-  size_t partition_count = 0;  // ChildRef partition-id bound.
-};
-struct RestoreResponse {
-  bool ok = false;
-  std::string error;
-};
-
-// One query of a coalesced batch (BatchSearch), carrying its in-flight
-// traversal state so any partition can continue it. k-NN items reuse
-// the Table-I frame machinery of KnnRequest; range items use the same
-// stack with the status field unused (a routing node is expanded once,
-// pushing every child the radius condition admits).
-struct BatchItem {
-  uint32_t slot = 0;  // Position in the client's batch.
-  QueryType type = QueryType::kKnn;
-  std::vector<double> query;
-  size_t k = 0;
-  double radius = 0.0;
-  TravelBudget tb;              // Budget + spent counters, hop to hop.
-  std::vector<Neighbor> rs;     // k-NN: max-heap; range: accumulator.
-  std::vector<KnnFrame> stack;  // Pending nodes, root-side at the bottom.
-};
-struct BatchRequest {
-  std::vector<BatchItem> items;
-};
-struct BatchResponse {
-  std::vector<BatchItem> items;
-  size_t partitions_visited = 0;  // Handler activations, all partitions.
-};
-
-size_t PointBytes(size_t dims) { return dims * sizeof(double) + 16; }
-size_t NeighborBytes(size_t n) { return n * sizeof(Neighbor) + 16; }
-
-size_t BatchItemBytes(const BatchItem& item) {
-  return item.query.size() * sizeof(double) +
-         item.rs.size() * sizeof(Neighbor) +
-         item.stack.size() * sizeof(KnnFrame) + 32;
-}
-
-size_t BatchBytes(const std::vector<BatchItem>& items) {
-  size_t bytes = 32;
-  for (const BatchItem& item : items) bytes += BatchItemBytes(item);
-  return bytes;
-}
 
 // One local step of the k-NN forward/backward visit (§III-B.3,
 // Table I): a leaf scan into the rs max-heap, or one status
@@ -255,6 +42,16 @@ void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
              TravelBudget* tb, std::vector<Neighbor>* rs,
              std::vector<KnnFrame>* stack) {
   KnnFrame& frame = stack->back();
+  // An out-of-range index means the frame was captured before a
+  // rebalance step rewrote this partition (e.g. a migration reset the
+  // arena): the subtree it pointed at now lives behind a retargeted
+  // edge the traversal has already consulted or will re-enter through
+  // the parent, so the stale frame is dropped like a dead node.
+  if (frame.node < 0 ||
+      static_cast<size_t>(frame.node) >= p->arena_size()) {
+    stack->pop_back();
+    return;
+  }
   const Partition::PNode& n = p->node(frame.node);
   if (n.is_dead) {
     stack->pop_back();
@@ -270,6 +67,7 @@ void KnnStep(Partition* p, const std::vector<double>& query, size_t k,
     // construction. The bulk grant reproduces a per-point charge loop
     // exactly, including the truncation point.
     size_t granted = tb->ChargeDistances(n.bucket.size());
+    p->RecordLoad(0, static_cast<double>(granted));
     BatchScan(
         Metric::kL2, query.data(), store.dimensions(), granted,
         [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
@@ -363,6 +161,9 @@ SemTree::SemTree(SemTreeOptions options) : options_(std::move(options)) {
 }
 
 SemTree::~SemTree() {
+  // The background rebalancer issues cluster calls; it must be gone
+  // before the workers stop draining mailboxes.
+  StopRebalancer();
   cluster_->Shutdown();
   // Workers are gone, so no reader can be pinned: the current table
   // dies here and the retired ones drain in RetireList's destructor.
@@ -459,6 +260,7 @@ void SemTree::RegisterHandlers(Partition* part, ComputeNode* node) {
   node->RegisterHandler(kRestoreMsg, [this, part](const Message& m) {
     HandleRestore(part, m);
   });
+  RegisterRebalanceHandlers(part, node);
 }
 
 // --------------------------------------------------------------------
@@ -466,8 +268,19 @@ void SemTree::RegisterHandlers(Partition* part, ComputeNode* node) {
 
 void SemTree::HandleInsert(Partition* p, const Message& msg) {
   auto& req = PayloadAs<InsertRequest>(msg.payload);
+  p->RecordLoad(1, 0);
   int32_t nd = req.start_node;
   for (;;) {
+    if (nd < 0 || static_cast<size_t>(nd) >= p->arena_size() ||
+        p->node(nd).is_dead) {
+      // The addressed node vanished mid-rebalance: nothing stored;
+      // the client retries from the root against the settled routing.
+      InsertResponse resp;
+      resp.stale = true;
+      cluster_->Respond(msg, MakePayload<InsertResponse>(std::move(resp)),
+                        64);
+      return;
+    }
     Partition::PNode& n = p->node(nd);
     if (n.is_leaf) {
       n.bucket.push_back(
@@ -510,26 +323,34 @@ Status SemTree::Insert(const std::vector<double>& coords, PointId id) {
                      coords.size(), options_.dimensions));
   }
   SEMTREE_RETURN_NOT_OK(CheckFiniteCoords(coords));
-  InsertRequest req;
-  req.start_node = 0;
-  req.point = KdPoint{coords, id};
-  SEMTREE_ASSIGN_OR_RETURN(
-      Payload payload,
-      cluster_->CallAndWait(0, kInsertMsg,
-                            MakePayload<InsertRequest>(std::move(req)),
-                            PointBytes(options_.dimensions)));
-  auto& resp = PayloadAs<InsertResponse>(payload);
-  if (!resp.ok) return Status::Internal(resp.error);
-  if (resp.saturated && PartitionCount() < options_.max_partitions) {
+  // A stale response means the addressed node vanished mid-rebalance;
+  // retrying from the root sees the settled routing. The bound only
+  // trips if rebalance steps keep racing this one client.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    InsertRequest req;
+    req.start_node = 0;
+    req.point = KdPoint{coords, id};
     SEMTREE_ASSIGN_OR_RETURN(
-        Payload build,
-        cluster_->CallAndWait(
-            resp.partition, kBuildPartitionMsg,
-            MakePayload<BuildPartitionRequest>(BuildPartitionRequest{}),
-            32));
-    (void)build;
+        Payload payload,
+        cluster_->CallAndWait(0, kInsertMsg,
+                              MakePayload<InsertRequest>(std::move(req)),
+                              PointBytes(options_.dimensions)));
+    auto& resp = PayloadAs<InsertResponse>(payload);
+    if (resp.stale) continue;
+    if (!resp.ok) return Status::Internal(resp.error);
+    if (resp.saturated && PartitionCount() < options_.max_partitions) {
+      SEMTREE_ASSIGN_OR_RETURN(
+          Payload build,
+          cluster_->CallAndWait(
+              resp.partition, kBuildPartitionMsg,
+              MakePayload<BuildPartitionRequest>(BuildPartitionRequest{}),
+              32));
+      (void)build;
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  return Status::Unavailable(
+      "insert kept hitting partitions mid-rebalance");
 }
 
 Status SemTree::BulkInsert(const PointBlock& points,
@@ -576,11 +397,20 @@ Status SemTree::BulkInsert(const std::vector<KdPoint>& points,
 
 void SemTree::HandleRemove(Partition* p, const Message& msg) {
   auto& req = PayloadAs<RemoveRequest>(msg.payload);
+  p->RecordLoad(1, 0);
   int32_t nd = req.start_node;
   for (;;) {
+    if (nd < 0 || static_cast<size_t>(nd) >= p->arena_size() ||
+        p->node(nd).is_dead) {
+      RemoveResponse resp;
+      resp.stale = true;
+      cluster_->Respond(msg, MakePayload<RemoveResponse>(resp), 32);
+      return;
+    }
     Partition::PNode& n = p->node(nd);
     if (n.is_leaf) {
       RemoveResponse resp;
+      p->RecordLoad(0, static_cast<double>(n.bucket.size()));
       for (size_t i = 0; i < n.bucket.size(); ++i) {
         Partition::Slot slot = n.bucket[i];
         if (p->store().IdAt(slot) == req.point.id &&
@@ -616,20 +446,26 @@ Status SemTree::Remove(const std::vector<double>& coords, PointId id) {
         StringPrintf("point has %zu dimensions, tree has %zu",
                      coords.size(), options_.dimensions));
   }
-  RemoveRequest req;
-  req.start_node = 0;
-  req.point = KdPoint{coords, id};
-  SEMTREE_ASSIGN_OR_RETURN(
-      Payload payload,
-      cluster_->CallAndWait(0, kRemoveMsg,
-                            MakePayload<RemoveRequest>(std::move(req)),
-                            PointBytes(options_.dimensions)));
-  if (!PayloadAs<RemoveResponse>(payload).found) {
-    return Status::NotFound(StringPrintf(
-        "point %llu not stored at the given coordinates",
-        (unsigned long long)id));
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    RemoveRequest req;
+    req.start_node = 0;
+    req.point = KdPoint{coords, id};
+    SEMTREE_ASSIGN_OR_RETURN(
+        Payload payload,
+        cluster_->CallAndWait(0, kRemoveMsg,
+                              MakePayload<RemoveRequest>(std::move(req)),
+                              PointBytes(options_.dimensions)));
+    auto& resp = PayloadAs<RemoveResponse>(payload);
+    if (resp.stale) continue;  // Raced a rebalance step; start over.
+    if (!resp.found) {
+      return Status::NotFound(StringPrintf(
+          "point %llu not stored at the given coordinates",
+          (unsigned long long)id));
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  return Status::Unavailable(
+      "remove kept hitting partitions mid-rebalance");
 }
 
 // --------------------------------------------------------------------
@@ -856,6 +692,11 @@ Status SemTree::BulkLoadBalanced(PointBlock points) {
 
   size_t data_partitions =
       options_.max_partitions > 1 ? options_.max_partitions - 1 : 1;
+  if (options_.bulk_load_partitions > 0) {
+    // Leave idle seats for the online rebalancer to split into.
+    data_partitions =
+        std::min(data_partitions, options_.bulk_load_partitions);
+  }
   BulkBuildOptions region_build;
   region_build.policy = options_.split_policy;
   RegionSplitter splitter(points, options_.bucket_size, region_build);
@@ -937,6 +778,7 @@ Status SemTree::BulkLoadBalanced(PointBlock points) {
 
 void SemTree::HandleKnn(Partition* p, const Message& msg) {
   auto& req = PayloadAs<KnnRequest>(msg.payload);
+  p->RecordLoad(1, 0);
   ++req.partitions_visited;
 
   // Drive the traversal off the frame stack until it drains (answer
@@ -1008,12 +850,16 @@ void RangeLocalWalk(Cluster* cluster, Partition* p, int32_t node,
                     const RangeRequest& req, TravelBudget* tb,
                     std::vector<Neighbor>* out,
                     std::vector<std::future<Payload>>* remote) {
+  // Stale-frame guard (see KnnStep): a node index from before a
+  // rebalance rewrite is treated like a dead node.
+  if (node < 0 || static_cast<size_t>(node) >= p->arena_size()) return;
   const Partition::PNode& n = p->node(node);
   if (n.is_dead) return;
   if (n.is_leaf) {
     if (!tb->ChargeNode()) return;
     const PointStore& store = p->store();
     size_t granted = tb->ChargeDistances(n.bucket.size());
+    p->RecordLoad(0, static_cast<double>(granted));
     BatchScan(
         Metric::kL2, req.query.data(), store.dimensions(), granted,
         [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
@@ -1061,6 +907,7 @@ void RangeLocalWalk(Cluster* cluster, Partition* p, int32_t node,
 
 void SemTree::HandleRange(Partition* p, const Message& msg) {
   auto& req = PayloadAs<RangeRequest>(msg.payload);
+  p->RecordLoad(1, 0);
   RangeResponse resp;
   resp.partitions_visited = 1;
   TravelBudget tb;
@@ -1159,6 +1006,12 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
       continue;
     }
 
+    // Stale-frame guard (see KnnStep).
+    if (frame.node < 0 ||
+        static_cast<size_t>(frame.node) >= p->arena_size()) {
+      item->stack.pop_back();
+      continue;
+    }
     const Partition::PNode& n = p->node(frame.node);
     if (n.is_dead) {
       item->stack.pop_back();
@@ -1171,6 +1024,7 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
       }
       const PointStore& store = p->store();
       size_t granted = item->tb.ChargeDistances(n.bucket.size());
+      p->RecordLoad(0, static_cast<double>(granted));
       BatchScan(
           Metric::kL2, item->query.data(), store.dimensions(), granted,
           [&](size_t j) { return store.CoordsAt(n.bucket[j]); },
@@ -1219,6 +1073,7 @@ ItemState AdvanceItem(Partition* p, BatchItem* item, size_t entry_depth) {
 
 void SemTree::HandleBatch(Partition* p, const Message& msg) {
   auto& req = PayloadAs<BatchRequest>(msg.payload);
+  p->RecordLoad(static_cast<double>(req.items.size()), 0);
   BatchResponse resp;
   resp.partitions_visited = 1;
   resp.items.reserve(req.items.size());
@@ -1369,7 +1224,7 @@ void SemTree::HandleSnapshot(Partition* p, const Message& msg) {
 void SemTree::HandleRestore(Partition* p, const Message& msg) {
   auto& req = PayloadAs<RestoreRequest>(msg.payload);
   persist::ByteReader in(req.blob);
-  Status st = p->RestoreFrom(&in, req.partition_count);
+  Status st = p->RestoreFrom(&in, req.partition_count, req.remap_from);
   RestoreResponse resp;
   resp.ok = st.ok();
   if (!st.ok()) resp.error = st.ToString();
@@ -1454,8 +1309,13 @@ Result<std::unique_ptr<SemTree>> SemTree::LoadFrom(
 // Stats & invariants
 
 void SemTree::HandleStats(Partition* p, const Message& msg) {
+  auto& req = PayloadAs<StatsRequest>(msg.payload);
   StatsResponse resp;
   resp.stats = p->Stats();
+  if (req.include_subtrees) resp.subtrees = p->Subtrees();
+  // Decay AFTER reporting: the rebalancer reads the full window it
+  // configured, then shrinks it for the next tick.
+  if (req.decay != 1.0) p->DecayLoad(req.decay);
   cluster_->Respond(msg, MakePayload<StatsResponse>(std::move(resp)),
                     sizeof(PartitionStats));
 }

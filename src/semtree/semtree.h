@@ -33,6 +33,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -45,6 +46,7 @@
 #include "core/split.h"
 #include "persist/wire.h"
 #include "semtree/partition.h"
+#include "semtree/rebalance.h"
 
 namespace semtree {
 
@@ -87,6 +89,16 @@ struct SemTreeOptions {
   /// 1 = serial (default), 0 = one per hardware thread, n = exactly n.
   /// The built tree is byte-identical across all values (DESIGN.md §8).
   size_t build_threads = 1;
+
+  /// Caps the data partitions BulkLoadBalanced spreads the corpus
+  /// over; 0 = auto (max_partitions - 1, the historical behavior).
+  /// Setting it below max_partitions - 1 leaves idle seats for the
+  /// online rebalancer to split into (DESIGN.md §12).
+  size_t bulk_load_partitions = 0;
+
+  /// Online rebalancer policy (semtree/rebalance.h). The rebalancer
+  /// only runs when RebalanceTick/StartRebalancer is called.
+  RebalanceOptions rebalance;
 };
 
 /// Outcome counters for a distributed search (network cost included).
@@ -202,6 +214,35 @@ class SemTree {
   /// Per-partition statistics, fetched over the message protocol.
   std::vector<PartitionStats> AllPartitionStats() const;
 
+  /// One bounded rebalance pass (DESIGN.md §12): reads the decayed
+  /// per-partition load counters and performs at most ONE structural
+  /// action — split the hottest overloaded partition, else fold the
+  /// coldest underloaded one back into its parents, else migrate a
+  /// hot-but-unsplittable partition onto an idle seat. Runs
+  /// concurrently with readers and writers; thread-safe (at most one
+  /// pass at a time). Returns OK when nothing qualified.
+  Status RebalanceTick();
+
+  /// Spawns a background thread calling RebalanceTick every
+  /// options().rebalance.interval. FailedPrecondition if running.
+  Status StartRebalancer();
+
+  /// Stops and joins the background rebalancer. Idempotent; called by
+  /// the destructor before the cluster shuts down.
+  void StopRebalancer();
+
+  /// Monotone counter bumped at the start AND end of every structural
+  /// rebalance action (odd = a step is in flight). Cache layers add it
+  /// to their own mutation epoch so entries cached mid-step can never
+  /// be served once the routing has settled (engine/query_engine.cc).
+  uint64_t rebalance_epoch() const {
+    return rebalance_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Observability snapshot: per-partition stats (sizes + load
+  /// counters), the free-seat pool and the rebalance counters.
+  SemTreeDebugStats DebugStats() const;
+
   /// Interconnect statistics.
   ClusterStats NetworkStats() const { return cluster_->Stats(); }
 
@@ -251,6 +292,53 @@ class SemTree {
   void HandleSnapshot(Partition* p, const Message& msg);
   void HandleRestore(Partition* p, const Message& msg);
 
+  // Rebalance handlers + coordinator (semtree/rebalance.cc).
+  void RegisterRebalanceHandlers(Partition* partition, ComputeNode* node);
+  void HandleSplit(Partition* p, const Message& msg);
+  void HandleInstallSplit(Partition* p, const Message& msg);
+  void HandleMerge(Partition* p, const Message& msg);
+  void HandleMigrate(Partition* p, const Message& msg);
+  void HandleRetarget(Partition* p, const Message& msg);
+  void HandleEvacuate(Partition* p, const Message& msg);
+  void HandleEdges(Partition* p, const Message& msg);
+
+  // One live cross-partition edge: `partition`'s routing node
+  // `parent_node` points at `child` on its `is_left` side.
+  struct EdgeLocation {
+    int32_t partition = -1;
+    int32_t parent_node = -1;
+    bool is_left = false;
+    ChildRef child;
+  };
+  // The coordinator's cluster-wide view for one tick: per-partition
+  // stats (with load counters), subtree inventories, and every live
+  // cross-partition edge.
+  struct LoadSnapshot {
+    std::vector<PartitionStats> stats;             // By partition id.
+    std::vector<std::vector<SubtreeInfo>> subtrees;  // By partition id.
+    std::vector<EdgeLocation> edges;
+    double total_score = 0.0;
+    size_t active = 0;  // Partitions with data or routing load.
+  };
+  Result<LoadSnapshot> GatherLoad(double decay) const;
+  Result<bool> TrySplit(const LoadSnapshot& snap)
+      REQUIRES(rebalance_mu_);
+  Result<bool> TryMerge(const LoadSnapshot& snap)
+      REQUIRES(rebalance_mu_);
+  Result<bool> TryMigrate(const LoadSnapshot& snap)
+      REQUIRES(rebalance_mu_);
+  // Re-routes points that arrived inside a rebalance window through
+  // normal insertion (adjusting total_points_ first, so the re-insert
+  // does not double-count them).
+  Status ReinsertBlock(const PointBlock& block) REQUIRES(rebalance_mu_);
+  // A free seat with id in (above, below), or a fresh partition when
+  // `below` is unbounded; -1 when none qualifies. Ids must grow along
+  // edges (the deadlock-freedom invariant of the batch protocol), so
+  // every rebalance target is constrained by its future neighbors.
+  int32_t AcquireSeat(int32_t above, int32_t below)
+      REQUIRES(rebalance_mu_);
+  void RebalancerLoop();
+
   SemTreeOptions options_;
   std::unique_ptr<Cluster> cluster_;
 
@@ -276,6 +364,22 @@ class SemTree {
   RetireList retired_tables_ GUARDED_BY(partitions_mu_);
 
   std::atomic<size_t> total_points_{0};
+
+  // Rebalancer state (DESIGN.md §12). rebalance_mu_ serializes ticks
+  // and guards the free-seat pool + counters; when a tick creates a
+  // partition it takes partitions_mu_ *inside* rebalance_mu_ (never
+  // the reverse). The epoch is read locklessly by cache layers.
+  mutable Mutex rebalance_mu_;
+  std::vector<int32_t> free_seats_ GUARDED_BY(rebalance_mu_);
+  RebalanceCounters rebalance_counters_ GUARDED_BY(rebalance_mu_);
+  std::atomic<uint64_t> rebalance_epoch_{0};
+
+  // Background rebalancer thread (StartRebalancer/StopRebalancer).
+  Mutex rebalancer_mu_;
+  CondVar rebalancer_cv_;
+  std::thread rebalancer_thread_;
+  bool rebalancer_running_ GUARDED_BY(rebalancer_mu_) = false;
+  bool rebalancer_stop_ GUARDED_BY(rebalancer_mu_) = false;
 };
 
 }  // namespace semtree

@@ -133,6 +133,32 @@ std::vector<KdPoint> MakeClusteredCorpus(uint64_t num_keys, size_t dims,
   return corpus;
 }
 
+std::vector<KdPoint> MakeContiguousClusteredCorpus(uint64_t num_keys,
+                                                   size_t dims,
+                                                   size_t clusters,
+                                                   uint64_t seed) {
+  if (clusters == 0) clusters = 1;
+  Rng rng(seed ^ kCorpusStream);
+  std::vector<std::vector<double>> centers(clusters);
+  for (auto& center : centers) {
+    center.resize(dims);
+    for (double& c : center) c = rng.UniformDouble(-1.0, 1.0);
+  }
+  std::vector<KdPoint> corpus(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    // Contiguous assignment: key range [j*N/C, (j+1)*N/C) forms one
+    // spatial cluster, so a Zipf-hot key prefix lands on few subtrees.
+    const std::vector<double>& center =
+        centers[static_cast<size_t>(i * clusters / num_keys)];
+    corpus[i].id = i;
+    corpus[i].coords.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      corpus[i].coords[d] = center[d] + 0.1 * rng.Gaussian();
+    }
+  }
+  return corpus;
+}
+
 Result<WorkloadTrace> GenerateTrace(const WorkloadConfig& config,
                                     const std::vector<KdPoint>& corpus) {
   SEMTREE_RETURN_NOT_OK(ValidateConfig(config));

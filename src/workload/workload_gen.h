@@ -119,6 +119,18 @@ struct WorkloadTrace {
 std::vector<KdPoint> MakeClusteredCorpus(uint64_t num_keys, size_t dims,
                                          size_t clusters, uint64_t seed);
 
+/// Like MakeClusteredCorpus, but cluster membership is assigned in
+/// contiguous key ranges (keys [j*N/C, (j+1)*N/C) share center j)
+/// instead of round-robin. Under a Zipfian key popularity the hot key
+/// prefix is then spatially coherent — it concentrates on a few
+/// subtrees/partitions — which is the skew the online rebalancer
+/// (semtree/rebalance.h) is built to dissipate. Pure function of its
+/// arguments.
+std::vector<KdPoint> MakeContiguousClusteredCorpus(uint64_t num_keys,
+                                                   size_t dims,
+                                                   size_t clusters,
+                                                   uint64_t seed);
+
 /// Materializes the full op trace. Pure function of (config, corpus):
 /// byte-identical output for identical inputs, on any machine or
 /// thread count. Removes target only workload-inserted ids (drawn
